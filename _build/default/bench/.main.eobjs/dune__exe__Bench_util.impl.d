@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Buffer Core Hashtbl Printf Staged String Test Time Toolkit Unix Xmtsim

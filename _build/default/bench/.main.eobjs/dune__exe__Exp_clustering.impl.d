@@ -1,0 +1,1 @@
+bench/exp_clustering.ml: Bench_util Compiler Core List Printf Xmtsim

@@ -1,0 +1,1 @@
+bench/exp_designspace.ml: Bench_util Core List Printf Xmtsim

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Bench_util Desim List Printf

@@ -1,0 +1,1 @@
+bench/exp_latency.ml: Bench_util Compiler Core List Printf Xmtsim

@@ -1,0 +1,1 @@
+bench/exp_memmodel.ml: Bench_util Compiler Core Hashtbl List Option Printf String Xmtsim

@@ -1,0 +1,1 @@
+bench/exp_modes.ml: Bench_util Core List Printf Xmtsim

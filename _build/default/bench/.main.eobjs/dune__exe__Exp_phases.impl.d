@@ -1,0 +1,1 @@
+bench/exp_phases.ml: Bench_util Core Printf Xmtsim

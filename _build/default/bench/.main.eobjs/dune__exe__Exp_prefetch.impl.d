@@ -1,0 +1,1 @@
+bench/exp_prefetch.ml: Bench_util Compiler Core List Printf Xmtsim

@@ -1,0 +1,1 @@
+bench/exp_speedups.ml: Array Bench_util Core Isa Printf Xmtsim

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_clustering Exp_designspace Exp_fig5 Exp_latency Exp_memmodel Exp_modes Exp_phases Exp_prefetch Exp_speedups Exp_table1 Exp_thermal List Printf String Sys Unix

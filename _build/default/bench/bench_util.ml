@@ -1,0 +1,57 @@
+(** Shared plumbing for the evaluation harness. *)
+
+let section title =
+  let bar = String.make 78 '=' in
+  Printf.printf "\n%s\n%s\n%s\n%!" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(** Nanoseconds per run of [f], measured with Bechamel's OLS estimator on
+    the monotonic clock; falls back to a single wall-clock measurement for
+    long-running functions. *)
+let bechamel_ns_per_run ?(quota = 3.0) ~name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~quota:(Time.second quota) ~stabilize:false
+      ~sampling:(`Linear 1) ~start:1 ()
+  in
+  let results = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+  in
+  let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+  let est = ref None in
+  Hashtbl.iter
+    (fun _ v ->
+      match Analyze.OLS.estimates v with
+      | Some (x :: _) -> est := Some x
+      | _ -> ())
+    analyzed;
+  match !est with
+  | Some ns when ns > 0.0 -> ns
+  | Some _ | None ->
+    let _, secs = wall f in
+    secs *. 1e9
+
+let compile ?options ?memmap src = Core.Toolchain.compile ?options ?memmap src
+
+let cycles_of ?(config = Xmtsim.Config.fpga64) compiled =
+  (Core.Toolchain.run_cycle ~config compiled).Core.Toolchain.cycles
+
+let commas n =
+  let s = string_of_int n in
+  let b = Buffer.create 16 in
+  let len = String.length s in
+  String.iteri
+    (fun i c ->
+      Buffer.add_char b c;
+      let rem = len - i - 1 in
+      if rem > 0 && rem mod 3 = 0 && c <> '-' then Buffer.add_char b ',')
+    s;
+  Buffer.contents b

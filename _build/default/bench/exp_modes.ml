@@ -1,0 +1,47 @@
+(** §III-A — functional vs cycle-accurate simulation speed.
+
+    "The functional simulation mode does not provide any cycle-accurate
+    information hence it is orders of magnitude faster than the
+    cycle-accurate mode."  Measured as host time for the same program and
+    inputs in both modes. *)
+
+open Bench_util
+
+let run () =
+  section "\xc2\xa7III-A: functional vs cycle-accurate mode (host time, same program)";
+  let n = 4096 in
+  let g = Core.Workloads.random_graph ~chain:16 ~seed:11 ~n ~edges_per_vertex:4 () in
+  let cases =
+    [
+      ( "BFS n=4096",
+        Core.Kernels.bfs ~n ~m:g.Core.Workloads.m ~src:0,
+        Core.Workloads.graph_memmap g );
+      ( "par_comp 2048x80",
+        Core.Kernels.par_comp ~threads:2048 ~iters:80,
+        [] );
+      ("ser_mem 20k sweeps", Core.Kernels.ser_mem ~iters:20000 ~n:65536, []);
+    ]
+  in
+  Printf.printf "%-20s %14s %14s %14s %10s\n" "program" "instructions"
+    "functional ms" "cycle ms" "ratio";
+  List.iter
+    (fun (name, src, memmap) ->
+      let compiled = compile ~memmap src in
+      let f_out = Core.Toolchain.run_functional compiled in
+      let c_out = Core.Toolchain.run_cycle ~config:Xmtsim.Config.chip1024 compiled in
+      assert (f_out.Core.Toolchain.output = c_out.Core.Toolchain.output);
+      let f_ns =
+        bechamel_ns_per_run ~quota:2.0 ~name:"functional" (fun () ->
+            ignore (Core.Toolchain.run_functional compiled))
+      in
+      let c_ns =
+        bechamel_ns_per_run ~quota:2.0 ~name:"cycle" (fun () ->
+            ignore (Core.Toolchain.run_cycle ~config:Xmtsim.Config.chip1024 compiled))
+      in
+      Printf.printf "%-20s %14s %14.2f %14.2f %9.0fx\n%!" name
+        (commas f_out.Core.Toolchain.instructions)
+        (f_ns /. 1e6) (c_ns /. 1e6) (c_ns /. f_ns))
+    cases;
+  print_endline
+    "\n(the functional mode serializes spawn blocks: fast debugging, no\n\
+     concurrency-bug visibility, no cycle counts — paper \xc2\xa7III-A)"

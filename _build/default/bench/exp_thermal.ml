@@ -1,0 +1,81 @@
+(** §III-B/§III-F — dynamic power and thermal management.
+
+    "A feature unique to XMTSim is the capability to evaluate runtime
+    systems for dynamic power and thermal management."  An activity
+    plug-in samples the power model, integrates the HotSpot-substitute
+    thermal model, and (in the managed run) throttles the cluster clock
+    domain at a trip temperature.  Reproduction targets: temperature rises
+    with activity; the manager caps the peak at the cost of extra
+    cycles. *)
+
+open Bench_util
+
+let trip = 326.0
+let interval = 2000
+
+let run_once ~throttle =
+  let src = Core.Kernels.par_comp ~threads:1024 ~iters:600 in
+  let compiled = compile src in
+  let m = Core.Toolchain.machine ~config:Xmtsim.Config.chip1024 compiled in
+  let power =
+    Xmtsim.Power.create
+      ~params:
+        { Xmtsim.Power.default with
+          Xmtsim.Power.e_alu = 0.5;
+          leak_cluster = 1.0 }
+      m
+  in
+  let thermal =
+    Xmtsim.Thermal.create ~params:Xmtsim.Thermal.demo ~grid_w:8
+      (Xmtsim.Power.component_names power)
+  in
+  let throttled = ref false in
+  let samples = ref [] in
+  Xmtsim.Machine.add_activity_plugin m ~name:"mgr" ~interval (fun m cycle ->
+      let w = Xmtsim.Power.sample power in
+      Xmtsim.Thermal.step thermal ~dt:(float_of_int interval /. 1e9) w;
+      let tmax = Xmtsim.Thermal.max_temperature thermal in
+      samples := (cycle, Xmtsim.Power.total power, tmax) :: !samples;
+      if throttle then
+        if tmax > trip && not !throttled then begin
+          throttled := true;
+          Xmtsim.Machine.set_period m Xmtsim.Machine.Clusters 2
+        end
+        else if tmax < trip -. 2.0 && !throttled then begin
+          throttled := false;
+          Xmtsim.Machine.set_period m Xmtsim.Machine.Clusters 1
+        end);
+  let r = Xmtsim.Machine.run m in
+  let peak =
+    List.fold_left (fun acc (_, _, t) -> max acc t) neg_infinity !samples
+  in
+  let avg_w =
+    let ws = List.map (fun (_, w, _) -> w) !samples in
+    List.fold_left ( +. ) 0.0 ws /. float_of_int (max 1 (List.length ws))
+  in
+  (r.Xmtsim.Machine.cycles, peak, avg_w, List.rev !samples)
+
+let run () =
+  section "\xc2\xa7III-F: power/temperature estimation and DVFS thermal management";
+  let c1, peak1, w1, trace = run_once ~throttle:false in
+  let c2, peak2, w2, _ = run_once ~throttle:true in
+  print_endline "power/temperature profile (unmanaged run):";
+  List.iteri
+    (fun i (cycle, w, t) ->
+      if i mod 8 = 0 then
+        Printf.printf "  cycle %8d  %6.1f W  Tmax %6.2f K\n" cycle w t)
+    trace;
+  Printf.printf "\n%-28s %12s %10s %10s\n" "run" "cycles" "peak K" "avg W";
+  Printf.printf "%-28s %12s %10.2f %10.1f\n" "no management" (commas c1) peak1 w1;
+  Printf.printf "%-28s %12s %10.2f %10.1f\n" "DVFS manager (trip 326 K)" (commas c2)
+    peak2 w2;
+  Printf.printf
+    "\nshape checks:\n\
+    \  temperature rises above ambient during the run: %s\n\
+    \  manager lowers the peak (%.2f K vs %.2f K):      %s\n\
+    \  at an execution-time cost (+%d cycles):          %s\n"
+    (if peak1 > 318.5 then "[ok]" else "[MISMATCH]")
+    peak2 peak1
+    (if peak2 < peak1 then "[ok]" else "[MISMATCH]")
+    (c2 - c1)
+    (if c2 > c1 then "[ok]" else "[MISMATCH]")

@@ -1,0 +1,38 @@
+(** The evaluation harness: one experiment per table/figure/claim of the
+    paper's evaluation (see DESIGN.md's experiment index).
+
+    Run all:      dune exec bench/main.exe
+    Run a subset: dune exec bench/main.exe -- table1 fig5 ... *)
+
+let experiments =
+  [
+    ("table1", "Table I: simulated throughputs of XMTSim", Exp_table1.run);
+    ("fig5", "Fig. 5/§III-D: DE vs DT and the macro-actor threshold", Exp_fig5.run);
+    ("memmodel", "Figs. 6/7: memory-model litmus outcomes", Exp_memmodel.run);
+    ("speedups", "§II-B: PRAM-program speedups over serial", Exp_speedups.run);
+    ("modes", "§III-A: functional vs cycle-accurate speed", Exp_modes.run);
+    ("prefetch", "§IV-C/[8]: prefetch buffer sweep", Exp_prefetch.run);
+    ("clustering", "§IV-C: thread-clustering sweep", Exp_clustering.run);
+    ("latency", "§IV-C: latency-tolerance ablation", Exp_latency.run);
+    ("thermal", "§III-F: power/thermal management", Exp_thermal.run);
+    ("phases", "§III-F: phase sampling", Exp_phases.run);
+    ("designspace", "§III: design-space sweeps", Exp_designspace.run);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, f) -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; have: %s\n" name
+          (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+        exit 1)
+    selected;
+  Printf.printf "\n(total bench wall time: %.1f s)\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,87 @@
+(** xmtcc — the XMTC compiler driver (paper §IV).
+
+    Compiles XMTC source to XMT assembly.  Every pass described in the
+    paper can be toggled from the command line, including the failure
+    demonstrations (no outlining, no Fig. 9 repair). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+
+let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
+    no_layout no_postpass no_outline dump_outlined dump_stats =
+  let options =
+    {
+      Compiler.Driver.opt_level;
+      prefetch = not no_prefetch;
+      prefetch_max_per_block = 8;
+      nbstore = not no_nbstore;
+      fences = not no_fences;
+      cluster;
+      layout_opt = not no_layout;
+      postpass_fix = not no_postpass;
+      outline = not no_outline;
+    }
+  in
+  match Compiler.Driver.compile ~options (read_file input) with
+  | exception Compiler.Driver.Compile_error msg ->
+    Printf.eprintf "xmtcc: %s\n" msg;
+    exit 1
+  | out ->
+    if dump_outlined then begin
+      print_endline "/* === after the pre-pass (outlining) === */";
+      print_endline out.Compiler.Driver.outlined_source
+    end;
+    let dest =
+      match output with
+      | Some p -> p
+      | None -> Filename.remove_extension input ^ ".s"
+    in
+    let oc = open_out dest in
+    output_string oc out.Compiler.Driver.asm_text;
+    close_out oc;
+    if dump_stats then
+      Printf.printf
+        "wrote %s (%d instructions, %d basic blocks relocated by the post-pass)\n"
+        dest
+        (List.length (Isa.Program.instructions out.Compiler.Driver.program))
+        out.Compiler.Driver.relocated_blocks
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.s"
+         ~doc:"Output assembly file (default: input with .s).")
+
+let opt_level =
+  Arg.(value & opt int 2 & info [ "O" ] ~docv:"N"
+         ~doc:"Optimization level: 0 none, 1 fold/copy-prop/DCE, 2 adds CSE.")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let cluster =
+  Arg.(value & opt int 1 & info [ "cluster" ] ~docv:"C"
+         ~doc:"Thread-clustering (coarsening) factor (paper \u{00a7}IV-C).")
+
+let cmd =
+  let doc = "compile XMTC to XMT assembly" in
+  Cmd.v
+    (Cmd.info "xmtcc" ~doc)
+    Term.(
+      const compile_cmd $ input $ output $ opt_level
+      $ flag [ "no-prefetch" ] "Disable compiler prefetching (\u{00a7}IV-C)."
+      $ flag [ "no-nbstore" ] "Use blocking stores in parallel code."
+      $ flag [ "no-fences" ]
+          "Do not insert fences before prefix-sums (breaks the memory model, \
+           Fig. 7)."
+      $ cluster
+      $ flag [ "no-layout-opt" ] "Disable basic-block layout optimization."
+      $ flag [ "no-postpass-fix" ]
+          "Do not relocate misplaced spawn-region blocks (Fig. 9)."
+      $ flag [ "no-outline" ] "Disable the outlining pre-pass (Fig. 8 hazard)."
+      $ flag [ "dump-outlined" ] "Print the XMTC source after the pre-pass."
+      $ flag [ "stats" ] "Print compilation statistics.")
+
+let () = exit (Cmd.eval cmd)

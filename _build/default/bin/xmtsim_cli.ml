@@ -1,0 +1,182 @@
+(** xmtsim — the cycle-accurate XMT simulator driver (paper §III).
+
+    Runs an XMT assembly program (or compiles an XMTC source on the fly)
+    in the cycle-accurate or fast functional mode, with the configuration,
+    statistics, trace, plug-in, power/thermal and checkpoint features of
+    the paper. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+
+let run_cmd input preset overrides functional memmap_file max_cycles stats trace
+    trace_packages trace_limit hot profile_interval power_interval floorplan
+    checkpoint_out checkpoint_at checkpoint_in =
+  let config =
+    match List.assoc_opt preset Xmtsim.Config.presets with
+    | Some c -> (
+      try Xmtsim.Config.with_overrides c overrides
+      with Xmtsim.Config.Bad_config msg ->
+        Printf.eprintf "xmtsim: %s\n" msg;
+        exit 1)
+    | None ->
+      Printf.eprintf "xmtsim: unknown configuration preset %S (have: %s)\n" preset
+        (String.concat ", " (List.map fst Xmtsim.Config.presets));
+      exit 1
+  in
+  let memmap =
+    match memmap_file with
+    | None -> []
+    | Some p -> Isa.Memmap.parse_file p
+  in
+  let image =
+    if Filename.check_suffix input ".s" || Filename.check_suffix input ".asm"
+    then Isa.Program.resolve ~extra_data:memmap (Isa.Asm.parse_file input)
+    else begin
+      match Compiler.Driver.compile_to_image ~memmap (read_file input) with
+      | exception Compiler.Driver.Compile_error msg ->
+        Printf.eprintf "xmtcc: %s\n" msg;
+        exit 1
+      | _, img -> img
+    end
+  in
+  if functional then begin
+    let r = Xmtsim.Functional_mode.run image in
+    print_string r.Xmtsim.Functional_mode.output;
+    if String.length r.Xmtsim.Functional_mode.output > 0 then print_newline ();
+    if stats then
+      Printf.printf "[functional] instructions: %d\n"
+        r.Xmtsim.Functional_mode.instructions
+  end
+  else begin
+    let m = Xmtsim.Machine.create ~config image in
+    (match checkpoint_in with
+    | Some p -> Xmtsim.Machine.restore m (Xmtsim.Machine.snapshot_of_file p)
+    | None -> ());
+    if trace then
+      Xmtsim.Trace.attach
+        ~filter:{ Xmtsim.Trace.all with Xmtsim.Trace.limit = trace_limit }
+        m print_string;
+    if trace_packages then
+      Xmtsim.Trace.attach_packages ~limit:trace_limit m print_string;
+    if hot then
+      Xmtsim.Machine.add_filter_plugin m (Xmtsim.Plugin.hot_locations ~top:10 ());
+    let profiler =
+      if profile_interval > 0 then
+        Some (Xmtsim.Profiler.attach ~interval:profile_interval m)
+      else None
+    in
+    let power =
+      if power_interval > 0 then begin
+        let p = Xmtsim.Power.create m in
+        let th =
+          Xmtsim.Thermal.create
+            ~grid_w:(int_of_float (sqrt (float_of_int config.Xmtsim.Config.num_clusters)))
+            (Xmtsim.Power.component_names p)
+        in
+        Xmtsim.Machine.add_activity_plugin m ~name:"power" ~interval:power_interval
+          (fun m cycle ->
+            let watts = Xmtsim.Power.sample p in
+            Xmtsim.Thermal.step th
+              ~dt:(float_of_int power_interval /. 1e9)
+              watts;
+            Printf.printf "[cycle %8d] power %.2f W, Tmax %.2f K\n" cycle
+              (Xmtsim.Power.total p)
+              (Xmtsim.Thermal.max_temperature th);
+            ignore m);
+        Some (p, th)
+      end
+      else None
+    in
+    (* §III-E: save the simulation state at a point given ahead of time,
+       then keep going; the run can be resumed later from the file *)
+    (match (checkpoint_at, checkpoint_out) with
+    | Some cycle, Some path ->
+      ignore (Xmtsim.Machine.run ~max_cycles:cycle m);
+      Xmtsim.Machine.run_to_quiescent m;
+      Xmtsim.Machine.snapshot_to_file (Xmtsim.Machine.checkpoint m) path;
+      Printf.printf "checkpoint at cycle %d written to %s\n"
+        (Xmtsim.Machine.cycles m) path
+    | Some _, None ->
+      Printf.eprintf "xmtsim: --checkpoint-at needs --checkpoint-out\n";
+      exit 1
+    | None, _ -> ());
+    let r = Xmtsim.Machine.run ?max_cycles m in
+    print_string r.Xmtsim.Machine.output;
+    if String.length r.Xmtsim.Machine.output > 0 then print_newline ();
+    if not r.Xmtsim.Machine.halted then
+      Printf.eprintf "xmtsim: cycle budget exhausted before halt\n";
+    (match (checkpoint_out, checkpoint_at) with
+    | Some p, None ->
+      Xmtsim.Machine.snapshot_to_file (Xmtsim.Machine.checkpoint m) p;
+      Printf.printf "checkpoint written to %s\n" p
+    | _ -> ());
+    if stats then begin
+      Printf.printf "---- %s ----\n" config.Xmtsim.Config.name;
+      print_string (Xmtsim.Stats.to_string (Xmtsim.Machine.stats m))
+    end;
+    (match profiler with
+    | Some p ->
+      print_endline "---- execution profile ----";
+      print_string (Xmtsim.Plugin.render_profile p)
+    | None -> ());
+    List.iter
+      (fun (name, report) -> Printf.printf "---- plugin %s ----\n%s\n" name report)
+      (Xmtsim.Machine.filter_reports m);
+    match (floorplan, power) with
+    | true, Some (_, th) ->
+      let temps = Xmtsim.Thermal.temperatures th in
+      let nclusters = config.Xmtsim.Config.num_clusters in
+      print_string
+        (Xmtsim.Floorplan.render ~title:"final temperature floorplan"
+           ~grid_w:(max 1 (int_of_float (sqrt (float_of_int nclusters))))
+           (Array.sub temps 0 nclusters))
+    | _ -> ()
+  end
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.{c,s}")
+
+let preset =
+  Arg.(value & opt string "fpga64" & info [ "c"; "config" ] ~docv:"PRESET"
+         ~doc:"Configuration preset: tiny, fpga64, chip1024.")
+
+let overrides =
+  Arg.(value & opt_all string [] & info [ "set" ] ~docv:"KEY=VAL"
+         ~doc:"Override a configuration parameter (repeatable).")
+
+let cmd =
+  let doc = "simulate an XMT program (cycle-accurate or functional)" in
+  Cmd.v
+    (Cmd.info "xmtsim" ~doc)
+    Term.(
+      const run_cmd $ input $ preset $ overrides
+      $ Arg.(value & flag & info [ "functional" ]
+               ~doc:"Fast functional (serializing) mode.")
+      $ Arg.(value & opt (some file) None & info [ "memmap" ] ~docv:"FILE"
+               ~doc:"Memory-map file with initial values of globals.")
+      $ Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N")
+      $ Arg.(value & flag & info [ "stats" ] ~doc:"Print simulation statistics.")
+      $ Arg.(value & flag & info [ "trace" ] ~doc:"Print an execution trace.")
+      $ Arg.(value & flag & info [ "trace-packages" ]
+               ~doc:"Print the cycle-accurate package trace (per station).")
+      $ Arg.(value & opt int 200 & info [ "trace-limit" ] ~docv:"N")
+      $ Arg.(value & flag & info [ "hot" ]
+               ~doc:"Enable the hot-memory-locations filter plug-in.")
+      $ Arg.(value & opt int 0 & info [ "profile-interval" ] ~docv:"CYCLES"
+               ~doc:"Sample an execution profile every N cycles (0 = off).")
+      $ Arg.(value & opt int 0 & info [ "power-interval" ] ~docv:"CYCLES"
+               ~doc:"Sample power/temperature every N cycles (0 = off).")
+      $ Arg.(value & flag & info [ "floorplan" ]
+               ~doc:"Render the final temperature floorplan (with \
+                     --power-interval).")
+      $ Arg.(value & opt (some string) None & info [ "checkpoint-out" ] ~docv:"FILE"
+               ~doc:"Write a checkpoint (after the run, or at --checkpoint-at).")
+      $ Arg.(value & opt (some int) None & info [ "checkpoint-at" ] ~docv:"CYCLE"
+               ~doc:"Take the checkpoint at (the first quiescent point after) \
+                     this cycle, then continue running.")
+      $ Arg.(value & opt (some file) None & info [ "checkpoint-in" ] ~docv:"FILE"
+               ~doc:"Restore a checkpoint before the run."))
+
+let () = exit (Cmd.eval cmd)

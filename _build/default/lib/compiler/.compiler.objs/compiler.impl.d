@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Cfg Cluster Codegen Driver Ir Layout Lower Memfence Opt Outline Postpass Prefetch Regalloc

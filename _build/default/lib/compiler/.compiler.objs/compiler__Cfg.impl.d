@@ -1,0 +1,1 @@
+lib/compiler/cfg.ml: Array Hashtbl Int Ir List Option Set

@@ -1,0 +1,1 @@
+lib/compiler/cfg.mli: Ir Set

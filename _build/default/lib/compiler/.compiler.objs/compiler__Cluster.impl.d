@@ -1,0 +1,1 @@
+lib/compiler/cluster.ml: List Option Outline Tast Types Xmtc

@@ -1,0 +1,1 @@
+lib/compiler/cluster.mli: Xmtc

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Ir Isa Layout List Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Array Cluster Codegen Hashtbl Ir Isa List Lower Memfence Opt Outline Postpass Prefetch Printf Regalloc Xmtc

@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Isa

@@ -1,0 +1,1 @@
+lib/compiler/layout.ml: Array Hashtbl Isa List Option Printf

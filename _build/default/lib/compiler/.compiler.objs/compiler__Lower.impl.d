@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Hashtbl Ir Isa List Printf Tast Types Xmtc

@@ -1,0 +1,1 @@
+lib/compiler/memfence.ml: Ir List

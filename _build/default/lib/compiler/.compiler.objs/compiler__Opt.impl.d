@@ -1,0 +1,1 @@
+lib/compiler/opt.ml: Array Bool Cfg Int Ir Isa List Map Option

@@ -1,0 +1,1 @@
+lib/compiler/outline.ml: List Option Printf Set Tast Types Xmtc

@@ -1,0 +1,1 @@
+lib/compiler/outline.mli: Xmtc

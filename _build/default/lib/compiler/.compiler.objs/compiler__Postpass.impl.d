@@ -1,0 +1,1 @@
+lib/compiler/postpass.ml: Array Hashtbl Isa List Printf

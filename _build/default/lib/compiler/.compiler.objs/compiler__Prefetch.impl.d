@@ -1,0 +1,1 @@
+lib/compiler/prefetch.ml: Array Hashtbl Ir List

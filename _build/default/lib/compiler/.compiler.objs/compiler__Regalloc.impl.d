@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Cfg Hashtbl Ir List Printf

@@ -1,0 +1,178 @@
+type block = {
+  b_idx : int;
+  b_label : string option;
+  mutable b_instrs : Ir.instr list;
+  mutable b_succs : int list;
+  mutable b_preds : int list;
+}
+
+type t = { blocks : block array; func : Ir.func }
+
+(* Split the linear body into (label option, instrs) chunks. *)
+let split_blocks body =
+  let chunks = ref [] in
+  let cur_label = ref None in
+  let cur = ref [] in
+  let flush () =
+    if !cur <> [] || !cur_label <> None then begin
+      chunks := (!cur_label, List.rev !cur) :: !chunks;
+      cur_label := None;
+      cur := []
+    end
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Ilabel l ->
+        flush ();
+        cur_label := Some l
+      | Ir.Ijmp _ | Ir.Iret _ ->
+        cur := i :: !cur;
+        flush ()
+      | Ir.Icjump _ ->
+        cur := i :: !cur;
+        flush ()
+      | _ -> cur := i :: !cur)
+    body;
+  flush ();
+  List.rev !chunks
+
+let build (func : Ir.func) : t =
+  let chunks = split_blocks func.body in
+  let blocks =
+    Array.of_list
+      (List.mapi
+         (fun i (lbl, instrs) ->
+           { b_idx = i; b_label = lbl; b_instrs = instrs; b_succs = []; b_preds = [] })
+         chunks)
+  in
+  let label_idx = Hashtbl.create 16 in
+  Array.iter
+    (fun b -> match b.b_label with Some l -> Hashtbl.replace label_idx l b.b_idx | None -> ())
+    blocks;
+  let n = Array.length blocks in
+  let target l =
+    match Hashtbl.find_opt label_idx l with
+    | Some i -> Some i
+    | None -> None (* label of another function: treated as exit *)
+  in
+  Array.iteri
+    (fun i b ->
+      let last = match List.rev b.b_instrs with x :: _ -> Some x | [] -> None in
+      let succs =
+        match last with
+        | Some (Ir.Ijmp l) -> Option.to_list (target l)
+        | Some (Ir.Iret _) -> []
+        | Some (Ir.Icjump (_, _, _, l)) ->
+          let fall = if i + 1 < n then [ i + 1 ] else [] in
+          Option.to_list (target l) @ fall
+        | _ -> if i + 1 < n then [ i + 1 ] else []
+      in
+      b.b_succs <- succs)
+    blocks;
+  Array.iter (fun b -> List.iter (fun s -> blocks.(s).b_preds <- b.b_idx :: blocks.(s).b_preds) b.b_succs) blocks;
+  { blocks; func }
+
+let flatten (t : t) : Ir.instr list =
+  Array.to_list t.blocks
+  |> List.concat_map (fun b ->
+         let lbl = match b.b_label with Some l -> [ Ir.Ilabel l ] | None -> [] in
+         lbl @ b.b_instrs)
+
+module VSet = Set.Make (Int)
+
+type liveness = {
+  live_in : VSet.t array;
+  live_out : VSet.t array;
+  flive_in : VSet.t array;
+  flive_out : VSet.t array;
+}
+
+(* forward scan: use = used before defined; def = defined *)
+let use_def instrs =
+  let use = ref VSet.empty and def = ref VSet.empty in
+  let fuse = ref VSet.empty and fdef = ref VSet.empty in
+  List.iter
+    (fun i ->
+      let ds, us, fds, fus = Ir.defs_uses i in
+      List.iter (fun u -> if not (VSet.mem u !def) then use := VSet.add u !use) us;
+      List.iter (fun d -> def := VSet.add d !def) ds;
+      List.iter (fun u -> if not (VSet.mem u !fdef) then fuse := VSet.add u !fuse) fus;
+      List.iter (fun d -> fdef := VSet.add d !fdef) fds)
+    instrs;
+  (!use, !def, !fuse, !fdef)
+
+let liveness (t : t) : liveness =
+  let n = Array.length t.blocks in
+  let use = Array.make n VSet.empty and def = Array.make n VSet.empty in
+  let fuse = Array.make n VSet.empty and fdef = Array.make n VSet.empty in
+  Array.iteri
+    (fun i b ->
+      let u, d, fu, fd = use_def b.b_instrs in
+      use.(i) <- u;
+      def.(i) <- d;
+      fuse.(i) <- fu;
+      fdef.(i) <- fd)
+    t.blocks;
+  let live_in = Array.make n VSet.empty and live_out = Array.make n VSet.empty in
+  let flive_in = Array.make n VSet.empty and flive_out = Array.make n VSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let b = t.blocks.(i) in
+      let out =
+        List.fold_left (fun s j -> VSet.union s live_in.(j)) VSet.empty b.b_succs
+      in
+      let fout =
+        List.fold_left (fun s j -> VSet.union s flive_in.(j)) VSet.empty b.b_succs
+      in
+      let inn = VSet.union use.(i) (VSet.diff out def.(i)) in
+      let finn = VSet.union fuse.(i) (VSet.diff fout fdef.(i)) in
+      if not (VSet.equal inn live_in.(i)) || not (VSet.equal out live_out.(i))
+         || not (VSet.equal finn flive_in.(i))
+         || not (VSet.equal fout flive_out.(i))
+      then begin
+        live_in.(i) <- inn;
+        live_out.(i) <- out;
+        flive_in.(i) <- finn;
+        flive_out.(i) <- fout;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out; flive_in; flive_out }
+
+let instr_liveness (t : t) =
+  let lv = liveness t in
+  let per_block =
+    Array.mapi
+      (fun bi b ->
+        let lbl = match b.b_label with Some l -> [ Ir.Ilabel l ] | None -> [] in
+        let instrs = lbl @ b.b_instrs in
+        let rev = List.rev instrs in
+        let live = ref lv.live_out.(bi) and flive = ref lv.flive_out.(bi) in
+        let triples =
+          List.map
+            (fun i ->
+              let out = !live and fout = !flive in
+              let ds, us, fds, fus = Ir.defs_uses i in
+              live :=
+                VSet.union
+                  (List.fold_left (fun s d -> VSet.remove d s) !live ds)
+                  (VSet.of_list us);
+              flive :=
+                VSet.union
+                  (List.fold_left (fun s d -> VSet.remove d s) !flive fds)
+                  (VSet.of_list fus);
+              (i, out, fout))
+            rev
+        in
+        List.rev triples)
+      t.blocks
+  in
+  let all = Array.to_list per_block |> List.concat in
+  let instrs = Array.of_list (List.map (fun (i, _, _) -> i) all) in
+  let outs = Array.of_list (List.map (fun (_, o, _) -> o) all) in
+  let fouts = Array.of_list (List.map (fun (_, _, o) -> o) all) in
+  (instrs, outs, fouts)

@@ -1,0 +1,39 @@
+(** Control-flow graph over the linear IR, with liveness analysis.
+
+    Used by the serial optimizer (DCE), the register allocator (live
+    intervals, call-crossing and parallel-region constraints) and the
+    prefetch pass. *)
+
+type block = {
+  b_idx : int;
+  b_label : string option;  (** label that starts the block, if any *)
+  mutable b_instrs : Ir.instr list;  (** without the leading label *)
+  mutable b_succs : int list;
+  mutable b_preds : int list;
+}
+
+type t = {
+  blocks : block array;
+  func : Ir.func;
+}
+
+val build : Ir.func -> t
+
+(** Rebuild the function's linear body from the (possibly edited) blocks. *)
+val flatten : t -> Ir.instr list
+
+module VSet : Set.S with type elt = int
+
+type liveness = {
+  live_in : VSet.t array;  (** per block, int vregs *)
+  live_out : VSet.t array;
+  flive_in : VSet.t array;  (** per block, float vregs *)
+  flive_out : VSet.t array;
+}
+
+val liveness : t -> liveness
+
+(** Per-instruction live-out sets in linear order, for interval building:
+    returns the linear instruction list and arrays of int/float live-out
+    sets, one per instruction. *)
+val instr_liveness : t -> Ir.instr array * VSet.t array * VSet.t array

@@ -1,0 +1,127 @@
+open Xmtc
+module T = Tast
+
+type ctx = { mutable next_vid : int }
+
+let fresh_var ctx ~name ~ty =
+  let v =
+    {
+      T.vid = ctx.next_vid;
+      vname = name;
+      vty = ty;
+      vkind = T.Klocal;
+      vvolatile = false;
+      vaddr_taken = false;
+      vps_base = false;
+      vthread_local = false;
+    }
+  in
+  ctx.next_vid <- ctx.next_vid + 1;
+  v
+
+let int_e node = { T.ety = Types.Tint; enode = node }
+
+(* Replace [$] by [id] everywhere except inside nested spawn bodies (whose
+   own [$] refers to the inner spawn); nested spawn bounds are evaluated in
+   the outer thread, so they are rewritten. *)
+let rec subst_tid id (e : T.expr) : T.expr =
+  let r = subst_tid id in
+  match e.enode with
+  | T.Etid -> int_e (T.Evar id)
+  | T.Eint _ | T.Eflt _ | T.Evar _ -> e
+  | T.Eunop (op, a) -> { e with enode = T.Eunop (op, r a) }
+  | T.Elognot a -> { e with enode = T.Elognot (r a) }
+  | T.Ebinop (op, a, b) -> { e with enode = T.Ebinop (op, r a, r b) }
+  | T.Eland (a, b) -> { e with enode = T.Eland (r a, r b) }
+  | T.Elor (a, b) -> { e with enode = T.Elor (r a, r b) }
+  | T.Eassign (a, b) -> { e with enode = T.Eassign (r a, r b) }
+  | T.Eopassign (op, a, b) -> { e with enode = T.Eopassign (op, r a, r b) }
+  | T.Eincdec (op, pre, a) -> { e with enode = T.Eincdec (op, pre, r a) }
+  | T.Ecall (c, args) -> { e with enode = T.Ecall (c, List.map r args) }
+  | T.Ederef a -> { e with enode = T.Ederef (r a) }
+  | T.Eaddr a -> { e with enode = T.Eaddr (r a) }
+  | T.Ecast (t, a) -> { e with enode = T.Ecast (t, r a) }
+  | T.Econd (a, b, c) -> { e with enode = T.Econd (r a, r b, r c) }
+
+let rec subst_tid_stmt id (s : T.stmt) : T.stmt =
+  let rs = subst_tid_stmt id in
+  let re = subst_tid id in
+  match s with
+  | T.Sskip | T.Sbreak | T.Scontinue | T.Sps _ -> s
+  | T.Sexpr e -> T.Sexpr (re e)
+  | T.Sdecl (v, init) -> T.Sdecl (v, Option.map re init)
+  | T.Sblock ss -> T.Sblock (List.map rs ss)
+  | T.Sif (c, a, b) -> T.Sif (re c, rs a, rs b)
+  | T.Swhile (c, b) -> T.Swhile (re c, rs b)
+  | T.Sdowhile (b, c) -> T.Sdowhile (rs b, re c)
+  | T.Sfor (i, c, p, b) -> T.Sfor (rs i, Option.map re c, rs p, rs b)
+  | T.Sreturn e -> T.Sreturn (Option.map re e)
+  | T.Sspawn sp ->
+    (* bounds belong to the outer thread; body's $ is the inner spawn's *)
+    T.Sspawn { sp with sp_lo = re sp.sp_lo; sp_hi = re sp.sp_hi }
+  | T.Spsm (v, addr) -> T.Spsm (v, re addr)
+
+let cluster_spawn ctx ~factor (sp : T.spawn) : T.stmt =
+  let c = factor in
+  let lo_v = fresh_var ctx ~name:"__lo" ~ty:Types.Tint in
+  let n_v = fresh_var ctx ~name:"__n" ~ty:Types.Tint in
+  let i_v = fresh_var ctx ~name:"__i" ~ty:Types.Tint in
+  let base_v = fresh_var ctx ~name:"__base" ~ty:Types.Tint in
+  let id_v = fresh_var ctx ~name:"__id" ~ty:Types.Tint in
+  i_v.T.vthread_local <- true;
+  base_v.T.vthread_local <- true;
+  id_v.T.vthread_local <- true;
+  let v x = int_e (T.Evar x) in
+  let iconst k = int_e (T.Eint k) in
+  let bin op a b = int_e (T.Ebinop (op, a, b)) in
+  let body' = subst_tid_stmt id_v sp.sp_body in
+  let inner =
+    T.Sblock
+      [
+        T.Sdecl (base_v, Some (bin Types.Add (v lo_v) (bin Types.Mul (int_e T.Etid) (iconst c))));
+        T.Sfor
+          ( T.Sdecl (i_v, Some (iconst 0)),
+            Some (bin Types.Lt (v i_v) (iconst c)),
+            T.Sexpr (int_e (T.Eincdec (Types.Incr, false, v i_v))),
+            T.Sblock
+              [
+                T.Sdecl (id_v, Some (bin Types.Add (v base_v) (v i_v)));
+                T.Sif
+                  ( bin Types.Lt (v id_v) (bin Types.Add (v lo_v) (v n_v)),
+                    body', T.Sskip );
+              ] );
+      ]
+  in
+  let n_threads =
+    (* (__n + c - 1) / c - 1 *)
+    bin Types.Sub (bin Types.Div (bin Types.Add (v n_v) (iconst (c - 1))) (iconst c)) (iconst 1)
+  in
+  T.Sblock
+    [
+      T.Sdecl (lo_v, Some sp.sp_lo);
+      T.Sdecl (n_v, Some (bin Types.Sub (bin Types.Add sp.sp_hi (iconst 1)) (v lo_v)));
+      T.Sspawn { sp with sp_lo = iconst 0; sp_hi = n_threads; sp_body = inner };
+    ]
+
+let rec replace ctx ~factor s =
+  match s with
+  | T.Sspawn sp -> cluster_spawn ctx ~factor sp
+  | T.Sblock ss -> T.Sblock (List.map (replace ctx ~factor) ss)
+  | T.Sif (c, a, b) -> T.Sif (c, replace ctx ~factor a, replace ctx ~factor b)
+  | T.Swhile (c, b) -> T.Swhile (c, replace ctx ~factor b)
+  | T.Sdowhile (b, c) -> T.Sdowhile (replace ctx ~factor b, c)
+  | T.Sfor (i, c, p, b) ->
+    T.Sfor (replace ctx ~factor i, c, replace ctx ~factor p, replace ctx ~factor b)
+  | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue
+  | T.Sps _ | T.Spsm _ ->
+    s
+
+let run ~factor (p : T.program) : T.program =
+  if factor <= 1 then p
+  else begin
+    let ctx = { next_vid = Outline.max_vid p } in
+    List.iter
+      (fun (f : T.func) -> f.T.fbody <- replace ctx ~factor f.T.fbody)
+      p.funcs;
+    p
+  end

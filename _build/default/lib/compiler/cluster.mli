@@ -1,0 +1,30 @@
+(** Virtual-thread clustering (coarsening), paper §IV-C.
+
+    XMTC programmers are encouraged to expose the finest-grained
+    parallelism; when threads are extremely short the per-thread scheduling
+    overhead (one [ps] + [chkid] round per virtual thread) dominates.
+    Clustering groups [c] consecutive virtual threads into one longer
+    virtual thread that iterates over its group in a loop, reducing
+    scheduling overhead by [c] and enabling loop prefetching and value
+    reuse across the grouped iterations.
+
+    The rewrite (source-to-source on the typed AST, applied before
+    outlining):
+    {v
+    spawn(lo, hi) B($)
+    ==>
+    { int __lo = lo; int __n = hi - __lo + 1;
+      spawn(0, (__n + c-1)/c - 1) {
+        int __i;
+        int __base = __lo + $ * c;
+        for (__i = 0; __i < c; __i++) {
+          int __id = __base + __i;
+          if (__id <= __lo + __n - 1)  B(__id)
+        }
+      }
+    }
+    v} *)
+
+(** [run ~factor p] clusters every outermost spawn by [factor].  A factor
+    of 1 (or less) is the identity. *)
+val run : factor:int -> Xmtc.Tast.program -> Xmtc.Tast.program

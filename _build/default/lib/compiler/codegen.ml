@@ -1,0 +1,341 @@
+module I = Isa.Instr
+module P = Isa.Program
+
+exception Error of string
+
+let stack_top = 0x400000
+let scratch1 = 1 (* $at *)
+let scratch2 = 28 (* $gp: unused as a global pointer in this ABI *)
+
+type emitter = { mutable items : P.item list }
+
+let emit e item = e.items <- item :: e.items
+let ins e i = emit e (P.Ins i)
+let label e l = emit e (P.Label l)
+
+(* Materialize an operand into a register, using [scr] when it is an
+   immediate. *)
+let operand_reg e scr = function
+  | Ir.Oreg r -> r
+  | Ir.Oimm k ->
+    ins e (I.Li (scr, k));
+    scr
+
+(* ------------------------------------------------------------------ *)
+
+let gen_bin e op d a b =
+  let has_imm_form = function
+    | Ir.Badd | Ir.Band | Ir.Bor | Ir.Bxor -> true
+    | Ir.Bsub | Ir.Bmul | Ir.Bdiv | Ir.Brem | Ir.Bnor | Ir.Bsll | Ir.Bsrl
+    | Ir.Bsra ->
+      false
+  in
+  let imm_op = function
+    | Ir.Badd -> I.Addi
+    | Ir.Band -> I.Andi
+    | Ir.Bor -> I.Ori
+    | Ir.Bxor -> I.Xori
+    | _ -> assert false
+  in
+  let reg_op = function
+    | Ir.Badd -> `Alu I.Add
+    | Ir.Bsub -> `Alu I.Sub
+    | Ir.Band -> `Alu I.And
+    | Ir.Bor -> `Alu I.Or
+    | Ir.Bxor -> `Alu I.Xor
+    | Ir.Bnor -> `Alu I.Nor
+    | Ir.Bmul -> `Mdu I.Mul
+    | Ir.Bdiv -> `Mdu I.Div
+    | Ir.Brem -> `Mdu I.Rem
+    | Ir.Bsll -> `Sft I.Sll
+    | Ir.Bsrl -> `Sft I.Srl
+    | Ir.Bsra -> `Sft I.Sra
+  in
+  match (op, a, b) with
+  | _, Ir.Oreg ra, Ir.Oimm k when has_imm_form op ->
+    ins e (I.Alui (imm_op op, d, ra, k))
+  | Ir.Badd, Ir.Oimm k, Ir.Oreg rb -> ins e (I.Alui (I.Addi, d, rb, k))
+  | (Ir.Band | Ir.Bor | Ir.Bxor), Ir.Oimm k, Ir.Oreg rb ->
+    ins e (I.Alui (imm_op op, d, rb, k))
+  | Ir.Bsub, Ir.Oreg ra, Ir.Oimm k -> ins e (I.Alui (I.Addi, d, ra, -k))
+  | Ir.Bsub, Ir.Oimm 0, Ir.Oreg rb -> ins e (I.Alu (I.Sub, d, Isa.Reg.zero, rb))
+  | (Ir.Bsll | Ir.Bsrl | Ir.Bsra), Ir.Oreg ra, Ir.Oimm k ->
+    let sop = match op with Ir.Bsll -> I.Sll | Ir.Bsrl -> I.Srl | _ -> I.Sra in
+    ins e (I.Sfti (sop, d, ra, k))
+  | _ -> (
+    let ra = operand_reg e scratch1 a in
+    let rb = operand_reg e scratch2 b in
+    match reg_op op with
+    | `Alu aop -> ins e (I.Alu (aop, d, ra, rb))
+    | `Mdu mop -> ins e (I.Mdu (mop, d, ra, rb))
+    | `Sft sop -> ins e (I.Sft (sop, d, ra, rb)))
+
+let gen_set e rel d a b =
+  let ra () = operand_reg e scratch1 a in
+  let rb () = operand_reg e scratch2 b in
+  match rel with
+  | Ir.Rlt -> (
+    match b with
+    | Ir.Oimm k -> ins e (I.Alui (I.Slti, d, ra (), k))
+    | Ir.Oreg rb' -> ins e (I.Alu (I.Slt, d, ra (), rb')))
+  | Ir.Rgt ->
+    let ra' = ra () and rb' = rb () in
+    ins e (I.Alu (I.Slt, d, rb', ra'))
+  | Ir.Rle ->
+    let ra' = ra () and rb' = rb () in
+    ins e (I.Alu (I.Slt, d, rb', ra'));
+    ins e (I.Alui (I.Xori, d, d, 1))
+  | Ir.Rge ->
+    let ra' = ra () and rb' = rb () in
+    ins e (I.Alu (I.Slt, d, ra', rb'));
+    ins e (I.Alui (I.Xori, d, d, 1))
+  | Ir.Rne | Ir.Req ->
+    let ra' = ra () in
+    (match b with
+    | Ir.Oimm 0 -> ins e (I.Alu (I.Sltu, d, Isa.Reg.zero, ra'))
+    | _ ->
+      let rb' = rb () in
+      ins e (I.Alu (I.Sub, d, ra', rb'));
+      ins e (I.Alu (I.Sltu, d, Isa.Reg.zero, d)));
+    if rel = Ir.Req then ins e (I.Alui (I.Xori, d, d, 1))
+
+let gen_cjump e rel a b l =
+  match (rel, a, b) with
+  | Ir.Req, Ir.Oreg ra, Ir.Oimm 0 -> ins e (I.Brz (I.Beqz, ra, l))
+  | Ir.Rne, Ir.Oreg ra, Ir.Oimm 0 -> ins e (I.Brz (I.Bnez, ra, l))
+  | Ir.Rlt, Ir.Oreg ra, Ir.Oimm 0 -> ins e (I.Brz (I.Bltz, ra, l))
+  | Ir.Rle, Ir.Oreg ra, Ir.Oimm 0 -> ins e (I.Brz (I.Blez, ra, l))
+  | Ir.Rgt, Ir.Oreg ra, Ir.Oimm 0 -> ins e (I.Brz (I.Bgtz, ra, l))
+  | Ir.Rge, Ir.Oreg ra, Ir.Oimm 0 -> ins e (I.Brz (I.Bgez, ra, l))
+  | Ir.Req, _, _ ->
+    let ra = operand_reg e scratch1 a and rb = operand_reg e scratch2 b in
+    ins e (I.Br (I.Beq, ra, rb, l))
+  | Ir.Rne, _, _ ->
+    let ra = operand_reg e scratch1 a and rb = operand_reg e scratch2 b in
+    ins e (I.Br (I.Bne, ra, rb, l))
+  | Ir.Rlt, _, _ ->
+    let ra = operand_reg e scratch1 a and rb = operand_reg e scratch2 b in
+    ins e (I.Alu (I.Slt, scratch1, ra, rb));
+    ins e (I.Brz (I.Bnez, scratch1, l))
+  | Ir.Rge, _, _ ->
+    let ra = operand_reg e scratch1 a and rb = operand_reg e scratch2 b in
+    ins e (I.Alu (I.Slt, scratch1, ra, rb));
+    ins e (I.Brz (I.Beqz, scratch1, l))
+  | Ir.Rgt, _, _ ->
+    let ra = operand_reg e scratch1 a and rb = operand_reg e scratch2 b in
+    ins e (I.Alu (I.Slt, scratch1, rb, ra));
+    ins e (I.Brz (I.Bnez, scratch1, l))
+  | Ir.Rle, _, _ ->
+    let ra = operand_reg e scratch1 a and rb = operand_reg e scratch2 b in
+    ins e (I.Alu (I.Slt, scratch1, rb, ra));
+    ins e (I.Brz (I.Beqz, scratch1, l))
+
+(* ------------------------------------------------------------------ *)
+
+let frame_bytes (fn : Ir.func) (ra : Regalloc.result) =
+  let words = fn.Ir.local_words + ra.Regalloc.spill_words in
+  let total = Ir.frame_reserve_bytes + (4 * words) in
+  (total + 7) / 8 * 8
+
+let needs_frame (fn : Ir.func) (ra : Regalloc.result) =
+  fn.Ir.makes_calls || fn.Ir.local_words > 0
+  || ra.Regalloc.spill_words > 0
+  || ra.Regalloc.used_callee_int <> []
+  || ra.Regalloc.used_callee_flt <> []
+
+let callee_int_off k = -(12 + (4 * k))
+let callee_flt_off k = -(52 + (4 * k))
+
+let gen_prologue e fn ra =
+  if needs_frame fn ra then begin
+    let fb = frame_bytes fn ra in
+    ins e (I.Alui (I.Addi, Isa.Reg.sp, Isa.Reg.sp, -fb));
+    if fn.Ir.makes_calls then ins e (I.Sw (Isa.Reg.ra, fb - 4, Isa.Reg.sp));
+    ins e (I.Sw (Isa.Reg.fp, fb - 8, Isa.Reg.sp));
+    ins e (I.Alui (I.Addi, Isa.Reg.fp, Isa.Reg.sp, fb));
+    List.iteri
+      (fun k r -> ins e (I.Sw (r, callee_int_off k, Isa.Reg.fp)))
+      ra.Regalloc.used_callee_int;
+    List.iteri
+      (fun k r -> ins e (I.Fsw (r, callee_flt_off k, Isa.Reg.fp)))
+      ra.Regalloc.used_callee_flt
+  end;
+  (* calling-convention moves for parameters *)
+  let move_int i loc =
+    match loc with
+    | None -> ()
+    | Some (Regalloc.Lreg r) ->
+      if i < 4 then ins e (I.Alu (I.Add, r, List.nth Isa.Reg.args i, Isa.Reg.zero))
+      else raise (Error (fn.Ir.name ^ ": too many integer parameters"))
+    | Some (Regalloc.Lspill slot) ->
+      let off = -(Ir.frame_reserve_bytes + 4 + (4 * (fn.Ir.local_words + slot))) in
+      ins e (I.Sw (List.nth Isa.Reg.args i, off, Isa.Reg.fp))
+  in
+  let move_flt i loc =
+    match loc with
+    | None -> ()
+    | Some (Regalloc.Lreg r) ->
+      if i < 4 then ins e (I.Fpu1 (I.Fmov, r, List.nth Isa.Reg.fargs i))
+      else raise (Error (fn.Ir.name ^ ": too many float parameters"))
+    | Some (Regalloc.Lspill slot) ->
+      let off = -(Ir.frame_reserve_bytes + 4 + (4 * (fn.Ir.local_words + slot))) in
+      ins e (I.Fsw (List.nth Isa.Reg.fargs i, off, Isa.Reg.fp))
+  in
+  List.iteri move_int ra.Regalloc.param_locs_int;
+  List.iteri move_flt ra.Regalloc.param_locs_flt
+
+let gen_epilogue e fn ra =
+  if needs_frame fn ra then begin
+    List.iteri
+      (fun k r -> ins e (I.Lw (r, callee_int_off k, Isa.Reg.fp)))
+      ra.Regalloc.used_callee_int;
+    List.iteri
+      (fun k r -> ins e (I.Flw (r, callee_flt_off k, Isa.Reg.fp)))
+      ra.Regalloc.used_callee_flt;
+    if fn.Ir.makes_calls then ins e (I.Lw (Isa.Reg.ra, -4, Isa.Reg.fp));
+    ins e (I.Alu (I.Add, Isa.Reg.sp, Isa.Reg.fp, Isa.Reg.zero));
+    ins e (I.Lw (Isa.Reg.fp, -8, Isa.Reg.sp))
+  end;
+  ins e (I.Jr Isa.Reg.ra)
+
+(* ------------------------------------------------------------------ *)
+
+let gen_call e dst name args =
+  (* move arguments into $a0-$a3 / $f12-$f15 *)
+  let ni = ref 0 and nf = ref 0 in
+  List.iter
+    (fun a ->
+      match a with
+      | Ir.Aint op ->
+        if !ni >= 4 then raise (Error ("call " ^ name ^ ": too many int args"));
+        let dstr = List.nth Isa.Reg.args !ni in
+        incr ni;
+        (match op with
+        | Ir.Oimm k -> ins e (I.Li (dstr, k))
+        | Ir.Oreg r -> ins e (I.Alu (I.Add, dstr, r, Isa.Reg.zero)))
+      | Ir.Aflt r ->
+        if !nf >= 4 then raise (Error ("call " ^ name ^ ": too many float args"));
+        let dstr = List.nth Isa.Reg.fargs !nf in
+        incr nf;
+        ins e (I.Fpu1 (I.Fmov, dstr, r)))
+    args;
+  ins e (I.Jal name);
+  match dst with
+  | Ir.Dnone -> ()
+  | Ir.Dint r -> ins e (I.Alu (I.Add, r, Isa.Reg.v0, Isa.Reg.zero))
+  | Ir.Dflt r -> ins e (I.Fpu1 (I.Fmov, r, 0))
+
+let gen_instr e ret_label i =
+  match i with
+  | Ir.Ilabel l -> label e l
+  | Ir.Imov (d, Ir.Oimm k) -> ins e (I.Li (d, k))
+  | Ir.Imov (d, Ir.Oreg s) -> ins e (I.Alu (I.Add, d, s, Isa.Reg.zero))
+  | Ir.Ibin (op, d, a, b) -> gen_bin e op d a b
+  | Ir.Iset (rel, d, a, b) -> gen_set e rel d a b
+  | Ir.Ifbin (op, d, a, b) ->
+    let fop =
+      match op with
+      | Ir.FBadd -> I.Fadd
+      | Ir.FBsub -> I.Fsub
+      | Ir.FBmul -> I.Fmul
+      | Ir.FBdiv -> I.Fdiv
+    in
+    ins e (I.Fpu (fop, d, a, b))
+  | Ir.Ifun (op, d, a) ->
+    let fop =
+      match op with
+      | Ir.FUneg -> I.Fneg
+      | Ir.FUabs -> I.Fabs
+      | Ir.FUsqrt -> I.Fsqrt
+      | Ir.FUmov -> I.Fmov
+    in
+    ins e (I.Fpu1 (fop, d, a))
+  | Ir.Ifli (d, x) -> ins e (I.Fli (d, x))
+  | Ir.Ifcmp (rel, d, a, b) -> (
+    match rel with
+    | Ir.Req -> ins e (I.Fcmp (I.Feq, d, a, b))
+    | Ir.Rlt -> ins e (I.Fcmp (I.Flt, d, a, b))
+    | Ir.Rle -> ins e (I.Fcmp (I.Fle, d, a, b))
+    | Ir.Rgt -> ins e (I.Fcmp (I.Flt, d, b, a))
+    | Ir.Rge -> ins e (I.Fcmp (I.Fle, d, b, a))
+    | Ir.Rne ->
+      ins e (I.Fcmp (I.Feq, d, a, b));
+      ins e (I.Alui (I.Xori, d, d, 1)))
+  | Ir.Icvt_i2f (d, s) ->
+    let r = operand_reg e scratch1 s in
+    ins e (I.Cvt_i2f (d, r))
+  | Ir.Icvt_f2i (d, s) -> ins e (I.Cvt_f2i (d, s))
+  | Ir.Ila (d, l) -> ins e (I.La (d, l))
+  | Ir.Ild (Ir.Ld_normal, d, b, off) -> ins e (I.Lw (d, off, b))
+  | Ir.Ild (Ir.Ld_ro, d, b, off) -> ins e (I.Lwro (d, off, b))
+  | Ir.Ist (Ir.St_blocking, s, b, off) -> ins e (I.Sw (s, off, b))
+  | Ir.Ist (Ir.St_nb, s, b, off) -> ins e (I.Swnb (s, off, b))
+  | Ir.Ifld (d, b, off) -> ins e (I.Flw (d, off, b))
+  | Ir.Ifst (s, b, off) -> ins e (I.Fsw (s, off, b))
+  | Ir.Ipref (b, off) -> ins e (I.Pref (off, b))
+  | Ir.Icall (dst, name, args) -> gen_call e dst name args
+  | Ir.Ijmp l -> ins e (I.J l)
+  | Ir.Icjump (rel, a, b, l) -> gen_cjump e rel a b l
+  | Ir.Iret None -> ins e (I.J ret_label)
+  | Ir.Iret (Some (Ir.Aint op)) ->
+    (match op with
+    | Ir.Oimm k -> ins e (I.Li (Isa.Reg.v0, k))
+    | Ir.Oreg r -> ins e (I.Alu (I.Add, Isa.Reg.v0, r, Isa.Reg.zero)));
+    ins e (I.J ret_label)
+  | Ir.Iret (Some (Ir.Aflt r)) ->
+    ins e (I.Fpu1 (I.Fmov, 0, r));
+    ins e (I.J ret_label)
+  | Ir.Ispawn (a, b) ->
+    let ra = operand_reg e scratch1 a in
+    let rb = operand_reg e scratch2 b in
+    ins e (I.Spawn (ra, rb))
+  | Ir.Ijoin -> ins e I.Join
+  | Ir.Ips (r, g) -> ins e (I.Ps (r, g))
+  | Ir.Ipsm (r, b, off) -> ins e (I.Psm (r, off, b))
+  | Ir.Ichkid r -> ins e (I.Chkid r)
+  | Ir.Imfg (d, g) -> ins e (I.Mfg (d, g))
+  | Ir.Imtg (g, s) ->
+    let r = operand_reg e scratch1 s in
+    ins e (I.Mtg (g, r))
+  | Ir.Ifence -> ins e I.Fence
+  | Ir.Isys (op, Ir.Aint a) ->
+    let r = operand_reg e scratch1 a in
+    ins e (I.Sys (op, r))
+  | Ir.Isys (op, Ir.Aflt r) -> ins e (I.Sys (op, r))
+
+let gen_func (fn : Ir.func) (ra : Regalloc.result) : P.item list =
+  let e = { items = [] } in
+  let ret_label = "Lret_" ^ fn.Ir.name in
+  label e fn.Ir.name;
+  gen_prologue e fn ra;
+  List.iter (gen_instr e ret_label) fn.Ir.body;
+  label e ret_label;
+  gen_epilogue e fn ra;
+  List.rev e.items
+
+(* ------------------------------------------------------------------ *)
+
+let gen_start (prog : Ir.program) : P.item list =
+  let e = { items = [] } in
+  label e "__start";
+  ins e (I.Li (Isa.Reg.sp, stack_top));
+  ins e (I.Alu (I.Add, Isa.Reg.fp, Isa.Reg.sp, Isa.Reg.zero));
+  List.iter
+    (fun (_, g, init) ->
+      ins e (I.Li (scratch1, init));
+      ins e (I.Mtg (g, scratch1)))
+    prog.Ir.ps_regs;
+  ins e (I.Jal "main");
+  ins e I.Halt;
+  List.rev e.items
+
+let gen_program ?(layout_opt = true) (prog : Ir.program) funcs : P.t =
+  let text =
+    gen_start prog
+    @ List.concat_map
+        (fun (fn, ra) ->
+          let items = gen_func fn ra in
+          if layout_opt then Layout.run items else items)
+        funcs
+  in
+  { P.text; data = prog.Ir.data }

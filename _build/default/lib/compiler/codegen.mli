@@ -1,0 +1,21 @@
+(** Instruction selection: allocated IR to XMT assembly.
+
+    Expands comparison pseudo-ops via [slt]/[sltu]/[xori], selects
+    immediate instruction forms, materializes out-of-form immediates
+    through the reserved $at/$gp scratch registers, and emits the
+    prologue/epilogue and calling-convention moves.  Emits the [__start]
+    stub that initializes the stack pointer and the global PS registers
+    before calling [main] (there is no OS, §III-A). *)
+
+(** Top of the Master TCU stack (byte address). *)
+val stack_top : int
+
+exception Error of string
+
+(** Generate one function.  The register allocator must have run: register
+    fields are machine registers. *)
+val gen_func : Ir.func -> Regalloc.result -> Isa.Program.item list
+
+(** Generate the whole program, including [__start] and the data section.
+    [layout_opt] applies {!Layout.run} per function. *)
+val gen_program : ?layout_opt:bool -> Ir.program -> (Ir.func * Regalloc.result) list -> Isa.Program.t

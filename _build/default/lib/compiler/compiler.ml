@@ -1,0 +1,24 @@
+(** The XMTC optimizing compiler (paper §IV).
+
+    Pre-pass: {!Cluster} (thread coarsening) and {!Outline} (spawn-block
+    extraction, Fig. 8) — source-to-source on the typed AST, like the
+    paper's CIL pre-pass.  Core-pass: {!Lower}, the serial optimizer
+    {!Opt}, the XMT passes {!Memfence} (non-blocking stores + fences,
+    §IV-A) and {!Prefetch} (§IV-C), {!Regalloc} (spill error in parallel
+    code, §IV-D), {!Codegen} with {!Layout} block reordering.  Post-pass:
+    {!Postpass} (Fig. 9 repair + verification) over re-parsed assembly,
+    like the paper's SableCC post-pass.  {!Driver} orchestrates. *)
+
+module Ir = Ir
+module Outline = Outline
+module Cluster = Cluster
+module Lower = Lower
+module Cfg = Cfg
+module Opt = Opt
+module Memfence = Memfence
+module Prefetch = Prefetch
+module Regalloc = Regalloc
+module Layout = Layout
+module Codegen = Codegen
+module Postpass = Postpass
+module Driver = Driver

@@ -1,0 +1,90 @@
+type options = {
+  opt_level : int;
+  prefetch : bool;
+  prefetch_max_per_block : int;
+  nbstore : bool;
+  fences : bool;
+  cluster : int;
+  layout_opt : bool;
+  postpass_fix : bool;
+  outline : bool;
+}
+
+let default_options =
+  {
+    opt_level = 2;
+    prefetch = true;
+    prefetch_max_per_block = 8;
+    nbstore = true;
+    fences = true;
+    cluster = 1;
+    layout_opt = true;
+    postpass_fix = true;
+    outline = true;
+  }
+
+type output = {
+  program : Isa.Program.t;
+  asm_text : string;
+  relocated_blocks : int;
+  outlined_source : string;
+}
+
+exception Compile_error of string
+
+let wrap f =
+  try f () with
+  | Xmtc.Lexer.Lex_error { line; msg } ->
+    raise (Compile_error (Printf.sprintf "lex error at line %d: %s" line msg))
+  | Xmtc.Parser.Parse_error { line; msg } ->
+    raise (Compile_error (Printf.sprintf "parse error at line %d: %s" line msg))
+  | Xmtc.Typecheck.Error { line; msg } ->
+    raise (Compile_error (Printf.sprintf "type error at line %d: %s" line msg))
+  | Lower.Error msg -> raise (Compile_error ("lowering: " ^ msg))
+  | Regalloc.Spill_error msg -> raise (Compile_error msg)
+  | Codegen.Error msg -> raise (Compile_error ("codegen: " ^ msg))
+  | Postpass.Verify_error msg -> raise (Compile_error ("post-pass: " ^ msg))
+
+let compile ?(options = default_options) src : output =
+  wrap (fun () ->
+      (* front end *)
+      let tprog = Xmtc.Typecheck.program_of_source src in
+      (* pre-pass: source-to-source *)
+      let tprog = Cluster.run ~factor:options.cluster tprog in
+      let tprog = if options.outline then Outline.run tprog else tprog in
+      let outlined_source = Xmtc.Pretty.program_to_string tprog in
+      (* core-pass *)
+      let ir = Lower.run tprog in
+      List.iter
+        (fun fn ->
+          Opt.run ~level:options.opt_level fn;
+          Memfence.run ~nbstore:options.nbstore ~fences:options.fences fn;
+          if options.prefetch then
+            Prefetch.run ~max_per_block:options.prefetch_max_per_block fn)
+        ir.Ir.funcs;
+      let allocs = List.map (fun fn -> (fn, Regalloc.run fn)) ir.Ir.funcs in
+      let program = Codegen.gen_program ~layout_opt:options.layout_opt ir allocs in
+      (* post-pass: re-read the emitted assembly, repair and verify *)
+      let asm_text0 = Isa.Asm.print program in
+      let reread = Isa.Asm.parse asm_text0 in
+      let program, relocated_blocks =
+        if options.postpass_fix then Postpass.run reread else (reread, 0)
+      in
+      if options.postpass_fix then Postpass.verify program;
+      let asm_text = Isa.Asm.print program in
+      { program; asm_text; relocated_blocks; outlined_source })
+
+(* Place the heap pointer after all data and resolve. *)
+let compile_to_image ?options ?(memmap = []) src =
+  let out = compile ?options src in
+  let image = Isa.Program.resolve ~extra_data:memmap out.program in
+  (* initialize __heap_ptr to the first byte after the data segment *)
+  (match Hashtbl.find_opt image.Isa.Program.data_addr "__heap_ptr" with
+  | Some addr ->
+    let word = (addr - image.Isa.Program.data_base) / 4 in
+    let heap_start =
+      image.Isa.Program.data_base + (4 * Array.length image.Isa.Program.data_words)
+    in
+    image.Isa.Program.data_words.(word) <- Isa.Value.int heap_start
+  | None -> ());
+  (out, image)

@@ -1,0 +1,215 @@
+module I = Isa.Instr
+module P = Isa.Program
+
+type term =
+  | Tfall  (** falls through to the next block in the original order *)
+  | Tjump of string  (** ends with an unconditional j *)
+  | Tcond of string  (** ends with a conditional branch; also falls through *)
+  | Texit  (** jr / halt: no successor *)
+
+type block = {
+  mutable labels : string list;
+  mutable body : I.t list;  (** without a trailing unconditional jump *)
+  mutable term : term;
+  mutable fall : int;  (** original fallthrough successor index, or -1 *)
+  mutable cold : bool;
+  idx : int;
+}
+
+let fresh_label =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "Lfall%d" !n
+
+(* Split items into blocks. *)
+let split items =
+  let blocks = ref [] in
+  let labels = ref [] in
+  let body = ref [] in
+  let n = ref 0 in
+  let flush term =
+    let idx = !n in
+    incr n;
+    blocks :=
+      {
+        labels = List.rev !labels;
+        body = List.rev !body;
+        term;
+        fall = -1;
+        cold = false;
+        idx;
+      }
+      :: !blocks;
+    labels := [];
+    body := []
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | P.Comment _ -> ()
+      | P.Label l ->
+        if !body <> [] then flush Tfall;
+        labels := l :: !labels
+      | P.Ins i -> (
+        match i with
+        | I.J l ->
+          flush (Tjump l)
+        | I.Jr _ | I.Halt ->
+          body := i :: !body;
+          flush Texit
+        | I.Br _ | I.Brz _ ->
+          body := i :: !body;
+          flush (Tcond (Option.get (I.target i)))
+        | _ -> body := i :: !body))
+    items;
+  if !body <> [] || !labels <> [] then flush Tfall;
+  let arr = Array.of_list (List.rev !blocks) in
+  Array.iteri (fun i b -> if i + 1 < Array.length arr then b.fall <- i + 1) arr;
+  (* exit blocks and jumps have no fallthrough *)
+  Array.iter (fun b -> match b.term with Texit | Tjump _ -> b.fall <- -1 | Tfall | Tcond _ -> ()) arr;
+  arr
+
+let run items =
+  match items with
+  | [] -> []
+  | _ ->
+    let blocks = split items in
+    let nb = Array.length blocks in
+    if nb = 0 then items
+    else begin
+      let by_label = Hashtbl.create 16 in
+      Array.iter
+        (fun b -> List.iter (fun l -> Hashtbl.replace by_label l b.idx) b.labels)
+        blocks;
+      let target_of l = Hashtbl.find_opt by_label l in
+      (* Unreachable-block elimination.  Roots: the entry block and blocks
+         containing spawn-protocol instructions — a join block has no
+         explicit CFG predecessor (the hardware transfers control to it
+         when all TCUs finish), and the dispatch code is entered by
+         broadcast. *)
+      let is_root b =
+        b.idx = 0
+        || List.exists
+             (function I.Join | I.Spawn _ | I.Chkid _ -> true | _ -> false)
+             b.body
+      in
+      let reach = Array.make nb false in
+      let rec visit i =
+        if i >= 0 && i < nb && not reach.(i) then begin
+          reach.(i) <- true;
+          let b = blocks.(i) in
+          (match b.term with
+          | Tfall | Tcond _ -> if b.fall >= 0 then visit b.fall
+          | Tjump _ | Texit -> ());
+          match b.term with
+          | Tjump l | Tcond l -> (
+            match target_of l with Some t -> visit t | None -> ())
+          | Tfall | Texit -> ()
+        end
+      in
+      Array.iter (fun b -> if is_root b then visit b.idx) blocks;
+      (* cold = reachable only via taken conditional branches *)
+      let reached_fall = Array.make nb false in
+      let reached_jump = Array.make nb false in
+      let reached_cond = Array.make nb false in
+      reached_fall.(0) <- true;
+      Array.iter
+        (fun b ->
+          (match b.term with
+          | Tfall | Tcond _ -> if b.fall >= 0 then reached_fall.(b.fall) <- true
+          | Tjump _ | Texit -> ());
+          (match b.term with
+          | Tjump l -> (
+            match target_of l with Some t -> reached_jump.(t) <- true | None -> ())
+          | Tcond l -> (
+            match target_of l with Some t -> reached_cond.(t) <- true | None -> ())
+          | Tfall | Texit -> ());
+          (* branch targets inside the body (shouldn't happen) are ignored *))
+        blocks;
+      Array.iter
+        (fun b ->
+          if
+            b.idx <> 0 && reached_cond.(b.idx)
+            && (not reached_fall.(b.idx))
+            && not reached_jump.(b.idx)
+          then b.cold <- true)
+        blocks;
+      (* Greedy chaining over hot blocks, then cold blocks in order. *)
+      let placed = Array.make nb false in
+      let order = ref [] in
+      let place i =
+        placed.(i) <- true;
+        order := i :: !order
+      in
+      let rec chain i =
+        place i;
+        let b = blocks.(i) in
+        match b.term with
+        | Tfall | Tcond _ ->
+          if
+            b.fall >= 0
+            && (not placed.(b.fall))
+            && (not blocks.(b.fall).cold)
+            && reach.(b.fall)
+          then chain b.fall
+        | Tjump l -> (
+          match target_of l with
+          | Some t when (not placed.(t)) && (not blocks.(t).cold) && reach.(t) ->
+            chain t
+          | _ -> ())
+        | Texit -> ()
+      in
+      let rec seeds i =
+        if i < nb then begin
+          if (not placed.(i)) && (not blocks.(i).cold) && reach.(i) then chain i;
+          seeds (i + 1)
+        end
+      in
+      chain 0;
+      seeds 0;
+      (* cold blocks afterwards, original order *)
+      Array.iter
+        (fun b -> if b.cold && reach.(b.idx) && not placed.(b.idx) then place b.idx)
+        blocks;
+      let order = Array.of_list (List.rev !order) in
+      (* Emit with fallthrough fixups. *)
+      let ensure_label i =
+        let b = blocks.(i) in
+        match b.labels with
+        | l :: _ -> l
+        | [] ->
+          let l = fresh_label () in
+          b.labels <- [ l ];
+          l
+      in
+      (* Pass 1: decide per-block trailing jump (may add labels to blocks
+         not yet emitted, so this must finish before emission starts). *)
+      let trailing = Array.make nb None in
+      Array.iteri
+        (fun pos i ->
+          let b = blocks.(i) in
+          let next = if pos + 1 < Array.length order then order.(pos + 1) else -1 in
+          match b.term with
+          | Texit -> ()
+          | Tjump l -> (
+            (* drop the jump when the target is next *)
+            match target_of l with
+            | Some t when t = next -> ()
+            | _ -> trailing.(i) <- Some (I.J l))
+          | Tfall | Tcond _ ->
+            if b.fall >= 0 && b.fall <> next then
+              trailing.(i) <- Some (I.J (ensure_label b.fall)))
+        order;
+      (* Pass 2: emit. *)
+      let out = ref [] in
+      let emit x = out := x :: !out in
+      Array.iter
+        (fun i ->
+          let b = blocks.(i) in
+          List.iter (fun l -> emit (P.Label l)) b.labels;
+          List.iter (fun ins -> emit (P.Ins ins)) b.body;
+          match trailing.(i) with Some j -> emit (P.Ins j) | None -> ())
+        order;
+      List.rev !out
+    end

@@ -1,0 +1,16 @@
+(** Basic-block layout optimization — and the Fig. 9 hazard.
+
+    Like GCC's block reordering, this pass chains basic blocks along their
+    fallthrough/jump edges (dropping jumps to the next block) and sinks
+    {e cold} blocks — blocks reachable only through taken conditional
+    branches, e.g. else-branches — to the end of the function.
+
+    The pass is correct for serial code, but when a cold block belongs to a
+    spawn-join region it ends up after the [jr $ra] return, outside the
+    broadcast segment (paper Fig. 9a): TCUs cannot fetch it.  {!Postpass}
+    detects and repairs exactly this situation, as the paper's
+    SableCC-based post-pass does (Fig. 9b). *)
+
+(** Reorder the items of one function (first item must be its entry
+    label). *)
+val run : Isa.Program.item list -> Isa.Program.item list

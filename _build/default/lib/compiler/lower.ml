@@ -1,0 +1,836 @@
+open Xmtc
+module T = Tast
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type slot =
+  | Sreg of Ir.vreg
+  | Sfreg of Ir.vfreg
+  | Sframe of int  (** frame slot index (word) *)
+  | Sglobal of string  (** data label *)
+  | Sgreg of Isa.Reg.g  (** ps-base global *)
+
+type fctx = {
+  mutable code : Ir.instr list;  (* reversed *)
+  mutable next_vreg : int;
+  mutable next_vfreg : int;
+  mutable next_label : int;
+  mutable local_words : int;
+  mutable makes_calls : bool;
+  slots : (int, slot) Hashtbl.t;  (* vid -> storage *)
+  fname : string;
+  mutable break_lbl : string list;
+  mutable continue_lbl : string list;
+  mutable tid_reg : Ir.vreg option;
+  mutable in_parallel : bool;
+}
+
+let new_fctx fname =
+  {
+    code = [];
+    next_vreg = Ir.first_alloc_vreg;
+    next_vfreg = 0;
+    next_label = 0;
+    local_words = 0;
+    makes_calls = false;
+    slots = Hashtbl.create 32;
+    fname;
+    break_lbl = [];
+    continue_lbl = [];
+    tid_reg = None;
+    in_parallel = false;
+  }
+
+let emit c i = c.code <- i :: c.code
+
+let fresh_vreg c =
+  let r = c.next_vreg in
+  c.next_vreg <- r + 1;
+  r
+
+let fresh_vfreg c =
+  let r = c.next_vfreg in
+  c.next_vfreg <- r + 1;
+  r
+
+let fresh_label c tag =
+  let n = c.next_label in
+  c.next_label <- n + 1;
+  Printf.sprintf "L%s_%s%d" c.fname tag n
+
+let frame_slot c words =
+  let idx = c.local_words in
+  c.local_words <- c.local_words + words;
+  idx
+
+(* Byte offset of frame slot [idx] relative to $fp. *)
+let frame_off idx = -(Ir.frame_reserve_bytes + 4 + (4 * idx))
+
+(* ------------------------------------------------------------------ *)
+(* Values and lvalues *)
+
+type rv = RVint of Ir.operand | RVflt of Ir.vfreg
+
+type lv =
+  | LVreg of Ir.vreg
+  | LVfreg of Ir.vfreg
+  | LVmem of Ir.vreg * int * Types.ty  (* base, offset, element type *)
+  | LVgreg of Isa.Reg.g
+
+let as_reg c = function
+  | Ir.Oreg r -> r
+  | Ir.Oimm k ->
+    let r = fresh_vreg c in
+    emit c (Ir.Imov (r, Ir.Oimm k));
+    r
+
+let rv_int = function
+  | RVint op -> op
+  | RVflt _ -> err "internal: expected int value, got float"
+
+let rv_flt c = function
+  | RVflt r -> r
+  | RVint op ->
+    (* implicit reinterpretation should not happen; conversions are explicit
+       casts.  Treat as conversion for robustness. *)
+    let d = fresh_vfreg c in
+    emit c (Ir.Icvt_i2f (d, op));
+    d
+
+(* Map a Tast binop on ints to the IR op. *)
+let int_binop = function
+  | Types.Add -> Ir.Badd
+  | Types.Sub -> Ir.Bsub
+  | Types.Mul -> Ir.Bmul
+  | Types.Div -> Ir.Bdiv
+  | Types.Mod -> Ir.Brem
+  | Types.Band -> Ir.Band
+  | Types.Bor -> Ir.Bor
+  | Types.Bxor -> Ir.Bxor
+  | Types.Shl -> Ir.Bsll
+  | Types.Shr -> Ir.Bsra
+  | Types.Lt | Types.Le | Types.Gt | Types.Ge | Types.Eq | Types.Ne ->
+    err "internal: comparison handled separately"
+
+let relop_of = function
+  | Types.Lt -> Ir.Rlt
+  | Types.Le -> Ir.Rle
+  | Types.Gt -> Ir.Rgt
+  | Types.Ge -> Ir.Rge
+  | Types.Eq -> Ir.Req
+  | Types.Ne -> Ir.Rne
+  | _ -> err "internal: not a comparison"
+
+let is_cmp = function
+  | Types.Lt | Types.Le | Types.Gt | Types.Ge | Types.Eq | Types.Ne -> true
+  | _ -> false
+
+let slot_of c (v : T.var) =
+  match Hashtbl.find_opt c.slots v.vid with
+  | Some s -> s
+  | None -> err "internal: variable %s has no storage" v.vname
+
+(* ------------------------------------------------------------------ *)
+
+let rec lower_expr c (e : T.expr) : rv =
+  match e.enode with
+  | T.Eint v -> RVint (Ir.Oimm v)
+  | T.Eflt f ->
+    let d = fresh_vfreg c in
+    emit c (Ir.Ifli (d, f));
+    RVflt d
+  | T.Etid -> (
+    match c.tid_reg with
+    | Some r -> RVint (Ir.Oreg r)
+    | None -> err "internal: $ outside spawn")
+  | T.Evar v -> (
+    match slot_of c v with
+    | Sreg r -> RVint (Ir.Oreg r)
+    | Sfreg r -> RVflt r
+    | Sframe idx -> (
+      match v.vty with
+      | Types.Tarr _ | Types.Tstruct _ ->
+        (* array/struct local: value is its address *)
+        let d = fresh_vreg c in
+        emit c (Ir.Ibin (Ir.Badd, d, Ir.Oreg Ir.vreg_fp, Ir.Oimm (frame_off idx)));
+        RVint (Ir.Oreg d)
+      | Types.Tfloat ->
+        let d = fresh_vfreg c in
+        emit c (Ir.Ifld (d, Ir.vreg_fp, frame_off idx));
+        RVflt d
+      | _ ->
+        let d = fresh_vreg c in
+        emit c (Ir.Ild (Ir.Ld_normal, d, Ir.vreg_fp, frame_off idx));
+        RVint (Ir.Oreg d))
+    | Sglobal lbl -> (
+      let a = fresh_vreg c in
+      emit c (Ir.Ila (a, lbl));
+      match v.vty with
+      | Types.Tarr _ | Types.Tstruct _ -> RVint (Ir.Oreg a)
+      | Types.Tfloat ->
+        let d = fresh_vfreg c in
+        emit c (Ir.Ifld (d, a, 0));
+        RVflt d
+      | _ ->
+        let d = fresh_vreg c in
+        emit c (Ir.Ild (Ir.Ld_normal, d, a, 0));
+        RVint (Ir.Oreg d))
+    | Sgreg g ->
+      let d = fresh_vreg c in
+      emit c (Ir.Imfg (d, g));
+      RVint (Ir.Oreg d))
+  | T.Eunop (Types.Neg, a) -> (
+    match lower_expr c a with
+    | RVint op ->
+      let d = fresh_vreg c in
+      emit c (Ir.Ibin (Ir.Bsub, d, Ir.Oimm 0, op));
+      RVint (Ir.Oreg d)
+    | RVflt r ->
+      let d = fresh_vfreg c in
+      emit c (Ir.Ifun (Ir.FUneg, d, r));
+      RVflt d)
+  | T.Eunop (Types.Bnot, a) ->
+    let op = rv_int (lower_expr c a) in
+    let d = fresh_vreg c in
+    emit c (Ir.Ibin (Ir.Bnor, d, op, Ir.Oimm 0));
+    RVint (Ir.Oreg d)
+  | T.Elognot a ->
+    let op = rv_int (lower_expr c a) in
+    let d = fresh_vreg c in
+    emit c (Ir.Iset (Ir.Req, d, op, Ir.Oimm 0));
+    RVint (Ir.Oreg d)
+  | T.Ebinop (op, a, b) when is_cmp op -> (
+    match (lower_expr c a, lower_expr c b) with
+    | RVint x, RVint y ->
+      let d = fresh_vreg c in
+      emit c (Ir.Iset (relop_of op, d, x, y));
+      RVint (Ir.Oreg d)
+    | ra, rb ->
+      let x = rv_flt c ra and y = rv_flt c rb in
+      let d = fresh_vreg c in
+      emit c (Ir.Ifcmp (relop_of op, d, x, y));
+      RVint (Ir.Oreg d))
+  | T.Ebinop (op, a, b) -> (
+    match e.ety with
+    | Types.Tfloat ->
+      let x = rv_flt c (lower_expr c a) in
+      let y = rv_flt c (lower_expr c b) in
+      let d = fresh_vfreg c in
+      let fop =
+        match op with
+        | Types.Add -> Ir.FBadd
+        | Types.Sub -> Ir.FBsub
+        | Types.Mul -> Ir.FBmul
+        | Types.Div -> Ir.FBdiv
+        | _ -> err "invalid float operation"
+      in
+      emit c (Ir.Ifbin (fop, d, x, y));
+      RVflt d
+    | _ ->
+      let x = rv_int (lower_expr c a) in
+      let y = rv_int (lower_expr c b) in
+      let d = fresh_vreg c in
+      emit c (Ir.Ibin (int_binop op, d, x, y));
+      RVint (Ir.Oreg d))
+  | T.Eland (a, b) ->
+    let d = fresh_vreg c in
+    let lfalse = fresh_label c "and_f" in
+    let lend = fresh_label c "and_e" in
+    lower_branch_false c a lfalse;
+    lower_branch_false c b lfalse;
+    emit c (Ir.Imov (d, Ir.Oimm 1));
+    emit c (Ir.Ijmp lend);
+    emit c (Ir.Ilabel lfalse);
+    emit c (Ir.Imov (d, Ir.Oimm 0));
+    emit c (Ir.Ilabel lend);
+    RVint (Ir.Oreg d)
+  | T.Elor (a, b) ->
+    let d = fresh_vreg c in
+    let ltrue = fresh_label c "or_t" in
+    let lend = fresh_label c "or_e" in
+    lower_branch_true c a ltrue;
+    lower_branch_true c b ltrue;
+    emit c (Ir.Imov (d, Ir.Oimm 0));
+    emit c (Ir.Ijmp lend);
+    emit c (Ir.Ilabel ltrue);
+    emit c (Ir.Imov (d, Ir.Oimm 1));
+    emit c (Ir.Ilabel lend);
+    RVint (Ir.Oreg d)
+  | T.Eassign (lhs, rhs) ->
+    let lval = lower_lvalue c lhs in
+    let rval = lower_expr c rhs in
+    store_lv c lval rval;
+    rval
+  | T.Eopassign (op, lhs, rhs) ->
+    let lval = lower_lvalue c lhs in
+    let old = load_lv c lval in
+    let rval = lower_expr c rhs in
+    let result =
+      match (old, rval) with
+      | RVint x, RVint y ->
+        let d = fresh_vreg c in
+        emit c (Ir.Ibin (int_binop op, d, x, y));
+        RVint (Ir.Oreg d)
+      | ra, rb ->
+        let x = rv_flt c ra and y = rv_flt c rb in
+        let d = fresh_vfreg c in
+        let fop =
+          match op with
+          | Types.Add -> Ir.FBadd
+          | Types.Sub -> Ir.FBsub
+          | Types.Mul -> Ir.FBmul
+          | Types.Div -> Ir.FBdiv
+          | _ -> err "invalid float op-assign"
+        in
+        emit c (Ir.Ifbin (fop, d, x, y));
+        RVflt d
+    in
+    store_lv c lval result;
+    result
+  | T.Eincdec (op, pre, lhs) ->
+    let delta = match op with Types.Incr -> 1 | Types.Decr -> -1 in
+    let delta =
+      match lhs.ety with Types.Tptr t -> delta * Types.sizeof t | _ -> delta
+    in
+    let lval = lower_lvalue c lhs in
+    let old = rv_int (load_lv c lval) in
+    let oldr = as_reg c old in
+    let d = fresh_vreg c in
+    emit c (Ir.Ibin (Ir.Badd, d, Ir.Oreg oldr, Ir.Oimm delta));
+    store_lv c lval (RVint (Ir.Oreg d));
+    if pre then RVint (Ir.Oreg d) else RVint (Ir.Oreg oldr)
+  | T.Ecall (callee, args) -> lower_call c e.ety callee args
+  | T.Ederef p ->
+    let base = as_reg c (rv_int (lower_expr c p)) in
+    (match e.ety with
+    | Types.Tfloat ->
+      let d = fresh_vfreg c in
+      emit c (Ir.Ifld (d, base, 0));
+      RVflt d
+    | _ ->
+      let d = fresh_vreg c in
+      emit c (Ir.Ild (Ir.Ld_normal, d, base, 0));
+      RVint (Ir.Oreg d))
+  | T.Eaddr lvexp -> (
+    match lower_lvalue c lvexp with
+    | LVmem (base, 0, _) -> RVint (Ir.Oreg base)
+    | LVmem (base, off, _) ->
+      let d = fresh_vreg c in
+      emit c (Ir.Ibin (Ir.Badd, d, Ir.Oreg base, Ir.Oimm off));
+      RVint (Ir.Oreg d)
+    | LVreg _ | LVfreg _ | LVgreg _ -> err "cannot take address of a register")
+  | T.Ecast (Types.Tfloat, a) -> (
+    match lower_expr c a with
+    | RVflt r -> RVflt r
+    | RVint op ->
+      let d = fresh_vfreg c in
+      emit c (Ir.Icvt_i2f (d, op));
+      RVflt d)
+  | T.Ecast (Types.Tint, a) -> (
+    match lower_expr c a with
+    | RVint op -> RVint op
+    | RVflt r ->
+      let d = fresh_vreg c in
+      emit c (Ir.Icvt_f2i (d, r));
+      RVint (Ir.Oreg d))
+  | T.Ecast (_, a) -> lower_expr c a (* pointer casts are free *)
+  | T.Econd (cond, a, b) -> (
+    let lelse = fresh_label c "c_else" in
+    let lend = fresh_label c "c_end" in
+    match e.ety with
+    | Types.Tfloat ->
+      let d = fresh_vfreg c in
+      lower_branch_false c cond lelse;
+      let x = rv_flt c (lower_expr c a) in
+      emit c (Ir.Ifun (Ir.FUmov, d, x));
+      emit c (Ir.Ijmp lend);
+      emit c (Ir.Ilabel lelse);
+      let y = rv_flt c (lower_expr c b) in
+      emit c (Ir.Ifun (Ir.FUmov, d, y));
+      emit c (Ir.Ilabel lend);
+      RVflt d
+    | _ ->
+      let d = fresh_vreg c in
+      lower_branch_false c cond lelse;
+      let x = rv_int (lower_expr c a) in
+      emit c (Ir.Imov (d, x));
+      emit c (Ir.Ijmp lend);
+      emit c (Ir.Ilabel lelse);
+      let y = rv_int (lower_expr c b) in
+      emit c (Ir.Imov (d, y));
+      emit c (Ir.Ilabel lend);
+      RVint (Ir.Oreg d))
+
+and lower_lvalue c (e : T.expr) : lv =
+  match e.enode with
+  | T.Evar v -> (
+    match slot_of c v with
+    | Sreg r -> LVreg r
+    | Sfreg r -> LVfreg r
+    | Sframe idx -> LVmem (Ir.vreg_fp, frame_off idx, e.ety)
+    | Sglobal lbl ->
+      let a = fresh_vreg c in
+      emit c (Ir.Ila (a, lbl));
+      LVmem (a, 0, e.ety)
+    | Sgreg g -> LVgreg g)
+  | T.Ederef p -> (
+    (* fold p = base + const into an addressing-mode offset *)
+    match p.enode with
+    | T.Ebinop (Types.Add, base, { enode = T.Eint k; _ }) ->
+      let b = as_reg c (rv_int (lower_expr c base)) in
+      LVmem (b, k, e.ety)
+    | _ ->
+      let b = as_reg c (rv_int (lower_expr c p)) in
+      LVmem (b, 0, e.ety))
+  | T.Ecast (_, inner) -> lower_lvalue c inner
+  | _ -> err "expression is not an lvalue"
+
+and load_lv c = function
+  | LVreg r -> RVint (Ir.Oreg r)
+  | LVfreg r -> RVflt r
+  | LVgreg g ->
+    let d = fresh_vreg c in
+    emit c (Ir.Imfg (d, g));
+    RVint (Ir.Oreg d)
+  | LVmem (base, off, ty) -> (
+    match ty with
+    | Types.Tfloat ->
+      let d = fresh_vfreg c in
+      emit c (Ir.Ifld (d, base, off));
+      RVflt d
+    | _ ->
+      let d = fresh_vreg c in
+      emit c (Ir.Ild (Ir.Ld_normal, d, base, off));
+      RVint (Ir.Oreg d))
+
+and store_lv c lval rval =
+  match lval with
+  | LVreg r -> emit c (Ir.Imov (r, rv_int rval))
+  | LVfreg r ->
+    let s = rv_flt c rval in
+    emit c (Ir.Ifun (Ir.FUmov, r, s))
+  | LVgreg g -> emit c (Ir.Imtg (g, rv_int rval))
+  | LVmem (base, off, ty) -> (
+    match ty with
+    | Types.Tfloat ->
+      let s = rv_flt c rval in
+      emit c (Ir.Ifst (s, base, off))
+    | _ ->
+      let s = as_reg c (rv_int rval) in
+      emit c (Ir.Ist (Ir.St_blocking, s, base, off)))
+
+(* Branch to [lbl] when [e] is false / true. *)
+and lower_branch_false c (e : T.expr) lbl =
+  match e.enode with
+  | T.Ebinop (op, a, b) when is_cmp op -> (
+    match (lower_expr c a, lower_expr c b) with
+    | RVint x, RVint y ->
+      let inv =
+        match relop_of op with
+        | Ir.Req -> Ir.Rne | Ir.Rne -> Ir.Req | Ir.Rlt -> Ir.Rge
+        | Ir.Rge -> Ir.Rlt | Ir.Rle -> Ir.Rgt | Ir.Rgt -> Ir.Rle
+      in
+      emit c (Ir.Icjump (inv, x, y, lbl))
+    | ra, rb ->
+      let x = rv_flt c ra and y = rv_flt c rb in
+      let d = fresh_vreg c in
+      emit c (Ir.Ifcmp (relop_of op, d, x, y));
+      emit c (Ir.Icjump (Ir.Req, Ir.Oreg d, Ir.Oimm 0, lbl)))
+  | T.Elognot a -> lower_branch_true c a lbl
+  | T.Eland (a, b) ->
+    lower_branch_false c a lbl;
+    lower_branch_false c b lbl
+  | T.Elor (a, b) ->
+    let lcont = fresh_label c "orf" in
+    lower_branch_true c a lcont;
+    lower_branch_false c b lbl;
+    emit c (Ir.Ilabel lcont)
+  | _ ->
+    let v = rv_int (lower_expr c e) in
+    emit c (Ir.Icjump (Ir.Req, v, Ir.Oimm 0, lbl))
+
+and lower_branch_true c (e : T.expr) lbl =
+  match e.enode with
+  | T.Ebinop (op, a, b) when is_cmp op -> (
+    match (lower_expr c a, lower_expr c b) with
+    | RVint x, RVint y -> emit c (Ir.Icjump (relop_of op, x, y, lbl))
+    | ra, rb ->
+      let x = rv_flt c ra and y = rv_flt c rb in
+      let d = fresh_vreg c in
+      emit c (Ir.Ifcmp (relop_of op, d, x, y));
+      emit c (Ir.Icjump (Ir.Rne, Ir.Oreg d, Ir.Oimm 0, lbl)))
+  | T.Elognot a -> lower_branch_false c a lbl
+  | T.Elor (a, b) ->
+    lower_branch_true c a lbl;
+    lower_branch_true c b lbl
+  | T.Eland (a, b) ->
+    let lcont = fresh_label c "andt" in
+    lower_branch_false c a lcont;
+    lower_branch_true c b lbl;
+    emit c (Ir.Ilabel lcont)
+  | _ ->
+    let v = rv_int (lower_expr c e) in
+    emit c (Ir.Icjump (Ir.Rne, v, Ir.Oimm 0, lbl))
+
+and lower_call c ret_ty callee (args : T.expr list) : rv =
+  match callee with
+  | T.Cbuiltin b -> lower_builtin c b args
+  | T.Cuser name ->
+    c.makes_calls <- true;
+    let lowered =
+      List.map
+        (fun (a : T.expr) ->
+          match lower_expr c a with
+          | RVint op -> Ir.Aint op
+          | RVflt r -> Ir.Aflt r)
+        args
+    in
+    let n_int = List.length (List.filter (function Ir.Aint _ -> true | _ -> false) lowered) in
+    let n_flt = List.length lowered - n_int in
+    if n_int > 4 then err "call to %s: more than 4 integer arguments" name;
+    if n_flt > 4 then err "call to %s: more than 4 float arguments" name;
+    (match ret_ty with
+    | Types.Tfloat ->
+      let d = fresh_vfreg c in
+      emit c (Ir.Icall (Ir.Dflt d, name, lowered));
+      RVflt d
+    | Types.Tvoid ->
+      emit c (Ir.Icall (Ir.Dnone, name, lowered));
+      RVint (Ir.Oimm 0)
+    | _ ->
+      let d = fresh_vreg c in
+      emit c (Ir.Icall (Ir.Dint d, name, lowered));
+      RVint (Ir.Oreg d))
+
+and lower_builtin c b (args : T.expr list) : rv =
+  let one () = match args with [ a ] -> a | _ -> err "builtin arity" in
+  match b with
+  | T.Bprint_int ->
+    let v = rv_int (lower_expr c (one ())) in
+    emit c (Ir.Isys (Isa.Instr.Print_int, Ir.Aint v));
+    RVint (Ir.Oimm 0)
+  | T.Bprint_char ->
+    let v = rv_int (lower_expr c (one ())) in
+    emit c (Ir.Isys (Isa.Instr.Print_char, Ir.Aint v));
+    RVint (Ir.Oimm 0)
+  | T.Bprint_string ->
+    let v = rv_int (lower_expr c (one ())) in
+    emit c (Ir.Isys (Isa.Instr.Print_str, Ir.Aint v));
+    RVint (Ir.Oimm 0)
+  | T.Bprint_float ->
+    let v = rv_flt c (lower_expr c (one ())) in
+    emit c (Ir.Isys (Isa.Instr.Print_float, Ir.Aflt v));
+    RVint (Ir.Oimm 0)
+  | T.Bsqrtf ->
+    let v = rv_flt c (lower_expr c (one ())) in
+    let d = fresh_vfreg c in
+    emit c (Ir.Ifun (Ir.FUsqrt, d, v));
+    RVflt d
+  | T.Bfabsf ->
+    let v = rv_flt c (lower_expr c (one ())) in
+    let d = fresh_vfreg c in
+    emit c (Ir.Ifun (Ir.FUabs, d, v));
+    RVflt d
+  | T.Babs ->
+    (* branchless: m = x >> 31; (x ^ m) - m *)
+    let x = as_reg c (rv_int (lower_expr c (one ()))) in
+    let m = fresh_vreg c in
+    let t = fresh_vreg c in
+    let d = fresh_vreg c in
+    emit c (Ir.Ibin (Ir.Bsra, m, Ir.Oreg x, Ir.Oimm 31));
+    emit c (Ir.Ibin (Ir.Bxor, t, Ir.Oreg x, Ir.Oreg m));
+    emit c (Ir.Ibin (Ir.Bsub, d, Ir.Oreg t, Ir.Oreg m));
+    RVint (Ir.Oreg d)
+  | T.Bro ->
+    let base = as_reg c (rv_int (lower_expr c (one ()))) in
+    let d = fresh_vreg c in
+    emit c (Ir.Ild (Ir.Ld_ro, d, base, 0));
+    RVint (Ir.Oreg d)
+  | T.Bmalloc ->
+    (* inline bump allocation from the serial heap *)
+    if c.in_parallel then err "malloc in parallel code";
+    let n = as_reg c (rv_int (lower_expr c (one ()))) in
+    let h = fresh_vreg c in
+    let p = fresh_vreg c in
+    let sz = fresh_vreg c in
+    let sz' = fresh_vreg c in
+    let np = fresh_vreg c in
+    emit c (Ir.Ila (h, "__heap_ptr"));
+    emit c (Ir.Ild (Ir.Ld_normal, p, h, 0));
+    emit c (Ir.Ibin (Ir.Badd, sz, Ir.Oreg n, Ir.Oimm 3));
+    emit c (Ir.Ibin (Ir.Band, sz', Ir.Oreg sz, Ir.Oimm (-4)));
+    emit c (Ir.Ibin (Ir.Badd, np, Ir.Oreg p, Ir.Oreg sz'));
+    emit c (Ir.Ist (Ir.St_blocking, np, h, 0));
+    RVint (Ir.Oreg p)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec lower_stmt c (s : T.stmt) : unit =
+  match s with
+  | T.Sskip -> ()
+  | T.Sexpr e -> ignore (lower_expr c e)
+  | T.Sdecl (v, init) ->
+    let slot =
+      match v.vty with
+      | Types.Tarr (_, _) | Types.Tstruct _ ->
+        if c.in_parallel then err "array/struct local in parallel code";
+        Sframe (frame_slot c (Types.sizeof v.vty / 4))
+      | Types.Tfloat ->
+        if v.vaddr_taken then Sframe (frame_slot c 1) else Sfreg (fresh_vfreg c)
+      | _ ->
+        if v.vaddr_taken then begin
+          if c.in_parallel then err "address-taken local in parallel code";
+          Sframe (frame_slot c 1)
+        end
+        else Sreg (fresh_vreg c)
+    in
+    Hashtbl.replace c.slots v.vid slot;
+    (match init with
+    | None -> ()
+    | Some e ->
+      let rval = lower_expr c e in
+      let lval =
+        match slot with
+        | Sreg r -> LVreg r
+        | Sfreg r -> LVfreg r
+        | Sframe idx -> LVmem (Ir.vreg_fp, frame_off idx, Types.decay v.vty)
+        | Sglobal _ | Sgreg _ -> err "internal: local with global storage"
+      in
+      store_lv c lval rval)
+  | T.Sblock ss -> List.iter (lower_stmt c) ss
+  | T.Sif (cond, a, T.Sskip) ->
+    let lend = fresh_label c "if_end" in
+    lower_branch_false c cond lend;
+    lower_stmt c a;
+    emit c (Ir.Ilabel lend)
+  | T.Sif (cond, a, b) ->
+    let lelse = fresh_label c "if_else" in
+    let lend = fresh_label c "if_end" in
+    lower_branch_false c cond lelse;
+    lower_stmt c a;
+    emit c (Ir.Ijmp lend);
+    emit c (Ir.Ilabel lelse);
+    lower_stmt c b;
+    emit c (Ir.Ilabel lend)
+  | T.Swhile (cond, body) ->
+    let lhead = fresh_label c "wh" in
+    let lend = fresh_label c "wh_end" in
+    emit c (Ir.Ilabel lhead);
+    lower_branch_false c cond lend;
+    c.break_lbl <- lend :: c.break_lbl;
+    c.continue_lbl <- lhead :: c.continue_lbl;
+    lower_stmt c body;
+    c.break_lbl <- List.tl c.break_lbl;
+    c.continue_lbl <- List.tl c.continue_lbl;
+    emit c (Ir.Ijmp lhead);
+    emit c (Ir.Ilabel lend)
+  | T.Sdowhile (body, cond) ->
+    let lhead = fresh_label c "do" in
+    let lcond = fresh_label c "do_c" in
+    let lend = fresh_label c "do_end" in
+    emit c (Ir.Ilabel lhead);
+    c.break_lbl <- lend :: c.break_lbl;
+    c.continue_lbl <- lcond :: c.continue_lbl;
+    lower_stmt c body;
+    c.break_lbl <- List.tl c.break_lbl;
+    c.continue_lbl <- List.tl c.continue_lbl;
+    emit c (Ir.Ilabel lcond);
+    lower_branch_true c cond lhead;
+    emit c (Ir.Ilabel lend)
+  | T.Sfor (init, cond, post, body) ->
+    let lhead = fresh_label c "for" in
+    let lpost = fresh_label c "for_p" in
+    let lend = fresh_label c "for_end" in
+    lower_stmt c init;
+    emit c (Ir.Ilabel lhead);
+    (match cond with Some e -> lower_branch_false c e lend | None -> ());
+    c.break_lbl <- lend :: c.break_lbl;
+    c.continue_lbl <- lpost :: c.continue_lbl;
+    lower_stmt c body;
+    c.break_lbl <- List.tl c.break_lbl;
+    c.continue_lbl <- List.tl c.continue_lbl;
+    emit c (Ir.Ilabel lpost);
+    lower_stmt c post;
+    emit c (Ir.Ijmp lhead);
+    emit c (Ir.Ilabel lend)
+  | T.Sreturn None -> emit c (Ir.Iret None)
+  | T.Sreturn (Some e) -> (
+    match lower_expr c e with
+    | RVint op -> emit c (Ir.Iret (Some (Ir.Aint op)))
+    | RVflt r -> emit c (Ir.Iret (Some (Ir.Aflt r))))
+  | T.Sbreak -> (
+    match c.break_lbl with
+    | l :: _ -> emit c (Ir.Ijmp l)
+    | [] -> err "break outside loop")
+  | T.Scontinue -> (
+    match c.continue_lbl with
+    | l :: _ -> emit c (Ir.Ijmp l)
+    | [] -> err "continue outside loop")
+  | T.Sspawn sp -> lower_spawn c sp
+  | T.Sps (v, b) -> (
+    let greg =
+      match Hashtbl.find_opt c.slots b.vid with
+      | Some (Sgreg g) -> g
+      | _ -> err "ps base %s is not a global register" b.vname
+    in
+    match slot_of c v with
+    | Sreg r -> emit c (Ir.Ips (r, greg))
+    | Sframe idx ->
+      let r = fresh_vreg c in
+      emit c (Ir.Ild (Ir.Ld_normal, r, Ir.vreg_fp, frame_off idx));
+      emit c (Ir.Ips (r, greg));
+      emit c (Ir.Ist (Ir.St_blocking, r, Ir.vreg_fp, frame_off idx))
+    | _ -> err "ps increment must be an int variable")
+  | T.Spsm (v, addr) -> (
+    let base = as_reg c (rv_int (lower_expr c addr)) in
+    match slot_of c v with
+    | Sreg r -> emit c (Ir.Ipsm (r, base, 0))
+    | Sframe idx ->
+      let r = fresh_vreg c in
+      emit c (Ir.Ild (Ir.Ld_normal, r, Ir.vreg_fp, frame_off idx));
+      emit c (Ir.Ipsm (r, base, 0));
+      emit c (Ir.Ist (Ir.St_blocking, r, Ir.vreg_fp, frame_off idx))
+    | _ -> err "psm increment must be an int variable")
+
+and lower_spawn c (sp : T.spawn) : unit =
+  if c.in_parallel then begin
+    (* Nested spawn: serialized into a loop over the range (§IV-E). *)
+    let lo = rv_int (lower_expr c sp.sp_lo) in
+    let hi = as_reg c (rv_int (lower_expr c sp.sp_hi)) in
+    let tid = fresh_vreg c in
+    emit c (Ir.Imov (tid, lo));
+    let lhead = fresh_label c "nsp" in
+    let lend = fresh_label c "nsp_end" in
+    emit c (Ir.Ilabel lhead);
+    emit c (Ir.Icjump (Ir.Rgt, Ir.Oreg tid, Ir.Oreg hi, lend));
+    let saved_tid = c.tid_reg in
+    c.tid_reg <- Some tid;
+    lower_stmt c sp.sp_body;
+    c.tid_reg <- saved_tid;
+    emit c (Ir.Ibin (Ir.Badd, tid, Ir.Oreg tid, Ir.Oimm 1));
+    emit c (Ir.Ijmp lhead);
+    emit c (Ir.Ilabel lend)
+  end
+  else begin
+    let lo = rv_int (lower_expr c sp.sp_lo) in
+    let hi = rv_int (lower_expr c sp.sp_hi) in
+    emit c (Ir.Ispawn (lo, hi));
+    let ldisp = fresh_label c "disp" in
+    emit c (Ir.Ilabel ldisp);
+    let tid = fresh_vreg c in
+    emit c (Ir.Imov (tid, Ir.Oimm 1));
+    emit c (Ir.Ips (tid, Isa.Reg.g_spawn));
+    emit c (Ir.Ichkid tid);
+    c.in_parallel <- true;
+    c.tid_reg <- Some tid;
+    lower_stmt c sp.sp_body;
+    c.tid_reg <- None;
+    c.in_parallel <- false;
+    emit c (Ir.Ijmp ldisp);
+    emit c (Ir.Ijoin)
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let lower_func ~global_slots (f : T.func) : Ir.func =
+  let c = new_fctx f.fname in
+  Hashtbl.iter (fun k v -> Hashtbl.replace c.slots k v) global_slots;
+  (* Parameters: fresh vregs/vfregs, recorded for the calling convention. *)
+  let params_int = ref [] in
+  let params_flt = ref [] in
+  List.iter
+    (fun (p : T.var) ->
+      match p.vty with
+      | Types.Tfloat ->
+        let r = fresh_vfreg c in
+        params_flt := r :: !params_flt;
+        if p.vaddr_taken then begin
+          let idx = frame_slot c 1 in
+          Hashtbl.replace c.slots p.vid (Sframe idx)
+        end
+        else Hashtbl.replace c.slots p.vid (Sfreg r)
+      | _ ->
+        let r = fresh_vreg c in
+        params_int := r :: !params_int;
+        if p.vaddr_taken then begin
+          let idx = frame_slot c 1 in
+          Hashtbl.replace c.slots p.vid (Sframe idx)
+        end
+        else Hashtbl.replace c.slots p.vid (Sreg r))
+    f.fparams;
+  (* Spill address-taken params into their frame slot at entry. *)
+  let pi = ref (List.rev !params_int) and pf = ref (List.rev !params_flt) in
+  List.iter
+    (fun (p : T.var) ->
+      match (p.vty, Hashtbl.find_opt c.slots p.vid) with
+      | Types.Tfloat, Some (Sframe idx) ->
+        let r = List.hd !pf in
+        pf := List.tl !pf;
+        emit c (Ir.Ifst (r, Ir.vreg_fp, frame_off idx))
+      | Types.Tfloat, _ -> pf := List.tl !pf
+      | _, Some (Sframe idx) ->
+        let r = List.hd !pi in
+        pi := List.tl !pi;
+        emit c (Ir.Ist (Ir.St_blocking, r, Ir.vreg_fp, frame_off idx))
+      | _, _ -> pi := List.tl !pi)
+    f.fparams;
+  lower_stmt c f.fbody;
+  (* implicit return *)
+  emit c (Ir.Iret (if f.fret = Types.Tvoid then None else Some (Ir.Aint (Ir.Oimm 0))));
+  {
+    Ir.name = f.fname;
+    body = List.rev c.code;
+    next_vreg = c.next_vreg;
+    next_vfreg = c.next_vfreg;
+    params_int = List.rev !params_int;
+    params_flt = List.rev !params_flt;
+    is_spawn_func = f.fis_outlined_spawn;
+    ret_float = (f.fret = Types.Tfloat);
+    local_words = c.local_words;
+    makes_calls = c.makes_calls;
+  }
+
+let data_of_global ((v : T.var), init) =
+  let words = max 1 (Types.sizeof v.vty / 4) in
+  let payload =
+    match (init, v.vty) with
+    | T.Czeros, _ -> Isa.Program.Space words
+    | T.Cints xs, _ ->
+      let pad = words - List.length xs in
+      Isa.Program.Words (xs @ List.init (max 0 pad) (fun _ -> 0))
+    | T.Cflts xs, _ ->
+      let pad = words - List.length xs in
+      Isa.Program.Floats (xs @ List.init (max 0 pad) (fun _ -> 0.0))
+  in
+  { Isa.Program.dlabel = v.vname; payload }
+
+let run (p : T.program) : Ir.program =
+  (* Assign storage to globals: ps bases -> $g registers, rest -> data. *)
+  let global_slots = Hashtbl.create 64 in
+  let ps_regs = ref [] in
+  let next_g = ref 0 in
+  let data = ref [] in
+  List.iter
+    (fun ((v : T.var), init) ->
+      if v.vps_base then begin
+        if !next_g >= Isa.Reg.g_spawn then err "too many ps base variables";
+        let g = !next_g in
+        incr next_g;
+        let init_val =
+          match init with T.Cints [ x ] -> x | T.Czeros -> 0 | _ -> 0
+        in
+        ps_regs := (v.vname, g, init_val) :: !ps_regs;
+        Hashtbl.replace global_slots v.vid (Sgreg g)
+      end
+      else begin
+        Hashtbl.replace global_slots v.vid (Sglobal v.vname);
+        data := data_of_global (v, init) :: !data
+      end)
+    p.globals;
+  (* Heap pointer word: patched by the driver once the layout is known. *)
+  data := { Isa.Program.dlabel = "__heap_ptr"; payload = Isa.Program.Words [ 0 ] } :: !data;
+  let funcs = List.map (lower_func ~global_slots) p.funcs in
+  { Ir.funcs; data = List.rev !data; ps_regs = List.rev !ps_regs }

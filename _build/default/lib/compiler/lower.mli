@@ -1,0 +1,17 @@
+(** Lowering from the typed AST to the three-address IR.
+
+    Spawn statements lower to the hardware dispatch protocol of §IV-D: a
+    [spawn] instruction, then a dispatch loop in which each TCU obtains the
+    next virtual-thread ID with a [ps] on the reserved [$g8] counter and
+    validates it with [chkid], the thread body, a jump back to the
+    dispatch point, and the [join].  Nested spawns are serialized into a
+    plain loop (§IV-E).  [ps]-base globals are assigned to global PS
+    registers; other globals live in the data segment. *)
+
+exception Error of string
+
+(** Lower a whole program.  [Outline.run] should normally have been applied
+    first; un-outlined spawns are still lowered correctly (they simply
+    leave the serial optimizer exposed to illegal dataflow, which is the
+    hazard the paper's Fig. 8 describes). *)
+val run : Xmtc.Tast.program -> Ir.program

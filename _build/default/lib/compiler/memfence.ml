@@ -1,0 +1,21 @@
+let run ~nbstore ~fences (fn : Ir.func) =
+  let in_par = ref false in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Ispawn _ ->
+        in_par := true;
+        emit i
+      | Ir.Ijoin ->
+        in_par := false;
+        emit i
+      | Ir.Ist (Ir.St_blocking, s, b, off) when nbstore && !in_par ->
+        emit (Ir.Ist (Ir.St_nb, s, b, off))
+      | Ir.Ips _ | Ir.Ipsm _ ->
+        if fences && !in_par then emit Ir.Ifence;
+        emit i
+      | other -> emit other)
+    fn.Ir.body;
+  fn.Ir.body <- List.rev !out

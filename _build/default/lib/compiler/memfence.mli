@@ -1,0 +1,19 @@
+(** XMT memory-model passes (§IV-A, §IV-C).
+
+    {b Non-blocking stores}: inside a parallel (spawn..join) region every
+    blocking store is replaced by [sw.nb], the latency-hiding store that
+    does not wait for an acknowledgement.  This is legal under the XMT
+    memory model: per-thread same-address ordering is preserved by the
+    hardware's static routing, and cross-thread ordering is only promised
+    around prefix-sums — which is exactly what the fence pass enforces.
+
+    {b Fences}: a [fence] is inserted before every [ps]/[psm] so that all
+    pending stores of the issuing TCU complete before the prefix-sum
+    executes (memory-model rule 2, Fig. 7).  The optimizer never moves
+    memory operations across prefix-sums (they are side-effecting barriers
+    to it), fulfilling the compiler half of the rule.
+
+    Disabling fences while keeping non-blocking stores reproduces the
+    memory-model violation of Fig. 7 (the [(x,y) = (0,1)] outcome). *)
+
+val run : nbstore:bool -> fences:bool -> Ir.func -> unit

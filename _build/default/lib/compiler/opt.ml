@@ -1,0 +1,287 @@
+module IMap = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Local value numbering state: constants, copies, available expressions. *)
+
+type expr_key =
+  | Kbin of Ir.binop * Ir.operand * Ir.operand
+  | Kset of Ir.relop * Ir.operand * Ir.operand
+  | Kla of string
+
+module EMap = Map.Make (struct
+  type t = expr_key
+
+  let compare = compare
+end)
+
+type state = {
+  mutable consts : int IMap.t;  (* vreg -> known constant *)
+  mutable copies : int IMap.t;  (* vreg -> source vreg *)
+  mutable avail : int EMap.t;  (* expression -> vreg holding it *)
+}
+
+let empty_state () = { consts = IMap.empty; copies = IMap.empty; avail = EMap.empty }
+
+(* invalidate everything that mentions [d] *)
+let kill st d =
+  st.consts <- IMap.remove d st.consts;
+  st.copies <- IMap.filter (fun k src -> k <> d && src <> d) st.copies;
+  st.avail <-
+    EMap.filter
+      (fun k v ->
+        v <> d
+        &&
+        match k with
+        | Kbin (_, a, b) | Kset (_, a, b) ->
+          a <> Ir.Oreg d && b <> Ir.Oreg d
+        | Kla _ -> true)
+      st.avail
+
+let subst_operand st = function
+  | Ir.Oimm _ as o -> o
+  | Ir.Oreg r as o -> (
+    match IMap.find_opt r st.consts with
+    | Some k -> Ir.Oimm k
+    | None -> (
+      match IMap.find_opt r st.copies with Some src -> Ir.Oreg src | None -> o))
+
+let subst_reg st r =
+  match IMap.find_opt r st.copies with Some src -> src | None -> r
+
+let eval_bin op a b =
+  match op with
+  | Ir.Badd -> Some (Isa.Value.wrap32 (a + b))
+  | Ir.Bsub -> Some (Isa.Value.wrap32 (a - b))
+  | Ir.Bmul -> Some (Isa.Value.wrap32 (a * b))
+  | Ir.Bdiv -> if b = 0 then None else Some (a / b)
+  | Ir.Brem -> if b = 0 then None else Some (a mod b)
+  | Ir.Band -> Some (a land b)
+  | Ir.Bor -> Some (a lor b)
+  | Ir.Bxor -> Some (Isa.Value.wrap32 (a lxor b))
+  | Ir.Bnor -> Some (Isa.Value.wrap32 (lnot (a lor b)))
+  | Ir.Bsll -> Some (Isa.Value.wrap32 (a lsl (b land 31)))
+  | Ir.Bsrl -> Some ((a land 0xFFFFFFFF) lsr (b land 31))
+  | Ir.Bsra -> Some (a asr (b land 31))
+
+let eval_rel op a b =
+  let r =
+    match op with
+    | Ir.Req -> a = b
+    | Ir.Rne -> a <> b
+    | Ir.Rlt -> a < b
+    | Ir.Rle -> a <= b
+    | Ir.Rgt -> a > b
+    | Ir.Rge -> a >= b
+  in
+  Bool.to_int r
+
+(* algebraic identities; returns simplified instruction *)
+let simplify_bin op d a b =
+  match (op, a, b) with
+  | Ir.Badd, x, Ir.Oimm 0 | Ir.Badd, Ir.Oimm 0, x -> Ir.Imov (d, x)
+  | Ir.Bsub, x, Ir.Oimm 0 -> Ir.Imov (d, x)
+  | Ir.Bmul, _, Ir.Oimm 0 | Ir.Bmul, Ir.Oimm 0, _ -> Ir.Imov (d, Ir.Oimm 0)
+  | Ir.Bmul, x, Ir.Oimm 1 | Ir.Bmul, Ir.Oimm 1, x -> Ir.Imov (d, x)
+  | (Ir.Bsll | Ir.Bsrl | Ir.Bsra), x, Ir.Oimm 0 -> Ir.Imov (d, x)
+  | Ir.Bmul, x, Ir.Oimm k when k > 0 && k land (k - 1) = 0 ->
+    (* strength reduction: multiply by power of two *)
+    let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+    Ir.Ibin (Ir.Bsll, d, x, Ir.Oimm (log2 k 0))
+  | Ir.Bdiv, x, Ir.Oimm 1 -> Ir.Imov (d, x)
+  | _ -> Ir.Ibin (op, d, a, b)
+
+(* One local pass over a block's instructions. *)
+let local_pass ~cse instrs =
+  let st = empty_state () in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  List.iter
+    (fun i ->
+      match i with
+      | Ir.Ilabel _ ->
+        (* new block: reset *)
+        st.consts <- IMap.empty;
+        st.copies <- IMap.empty;
+        st.avail <- EMap.empty;
+        emit i
+      | Ir.Imov (d, s) -> (
+        let s = subst_operand st s in
+        kill st d;
+        match s with
+        | Ir.Oimm k ->
+          st.consts <- IMap.add d k st.consts;
+          emit (Ir.Imov (d, s))
+        | Ir.Oreg r ->
+          if r <> d then st.copies <- IMap.add d r st.copies;
+          emit (Ir.Imov (d, s)))
+      | Ir.Ibin (op, d, a, b) -> (
+        let a = subst_operand st a and b = subst_operand st b in
+        match (a, b) with
+        | Ir.Oimm x, Ir.Oimm y when eval_bin op x y <> None ->
+          let k = Option.get (eval_bin op x y) in
+          kill st d;
+          st.consts <- IMap.add d k st.consts;
+          emit (Ir.Imov (d, Ir.Oimm k))
+        | _ -> (
+          let simplified = simplify_bin op d a b in
+          match simplified with
+          | Ir.Imov (d, s) -> (
+            kill st d;
+            match s with
+            | Ir.Oimm k ->
+              st.consts <- IMap.add d k st.consts;
+              emit simplified
+            | Ir.Oreg r ->
+              if r <> d then st.copies <- IMap.add d r st.copies;
+              emit simplified)
+          | Ir.Ibin (op', d', a', b') ->
+            let key = Kbin (op', a', b') in
+            (match (cse, EMap.find_opt key st.avail) with
+            | true, Some src when src <> d' ->
+              kill st d';
+              st.copies <- IMap.add d' src st.copies;
+              emit (Ir.Imov (d', Ir.Oreg src))
+            | _ ->
+              kill st d';
+              if cse then st.avail <- EMap.add key d' st.avail;
+              emit (Ir.Ibin (op', d', a', b')))
+          | other -> emit other))
+      | Ir.Iset (r, d, a, b) -> (
+        let a = subst_operand st a and b = subst_operand st b in
+        match (a, b) with
+        | Ir.Oimm x, Ir.Oimm y ->
+          let k = eval_rel r x y in
+          kill st d;
+          st.consts <- IMap.add d k st.consts;
+          emit (Ir.Imov (d, Ir.Oimm k))
+        | _ ->
+          let key = Kset (r, a, b) in
+          (match (cse, EMap.find_opt key st.avail) with
+          | true, Some src when src <> d ->
+            kill st d;
+            st.copies <- IMap.add d src st.copies;
+            emit (Ir.Imov (d, Ir.Oreg src))
+          | _ ->
+            kill st d;
+            if cse then st.avail <- EMap.add key d st.avail;
+            emit (Ir.Iset (r, d, a, b))))
+      | Ir.Ila (d, l) -> (
+        let key = Kla l in
+        match (cse, EMap.find_opt key st.avail) with
+        | true, Some src when src <> d ->
+          kill st d;
+          st.copies <- IMap.add d src st.copies;
+          emit (Ir.Imov (d, Ir.Oreg src))
+        | _ ->
+          kill st d;
+          if cse then st.avail <- EMap.add key d st.avail;
+          emit i)
+      | Ir.Icjump (r, a, b, l) -> (
+        let a = subst_operand st a and b = subst_operand st b in
+        match (a, b) with
+        | Ir.Oimm x, Ir.Oimm y ->
+          if eval_rel r x y = 1 then emit (Ir.Ijmp l) (* else: branch never taken *)
+        | _ -> emit (Ir.Icjump (r, a, b, l)))
+      | Ir.Ild (m, d, base, off) ->
+        let base = subst_reg st base in
+        kill st d;
+        emit (Ir.Ild (m, d, base, off))
+      | Ir.Ist (m, s, base, off) ->
+        emit (Ir.Ist (m, subst_reg st s, subst_reg st base, off))
+      | Ir.Ifld (d, base, off) -> emit (Ir.Ifld (d, subst_reg st base, off))
+      | Ir.Ifst (s, base, off) -> emit (Ir.Ifst (s, subst_reg st base, off))
+      | Ir.Ipref (base, off) -> emit (Ir.Ipref (subst_reg st base, off))
+      | Ir.Ipsm (r, base, off) ->
+        kill st r;
+        emit (Ir.Ipsm (r, subst_reg st base, off))
+      | Ir.Ips (r, g) ->
+        kill st r;
+        emit (Ir.Ips (r, g))
+      | Ir.Icall (dst, name, args) ->
+        let args =
+          List.map
+            (function
+              | Ir.Aint op -> Ir.Aint (subst_operand st op)
+              | Ir.Aflt r -> Ir.Aflt r)
+            args
+        in
+        (match dst with Ir.Dint d -> kill st d | Ir.Dflt _ | Ir.Dnone -> ());
+        emit (Ir.Icall (dst, name, args))
+      | Ir.Imfg (d, g) ->
+        kill st d;
+        emit (Ir.Imfg (d, g))
+      | Ir.Imtg (g, s) -> emit (Ir.Imtg (g, subst_operand st s))
+      | Ir.Isys (op, Ir.Aint a) -> emit (Ir.Isys (op, Ir.Aint (subst_operand st a)))
+      | Ir.Iret (Some (Ir.Aint a)) -> emit (Ir.Iret (Some (Ir.Aint (subst_operand st a))))
+      | Ir.Ispawn (a, b) -> emit (Ir.Ispawn (subst_operand st a, subst_operand st b))
+      | Ir.Icvt_i2f (d, s) -> emit (Ir.Icvt_i2f (d, subst_operand st s))
+      | Ir.Icvt_f2i (d, s) ->
+        kill st d;
+        emit (Ir.Icvt_f2i (d, s))
+      | Ir.Ifcmp (r, d, a, b) ->
+        kill st d;
+        emit (Ir.Ifcmp (r, d, a, b))
+      | Ir.Ichkid r -> emit (Ir.Ichkid (subst_reg st r))
+      | Ir.Ifbin _ | Ir.Ifun _ | Ir.Ifli _ | Ir.Ijmp _ | Ir.Iret _ | Ir.Ijoin
+      | Ir.Ifence | Ir.Isys _ ->
+        emit i)
+    instrs;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Global dead-code elimination via liveness. *)
+
+let dce (fn : Ir.func) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let cfg = Cfg.build fn in
+    let instrs, outs, fouts = Cfg.instr_liveness cfg in
+    let keep = Array.make (Array.length instrs) true in
+    Array.iteri
+      (fun i ins ->
+        if not (Ir.has_side_effect ins) then begin
+          let ds, _, fds, _ = Ir.defs_uses ins in
+          let dead =
+            (match ds with
+            | [] -> true
+            | _ -> List.for_all (fun d -> not (Cfg.VSet.mem d outs.(i))) ds)
+            &&
+            match fds with
+            | [] -> true
+            | _ -> List.for_all (fun d -> not (Cfg.VSet.mem d fouts.(i))) fds
+          in
+          (* keep instructions with no defs at all (shouldn't happen here) *)
+          let has_defs = ds <> [] || fds <> [] in
+          if dead && has_defs then begin
+            keep.(i) <- false;
+            changed := true
+          end
+        end)
+      instrs;
+    if !changed then begin
+      let body = ref [] in
+      Array.iteri (fun i ins -> if keep.(i) then body := ins :: !body) instrs;
+      fn.Ir.body <- List.rev !body
+    end
+  done
+
+(* Remove self-moves and jumps to the immediately-following label. *)
+let peephole instrs =
+  let rec go = function
+    | [] -> []
+    | Ir.Imov (d, Ir.Oreg s) :: rest when d = s -> go rest
+    | Ir.Ijmp l :: (Ir.Ilabel l' :: _ as rest) when l = l' -> go rest
+    | i :: rest -> i :: go rest
+  in
+  go instrs
+
+let run ~level (fn : Ir.func) =
+  if level >= 1 then begin
+    let cse = level >= 2 in
+    (* iterate local pass to propagate through copies *)
+    fn.Ir.body <- local_pass ~cse fn.Ir.body;
+    fn.Ir.body <- local_pass ~cse fn.Ir.body;
+    dce fn;
+    fn.Ir.body <- peephole fn.Ir.body
+  end

@@ -1,0 +1,17 @@
+(** The serial optimizer — the "GCC role" of the core-pass (§IV).
+
+    Deliberately unaware of parallelism: it treats spawn/join as opaque
+    side-effecting instructions and never reorders memory operations, so it
+    respects the XMT memory-model rule that memory operations do not move
+    across prefix-sums (§IV-A) by construction.  Passes:
+
+    - local constant folding + algebraic simplification,
+    - local copy propagation,
+    - local common-subexpression elimination on pure integer ops
+      (notably repeated address computations from array indexing),
+    - global dead-code elimination via CFG liveness,
+    - branch simplification for constant conditions. *)
+
+(** [run fn] optimizes in place (replaces [fn.body]).  [level] 0 disables
+    everything, 1 enables folding/copy-prop/DCE, 2 adds local CSE. *)
+val run : level:int -> Ir.func -> unit

@@ -1,0 +1,317 @@
+open Xmtc
+module T = Tast
+
+let outlined_prefix = "__outl_sp_"
+
+(* ------------------------------------------------------------------ *)
+(* Generic expression rewriting *)
+
+let rec map_expr f (e : T.expr) : T.expr =
+  let r = map_expr f in
+  let e' =
+    match e.enode with
+    | T.Eint _ | T.Eflt _ | T.Evar _ | T.Etid -> e
+    | T.Eunop (op, a) -> { e with enode = T.Eunop (op, r a) }
+    | T.Elognot a -> { e with enode = T.Elognot (r a) }
+    | T.Ebinop (op, a, b) -> { e with enode = T.Ebinop (op, r a, r b) }
+    | T.Eland (a, b) -> { e with enode = T.Eland (r a, r b) }
+    | T.Elor (a, b) -> { e with enode = T.Elor (r a, r b) }
+    | T.Eassign (a, b) -> { e with enode = T.Eassign (r a, r b) }
+    | T.Eopassign (op, a, b) -> { e with enode = T.Eopassign (op, r a, r b) }
+    | T.Eincdec (op, pre, a) -> { e with enode = T.Eincdec (op, pre, r a) }
+    | T.Ecall (c, args) -> { e with enode = T.Ecall (c, List.map r args) }
+    | T.Ederef a -> { e with enode = T.Ederef (r a) }
+    | T.Eaddr a -> { e with enode = T.Eaddr (r a) }
+    | T.Ecast (t, a) -> { e with enode = T.Ecast (t, r a) }
+    | T.Econd (a, b, c) -> { e with enode = T.Econd (r a, r b, r c) }
+  in
+  f e'
+
+let rec map_stmt_exprs f (s : T.stmt) : T.stmt =
+  let rs = map_stmt_exprs f in
+  match s with
+  | T.Sskip | T.Sbreak | T.Scontinue -> s
+  | T.Sexpr e -> T.Sexpr (map_expr f e)
+  | T.Sdecl (v, init) -> T.Sdecl (v, Option.map (map_expr f) init)
+  | T.Sblock ss -> T.Sblock (List.map rs ss)
+  | T.Sif (c, a, b) -> T.Sif (map_expr f c, rs a, rs b)
+  | T.Swhile (c, b) -> T.Swhile (map_expr f c, rs b)
+  | T.Sdowhile (b, c) -> T.Sdowhile (rs b, map_expr f c)
+  | T.Sfor (i, c, p, b) -> T.Sfor (rs i, Option.map (map_expr f) c, rs p, rs b)
+  | T.Sreturn e -> T.Sreturn (Option.map (map_expr f) e)
+  | T.Sspawn sp ->
+    T.Sspawn
+      {
+        sp with
+        sp_lo = map_expr f sp.sp_lo;
+        sp_hi = map_expr f sp.sp_hi;
+        sp_body = rs sp.sp_body;
+      }
+  | T.Sps _ -> s (* handled separately: operands must remain bare vars *)
+  | T.Spsm (v, addr) -> T.Spsm (v, map_expr f addr)
+
+(* ------------------------------------------------------------------ *)
+(* Capture analysis *)
+
+module VarSet = Set.Make (struct
+  type t = T.var
+
+  let compare a b = compare a.T.vid b.T.vid
+end)
+
+(* All variables declared anywhere inside a statement. *)
+let rec declared_vars acc = function
+  | T.Sdecl (v, _) -> VarSet.add v acc
+  | T.Sblock ss -> List.fold_left declared_vars acc ss
+  | T.Sif (_, a, b) -> declared_vars (declared_vars acc a) b
+  | T.Swhile (_, b) | T.Sdowhile (b, _) -> declared_vars acc b
+  | T.Sfor (i, _, p, b) -> declared_vars (declared_vars (declared_vars acc i) p) b
+  | T.Sspawn sp -> declared_vars acc sp.T.sp_body
+  | T.Sskip | T.Sexpr _ | T.Sreturn _ | T.Sbreak | T.Scontinue | T.Sps _
+  | T.Spsm _ ->
+    acc
+
+(* All variables used in a statement (including ps/psm operands). *)
+let used_vars s =
+  let from_exprs =
+    T.fold_exprs (fun acc e -> T.fold_expr_vars (fun a v -> VarSet.add v a) acc e)
+      VarSet.empty s
+  in
+  let rec extra acc = function
+    | T.Sps (v, b) -> VarSet.add v (VarSet.add b acc)
+    | T.Spsm (v, _) -> VarSet.add v acc
+    | T.Sblock ss -> List.fold_left extra acc ss
+    | T.Sif (_, a, b) -> extra (extra acc a) b
+    | T.Swhile (_, b) | T.Sdowhile (b, _) -> extra acc b
+    | T.Sfor (i, _, p, b) -> extra (extra (extra acc i) p) b
+    | T.Sspawn sp -> extra acc sp.T.sp_body
+    | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue -> acc
+  in
+  extra from_exprs s
+
+(* Variables that the statement may write: assignment targets that are bare
+   variables, ++/--, ps/psm increments, and any variable whose address is
+   taken (a write through the pointer must be assumed). *)
+let written_vars s =
+  let rec expr_writes acc (e : T.expr) =
+    let acc =
+      match e.enode with
+      | T.Eassign ({ enode = T.Evar v; _ }, _)
+      | T.Eopassign (_, { enode = T.Evar v; _ }, _)
+      | T.Eincdec (_, _, { enode = T.Evar v; _ })
+      | T.Eaddr { enode = T.Evar v; _ } ->
+        VarSet.add v acc
+      | _ -> acc
+    in
+    (* recurse into children *)
+    match e.enode with
+    | T.Eint _ | T.Eflt _ | T.Evar _ | T.Etid -> acc
+    | T.Eunop (_, a) | T.Elognot a | T.Ederef a | T.Eaddr a | T.Ecast (_, a)
+    | T.Eincdec (_, _, a) ->
+      expr_writes acc a
+    | T.Ebinop (_, a, b) | T.Eland (a, b) | T.Elor (a, b) | T.Eassign (a, b)
+    | T.Eopassign (_, a, b) ->
+      expr_writes (expr_writes acc a) b
+    | T.Ecall (_, args) -> List.fold_left expr_writes acc args
+    | T.Econd (a, b, c) -> expr_writes (expr_writes (expr_writes acc a) b) c
+  in
+  let from_exprs = T.fold_exprs expr_writes VarSet.empty s in
+  let rec extra acc = function
+    | T.Sps (v, b) -> VarSet.add v (VarSet.add b acc)
+    | T.Spsm (v, _) -> VarSet.add v acc
+    | T.Sblock ss -> List.fold_left extra acc ss
+    | T.Sif (_, a, b) -> extra (extra acc a) b
+    | T.Swhile (_, b) | T.Sdowhile (b, _) -> extra acc b
+    | T.Sfor (i, _, p, b) -> extra (extra (extra acc i) p) b
+    | T.Sspawn sp -> extra acc sp.T.sp_body
+    | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue -> acc
+  in
+  extra from_exprs s
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = { mutable next_vid : int; mutable new_funcs : T.func list }
+
+let fresh_var ctx ~name ~ty ~kind =
+  let v =
+    {
+      T.vid = ctx.next_vid;
+      vname = name;
+      vty = ty;
+      vkind = kind;
+      vvolatile = false;
+      vaddr_taken = false;
+      vps_base = false;
+      vthread_local = false;
+    }
+  in
+  ctx.next_vid <- ctx.next_vid + 1;
+  v
+
+(* Build the outlined function for spawn [sp] and return the replacement
+   call statement. *)
+let outline_spawn ctx (sp : T.spawn) : T.stmt =
+  let whole = T.Sspawn sp in
+  let declared = declared_vars VarSet.empty whole in
+  let used = used_vars whole in
+  let captured =
+    VarSet.filter
+      (fun v ->
+        (match v.T.vkind with
+        | T.Kglobal -> false
+        | T.Klocal | T.Kparam -> true)
+        && not (VarSet.mem v declared))
+      used
+  in
+  let written = written_vars whole in
+  (* by-reference iff the spawn may write it (or take its address) *)
+  let classify v = VarSet.mem v written in
+  let captured = VarSet.elements captured in
+  let fname = Printf.sprintf "%s%d" outlined_prefix sp.T.sp_id in
+  (* Fresh parameter for each captured variable. *)
+  let bindings =
+    List.map
+      (fun (v : T.var) ->
+        let by_ref = classify v in
+        let pty =
+          if by_ref then Types.Tptr v.vty
+          else Types.decay v.vty (* arrays decay to pointers *)
+        in
+        let p = fresh_var ctx ~name:v.vname ~ty:pty ~kind:T.Kparam in
+        (v, p, by_ref))
+      captured
+  in
+  let find v =
+    List.find_opt (fun (v', _, _) -> v'.T.vid = v.T.vid) bindings
+  in
+  (* Rewrite variable references in the spawn body/bounds. *)
+  let rewrite_expr =
+    map_expr (fun e ->
+        match e.T.enode with
+        | T.Evar v -> (
+          match find v with
+          | None -> e
+          | Some (_, p, by_ref) ->
+            if by_ref then
+              { e with enode = T.Ederef { ety = Types.Tptr v.vty; enode = T.Evar p } }
+            else { e with enode = T.Evar p })
+        | T.Eaddr { enode = T.Ederef inner; _ } ->
+          (* map_expr rewrites children first, so [&x] with [x] by-reference
+             arrives here as address-of-deref: fold back to the pointer *)
+          inner
+        | _ -> e)
+  in
+  (* ps/psm increments must stay bare variables: if captured by reference,
+     round-trip through a thread-local temporary. *)
+  let rewrite_stmt s =
+    T.map_stmt
+      (fun s ->
+        match s with
+        | T.Sps (v, b) -> (
+          match find v with
+          | Some (_, p, true) ->
+            let tmp = fresh_var ctx ~name:("__ps_" ^ v.vname) ~ty:Types.Tint ~kind:T.Klocal in
+            tmp.T.vthread_local <- true;
+            let pvar = { T.ety = Types.Tptr Types.Tint; enode = T.Evar p } in
+            let deref = { T.ety = Types.Tint; enode = T.Ederef pvar } in
+            let tvar = { T.ety = Types.Tint; enode = T.Evar tmp } in
+            T.Sblock
+              [
+                T.Sdecl (tmp, Some deref);
+                T.Sps (tmp, b);
+                T.Sexpr { ety = Types.Tint; enode = T.Eassign (deref, tvar) };
+              ]
+          | Some (_, _, false) | None -> s)
+        | T.Spsm (v, addr) -> (
+          let addr = rewrite_expr addr in
+          match find v with
+          | Some (_, p, true) ->
+            let tmp = fresh_var ctx ~name:("__ps_" ^ v.vname) ~ty:Types.Tint ~kind:T.Klocal in
+            tmp.T.vthread_local <- true;
+            let pvar = { T.ety = Types.Tptr Types.Tint; enode = T.Evar p } in
+            let deref = { T.ety = Types.Tint; enode = T.Ederef pvar } in
+            let tvar = { T.ety = Types.Tint; enode = T.Evar tmp } in
+            T.Sblock
+              [
+                T.Sdecl (tmp, Some deref);
+                T.Spsm (tmp, addr);
+                T.Sexpr { ety = Types.Tint; enode = T.Eassign (deref, tvar) };
+              ]
+          | Some (_, _, false) | None -> T.Spsm (v, addr))
+        | other -> map_stmt_exprs (fun e -> rewrite_expr e) other)
+      s
+  in
+  (* Note: map_stmt is bottom-up, so expression rewriting must not be
+     re-applied to already-rewritten children; map_stmt_exprs only maps the
+     statement's own expressions, and map_stmt recurses structurally. *)
+  let body' =
+    T.Sspawn
+      {
+        sp with
+        sp_lo = rewrite_expr sp.sp_lo;
+        sp_hi = rewrite_expr sp.sp_hi;
+        sp_body = rewrite_stmt sp.sp_body;
+      }
+  in
+  let func =
+    {
+      T.fname;
+      fret = Types.Tvoid;
+      fparams = List.map (fun (_, p, _) -> p) bindings;
+      fbody = body';
+      fis_outlined_spawn = true;
+    }
+  in
+  ctx.new_funcs <- func :: ctx.new_funcs;
+  (* The replacement call. *)
+  let args =
+    List.map
+      (fun ((v : T.var), _, by_ref) ->
+        let base = { T.ety = Types.decay v.vty; enode = T.Evar v } in
+        if by_ref then begin
+          v.T.vaddr_taken <- true;
+          { T.ety = Types.Tptr v.vty; enode = T.Eaddr base }
+        end
+        else base)
+      bindings
+  in
+  T.Sexpr { ety = Types.Tvoid; enode = T.Ecall (T.Cuser fname, args) }
+
+(* Replace outermost spawns in a statement tree (not descending into spawn
+   bodies: nested spawns are serialized later). *)
+let rec replace_spawns ctx s =
+  match s with
+  | T.Sspawn sp -> outline_spawn ctx sp
+  | T.Sblock ss -> T.Sblock (List.map (replace_spawns ctx) ss)
+  | T.Sif (c, a, b) -> T.Sif (c, replace_spawns ctx a, replace_spawns ctx b)
+  | T.Swhile (c, b) -> T.Swhile (c, replace_spawns ctx b)
+  | T.Sdowhile (b, c) -> T.Sdowhile (replace_spawns ctx b, c)
+  | T.Sfor (i, c, p, b) ->
+    T.Sfor (replace_spawns ctx i, c, replace_spawns ctx p, replace_spawns ctx b)
+  | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue
+  | T.Sps _ | T.Spsm _ ->
+    s
+
+let max_vid (p : T.program) =
+  let m = ref 0 in
+  let see (v : T.var) = if v.vid >= !m then m := v.vid + 1 in
+  List.iter (fun (v, _) -> see v) p.globals;
+  List.iter
+    (fun (f : T.func) ->
+      List.iter see f.fparams;
+      ignore
+        (T.fold_exprs
+           (fun () e -> T.fold_expr_vars (fun () v -> see v) () e)
+           () f.fbody);
+      VarSet.iter see (declared_vars VarSet.empty f.fbody))
+    p.funcs;
+  !m
+
+let run (p : T.program) : T.program =
+  let ctx = { next_vid = max_vid p; new_funcs = [] } in
+  List.iter
+    (fun (f : T.func) ->
+      if not f.T.fis_outlined_spawn then f.T.fbody <- replace_spawns ctx f.T.fbody)
+    p.funcs;
+  p.funcs <- p.funcs @ List.rev ctx.new_funcs;
+  p

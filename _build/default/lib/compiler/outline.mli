@@ -1,0 +1,24 @@
+(** The pre-pass: outlining of spawn blocks (paper §IV-B, Fig. 8).
+
+    A serial middle end would perform illegal dataflow across spawn-block
+    boundaries (e.g. moving [if (found) counter += 1] inside the block).
+    Outlining extracts each outermost spawn statement into a fresh function
+    [__outl_sp_k] and replaces it by a call, so the serial optimizer — which
+    performs no inter-procedural code motion — cannot mix serial and
+    parallel code.  Variables of the enclosing scope that the spawn block
+    reads are passed by value; variables it may write (or whose address it
+    takes) are passed by reference, exactly as in Fig. 8c.
+
+    This is a source-to-source transformation on the typed AST; print the
+    result with {!Xmtc.Pretty} to see the XMTC-to-XMTC rewrite. *)
+
+val outlined_prefix : string
+
+(** First vid not used by any variable of the program; passes that create
+    fresh variables start numbering here. *)
+val max_vid : Xmtc.Tast.program -> int
+
+(** [run p] outlines every outermost spawn in place and appends the new
+    functions to [p].  Spawns nested inside another spawn are left in the
+    body (they are serialized during lowering, §IV-E). *)
+val run : Xmtc.Tast.program -> Xmtc.Tast.program

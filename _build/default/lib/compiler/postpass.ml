@@ -1,0 +1,182 @@
+module I = Isa.Instr
+module P = Isa.Program
+
+exception Verify_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Verify_error s)) fmt
+
+(* Find spawn regions as item-index pairs (spawn_idx, join_idx). *)
+let regions (items : P.item array) =
+  let acc = ref [] in
+  let open_spawn = ref None in
+  Array.iteri
+    (fun i item ->
+      match item with
+      | P.Ins (I.Spawn _) -> (
+        match !open_spawn with
+        | Some j -> err "nested spawn at item %d (previous at %d)" i j
+        | None -> open_spawn := Some i)
+      | P.Ins I.Join -> (
+        match !open_spawn with
+        | Some s ->
+          acc := (s, i) :: !acc;
+          open_spawn := None
+        | None -> err "join without spawn at item %d" i)
+      | _ -> ())
+    items;
+  (match !open_spawn with
+  | Some s -> err "spawn at item %d has no matching join" s
+  | None -> ());
+  List.rev !acc
+
+let labels_in (items : P.item array) lo hi =
+  let set = Hashtbl.create 16 in
+  for i = lo to hi do
+    match items.(i) with
+    | P.Label l -> Hashtbl.replace set l ()
+    | P.Ins _ | P.Comment _ -> ()
+  done;
+  set
+
+(* The block starting at label [l]: from its Label item up to and including
+   the next unconditional transfer (j/jr/halt). *)
+let block_of_label (items : P.item array) l =
+  let n = Array.length items in
+  let start = ref (-1) in
+  (try
+     for i = 0 to n - 1 do
+       if items.(i) = P.Label l then begin
+         start := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !start < 0 then None
+  else begin
+    let rec find_end i =
+      if i >= n then i - 1
+      else
+        match items.(i) with
+        | P.Ins (I.J _ | I.Jr _ | I.Halt) -> i
+        | P.Label _ when i > !start -> i - 1 (* fell into another block *)
+        | _ -> find_end (i + 1)
+    in
+    Some (!start, find_end (!start + 1))
+  end
+
+let fresh_join_label =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "Ljoin%d" !n
+
+(* One repair step: returns Some fixed_items if a block was relocated. *)
+let fix_one (items : P.item array) =
+  let regs = regions items in
+  let try_region (s, j) =
+    let inside = labels_in items s j in
+    (* find first branch inside the region with an outside target *)
+    let rec scan i =
+      if i >= j then None
+      else
+        match items.(i) with
+        | P.Ins ins -> (
+          match I.target ins with
+          | Some l when not (Hashtbl.mem inside l) -> Some l
+          | Some _ | None -> scan (i + 1))
+        | _ -> scan (i + 1)
+    in
+    match scan (s + 1) with
+    | None -> None
+    | Some l -> (
+      match block_of_label items l with
+      | None -> err "branch target %s inside spawn region is undefined" l
+      | Some (bs, be) ->
+        if bs > s && be < j then None (* already inside; shouldn't happen *)
+        else begin
+          (* relocate items[bs..be] to just before the join at j *)
+          let block = Array.sub items bs (be - bs + 1) in
+          (* does the item just before the join fall through? *)
+          let rec prev_ins i =
+            if i <= s then None
+            else
+              match items.(i) with
+              | P.Ins ins -> Some ins
+              | P.Label _ | P.Comment _ -> prev_ins (i - 1)
+          in
+          let falls_into_join =
+            match prev_ins (j - 1) with
+            | Some (I.J _ | I.Jr _ | I.Halt) -> false
+            | Some _ -> true
+            | None -> true
+          in
+          let join_fix =
+            if falls_into_join then begin
+              let jl = fresh_join_label () in
+              [ P.Ins (I.J jl) ], [ P.Label jl ]
+            end
+            else ([], [])
+          in
+          let jump_to_join, join_label = join_fix in
+          let out = ref [] in
+          Array.iteri
+            (fun i item ->
+              if i >= bs && i <= be then () (* removed from old position *)
+              else if i = j then begin
+                (* insert before the join *)
+                List.iter (fun x -> out := x :: !out) jump_to_join;
+                Array.iter (fun x -> out := x :: !out) block;
+                List.iter (fun x -> out := x :: !out) join_label;
+                out := item :: !out
+              end
+              else out := item :: !out)
+            items;
+          Some (Array.of_list (List.rev !out))
+        end)
+  in
+  let rec try_all = function
+    | [] -> None
+    | r :: rest -> ( match try_region r with Some x -> Some x | None -> try_all rest)
+  in
+  try_all regs
+
+let fix_layout (p : P.t) =
+  let items = ref (Array.of_list p.text) in
+  let count = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match fix_one !items with
+    | Some fixed ->
+      incr count;
+      if !count > 1000 then err "layout repair did not converge";
+      items := fixed
+    | None -> continue_ := false
+  done;
+  ({ p with text = Array.to_list !items }, !count)
+
+let verify (p : P.t) =
+  let items = Array.of_list p.text in
+  let regs = regions items in
+  List.iter
+    (fun (s, j) ->
+      let inside = labels_in items s j in
+      for i = s + 1 to j - 1 do
+        match items.(i) with
+        | P.Ins (I.Jal l) -> err "jal %s inside spawn region (no calls on TCUs)" l
+        | P.Ins (I.Jr _) -> err "jr inside spawn region"
+        | P.Ins ins -> (
+          match I.target ins with
+          | Some l when not (Hashtbl.mem inside l) ->
+            err
+              "branch target %s at item %d escapes its spawn region [%d..%d]: \
+               the block would not be broadcast (Fig. 9)"
+              l i s j
+          | Some _ | None -> ())
+        | P.Label _ | P.Comment _ -> ()
+      done)
+    regs
+
+let run p =
+  let p, n = fix_layout p in
+  verify p;
+  (p, n)

@@ -1,0 +1,31 @@
+(** The post-pass (paper §IV, Fig. 9): verifies that the emitted assembly
+    complies with XMT semantics and repairs basic-block layout.
+
+    XMT broadcasts the code between [spawn] and [join] to the TCUs; a TCU
+    cannot fetch instructions outside that segment.  The core-pass's layout
+    optimizer may have sunk a spawn-block basic block below the function's
+    return (Fig. 9a).  This pass re-reads the assembly, finds branches
+    inside each spawn-join region whose targets lie outside, relocates the
+    target blocks back in front of the [join], and inserts a jump to the
+    join when the preceding code would now incorrectly fall into the
+    relocated block (Fig. 9b).
+
+    It then verifies:
+    - every spawn has a matching join and regions do not nest,
+    - no [jal]/[jr] inside a region (no function calls on TCUs),
+    - after repair, every branch target inside a region resolves inside it.
+
+    Like the paper's SableCC post-pass, it operates on the assembly text
+    representation, not on the compiler's internal IR. *)
+
+exception Verify_error of string
+
+(** Repair misplaced blocks (Fig. 9b).  Returns the number of relocated
+    blocks along with the fixed program. *)
+val fix_layout : Isa.Program.t -> Isa.Program.t * int
+
+(** Verify XMT semantics; raises {!Verify_error}. *)
+val verify : Isa.Program.t -> unit
+
+(** [run p] = fix, then verify. *)
+val run : Isa.Program.t -> Isa.Program.t * int

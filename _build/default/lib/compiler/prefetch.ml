@@ -1,0 +1,197 @@
+(* Two complementary mechanisms, both §IV-C / [8]:
+
+   1. Early hoisting: within a basic block, a load whose base register was
+      defined several instructions earlier gets a [pref] right after the
+      definition, overlapping the round trip with the intervening compute.
+
+   2. Loop-ahead prefetching: in a loop body (a block that a backward
+      branch re-enters), a load whose address is an affine function of a
+      self-incremented induction register gets a [pref] of the *next*
+      iteration's address right after the load — the "loop prefetching"
+      that thread clustering enables (§IV-C).
+
+   Safety: the prefetch buffer hardware invalidates entries on the owning
+   TCU's stores, so stale-value hazards from aggressive prefetching cannot
+   change results (they only waste bandwidth). *)
+
+let run ?(min_gap = 2) ?(max_per_block = 8) (fn : Ir.func) =
+  let body = Array.of_list fn.Ir.body in
+  let n = Array.length body in
+  let in_par = Array.make n false in
+  let par = ref false in
+  Array.iteri
+    (fun i ins ->
+      (match ins with
+      | Ir.Ispawn _ -> par := true
+      | Ir.Ijoin -> par := false
+      | _ -> ());
+      in_par.(i) <- !par)
+    body;
+  (* labels the function's backward jumps target = loop heads *)
+  let label_pos = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins ->
+      match ins with Ir.Ilabel l -> Hashtbl.replace label_pos l i | _ -> ())
+    body;
+  let loop_heads = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ins ->
+      let target =
+        match ins with
+        | Ir.Ijmp l | Ir.Icjump (_, _, _, l) -> Some l
+        | _ -> None
+      in
+      match target with
+      | Some l -> (
+        match Hashtbl.find_opt label_pos l with
+        | Some p when p < i -> Hashtbl.replace loop_heads l ()
+        | _ -> ())
+      | None -> ())
+    body;
+  (* Function-level stride detection: self-incremented registers
+     (r := r + imm, directly or through a move), usable from any block of
+     the loop — the induction update typically lives in its own block. *)
+  let strides = Hashtbl.create 8 in
+  let adds = Hashtbl.create 8 in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Ir.Ibin (Ir.Badd, d, Ir.Oreg src, Ir.Oimm k)
+      | Ir.Ibin (Ir.Badd, d, Ir.Oimm k, Ir.Oreg src) ->
+        if d = src then Hashtbl.replace strides d k
+        else Hashtbl.replace adds d (src, k)
+      | _ -> ())
+    body;
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Ir.Imov (a, Ir.Oreg b) -> (
+        match Hashtbl.find_opt adds b with
+        | Some (src, k) when src = a -> Hashtbl.replace strides a k
+        | _ -> ())
+      | _ -> ())
+    body;
+  let result = ref [] in
+  (* [in_loop]: the current block begins at a loop-head label or lies
+     between a loop head and its backward branch; approximate with "the
+     enclosing region contains a backward branch after this block" by
+     tracking whether we are after any loop-head label whose backward
+     branch has not yet been seen.  Simpler and sufficient: a block is
+     treated as loop code when any loop head is currently open. *)
+  let open_loops = ref 0 in
+  let flush_block block_instrs =
+    let arr = Array.of_list block_instrs in
+    let m = Array.length arr in
+    (* def position of each vreg within the block *)
+    let defpos = Hashtbl.create 16 in
+    Array.iteri
+      (fun j (_, ins) ->
+        let ds, _, _, _ = Ir.defs_uses ins in
+        List.iter
+          (fun d -> if not (Hashtbl.mem defpos d) then Hashtbl.replace defpos d j)
+          ds)
+      arr;
+    (* walk a base register's def chain (within the block) looking for a
+       self-incremented induction register; returns the address stride *)
+    let rec chain_stride depth r =
+      if depth > 4 then None
+      else
+        match Hashtbl.find_opt strides r with
+        | Some k -> Some (k * 1)
+        | None -> (
+          match Hashtbl.find_opt defpos r with
+          | None -> None
+          | Some j -> (
+            match snd arr.(j) with
+            | Ir.Ibin (Ir.Badd, _, Ir.Oreg a, Ir.Oreg b) -> (
+              match chain_stride (depth + 1) a with
+              | Some s -> Some s
+              | None -> chain_stride (depth + 1) b)
+            | Ir.Ibin (Ir.Badd, _, Ir.Oreg a, Ir.Oimm _) ->
+              chain_stride (depth + 1) a
+            | Ir.Ibin (Ir.Bsll, _, Ir.Oreg a, Ir.Oimm sh) -> (
+              match chain_stride (depth + 1) a with
+              | Some s -> Some (s lsl sh)
+              | None -> None)
+            | Ir.Ibin (Ir.Bmul, _, Ir.Oreg a, Ir.Oimm k) -> (
+              match chain_stride (depth + 1) a with
+              | Some s -> Some (s * k)
+              | None -> None)
+            | Ir.Imov (_, Ir.Oreg a) -> chain_stride (depth + 1) a
+            | _ -> None))
+    in
+    let inserts = ref [] in
+    let count = ref 0 in
+    let seen = Hashtbl.create 16 in
+    Array.iteri
+      (fun j (gi, ins) ->
+        match ins with
+        | Ir.Ild (Ir.Ld_normal, _, base, off)
+          when in_par.(gi) && base <> Ir.vreg_fp && !count < max_per_block ->
+          (* 1. early hoist *)
+          let dp =
+            match Hashtbl.find_opt defpos base with
+            | Some p when p < j -> p + 1
+            | Some _ -> j
+            | None -> 0
+          in
+          if j - dp >= min_gap && not (Hashtbl.mem seen (base, off)) then begin
+            Hashtbl.replace seen (base, off) ();
+            incr count;
+            inserts := (dp, Ir.Ipref (base, off)) :: !inserts
+          end;
+          (* 2. loop-ahead prefetch of the next iteration's element,
+             placed as early as the address register allows so it overlaps
+             this iteration's (blocking) load *)
+          if !open_loops > 0 && !count < max_per_block then begin
+            match chain_stride 0 base with
+            | Some stride
+              when stride <> 0 && not (Hashtbl.mem seen (base, off + stride)) ->
+              Hashtbl.replace seen (base, off + stride) ();
+              incr count;
+              inserts := (dp, Ir.Ipref (base, off + stride)) :: !inserts
+            | _ -> ()
+          end
+        | _ -> ())
+      arr;
+    let by_pos = Hashtbl.create 8 in
+    List.iter
+      (fun (p, ins) ->
+        let cur = try Hashtbl.find by_pos p with Not_found -> [] in
+        Hashtbl.replace by_pos p (ins :: cur))
+      !inserts;
+    for j = 0 to m do
+      (match Hashtbl.find_opt by_pos j with
+      | Some prefs -> List.iter (fun p -> result := p :: !result) prefs
+      | None -> ());
+      if j < m then begin
+        let _, ins = arr.(j) in
+        result := ins :: !result
+      end
+    done
+  in
+  let cur = ref [] in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Ir.Ilabel l ->
+        flush_block (List.rev !cur);
+        cur := [];
+        result := ins :: !result;
+        if Hashtbl.mem loop_heads l then incr open_loops
+      | Ir.Ijmp l | Ir.Icjump (_, _, _, l) ->
+        cur := (i, ins) :: !cur;
+        flush_block (List.rev !cur);
+        cur := [];
+        (match Hashtbl.find_opt label_pos l with
+        | Some p when p < i && Hashtbl.mem loop_heads l && !open_loops > 0 ->
+          decr open_loops
+        | _ -> ())
+      | Ir.Iret _ ->
+        cur := (i, ins) :: !cur;
+        flush_block (List.rev !cur);
+        cur := []
+      | _ -> cur := (i, ins) :: !cur)
+    body;
+  flush_block (List.rev !cur);
+  fn.Ir.body <- List.rev !result

@@ -1,0 +1,17 @@
+(** Compiler prefetching into the TCU prefetch buffers (§IV-C, ref [8]).
+
+    The XMT shared L1 is ~tens of cycles away; TCUs block on loads.  The
+    pass hoists a [pref off(base)] as early as possible within the basic
+    block for each shared-memory load, so the round trip overlaps the
+    intervening computation instead of stalling the TCU at the [lw].
+
+    Mechanics: within each basic block of a parallel region, a load's
+    prefetch is inserted immediately after the instruction that defines its
+    base register (or at block entry when the base is live-in), provided at
+    least [min_gap] instructions separate that point from the load.  The
+    number of prefetches outstanding per block is capped by
+    [max_per_block], modelling a small prefetch buffer (the resource-aware
+    aspect of [8]).  Frame-pointer loads (serial stack traffic) are never
+    prefetched. *)
+
+val run : ?min_gap:int -> ?max_per_block:int -> Ir.func -> unit

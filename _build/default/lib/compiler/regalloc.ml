@@ -1,0 +1,379 @@
+exception Spill_error of string
+
+type loc = Lreg of int | Lspill of int
+
+type result = {
+  spill_words : int;
+  used_callee_int : int list;
+  used_callee_flt : int list;
+  param_locs_int : loc option list;
+  param_locs_flt : loc option list;
+}
+
+(* Machine register pools. *)
+let int_caller = [ 8; 9; 10; 11; 12; 13; 14; 15; 24; 25; 3 ] (* $t0-$t9, $v1 *)
+let int_callee = [ 16; 17; 18; 19; 20; 21; 22; 23 ] (* $s0-$s7 *)
+let flt_caller = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+let flt_callee = [ 20; 21; 22; 23; 24; 25; 26; 27; 28; 29; 30; 31 ]
+let int_scratch0 = 26 (* $k0 *)
+let int_scratch1 = 27 (* $k1 *)
+let flt_scratch0 = 16
+let flt_scratch1 = 17
+
+type interval = {
+  vreg : int;
+  mutable start : int;
+  mutable stop : int;
+  mutable crosses_call : bool;
+  mutable in_parallel : bool;
+  is_float : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let build_intervals (fn : Ir.func) =
+  let cfg = Cfg.build fn in
+  let instrs, outs, fouts = Cfg.instr_liveness cfg in
+  let n = Array.length instrs in
+  let itab : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let ftab : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  let touch tab is_float r i =
+    if is_float || (r <> Ir.vreg_sp && r <> Ir.vreg_fp) then begin
+      let iv =
+        match Hashtbl.find_opt tab r with
+        | Some iv -> iv
+        | None ->
+          let iv =
+            { vreg = r; start = i; stop = i; crosses_call = false;
+              in_parallel = false; is_float }
+          in
+          Hashtbl.replace tab r iv;
+          iv
+      in
+      if i < iv.start then iv.start <- i;
+      if i > iv.stop then iv.stop <- i
+    end
+  in
+  let par = ref false in
+  Array.iteri
+    (fun i ins ->
+      (match ins with
+      | Ir.Ispawn _ -> par := true
+      | Ir.Ijoin -> par := false
+      | _ -> ());
+      let ds, us, fds, fus = Ir.defs_uses ins in
+      List.iter (fun r -> touch itab false r i) (ds @ us);
+      List.iter (fun r -> touch ftab true r i) (fds @ fus);
+      Cfg.VSet.iter (fun r -> touch itab false r i) outs.(i);
+      Cfg.VSet.iter (fun r -> touch ftab true r i) fouts.(i);
+      if !par then begin
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt itab r with
+            | Some iv -> iv.in_parallel <- true
+            | None -> ())
+          (ds @ us);
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt ftab r with
+            | Some iv -> iv.in_parallel <- true
+            | None -> ())
+          (fds @ fus);
+        Cfg.VSet.iter
+          (fun r -> match Hashtbl.find_opt itab r with
+            | Some iv -> iv.in_parallel <- true | None -> ())
+          outs.(i);
+        Cfg.VSet.iter
+          (fun r -> match Hashtbl.find_opt ftab r with
+            | Some iv -> iv.in_parallel <- true | None -> ())
+          fouts.(i)
+      end;
+      match ins with
+      | Ir.Icall _ ->
+        Cfg.VSet.iter
+          (fun r ->
+            match Hashtbl.find_opt itab r with
+            | Some iv -> iv.crosses_call <- true
+            | None -> ())
+          outs.(i);
+        Cfg.VSet.iter
+          (fun r ->
+            match Hashtbl.find_opt ftab r with
+            | Some iv -> iv.crosses_call <- true
+            | None -> ())
+          fouts.(i)
+      | _ -> ())
+    instrs;
+  (* parameters are defined at entry *)
+  List.iter
+    (fun p -> match Hashtbl.find_opt itab p with Some iv -> iv.start <- 0 | None -> ())
+    fn.params_int;
+  List.iter
+    (fun p -> match Hashtbl.find_opt ftab p with Some iv -> iv.start <- 0 | None -> ())
+    fn.params_flt;
+  ignore n;
+  (itab, ftab)
+
+(* ------------------------------------------------------------------ *)
+(* Linear scan over one register class. *)
+
+let scan fn_name intervals ~caller ~callee ~next_spill =
+  let assignment : (int, loc) Hashtbl.t = Hashtbl.create 64 in
+  let used_callee = ref [] in
+  let free_caller = ref caller and free_callee = ref callee in
+  let active : interval list ref = ref [] in
+  (* active sorted by stop ascending *)
+  let release iv =
+    match Hashtbl.find_opt assignment iv.vreg with
+    | Some (Lreg r) ->
+      if List.mem r caller then free_caller := r :: !free_caller
+      else if List.mem r callee then free_callee := r :: !free_callee
+    | Some (Lspill _) | None -> ()
+  in
+  let expire t =
+    let still, gone = List.partition (fun iv -> iv.stop >= t) !active in
+    List.iter release gone;
+    active := still
+  in
+  let take_callee () =
+    match !free_callee with
+    | r :: rest ->
+      free_callee := rest;
+      if not (List.mem r !used_callee) then used_callee := r :: !used_callee;
+      Some r
+    | [] -> None
+  in
+  let take_caller () =
+    match !free_caller with
+    | r :: rest ->
+      free_caller := rest;
+      Some r
+    | [] -> None
+  in
+  let spill_one iv =
+    if iv.in_parallel then
+      raise
+        (Spill_error
+           (Printf.sprintf
+              "register spill in parallel code of function %s (virtual threads \
+               have no stack; simplify the spawn block or raise clustering)"
+              fn_name));
+    let slot = !next_spill in
+    incr next_spill;
+    Hashtbl.replace assignment iv.vreg (Lspill slot)
+  in
+  let sorted = List.sort (fun a b -> compare a.start b.start) intervals in
+  List.iter
+    (fun iv ->
+      expire iv.start;
+      let reg =
+        if iv.crosses_call then take_callee ()
+        else
+          match take_caller () with Some r -> Some r | None -> take_callee ()
+      in
+      match reg with
+      | Some r ->
+        Hashtbl.replace assignment iv.vreg (Lreg r);
+        active := List.sort (fun a b -> compare a.stop b.stop) (iv :: !active)
+      | None -> (
+        (* spill the interval with the furthest end among candidates that
+           could free a usable register *)
+        let usable cand =
+          match Hashtbl.find_opt assignment cand.vreg with
+          | Some (Lreg r) ->
+            if iv.crosses_call then List.mem r callee
+            else List.mem r caller || List.mem r callee
+          | Some (Lspill _) | None -> false
+        in
+        let candidates = List.filter usable !active in
+        match List.rev candidates with
+        | victim :: _ when victim.stop > iv.stop ->
+          (* steal victim's register *)
+          let r =
+            match Hashtbl.find assignment victim.vreg with
+            | Lreg r -> r
+            | Lspill _ -> assert false
+          in
+          spill_one victim;
+          active := List.filter (fun x -> x.vreg <> victim.vreg) !active;
+          Hashtbl.replace assignment iv.vreg (Lreg r);
+          active := List.sort (fun a b -> compare a.stop b.stop) (iv :: !active)
+        | _ -> spill_one iv))
+    sorted;
+  (assignment, List.sort compare !used_callee)
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting the body with machine registers and spill code. *)
+
+(* NOTE: rewrite emits machine-level instructions, so the frame pointer
+   must be the machine register $fp (30), not the pre-allocation pseudo
+   Ir.vreg_fp. *)
+let mach_fp = 30
+
+let rewrite (fn : Ir.func) iassign fassign =
+  let lookup_int v =
+    if v = Ir.vreg_sp then Lreg 29
+    else if v = Ir.vreg_fp then Lreg 30
+    else
+      match Hashtbl.find_opt iassign v with
+      | Some l -> l
+      | None -> Lreg int_scratch0 (* dead vreg: any scratch *)
+  in
+  let lookup_flt v =
+    match Hashtbl.find_opt fassign v with
+    | Some l -> l
+    | None -> Lreg flt_scratch0
+  in
+  let spill_off slot = -(Ir.frame_reserve_bytes + 4 + (4 * (fn.local_words + slot))) in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let map_instr ins =
+    let ds, us, fds, fus = Ir.defs_uses ins in
+    (* scratch assignment for spilled vregs in this instruction *)
+    let imap = Hashtbl.create 4 and fmap = Hashtbl.create 4 in
+    let pre = ref [] and post = ref [] in
+    let next_int = ref [ int_scratch0; int_scratch1 ] in
+    let next_flt = ref [ flt_scratch0; flt_scratch1 ] in
+    let scratch_int v slot ~load =
+      match Hashtbl.find_opt imap v with
+      | Some s -> s
+      | None ->
+        let s = match !next_int with
+          | s :: rest -> next_int := rest; s
+          | [] ->
+            (* def-only operand: safe to reuse scratch0, which is read
+               before the instruction writes its destination *)
+            if load then failwith "out of integer spill scratch registers"
+            else int_scratch0
+        in
+        Hashtbl.replace imap v s;
+        if load then pre := Ir.Ild (Ir.Ld_normal, s, mach_fp, spill_off slot) :: !pre;
+        s
+    in
+    let scratch_flt v slot ~load =
+      match Hashtbl.find_opt fmap v with
+      | Some s -> s
+      | None ->
+        let s = match !next_flt with
+          | s :: rest -> next_flt := rest; s
+          | [] ->
+            if load then failwith "out of float spill scratch registers"
+            else flt_scratch0
+        in
+        Hashtbl.replace fmap v s;
+        if load then pre := Ir.Ifld (s, mach_fp, spill_off slot) :: !pre;
+        s
+    in
+    let mi v =
+      match lookup_int v with
+      | Lreg r -> r
+      | Lspill slot ->
+        let is_use = List.mem v us in
+        let s = scratch_int v slot ~load:is_use in
+        if List.mem v ds then
+          post := Ir.Ist (Ir.St_blocking, s, mach_fp, spill_off slot) :: !post;
+        s
+    in
+    let mf v =
+      match lookup_flt v with
+      | Lreg r -> r
+      | Lspill slot ->
+        let is_use = List.mem v fus in
+        let s = scratch_flt v slot ~load:is_use in
+        if List.mem v fds then post := Ir.Ifst (s, mach_fp, spill_off slot) :: !post;
+        s
+    in
+    let mo = function Ir.Oreg r -> Ir.Oreg (mi r) | Ir.Oimm k -> Ir.Oimm k in
+    let ins' =
+      match ins with
+      | Ir.Ilabel _ | Ir.Ijmp _ | Ir.Ijoin | Ir.Ifence -> ins
+      | Ir.Imov (d, s) -> let s = mo s in Ir.Imov (mi d, s)
+      | Ir.Ibin (op, d, a, b) ->
+        let a = mo a and b = mo b in
+        Ir.Ibin (op, mi d, a, b)
+      | Ir.Iset (r, d, a, b) ->
+        let a = mo a and b = mo b in
+        Ir.Iset (r, mi d, a, b)
+      | Ir.Ifbin (op, d, a, b) ->
+        let a = mf a and b = mf b in
+        Ir.Ifbin (op, mf d, a, b)
+      | Ir.Ifun (op, d, a) -> let a = mf a in Ir.Ifun (op, mf d, a)
+      | Ir.Ifli (d, x) -> Ir.Ifli (mf d, x)
+      | Ir.Ifcmp (r, d, a, b) ->
+        let a = mf a and b = mf b in
+        Ir.Ifcmp (r, mi d, a, b)
+      | Ir.Icvt_i2f (d, s) -> let s = mo s in Ir.Icvt_i2f (mf d, s)
+      | Ir.Icvt_f2i (d, s) -> let s = mf s in Ir.Icvt_f2i (mi d, s)
+      | Ir.Ila (d, l) -> Ir.Ila (mi d, l)
+      | Ir.Ild (m, d, b, off) -> let b = mi b in Ir.Ild (m, mi d, b, off)
+      | Ir.Ist (m, s, b, off) -> Ir.Ist (m, mi s, mi b, off)
+      | Ir.Ifld (d, b, off) -> let b = mi b in Ir.Ifld (mf d, b, off)
+      | Ir.Ifst (s, b, off) -> Ir.Ifst (mf s, mi b, off)
+      | Ir.Ipref (b, off) -> Ir.Ipref (mi b, off)
+      | Ir.Icall (dst, name, args) ->
+        let args =
+          List.map
+            (function
+              | Ir.Aint op -> Ir.Aint (mo op)
+              | Ir.Aflt r -> Ir.Aflt (mf r))
+            args
+        in
+        let dst =
+          match dst with
+          | Ir.Dint d -> Ir.Dint (mi d)
+          | Ir.Dflt d -> Ir.Dflt (mf d)
+          | Ir.Dnone -> Ir.Dnone
+        in
+        Ir.Icall (dst, name, args)
+      | Ir.Icjump (r, a, b, l) ->
+        let a = mo a and b = mo b in
+        Ir.Icjump (r, a, b, l)
+      | Ir.Iret (Some (Ir.Aint op)) -> Ir.Iret (Some (Ir.Aint (mo op)))
+      | Ir.Iret (Some (Ir.Aflt r)) -> Ir.Iret (Some (Ir.Aflt (mf r)))
+      | Ir.Iret None -> ins
+      | Ir.Ispawn (a, b) ->
+        let a = mo a and b = mo b in
+        Ir.Ispawn (a, b)
+      | Ir.Ips (r, g) -> Ir.Ips (mi r, g)
+      | Ir.Ipsm (r, b, off) ->
+        let b = mi b in
+        Ir.Ipsm (mi r, b, off)
+      | Ir.Ichkid r -> Ir.Ichkid (mi r)
+      | Ir.Imfg (d, g) -> Ir.Imfg (mi d, g)
+      | Ir.Imtg (g, s) -> Ir.Imtg (g, mo s)
+      | Ir.Isys (op, Ir.Aint a) -> Ir.Isys (op, Ir.Aint (mo a))
+      | Ir.Isys (op, Ir.Aflt r) -> Ir.Isys (op, Ir.Aflt (mf r))
+    in
+    List.iter emit (List.rev !pre);
+    emit ins';
+    List.iter emit (List.rev !post)
+  in
+  List.iter map_instr fn.body;
+  fn.body <- List.rev !out
+
+(* ------------------------------------------------------------------ *)
+
+let run (fn : Ir.func) : result =
+  let itab, ftab = build_intervals fn in
+  let ivals = Hashtbl.fold (fun _ iv acc -> iv :: acc) itab [] in
+  let fvals = Hashtbl.fold (fun _ iv acc -> iv :: acc) ftab [] in
+  let next_spill = ref 0 in
+  let iassign, used_i =
+    scan fn.name ivals ~caller:int_caller ~callee:int_callee ~next_spill
+  in
+  let fassign, used_f =
+    scan fn.name fvals ~caller:flt_caller ~callee:flt_callee ~next_spill
+  in
+  let param_loc tab assign p =
+    if Hashtbl.mem tab p then Hashtbl.find_opt assign p else None
+  in
+  let param_locs_int = List.map (param_loc itab iassign) fn.params_int in
+  let param_locs_flt = List.map (param_loc ftab fassign) fn.params_flt in
+  rewrite fn iassign fassign;
+  {
+    spill_words = !next_spill;
+    used_callee_int = used_i;
+    used_callee_flt = used_f;
+    param_locs_int;
+    param_locs_flt;
+  }

@@ -1,0 +1,30 @@
+(** Linear-scan register allocation.
+
+    Serial code may spill to the Master TCU's stack; code inside a parallel
+    region may not — virtual threads can only use registers or global
+    memory for intermediate results, so the allocator "checks if the
+    available registers suffice and produces a register spill error
+    otherwise" (paper §IV-D).
+
+    Values live across a call are placed in callee-saved registers ($s*,
+    $f20-$f31) or spilled; argument/return registers are never allocated,
+    so calling-convention moves in the prologue and at call sites cannot
+    clash with allocated values. *)
+
+exception Spill_error of string
+(** raised when a value inside a spawn block cannot be kept in registers *)
+
+type loc = Lreg of int | Lspill of int  (** machine register | frame slot *)
+
+type result = {
+  spill_words : int;  (** frame words used for spills (after locals) *)
+  used_callee_int : int list;  (** callee-saved integer registers written *)
+  used_callee_flt : int list;
+  param_locs_int : loc option list;  (** location of each integer parameter *)
+  param_locs_flt : loc option list;  (** location of each float parameter *)
+}
+
+(** Allocate and rewrite [fn.body] in place: virtual register numbers are
+    replaced by machine register numbers, and spill loads/stores through
+    the $k0/$k1 ($f16-$f18) scratch registers are inserted. *)
+val run : Ir.func -> result

@@ -1,0 +1,1 @@
+lib/core/toolchain.ml: Array Compiler Isa Xmtsim

@@ -1,0 +1,1 @@
+lib/core/toolchain.mli: Compiler Isa Xmtsim

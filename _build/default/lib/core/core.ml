@@ -1,0 +1,9 @@
+(** The toolchain facade: the paper's programmer workflow (XMTC source ->
+    compiler -> simulator) in one library, plus the kernels, workload
+    generators and host references used by the examples, tests and the
+    evaluation harness. *)
+
+module Toolchain = Toolchain
+module Kernels = Kernels
+module Workloads = Workloads
+module Reference = Reference

@@ -1,0 +1,781 @@
+(** XMTC sources for the standard kernels used throughout the tests,
+    examples and benchmarks.  Array sizes are compile-time constants in
+    XMTC, so each kernel is a template instantiated with its problem size;
+    input data arrives through the memory map (§III-A). *)
+
+let spf = Printf.sprintf
+
+(** Fig. 2a — array compaction: copy the non-zero elements of [A] into
+    [B]; order not necessarily preserved. *)
+let compaction ~n =
+  spf
+    {|
+int A[%d];
+int B[%d];
+int base = 0;
+
+int main(void) {
+  spawn(0, %d) {
+    int inc = 1;
+    if (A[$] != 0) {
+      ps(inc, base);
+      B[inc] = A[$];
+    }
+  }
+  print_int(base);
+  return 0;
+}
+|}
+    n n (n - 1)
+
+(** Sum of an array through [psm] on a single memory word (exhibits cache
+    module queueing on a hotspot). *)
+let reduce_psm ~n =
+  spf
+    {|
+int A[%d];
+int total = 0;
+
+int main(void) {
+  spawn(0, %d) {
+    int v = A[$];
+    psm(v, total);
+  }
+  print_int(total);
+  return 0;
+}
+|}
+    n (n - 1)
+
+(** Logarithmic PRAM-style tree reduction: log n rounds of pairwise adds. *)
+let reduce_tree ~n =
+  spf
+    {|
+int A[%d];
+
+int main(void) {
+  int s = 1;
+  while (s < %d) {
+    int stride = s * 2;
+    int pairs = %d / stride;
+    spawn(0, pairs - 1) {
+      int i = $ * stride;
+      A[i] = A[i] + A[i + s];
+    }
+    s = stride;
+  }
+  print_int(A[0]);
+  return 0;
+}
+|}
+    n n n
+
+(** Parallel vector add C = A + B. *)
+let vecadd ~n =
+  spf
+    {|
+int A[%d];
+int B[%d];
+int C[%d];
+
+int main(void) {
+  spawn(0, %d) {
+    C[$] = A[$] + B[$];
+  }
+  return 0;
+}
+|}
+    n n n (n - 1)
+
+(** Level-synchronized PRAM BFS over a CSR graph (§II-B: the workload of
+    the UIUC/UMD teaching experiment and the GPU comparisons).  The
+    benign-race enqueue pattern can insert duplicates; distances are
+    nevertheless exact.  Prints the number of reached vertices and the sum
+    of distances. *)
+let bfs ~n ~m ~src =
+  spf
+    {|
+int row[%d];
+int col[%d];
+int dist[%d];
+int frontier[%d];
+int next[%d];
+int nsize = 0;
+int reached = 0;
+int sum = 0;
+
+int main(void) {
+  int fsize;
+  int level = 1;
+  spawn(0, %d) {
+    dist[$] = -1;
+  }
+  dist[%d] = 0;
+  frontier[0] = %d;
+  fsize = 1;
+  while (fsize > 0) {
+    nsize = 0;
+    spawn(0, fsize - 1) {
+      int u = frontier[$];
+      int i;
+      for (i = row[u]; i < row[u + 1]; i++) {
+        int v = col[i];
+        if (dist[v] == -1) {
+          int slot = 1;
+          dist[v] = level;
+          ps(slot, nsize);
+          next[slot] = v;
+        }
+      }
+    }
+    fsize = nsize;
+    if (fsize > 0) {
+      spawn(0, fsize - 1) {
+        frontier[$] = next[$];
+      }
+    }
+    level = level + 1;
+  }
+  reached = 0;
+  sum = 0;
+  spawn(0, %d) {
+    int d = dist[$];
+    if (d >= 0) {
+      int one = 1;
+      ps(one, reached);
+      psm(d, sum);
+    }
+  }
+  print_int(reached);
+  print_string(" ");
+  print_int(sum);
+  return 0;
+}
+|}
+    (n + 1) (max 1 m) n n n (n - 1) src src (n - 1)
+
+(** Connected components by label propagation over an edge list (§II-B
+    graph connectivity).  Converges because labels only decrease. *)
+let connectivity ~n ~m =
+  spf
+    {|
+int esrc[%d];
+int edst[%d];
+int label[%d];
+int changed = 0;
+
+int main(void) {
+  spawn(0, %d) {
+    label[$] = $;
+  }
+  changed = 1;
+  while (changed != 0) {
+    changed = 0;
+    spawn(0, %d) {
+      int u = esrc[$];
+      int v = edst[$];
+      int lu = label[u];
+      int lv = label[v];
+      if (lu < lv) {
+        int one = 1;
+        label[v] = lu;
+        psm(one, changed);
+      } else if (lv < lu) {
+        int one = 1;
+        label[u] = lv;
+        psm(one, changed);
+      }
+    }
+  }
+  {
+    int roots = 0;
+    int i;
+    for (i = 0; i < %d; i++) {
+      if (label[i] == i) roots = roots + 1;
+    }
+    print_int(roots);
+  }
+  return 0;
+}
+|}
+    (max 1 m) (max 1 m) n (n - 1) (max 1 m - 1) n
+
+(** Dense float matrix multiply C = A*B (n x n), one virtual thread per
+    row — exercises the shared FPUs and float loads/stores. *)
+let matmul ~n =
+  spf
+    {|
+float A[%d];
+float B[%d];
+float C[%d];
+
+int main(void) {
+  spawn(0, %d) {
+    int i = $;
+    int j;
+    for (j = 0; j < %d; j++) {
+      float acc = 0.0;
+      int k;
+      for (k = 0; k < %d; k++) {
+        acc = acc + A[i * %d + k] * B[k * %d + j];
+      }
+      C[i * %d + j] = acc;
+    }
+  }
+  print_float(C[0]);
+  return 0;
+}
+|}
+    (n * n) (n * n) (n * n) (n - 1) n n n n n
+
+(** Sparse matrix-vector product y = M x over CSR — irregular memory
+    pattern, the prefetch showcase of §IV-C. *)
+let spmv ~n ~nnz =
+  spf
+    {|
+int row[%d];
+int col[%d];
+float nzv[%d];
+float x[%d];
+float y[%d];
+
+int main(void) {
+  spawn(0, %d) {
+    int i = $;
+    float acc = 0.0;
+    int k;
+    for (k = row[i]; k < row[i + 1]; k++) {
+      acc = acc + nzv[k] * x[col[k]];
+    }
+    y[i] = acc;
+  }
+  print_float(y[0]);
+  return 0;
+}
+|}
+    (n + 1) (max 1 nnz) (max 1 nnz) n n (n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Table I microbenchmark groups: {serial,parallel} x {memory,compute}. *)
+
+(** Parallel, memory intensive: strided gather/scatter across the shared
+    cache modules. *)
+let par_mem ~threads ~iters ~n =
+  spf
+    {|
+int A[%d];
+int B[%d];
+
+int main(void) {
+  spawn(0, %d) {
+    int k;
+    int idx = $;
+    for (k = 0; k < %d; k++) {
+      B[idx] = A[idx] + 1;
+      idx = idx + %d;
+      if (idx >= %d) idx = idx - %d;
+    }
+  }
+  return 0;
+}
+|}
+    n n (threads - 1) iters 97 n n
+
+(** Parallel, computation intensive: per-thread integer recurrence. *)
+let par_comp ~threads ~iters =
+  spf
+    {|
+int B[%d];
+
+int main(void) {
+  spawn(0, %d) {
+    int x = $ + 1;
+    int k;
+    for (k = 0; k < %d; k++) {
+      x = x * 3 + 1;
+      x = x & 65535;
+      x = x ^ (x >> 3);
+    }
+    B[$] = x;
+  }
+  return 0;
+}
+|}
+    threads (threads - 1) iters
+
+(** Serial, memory intensive: master sweeps a large array. *)
+let ser_mem ~iters ~n =
+  spf
+    {|
+int A[%d];
+int B[%d];
+
+int main(void) {
+  int k;
+  int idx = 0;
+  for (k = 0; k < %d; k++) {
+    B[idx] = A[idx] + 1;
+    idx = idx + 97;
+    if (idx >= %d) idx = idx - %d;
+  }
+  return 0;
+}
+|}
+    n n iters n n
+
+(** Serial, computation intensive. *)
+let ser_comp ~iters =
+  spf
+    {|
+int out = 0;
+
+int main(void) {
+  int x = 1;
+  int k;
+  for (k = 0; k < %d; k++) {
+    x = x * 3 + 1;
+    x = x & 65535;
+    x = x ^ (x >> 3);
+  }
+  out = x;
+  print_int(x);
+  return 0;
+}
+|}
+    iters
+
+(** The Fig. 6 litmus test (memory-model demonstrator, §IV-A).
+
+    On a 64-TCU configuration: virtual thread 0 (left subtree of the
+    mesh-of-trees) stores x then y with non-blocking stores; the reader
+    thread [threads/2] (right subtree) spins [delay] iterations, then
+    reads y and x.  Threads 8..threads/2-1 hammer x's cache line, piling
+    merge contention onto the writer's path to x's module while leaving
+    y's path and the reader's subtree clear.  Sweeping [delay] and the
+    arbitration seed exposes every outcome the relaxed model allows —
+    including (rx,ry) = (0,1).  Prints "rx ry". *)
+let fig6_litmus ?(writer_delay = 120) ~threads ~hammer_iters ~delay () =
+  let reader = threads / 2 in
+  spf
+    {|
+int x = 0;
+int padA[1024];
+int y = 0;
+int padB[1024];
+int rx = 0;
+int ry = 0;
+
+int main(void) {
+  spawn(0, %d) {
+    if ($ == 0) {
+      int w = 1;
+      int k;
+      for (k = 0; k < %d; k++) w = (w * 3 + 1) & 1023;
+      if (w >= 0) {
+        x = 1;
+        y = 1;
+      }
+    } else if ($ == %d) {
+      int w = 1;
+      int k;
+      for (k = 0; k < %d; k++) w = (w * 3 + 1) & 1023;
+      if (w >= 0) {
+        ry = y;
+        rx = x;
+      }
+    } else if ($ >= 8 && $ < %d) {
+      int k;
+      for (k = 0; k < %d; k++) {
+        padA[k & 1] = k;
+      }
+    }
+  }
+  print_int(rx);
+  print_string(" ");
+  print_int(ry);
+  return 0;
+}
+|}
+    (threads - 1) writer_delay reader delay reader hammer_iters
+
+(** The Fig. 7 program: same stage as {!fig6_litmus}, but both threads
+    synchronize (loosely) over [y] with psm.  The compiler-inserted fence
+    before each prefix-sum enforces "if ry >= 1 then rx = 1"; compile with
+    [fences = false] to watch the (0,1) violation reappear.
+    Prints "rx ry". *)
+let fig7_litmus ?(writer_delay = 120) ~threads ~hammer_iters ~delay () =
+  let reader = threads / 2 in
+  spf
+    {|
+int x = 0;
+int padA[1024];
+int y = 0;
+int padB[1024];
+int rx = 0;
+int ry = 0;
+
+int main(void) {
+  spawn(0, %d) {
+    if ($ == 0) {
+      int w = 1;
+      int k;
+      int tmpA = 1;
+      for (k = 0; k < %d; k++) w = (w * 3 + 1) & 1023;
+      if (w >= 0) {
+        x = 1;
+        psm(tmpA, y);
+      }
+    } else if ($ == %d) {
+      int w = 1;
+      int k;
+      int tmpB = 0;
+      for (k = 0; k < %d; k++) w = (w * 3 + 1) & 1023;
+      if (w >= 0) {
+        psm(tmpB, y);
+        ry = tmpB;
+        rx = x;
+      }
+    } else if ($ >= 8 && $ < %d) {
+      int k;
+      for (k = 0; k < %d; k++) {
+        padA[k & 1] = k;
+      }
+    }
+  }
+  print_int(rx);
+  print_string(" ");
+  print_int(ry);
+  return 0;
+}
+|}
+    (threads - 1) writer_delay reader delay reader hammer_iters
+
+(** Fig. 8 illegal-dataflow witness: [found] is written in the spawn block
+    and read after it; [counter] must be incremented exactly once. *)
+let fig8_found ~n =
+  spf
+    {|
+int A[%d];
+int counter = 0;
+
+int main(void) {
+  int found = 0;
+  spawn(0, %d) {
+    if (A[$] != 0) found = 1;
+  }
+  if (found) counter = counter + 1;
+  print_int(counter);
+  return 0;
+}
+|}
+    n (n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Serial baselines for the speedup experiments (§II-B): the same
+   algorithms written as ordinary serial C, executed by the Master TCU. *)
+
+let compaction_serial ~n =
+  spf
+    {|
+int A[%d];
+int B[%d];
+
+int main(void) {
+  int i;
+  int count = 0;
+  for (i = 0; i < %d; i++) {
+    if (A[i] != 0) {
+      B[count] = A[i];
+      count = count + 1;
+    }
+  }
+  print_int(count);
+  return 0;
+}
+|}
+    n n n
+
+let reduce_serial ~n =
+  spf
+    {|
+int A[%d];
+
+int main(void) {
+  int i;
+  int sum = 0;
+  for (i = 0; i < %d; i++) sum = sum + A[i];
+  print_int(sum);
+  return 0;
+}
+|}
+    n n
+
+let bfs_serial ~n ~m =
+  spf
+    {|
+int row[%d];
+int col[%d];
+int dist[%d];
+int frontier[%d];
+int next[%d];
+
+int main(void) {
+  int fsize = 1;
+  int nsize;
+  int level = 1;
+  int i;
+  int k;
+  for (i = 0; i < %d; i++) dist[i] = -1;
+  dist[0] = 0;
+  frontier[0] = 0;
+  while (fsize > 0) {
+    nsize = 0;
+    for (k = 0; k < fsize; k++) {
+      int u = frontier[k];
+      for (i = row[u]; i < row[u + 1]; i++) {
+        int v = col[i];
+        if (dist[v] == -1) {
+          dist[v] = level;
+          next[nsize] = v;
+          nsize = nsize + 1;
+        }
+      }
+    }
+    for (k = 0; k < nsize; k++) frontier[k] = next[k];
+    fsize = nsize;
+    level = level + 1;
+  }
+  {
+    int reached = 0;
+    int sum = 0;
+    for (i = 0; i < %d; i++) {
+      if (dist[i] >= 0) { reached = reached + 1; sum = sum + dist[i]; }
+    }
+    print_int(reached);
+    print_string(" ");
+    print_int(sum);
+  }
+  return 0;
+}
+|}
+    (n + 1) (max 1 m) n n n n n
+
+let connectivity_serial ~n ~m =
+  spf
+    {|
+int esrc[%d];
+int edst[%d];
+int label[%d];
+
+int main(void) {
+  int i;
+  int changed = 1;
+  for (i = 0; i < %d; i++) label[i] = i;
+  while (changed != 0) {
+    changed = 0;
+    for (i = 0; i < %d; i++) {
+      int u = esrc[i];
+      int v = edst[i];
+      int lu = label[u];
+      int lv = label[v];
+      if (lu < lv) { label[v] = lu; changed = changed + 1; }
+      else if (lv < lu) { label[u] = lv; changed = changed + 1; }
+    }
+  }
+  {
+    int roots = 0;
+    for (i = 0; i < %d; i++) {
+      if (label[i] == i) roots = roots + 1;
+    }
+    print_int(roots);
+  }
+  return 0;
+}
+|}
+    (max 1 m) (max 1 m) n n (max 1 m) n
+
+(** Multi-stream variant of {!par_mem}: each thread walks two arrays with
+    different strides.  With two concurrent prefetch streams per TCU, a
+    one-entry prefetch buffer thrashes while larger buffers (and LRU) keep
+    both streams alive — the buffer design-space study of [8]. *)
+let par_mem2 ~threads ~iters ~n =
+  spf
+    {|
+int A[%d];
+int B[%d];
+int C[%d];
+
+int main(void) {
+  spawn(0, %d) {
+    int k;
+    int ia = $;
+    int ib = $ * 2;
+    int acc = 0;
+    for (k = 0; k < %d; k++) {
+      acc = acc + A[ia] + B[ib];
+      ia = ia + 97;
+      ib = ib + 61;
+      if (ia >= %d) ia = ia - %d;
+      if (ib >= %d) ib = ib - %d;
+    }
+    C[$] = acc;
+  }
+  return 0;
+}
+|}
+    n n threads (threads - 1) iters n n n n
+
+(** Shared lookup-table kernel: every thread translates its element
+    through a small constant table.  With [use_ro] the table reads go
+    through the per-cluster read-only cache (the explicit [ro()] loads of
+    §IV-C); without it every lookup is a shared-cache round trip. *)
+let table_lookup ~n ~iters ~use_ro =
+  let access = if use_ro then "ro(table[v & 255])" else "table[v & 255]" in
+  spf
+    {|
+int A[%d];
+int B[%d];
+int table[256];
+
+int main(void) {
+  spawn(0, %d) {
+    int k;
+    int v = A[$];
+    for (k = 0; k < %d; k++) {
+      v = v + %s;
+      v = v & 65535;
+    }
+    B[$] = v;
+  }
+  return 0;
+}
+|}
+    n n (n - 1) iters access
+
+(* ------------------------------------------------------------------ *)
+(* FFT (§II-B, ref [24]: "highly parallel multi-dimensional FFT on fine-
+   and coarse-grained many-core approaches").  Iterative radix-2,
+   decimation in time; twiddle factors arrive precomputed through the
+   memory map (the ISA has no sin/cos).  [n] must be a power of two. *)
+
+let fft ~n =
+  let logn =
+    let rec go k acc = if k <= 1 then acc else go (k / 2) (acc + 1) in
+    go n 0
+  in
+  spf
+    {|
+float re[%d];
+float im[%d];
+float wr[%d];
+float wi[%d];
+float tre[%d];
+float tim[%d];
+
+int main(void) {
+  int s;
+  int m;
+  int half;
+  spawn(0, %d) {
+    int v = $;
+    int j = 0;
+    int b;
+    for (b = 0; b < %d; b++) {
+      j = (j << 1) | (v & 1);
+      v = v >> 1;
+    }
+    tre[j] = re[$];
+    tim[j] = im[$];
+  }
+  spawn(0, %d) {
+    re[$] = tre[$];
+    im[$] = tim[$];
+  }
+  for (s = 1; s <= %d; s++) {
+    m = 1 << s;
+    half = m >> 1;
+    spawn(0, %d) {
+      int group = $ / half;
+      int pos = $ - group * half;
+      int i = group * m + pos;
+      int j = i + half;
+      int tw = pos * (%d / m);
+      float wre = wr[tw];
+      float wim = wi[tw];
+      float xre = wre * re[j] - wim * im[j];
+      float xim = wre * im[j] + wim * re[j];
+      re[j] = re[i] - xre;
+      im[j] = im[i] - xim;
+      re[i] = re[i] + xre;
+      im[i] = im[i] + xim;
+    }
+  }
+  print_float(re[0]);
+  print_string(" ");
+  print_float(im[0]);
+  return 0;
+}
+|}
+    n n (n / 2) (n / 2) n n (n - 1) logn (n - 1) logn ((n / 2) - 1) n
+
+(** Serial FFT baseline for the speedup comparison. *)
+let fft_serial ~n =
+  let logn =
+    let rec go k acc = if k <= 1 then acc else go (k / 2) (acc + 1) in
+    go n 0
+  in
+  spf
+    {|
+float re[%d];
+float im[%d];
+float wr[%d];
+float wi[%d];
+float tre[%d];
+float tim[%d];
+
+int main(void) {
+  int s;
+  int m;
+  int half;
+  int k;
+  for (k = 0; k < %d; k++) {
+    int v = k;
+    int j = 0;
+    int b;
+    for (b = 0; b < %d; b++) {
+      j = (j << 1) | (v & 1);
+      v = v >> 1;
+    }
+    tre[j] = re[k];
+    tim[j] = im[k];
+  }
+  for (k = 0; k < %d; k++) {
+    re[k] = tre[k];
+    im[k] = tim[k];
+  }
+  for (s = 1; s <= %d; s++) {
+    m = 1 << s;
+    half = m >> 1;
+    for (k = 0; k < %d; k++) {
+      int group = k / half;
+      int pos = k - group * half;
+      int i = group * m + pos;
+      int j = i + half;
+      int tw = pos * (%d / m);
+      float wre = wr[tw];
+      float wim = wi[tw];
+      float xre = wre * re[j] - wim * im[j];
+      float xim = wre * im[j] + wim * re[j];
+      re[j] = re[i] - xre;
+      im[j] = im[i] - xim;
+      re[i] = re[i] + xre;
+      im[i] = im[i] + xim;
+    }
+  }
+  print_float(re[0]);
+  print_string(" ");
+  print_float(im[0]);
+  return 0;
+}
+|}
+    n n (n / 2) (n / 2) n n n logn n logn (n / 2) n

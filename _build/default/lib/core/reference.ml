@@ -1,0 +1,120 @@
+(** Host-side (OCaml) reference implementations used to validate the
+    XMTC kernels' results in tests and benchmarks. *)
+
+let count_nonzero a = Array.fold_left (fun acc x -> if x <> 0 then acc + 1 else acc) 0 a
+let sum a = Array.fold_left ( + ) 0 a
+
+(** BFS distances from [src] over a CSR graph; -1 = unreached. *)
+let bfs_dist (g : Workloads.graph) src =
+  let dist = Array.make g.Workloads.n (-1) in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    for i = g.Workloads.row.(u) to g.Workloads.row.(u + 1) - 1 do
+      let v = g.Workloads.col.(i) in
+      if dist.(v) < 0 then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    done
+  done;
+  dist
+
+(** (reached, sum of distances) as the BFS kernel prints them. *)
+let bfs_summary g src =
+  let dist = bfs_dist g src in
+  let reached = Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0 dist in
+  let total = Array.fold_left (fun a d -> if d > 0 then a + d else a) 0 dist in
+  (reached, total)
+
+(** Number of connected components (the kernel prints the number of
+    label-propagation roots, which equals the component count). *)
+let components (g : Workloads.graph) =
+  let parent = Array.init g.Workloads.n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  Array.iter
+    (fun (u, v) ->
+      let ru = find u and rv = find v in
+      if ru <> rv then parent.(max ru rv) <- min ru rv)
+    g.Workloads.edges;
+  let roots = ref 0 in
+  Array.iteri (fun i _ -> if find i = i then incr roots) parent;
+  !roots
+
+let matmul a b n =
+  let c = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (a.((i * n) + k) *. b.((k * n) + j))
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let spmv row col nzv x n =
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for k = row.(i) to row.(i + 1) - 1 do
+        acc := !acc +. (nzv.(k) *. x.(col.(k)))
+      done;
+      !acc)
+
+(** Iterative radix-2 FFT (decimation in time) over (re, im) pairs;
+    the host reference for the {!Kernels.fft} kernels. *)
+let fft re im =
+  let n = Array.length re in
+  let re = Array.copy re and im = Array.copy im in
+  (* bit reversal *)
+  let logn =
+    let rec go k acc = if k <= 1 then acc else go (k / 2) (acc + 1) in
+    go n 0
+  in
+  let bitrev v =
+    let r = ref 0 and v = ref v in
+    for _ = 1 to logn do
+      r := (!r lsl 1) lor (!v land 1);
+      v := !v lsr 1
+    done;
+    !r
+  in
+  let re' = Array.make n 0.0 and im' = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    re'.(bitrev i) <- re.(i);
+    im'.(bitrev i) <- im.(i)
+  done;
+  Array.blit re' 0 re 0 n;
+  Array.blit im' 0 im 0 n;
+  let pi = 4.0 *. atan 1.0 in
+  let s = ref 1 in
+  while !s <= logn do
+    let m = 1 lsl !s in
+    let half = m / 2 in
+    for k = 0 to (n / 2) - 1 do
+      let group = k / half in
+      let pos = k mod half in
+      let i = (group * m) + pos in
+      let j = i + half in
+      let angle = -2.0 *. pi *. float_of_int (pos * (n / m)) /. float_of_int n in
+      let wre = cos angle and wim = sin angle in
+      let xre = (wre *. re.(j)) -. (wim *. im.(j)) in
+      let xim = (wre *. im.(j)) +. (wim *. re.(j)) in
+      re.(j) <- re.(i) -. xre;
+      im.(j) <- im.(i) -. xim;
+      re.(i) <- re.(i) +. xre;
+      im.(i) <- im.(i) +. xim
+    done;
+    incr s
+  done;
+  (re, im)
+
+(** Twiddle factors for {!Kernels.fft}: w\[k\] = e^(-2 pi i k / n). *)
+let fft_twiddles n =
+  let pi = 4.0 *. atan 1.0 in
+  let wr = Array.init (n / 2) (fun k -> cos (-2.0 *. pi *. float_of_int k /. float_of_int n)) in
+  let wi = Array.init (n / 2) (fun k -> sin (-2.0 *. pi *. float_of_int k /. float_of_int n)) in
+  (wr, wi)

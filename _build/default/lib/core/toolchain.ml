@@ -1,0 +1,45 @@
+type compiled = { cc : Compiler.Driver.output; image : Isa.Program.image }
+
+let compile ?options ?memmap src =
+  let cc, image = Compiler.Driver.compile_to_image ?options ?memmap src in
+  { cc; image }
+
+type run = {
+  output : string;
+  cycles : int;
+  instructions : int;
+  stats : Xmtsim.Stats.t;
+}
+
+let run_cycle ?config ?max_cycles compiled =
+  let m = Xmtsim.Machine.create ?config compiled.image in
+  let r = Xmtsim.Machine.run ?max_cycles m in
+  if not r.Xmtsim.Machine.halted then
+    raise (Xmtsim.Machine.Sim_error "cycle budget exhausted before halt");
+  let stats = Xmtsim.Machine.stats m in
+  {
+    output = r.Xmtsim.Machine.output;
+    cycles = r.Xmtsim.Machine.cycles;
+    instructions = Xmtsim.Stats.total_instrs stats;
+    stats;
+  }
+
+let run_functional ?max_instructions compiled =
+  let r = Xmtsim.Functional_mode.run ?max_instructions compiled.image in
+  {
+    output = r.Xmtsim.Functional_mode.output;
+    cycles = 0;
+    instructions = r.Xmtsim.Functional_mode.instructions;
+    stats = r.Xmtsim.Functional_mode.stats;
+  }
+
+let exec ?options ?memmap ?config ?(functional = false) src =
+  let compiled = compile ?options ?memmap src in
+  if functional then run_functional compiled else run_cycle ?config compiled
+
+let machine ?config compiled = Xmtsim.Machine.create ?config compiled.image
+
+let read_global m compiled name len =
+  let addr = Isa.Program.address_of compiled.image name in
+  Array.init len (fun i ->
+      Isa.Value.to_int (Xmtsim.Mem.read (Xmtsim.Machine.mem m) (addr + (4 * i))))

@@ -1,0 +1,45 @@
+(** The programmer's workflow in one call (paper §I): XMTC source ->
+    optimizing compiler -> XMT assembly -> simulation, in either the
+    cycle-accurate or the fast functional mode.
+
+    Global variables are the only program input (no OS, §III-A): pass
+    initial values for named globals through [memmap], exactly like the
+    memory-map files of Fig. 3. *)
+
+type compiled = {
+  cc : Compiler.Driver.output;
+  image : Isa.Program.image;
+}
+
+val compile :
+  ?options:Compiler.Driver.options -> ?memmap:Isa.Memmap.t -> string -> compiled
+
+type run = {
+  output : string;
+  cycles : int;  (** 0 in functional mode *)
+  instructions : int;
+  stats : Xmtsim.Stats.t;
+}
+
+(** Run on the cycle-accurate simulator. *)
+val run_cycle :
+  ?config:Xmtsim.Config.t -> ?max_cycles:int -> compiled -> run
+
+(** Run in the fast functional (serializing) mode. *)
+val run_functional : ?max_instructions:int -> compiled -> run
+
+(** Compile + run in one step. *)
+val exec :
+  ?options:Compiler.Driver.options ->
+  ?memmap:Isa.Memmap.t ->
+  ?config:Xmtsim.Config.t ->
+  ?functional:bool ->
+  string ->
+  run
+
+(** Build the machine without running it (for plug-ins, traces, DVFS). *)
+val machine : ?config:Xmtsim.Config.t -> compiled -> Xmtsim.Machine.t
+
+(** Read back an [int] global after a run needs the image address: this
+    helper reads a global array from a machine's memory. *)
+val read_global : Xmtsim.Machine.t -> compiled -> string -> int -> int array

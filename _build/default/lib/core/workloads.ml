@@ -1,0 +1,118 @@
+(** Workload generators for the examples, tests and benchmarks: seeded
+    random arrays and graphs (CSR and edge-list forms) packaged as
+    memory-map inputs. *)
+
+let rng seed = Desim.Rng.create ~seed
+
+(** Random int array with values in [\[0, bound)]. *)
+let random_array ~seed ~n ~bound =
+  let r = rng seed in
+  Array.init n (fun _ -> Desim.Rng.int r bound)
+
+(** Array with roughly [density] (0..100) percent non-zero entries. *)
+let sparse_array ~seed ~n ~density =
+  let r = rng seed in
+  Array.init n (fun _ ->
+      if Desim.Rng.int r 100 < density then 1 + Desim.Rng.int r 99 else 0)
+
+let random_float_array ~seed ~n =
+  let r = rng seed in
+  Array.init n (fun _ -> Desim.Rng.float r *. 2.0 -. 1.0)
+
+type graph = {
+  n : int;
+  m : int;  (** directed edge count *)
+  row : int array;  (** CSR offsets, length n+1 *)
+  col : int array;  (** CSR targets, length m *)
+  edges : (int * int) array;  (** the undirected edge list (m/2 pairs) *)
+}
+
+(** Random undirected graph: [n] vertices, [edges_per_vertex * n] edges
+    (each stored in both directions in the CSR), plus a Hamiltonian-ish
+    chain over the first [chain] vertices so BFS has depth.  No self
+    loops; parallel edges possible (harmless for BFS/CC). *)
+let random_graph ?(chain = 0) ~seed ~n ~edges_per_vertex () =
+  let r = rng seed in
+  let base_edges =
+    Array.init (n * edges_per_vertex) (fun _ ->
+        let u = Desim.Rng.int r n in
+        let v = (u + 1 + Desim.Rng.int r (max 1 (n - 1))) mod n in
+        (u, v))
+  in
+  let chain_edges =
+    Array.init (max 0 (min chain n - 1)) (fun i -> (i, i + 1))
+  in
+  let edges = Array.append chain_edges base_edges in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + deg.(i)
+  done;
+  let m = row.(n) in
+  let col = Array.make (max 1 m) 0 in
+  let fill = Array.copy row in
+  Array.iter
+    (fun (u, v) ->
+      col.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      col.(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  { n; m; row; col; edges }
+
+(** A graph of [k] disconnected rings of [len] vertices (for CC tests). *)
+let rings ~k ~len =
+  let n = k * len in
+  let edges =
+    Array.concat
+      (List.init k (fun c ->
+           Array.init len (fun i ->
+               let u = (c * len) + i in
+               let v = (c * len) + ((i + 1) mod len) in
+               (u, v))))
+  in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + deg.(i)
+  done;
+  let m = row.(n) in
+  let col = Array.make (max 1 m) 0 in
+  let fill = Array.copy row in
+  Array.iter
+    (fun (u, v) ->
+      col.(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      col.(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  { n; m; row; col; edges }
+
+(** Memory-map bindings for a CSR graph under the names the {!Kernels}
+    BFS template uses. *)
+let graph_memmap g =
+  Isa.Memmap.of_ints [ ("row", g.row); ("col", g.col) ]
+
+(** Memory-map bindings for the edge-list connectivity kernel. *)
+let edgelist_memmap g =
+  let srcs = Array.map fst g.edges and dsts = Array.map snd g.edges in
+  Isa.Memmap.of_ints [ ("esrc", srcs); ("edst", dsts) ]
+
+(** Random sparse matrix in CSR with [nnz_per_row] entries per row. *)
+let random_csr_matrix ~seed ~n ~nnz_per_row =
+  let r = rng seed in
+  let row = Array.init (n + 1) (fun i -> i * nnz_per_row) in
+  let nnz = n * nnz_per_row in
+  let col = Array.init nnz (fun _ -> Desim.Rng.int r n) in
+  let nzv = Array.init nnz (fun _ -> Desim.Rng.float r) in
+  (row, col, nzv)

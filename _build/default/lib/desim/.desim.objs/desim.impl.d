@@ -1,0 +1,1 @@
+lib/desim/desim.ml: Actor Checkpoint Clock Event_heap Port Rng Scheduler

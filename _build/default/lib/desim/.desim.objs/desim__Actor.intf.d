@@ -1,0 +1,1 @@
+lib/desim/actor.mli: Scheduler

@@ -1,0 +1,1 @@
+lib/desim/checkpoint.ml: Fun List Marshal Printf

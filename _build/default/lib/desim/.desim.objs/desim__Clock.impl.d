@@ -1,0 +1,1 @@
+lib/desim/clock.ml: List Scheduler

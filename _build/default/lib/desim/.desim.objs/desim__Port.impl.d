@@ -1,0 +1,1 @@
+lib/desim/port.ml: List Printf Queue

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  sched : Scheduler.t;
+  action : t -> unit;
+  mutable notifications : int;
+}
+
+let create sched ~name action = { name; sched; action; notifications = 0 }
+let name t = t.name
+let scheduler t = t.sched
+
+let notify_in ?prio t ~delay =
+  Scheduler.schedule ?prio t.sched ~delay (fun () ->
+      t.notifications <- t.notifications + 1;
+      t.action t)
+
+let notifications t = t.notifications

@@ -1,0 +1,23 @@
+(** Actors are the building blocks of the DE simulation (paper §III-C):
+    objects that schedule events and are notified through a callback when
+    the time of an event they scheduled arrives.
+
+    A cycle-accurate component may extend an actor, contain several actors,
+    or be part of a {e macro-actor} (see {!Clock}) that iterates over many
+    components per notification — the grouping optimization of §III-D. *)
+
+type t
+
+(** [create sched ~name action] makes an actor whose [action] runs each time
+    one of its events fires.  The action receives the actor itself so it can
+    re-schedule. *)
+val create : Scheduler.t -> name:string -> (t -> unit) -> t
+
+val name : t -> string
+val scheduler : t -> Scheduler.t
+
+(** Schedule a notification for this actor [delay] time units from now. *)
+val notify_in : ?prio:int -> t -> delay:int -> unit
+
+(** Number of times this actor has been notified. *)
+val notifications : t -> int

@@ -1,0 +1,40 @@
+type entry = { name : string; save : unit -> string; load : string -> unit }
+type registry = { mutable entries : entry list (* reversed *) }
+
+let create () = { entries = [] }
+
+let register r ~name ~save ~load =
+  if List.exists (fun e -> e.name = name) r.entries then
+    invalid_arg (Printf.sprintf "Checkpoint.register: duplicate name %S" name);
+  let save () = Marshal.to_string (save ()) [] in
+  let load s = load (Marshal.from_string s 0) in
+  r.entries <- { name; save; load } :: r.entries
+
+type blob = (string * string) list
+
+let save r =
+  List.rev_map (fun e -> (e.name, e.save ())) r.entries
+
+let restore r blob =
+  List.iter
+    (fun e ->
+      match List.assoc_opt e.name blob with
+      | Some s -> e.load s
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Checkpoint.restore: blob lacks state for %S" e.name))
+    r.entries
+
+let to_file blob path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Marshal.to_channel oc blob [])
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> (Marshal.from_channel ic : blob))
+
+let names r = List.rev_map (fun e -> e.name) r.entries

@@ -1,0 +1,29 @@
+(** Simulation checkpoints (paper §III-E).
+
+    Components register a named piece of state with [register]; [save]
+    snapshots every registered piece into a byte blob and [restore] pushes a
+    blob back into the live components.  The state values must be
+    marshallable (no closures); each component keeps its own closures and
+    only round-trips plain data through the registry.
+
+    Blobs can be written to and read from files, so a simulation can be
+    resumed in a later process of the same binary. *)
+
+type registry
+
+val create : unit -> registry
+
+(** [register r ~name ~save ~load] — [name] must be unique in [r]. *)
+val register :
+  registry -> name:string -> save:(unit -> 'a) -> load:('a -> unit) -> unit
+
+type blob
+
+val save : registry -> blob
+val restore : registry -> blob -> unit
+
+val to_file : blob -> string -> unit
+val of_file : string -> blob
+
+(** Names registered, in registration order. *)
+val names : registry -> string list

@@ -1,0 +1,84 @@
+type handler = int -> unit
+
+type t = {
+  name : string;
+  sched : Scheduler.t;
+  mutable period : int;
+  mutable cycles : int;
+  mutable handlers : (int * handler) list; (* (phase, handler), sorted *)
+  mutable enabled : bool;
+  mutable sleeping : bool;
+  mutable started : bool;
+  mutable tick_pending : bool; (* an event for our next tick is in the list *)
+}
+
+let create sched ~name ~period =
+  if period <= 0 then invalid_arg "Clock.create: period must be positive";
+  {
+    name;
+    sched;
+    period;
+    cycles = 0;
+    handlers = [];
+    enabled = true;
+    sleeping = false;
+    started = false;
+    tick_pending = false;
+  }
+
+let name t = t.name
+let period t = t.period
+
+let set_period t p =
+  if p <= 0 then invalid_arg "Clock.set_period: period must be positive";
+  t.period <- p
+
+let cycles t = t.cycles
+
+let on_tick ?(phase = 0) t h =
+  (* Stable insertion keeping phases ascending, registration order within. *)
+  let rec insert = function
+    | [] -> [ (phase, h) ]
+    | (p, _) :: _ as rest when p > phase -> (phase, h) :: rest
+    | x :: rest -> x :: insert rest
+  in
+  t.handlers <- insert t.handlers
+
+let rec schedule_tick t ~at_least =
+  if (not t.tick_pending) && t.enabled && not t.sleeping then begin
+    t.tick_pending <- true;
+    let time = at_least in
+    Scheduler.schedule_at t.sched ~prio:Scheduler.prio_tick ~time (fun () ->
+        t.tick_pending <- false;
+        if t.enabled && not t.sleeping then begin
+          let c = t.cycles in
+          t.cycles <- c + 1;
+          List.iter (fun (_, h) -> h c) t.handlers;
+          schedule_tick t ~at_least:(Scheduler.now t.sched + t.period)
+        end)
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    schedule_tick t ~at_least:(Scheduler.now t.sched)
+  end
+
+let enabled t = t.enabled
+let disable t = t.enabled <- false
+
+let enable t =
+  if not t.enabled then begin
+    t.enabled <- true;
+    if t.started then schedule_tick t ~at_least:(Scheduler.now t.sched + 1)
+  end
+
+let sleep t = t.sleeping <- true
+
+let wake t =
+  if t.sleeping then begin
+    t.sleeping <- false;
+    if t.started then schedule_tick t ~at_least:(Scheduler.now t.sched + 1)
+  end
+
+let sleeping t = t.sleeping

@@ -1,0 +1,47 @@
+(** Clock domains (paper §III-B, §III-D).
+
+    A clock is a self-rescheduling actor that ticks with a mutable period;
+    components register tick handlers on it.  A clock with many handlers is
+    exactly the {e macro-actor} of §III-D: one scheduled event per cycle
+    iterates all grouped components, instead of one event per component.
+
+    Clocks support the runtime-control features the paper exposes through
+    activity plug-ins: the period can be changed on the fly (DVFS, taking
+    effect at the next tick) and the clock can be disabled/enabled (clock
+    gating).  A clock whose handlers all have nothing to do may be put to
+    [sleep] and [wake]d later; it resumes ticking one time unit after the
+    wake. *)
+
+type t
+
+(** Handlers run in ascending phase order within a tick; ties run in
+    registration order.  The handler receives the cycle index of this clock
+    (number of ticks elapsed, counting gated-off ticks never happens). *)
+type handler = int -> unit
+
+val create : Scheduler.t -> name:string -> period:int -> t
+val name : t -> string
+val period : t -> int
+
+(** Change the period; takes effect from the next tick.  Raises
+    [Invalid_argument] if not positive. *)
+val set_period : t -> int -> unit
+
+(** Cycles elapsed on this clock. *)
+val cycles : t -> int
+
+val on_tick : ?phase:int -> t -> handler -> unit
+
+(** Begin ticking.  Must be called once after handlers are registered. *)
+val start : t -> unit
+
+val enabled : t -> bool
+val disable : t -> unit
+val enable : t -> unit
+
+(** Stop scheduling ticks until [wake].  Unlike [disable], [wake] may be
+    called from any component (e.g. a package arriving at an idle cluster). *)
+val sleep : t -> unit
+
+val wake : t -> unit
+val sleeping : t -> bool

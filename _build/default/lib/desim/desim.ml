@@ -1,0 +1,15 @@
+(** Discrete-event simulation engine (paper §III-C–§III-E).
+
+    This library is the substrate under {!Xmtsim}: a deterministic
+    event-list scheduler ({!Scheduler} over {!Event_heap}), actor callbacks
+    ({!Actor}), clock domains with DVFS/gating/macro-actor grouping
+    ({!Clock}), bounded transfer ports ({!Port}), checkpointing
+    ({!Checkpoint}) and reproducible randomness ({!Rng}). *)
+
+module Event_heap = Event_heap
+module Scheduler = Scheduler
+module Actor = Actor
+module Port = Port
+module Clock = Clock
+module Checkpoint = Checkpoint
+module Rng = Rng

@@ -1,0 +1,71 @@
+type 'a entry = { time : int; prio : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+
+let entry_lt a b =
+  a.time < b.time
+  || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
+
+let grow h e =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let narr = Array.make ncap e in
+    Array.blit h.arr 0 narr 0 h.len;
+    h.arr <- narr
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && entry_lt h.arr.(l) h.arr.(!smallest) then smallest := l;
+  if r < h.len && entry_lt h.arr.(r) h.arr.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~time ~prio payload =
+  let e = { time; prio; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  grow h e;
+  h.arr.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then raise Not_found;
+  let e = h.arr.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.arr.(0) <- h.arr.(h.len);
+    sift_down h 0
+  end;
+  (e.time, e.prio, e.payload)
+
+let min_time h = if h.len = 0 then None else Some h.arr.(0).time
+let size h = h.len
+let is_empty h = h.len = 0
+
+let clear h =
+  h.len <- 0;
+  h.arr <- [||]

@@ -1,0 +1,26 @@
+(** Binary min-heap of pending events, the "event list" of the DE scheduler
+    (paper Fig. 4).
+
+    Events are ordered by [(time, priority, sequence number)].  The sequence
+    number is assigned at insertion, making the processing order of
+    simultaneous same-priority events deterministic (insertion order), which
+    in turn makes whole simulations reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add h ~time ~prio x] inserts [x] to fire at [time] with priority [prio]
+    (lower priority fires first among events at the same time). *)
+val add : 'a t -> time:int -> prio:int -> 'a -> unit
+
+(** Remove and return the earliest event as [(time, prio, payload)].
+    Raises [Not_found] on an empty heap. *)
+val pop : 'a t -> int * int * 'a
+
+(** Time of the earliest pending event, if any. *)
+val min_time : 'a t -> int option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

@@ -1,0 +1,36 @@
+type 'a t = {
+  name : string;
+  capacity : int;
+  q : 'a Queue.t;
+  mutable pushed : int;
+}
+
+let create ~name ~capacity = { name; capacity; q = Queue.create (); pushed = 0 }
+let name t = t.name
+let capacity t = t.capacity
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+let can_push t = t.capacity <= 0 || Queue.length t.q < t.capacity
+
+let push t x =
+  if can_push t then begin
+    Queue.add x t.q;
+    t.pushed <- t.pushed + 1;
+    true
+  end
+  else false
+
+let push_exn t x =
+  if not (push t x) then failwith (Printf.sprintf "Port %s: push on full port" t.name)
+
+let pop t = Queue.take_opt t.q
+let peek t = Queue.peek_opt t.q
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t.q with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let clear t = Queue.clear t.q
+let pushed_total t = t.pushed

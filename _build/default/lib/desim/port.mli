@@ -1,0 +1,35 @@
+(** Ports are the points of transfer for packages between cycle-accurate
+    components (paper §III-C).
+
+    A port is a bounded FIFO.  The two-phase clock-cycle protocol maps onto
+    it naturally: in the negotiate phase a producer tests [can_push], in the
+    transfer phase it [push]es and the consumer [pop]s.  Capacity models the
+    buffering of the hardware component behind the port. *)
+
+type 'a t
+
+(** [create ~name ~capacity] — [capacity <= 0] means unbounded. *)
+val create : name:string -> capacity:int -> 'a t
+
+val name : 'a t -> string
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val can_push : 'a t -> bool
+
+(** [push p x] returns [false] (and drops nothing) when the port is full. *)
+val push : 'a t -> 'a -> bool
+
+(** [push_exn] raises [Failure] when the port is full. *)
+val push_exn : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+(** Remove every queued element, newest last. *)
+val drain : 'a t -> 'a list
+
+val clear : 'a t -> unit
+
+(** Total number of elements ever pushed (an activity counter). *)
+val pushed_total : 'a t -> int

@@ -1,0 +1,23 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create ~seed = { state = Int64.of_int seed }
+let split t = { state = next t }
+let bits t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let float t = float_of_int (bits t) /. 4611686018427387904.0
+let bool t = Int64.logand (next t) 1L = 1L

@@ -1,0 +1,24 @@
+(** Deterministic splittable pseudo-random source (SplitMix64).
+
+    Simulation components that need arbitration jitter (e.g. interconnect
+    round-robin tie-breaking) draw from their own stream so that runs are
+    reproducible for a given seed and independent of component count. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Derive an independent stream; deterministic in [t]'s seed and the call
+    order. *)
+val split : t -> t
+
+(** Uniform in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform non-negative 62-bit integer. *)
+val bits : t -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool

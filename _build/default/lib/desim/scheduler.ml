@@ -1,0 +1,58 @@
+let prio_tick = 0
+let prio_negotiate = 10
+let prio_transfer = 20
+let prio_stop = 1000
+
+type action = Run of (unit -> unit) | Stop
+
+type t = {
+  events : action Event_heap.t;
+  mutable time : int;
+  mutable processed : int;
+}
+
+let create () = { events = Event_heap.create (); time = 0; processed = 0 }
+let now t = t.time
+
+let schedule_at t ?(prio = prio_tick) ~time f =
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule_at: time %d is in the past (now %d)"
+         time t.time);
+  Event_heap.add t.events ~time ~prio (Run f)
+
+let schedule t ?prio ~delay f =
+  if delay < 0 then invalid_arg "Scheduler.schedule: negative delay";
+  schedule_at t ?prio ~time:(t.time + delay) f
+
+let stop t ?time () =
+  let time = match time with Some x -> x | None -> t.time in
+  Event_heap.add t.events ~time ~prio:prio_stop Stop
+
+type outcome = Stopped | Drained | Budget
+
+let run ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let rec loop () =
+    if !budget = 0 then Budget
+    else if Event_heap.is_empty t.events then Drained
+    else begin
+      let time, _prio, action = Event_heap.pop t.events in
+      t.time <- time;
+      t.processed <- t.processed + 1;
+      decr budget;
+      match action with
+      | Stop -> Stopped
+      | Run f ->
+        f ();
+        loop ()
+    end
+  in
+  loop ()
+
+let events_processed t = t.processed
+
+let reset ?(keep_counters = false) t =
+  Event_heap.clear t.events;
+  t.time <- 0;
+  if not keep_counters then t.processed <- 0

@@ -1,0 +1,51 @@
+(** The discrete-event scheduler (paper §III-C, Fig. 4, Fig. 5b).
+
+    The scheduler owns the event list and drives the simulation: its main
+    loop repeatedly pops the earliest event, advances simulated time to the
+    event's timestamp, and runs the event's action.  Unlike a discrete-time
+    simulator, time jumps directly between event timestamps.  Simulation
+    terminates when a {e stop event} fires, when the event list drains, or
+    when an event budget is exhausted. *)
+
+type t
+
+(** Standard event priorities.  A clock cycle is split into two phases
+    (paper §III-C): components first {e negotiate} transfers, then packages
+    are {e moved}.  [prio_tick] fires before either so clocked state machines
+    observe a consistent pre-phase state. *)
+val prio_tick : int
+
+val prio_negotiate : int
+val prio_transfer : int
+val prio_stop : int
+
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> int
+
+(** [schedule t ~delay ~prio f] schedules action [f] at [now t + delay].
+    [delay] must be non-negative; [prio] defaults to [prio_tick]. *)
+val schedule : t -> ?prio:int -> delay:int -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time ~prio f] schedules at absolute [time >= now t]. *)
+val schedule_at : t -> ?prio:int -> time:int -> (unit -> unit) -> unit
+
+(** Request termination: a stop event is scheduled at the given absolute
+    time (default: immediately, i.e. before any later-timed event). *)
+val stop : t -> ?time:int -> unit -> unit
+
+type outcome =
+  | Stopped  (** a stop event fired *)
+  | Drained  (** the event list became empty *)
+  | Budget  (** the [max_events] budget was exhausted *)
+
+(** Run the main loop.  Returns why the loop exited. *)
+val run : ?max_events:int -> t -> outcome
+
+(** Number of events processed so far (monotonic across [run] calls). *)
+val events_processed : t -> int
+
+(** Drop all pending events and reset time to 0.  Event and time counters
+    are preserved only if [keep_counters] is set. *)
+val reset : ?keep_counters:bool -> t -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Fun In_channel Instr List Printf Program Reg String

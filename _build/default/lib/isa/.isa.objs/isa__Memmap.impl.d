@@ -1,0 +1,1 @@
+lib/isa/memmap.ml: Array Buffer Fun In_channel List Printf String Value

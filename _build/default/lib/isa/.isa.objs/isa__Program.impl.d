@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Char Hashtbl Instr List Printf String Value

@@ -1,0 +1,372 @@
+exception Parse_error of { line : int; msg : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing one line: mnemonics, registers, numbers, labels,
+   punctuation.  Comments start with '#' or ';'. *)
+
+type tok =
+  | Word of string  (* mnemonic, label, register, directive *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Comma
+  | Colon
+  | Lparen
+  | Rparen
+
+let tokenize lineno s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '$' || c = '.'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '#' || c = ';' then i := n
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ',' then (toks := Comma :: !toks; incr i)
+    else if c = ':' then (toks := Colon :: !toks; incr i)
+    else if c = '(' then (toks := Lparen :: !toks; incr i)
+    else if c = ')' then (toks := Rparen :: !toks; incr i)
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if s.[!i] = '"' then closed := true
+        else if s.[!i] = '\\' && !i + 1 < n then begin
+          (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '0' -> Buffer.add_char buf '\000'
+          | other -> Buffer.add_char buf other);
+          incr i
+        end
+        else Buffer.add_char buf s.[!i];
+        incr i
+      done;
+      if not !closed then fail lineno "unterminated string literal";
+      toks := Str (Buffer.contents buf) :: !toks
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        && (let d = s.[!i] in
+            (d >= '0' && d <= '9')
+            || d = '.' || d = 'x' || d = 'X' || d = 'e' || d = 'E' || d = '+'
+            || d = '-' || d = 'p' || d = 'P'
+            || (d >= 'a' && d <= 'f')
+            || (d >= 'A' && d <= 'F'))
+      do
+        incr i
+      done;
+      let lit = String.sub s start (!i - start) in
+      match int_of_string_opt lit with
+      | Some v -> toks := Int v :: !toks
+      | None -> (
+        match float_of_string_opt lit with
+        | Some f -> toks := Float f :: !toks
+        | None -> fail lineno "bad numeric literal %S" lit)
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char s.[!i] do incr i done;
+      toks := Word (String.sub s start (!i - start)) :: !toks
+    end
+    else fail lineno "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Operand helpers over the token list. *)
+
+let reg lineno = function
+  | Word w -> (
+    match Reg.of_string w with
+    | Some r -> r
+    | None -> fail lineno "expected integer register, got %S" w)
+  | _ -> fail lineno "expected integer register"
+
+let freg lineno = function
+  | Word w -> (
+    match Reg.f_of_string w with
+    | Some r -> r
+    | None -> fail lineno "expected float register, got %S" w)
+  | _ -> fail lineno "expected float register"
+
+let greg lineno = function
+  | Word w -> (
+    match Reg.g_of_string w with
+    | Some r -> r
+    | None -> fail lineno "expected global register, got %S" w)
+  | _ -> fail lineno "expected global register"
+
+let imm lineno = function
+  | Int v -> v
+  | _ -> fail lineno "expected integer immediate"
+
+let labelname lineno = function
+  | Word w -> w
+  | _ -> fail lineno "expected label"
+
+(* mem operand: [Int off; Lparen; reg; Rparen] or [Lparen; reg; Rparen] *)
+let memop lineno toks =
+  match toks with
+  | [ Int off; Lparen; r'; Rparen ] -> (imm lineno (Int off), reg lineno r')
+  | [ Lparen; r'; Rparen ] -> (0, reg lineno r')
+  | _ -> fail lineno "expected memory operand off($reg)"
+
+let split_commas toks =
+  let rec go acc cur = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | Comma :: rest -> go (List.rev cur :: acc) [] rest
+    | tok :: rest -> go acc (tok :: cur) rest
+  in
+  match toks with [] -> [] | _ -> go [] [] toks
+
+let one lineno what = function
+  | [ tok ] -> tok
+  | _ -> fail lineno "expected a single %s operand" what
+
+(* ------------------------------------------------------------------ *)
+
+let parse_operands lineno mnem operands =
+  let ops = split_commas operands in
+  let op1 () = match ops with [ a ] -> a | _ -> fail lineno "%s: expected 1 operand" mnem in
+  let op2 () =
+    match ops with [ a; b ] -> (a, b) | _ -> fail lineno "%s: expected 2 operands" mnem
+  in
+  let op3 () =
+    match ops with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> fail lineno "%s: expected 3 operands" mnem
+  in
+  let r1 t = reg lineno (one lineno "register" t) in
+  let f1 t = freg lineno (one lineno "float register" t) in
+  let g1 t = greg lineno (one lineno "global register" t) in
+  let i1 t = imm lineno (one lineno "immediate" t) in
+  let l1 t = labelname lineno (one lineno "label" t) in
+  let alu op = let a, b, c = op3 () in Instr.Alu (op, r1 a, r1 b, r1 c) in
+  let alui op = let a, b, c = op3 () in Instr.Alui (op, r1 a, r1 b, i1 c) in
+  let sft_any op =
+    let a, b, c = op3 () in
+    match one lineno "operand" c with
+    | Int v -> Instr.Sfti (op, r1 a, r1 b, v)
+    | tok -> Instr.Sft (op, r1 a, r1 b, reg lineno tok)
+  in
+  let sftv op = let a, b, c = op3 () in Instr.Sft (op, r1 a, r1 b, r1 c) in
+  let mdu op = let a, b, c = op3 () in Instr.Mdu (op, r1 a, r1 b, r1 c) in
+  let fpu op = let a, b, c = op3 () in Instr.Fpu (op, f1 a, f1 b, f1 c) in
+  let fpu1 op = let a, b = op2 () in Instr.Fpu1 (op, f1 a, f1 b) in
+  let fcmp op = let a, b, c = op3 () in Instr.Fcmp (op, r1 a, f1 b, f1 c) in
+  let br op = let a, b, c = op3 () in Instr.Br (op, r1 a, r1 b, l1 c) in
+  let brz op = let a, b = op2 () in Instr.Brz (op, r1 a, l1 b) in
+  let mem mk = let a, b = op2 () in let off, base = memop lineno b in mk (r1 a) off base in
+  let fmem mk = let a, b = op2 () in let off, base = memop lineno b in mk (f1 a) off base in
+  match mnem with
+  | "add" -> alu Instr.Add
+  | "sub" -> alu Instr.Sub
+  | "and" -> alu Instr.And
+  | "or" -> alu Instr.Or
+  | "xor" -> alu Instr.Xor
+  | "nor" -> alu Instr.Nor
+  | "slt" -> alu Instr.Slt
+  | "sltu" -> alu Instr.Sltu
+  | "addi" -> alui Instr.Addi
+  | "andi" -> alui Instr.Andi
+  | "ori" -> alui Instr.Ori
+  | "xori" -> alui Instr.Xori
+  | "slti" -> alui Instr.Slti
+  | "li" -> let a, b = op2 () in Instr.Li (r1 a, i1 b)
+  | "la" -> let a, b = op2 () in Instr.La (r1 a, l1 b)
+  | "move" -> let a, b = op2 () in Instr.Alu (Instr.Add, r1 a, r1 b, Reg.zero)
+  | "sll" -> sft_any Instr.Sll
+  | "srl" -> sft_any Instr.Srl
+  | "sra" -> sft_any Instr.Sra
+  | "sllv" -> sftv Instr.Sll
+  | "srlv" -> sftv Instr.Srl
+  | "srav" -> sftv Instr.Sra
+  | "mul" -> mdu Instr.Mul
+  | "div" -> mdu Instr.Div
+  | "rem" -> mdu Instr.Rem
+  | "add.s" -> fpu Instr.Fadd
+  | "sub.s" -> fpu Instr.Fsub
+  | "mul.s" -> fpu Instr.Fmul
+  | "div.s" -> fpu Instr.Fdiv
+  | "neg.s" -> fpu1 Instr.Fneg
+  | "abs.s" -> fpu1 Instr.Fabs
+  | "sqrt.s" -> fpu1 Instr.Fsqrt
+  | "mov.s" -> fpu1 Instr.Fmov
+  | "c.eq.s" -> fcmp Instr.Feq
+  | "c.lt.s" -> fcmp Instr.Flt
+  | "c.le.s" -> fcmp Instr.Fle
+  | "cvt.s.w" -> let a, b = op2 () in Instr.Cvt_i2f (f1 a, r1 b)
+  | "cvt.w.s" -> let a, b = op2 () in Instr.Cvt_f2i (r1 a, f1 b)
+  | "li.s" -> (
+    let a, b = op2 () in
+    match one lineno "float immediate" b with
+    | Float x -> Instr.Fli (f1 a, x)
+    | Int x -> Instr.Fli (f1 a, float_of_int x)
+    | _ -> fail lineno "li.s: expected float immediate")
+  | "lw" -> mem (fun r' off base -> Instr.Lw (r', off, base))
+  | "lw.ro" -> mem (fun r' off base -> Instr.Lwro (r', off, base))
+  | "sw" -> mem (fun r' off base -> Instr.Sw (r', off, base))
+  | "sw.nb" -> mem (fun r' off base -> Instr.Swnb (r', off, base))
+  | "l.s" -> fmem (fun r' off base -> Instr.Flw (r', off, base))
+  | "s.s" -> fmem (fun r' off base -> Instr.Fsw (r', off, base))
+  | "pref" ->
+    let a = op1 () in
+    let off, base = memop lineno a in
+    Instr.Pref (off, base)
+  | "psm" -> mem (fun r' off base -> Instr.Psm (r', off, base))
+  | "beq" -> br Instr.Beq
+  | "bne" -> br Instr.Bne
+  | "blez" -> brz Instr.Blez
+  | "bgtz" -> brz Instr.Bgtz
+  | "bltz" -> brz Instr.Bltz
+  | "bgez" -> brz Instr.Bgez
+  | "beqz" -> brz Instr.Beqz
+  | "bnez" -> brz Instr.Bnez
+  | "j" -> Instr.J (l1 (op1 ()))
+  | "jal" -> Instr.Jal (l1 (op1 ()))
+  | "jr" -> Instr.Jr (r1 (op1 ()))
+  | "spawn" -> let a, b = op2 () in Instr.Spawn (r1 a, r1 b)
+  | "join" -> if ops = [] then Instr.Join else fail lineno "join takes no operands"
+  | "ps" -> let a, b = op2 () in Instr.Ps (r1 a, g1 b)
+  | "chkid" -> Instr.Chkid (r1 (op1 ()))
+  | "mfg" -> let a, b = op2 () in Instr.Mfg (r1 a, g1 b)
+  | "mtg" -> let a, b = op2 () in Instr.Mtg (g1 a, r1 b)
+  | "fence" -> if ops = [] then Instr.Fence else fail lineno "fence takes no operands"
+  | "pint" -> Instr.Sys (Instr.Print_int, r1 (op1 ()))
+  | "pflt" -> Instr.Sys (Instr.Print_float, f1 (op1 ()))
+  | "pchr" -> Instr.Sys (Instr.Print_char, r1 (op1 ()))
+  | "pstr" -> Instr.Sys (Instr.Print_str, r1 (op1 ()))
+  | "halt" -> if ops = [] then Instr.Halt else fail lineno "halt takes no operands"
+  | other -> fail lineno "unknown mnemonic %S" other
+
+let parse_instr line =
+  match tokenize 0 line with
+  | Word mnem :: rest -> parse_operands 0 mnem rest
+  | _ -> fail 0 "expected instruction"
+
+(* ------------------------------------------------------------------ *)
+
+type section = Text | Data
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let section = ref Text in
+  let text = ref [] in
+  let data = ref [] in
+  let parse_data_payload lineno directive operands =
+    let ops = split_commas operands in
+    match directive with
+    | ".word" ->
+      Program.Words (List.map (fun t -> imm lineno (one lineno "word" t)) ops)
+    | ".float" ->
+      Program.Floats
+        (List.map
+           (fun t ->
+             match one lineno "float" t with
+             | Float f -> f
+             | Int v -> float_of_int v
+             | _ -> fail lineno ".float: expected literal")
+           ops)
+    | ".space" -> (
+      match ops with
+      | [ t ] ->
+        let bytes = imm lineno (one lineno "size" t) in
+        if bytes mod 4 <> 0 then fail lineno ".space: size must be word-aligned";
+        Program.Space (bytes / 4)
+      | _ -> fail lineno ".space: expected one operand")
+    | ".asciiz" -> (
+      match ops with
+      | [ [ Str s ] ] -> Program.Asciiz s
+      | _ -> fail lineno ".asciiz: expected one string")
+    | other -> fail lineno "unknown data directive %S" other
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let rec consume toks =
+        match toks with
+        | [] -> ()
+        | Word ".text" :: rest ->
+          section := Text;
+          consume rest
+        | Word ".data" :: rest ->
+          section := Data;
+          consume rest
+        | Word ".globl" :: _ -> () (* accepted and ignored *)
+        | Word w :: Colon :: rest -> (
+          match !section with
+          | Text ->
+            text := Program.Label w :: !text;
+            consume rest
+          | Data -> (
+            match rest with
+            | Word d :: operands when String.length d > 0 && d.[0] = '.' ->
+              data :=
+                { Program.dlabel = w; payload = parse_data_payload lineno d operands }
+                :: !data
+            | [] ->
+              (* bare data label: zero-size placeholder alias *)
+              data := { Program.dlabel = w; payload = Program.Space 0 } :: !data
+            | _ -> fail lineno "expected data directive after label"))
+        | Word mnem :: rest -> (
+          match !section with
+          | Text -> text := Program.Ins (parse_operands lineno mnem rest) :: !text
+          | Data -> fail lineno "instruction %S in data section" mnem)
+        | _ -> fail lineno "syntax error"
+      in
+      consume (tokenize lineno line))
+    lines;
+  { Program.text = List.rev !text; data = List.rev !data }
+
+(* ------------------------------------------------------------------ *)
+
+let print (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "\t.text\n";
+  List.iter
+    (fun item ->
+      match item with
+      | Program.Label l -> Buffer.add_string buf (l ^ ":\n")
+      | Program.Ins i -> Buffer.add_string buf ("\t" ^ Instr.to_string i ^ "\n")
+      | Program.Comment c -> Buffer.add_string buf ("\t# " ^ c ^ "\n"))
+    p.text;
+  if p.data <> [] then begin
+    Buffer.add_string buf "\t.data\n";
+    List.iter
+      (fun { Program.dlabel; payload } ->
+        let body =
+          match payload with
+          | Program.Words ws -> ".word " ^ String.concat ", " (List.map string_of_int ws)
+          | Program.Floats fs ->
+            ".float " ^ String.concat ", " (List.map (Printf.sprintf "%h") fs)
+          | Program.Space n -> Printf.sprintf ".space %d" (n * 4)
+          | Program.Asciiz s -> Printf.sprintf ".asciiz %S" s
+        in
+        Buffer.add_string buf (Printf.sprintf "%s: %s\n" dlabel body))
+      p.data
+  end;
+  Buffer.contents buf
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let print_to_file p path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print p))

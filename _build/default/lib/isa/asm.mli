@@ -1,0 +1,17 @@
+(** Assembly reader and writer (the SableCC front-end role of Fig. 3).
+
+    Parses the textual assembly produced by the compiler (or written by
+    hand) into a symbolic {!Program.t}, and prints programs back out.
+    Printing then parsing is the identity on the program structure, which
+    is what lets the post-pass re-read the core-pass output (§IV). *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Program.t
+
+(** Parse a single instruction line (no labels/directives). *)
+val parse_instr : string -> Instr.t
+
+val print : Program.t -> string
+val parse_file : string -> Program.t
+val print_to_file : Program.t -> string -> unit

@@ -1,0 +1,12 @@
+(** The XMT instruction-set architecture: registers ({!Reg}), runtime
+    values ({!Value}), instructions with functional-unit classification
+    ({!Instr}), symbolic programs and executable images ({!Program}), the
+    assembly reader/writer ({!Asm}) and memory-map input files
+    ({!Memmap}). *)
+
+module Reg = Reg
+module Value = Value
+module Instr = Instr
+module Program = Program
+module Asm = Asm
+module Memmap = Memmap

@@ -1,0 +1,84 @@
+type t = (string * Value.t array) list
+
+exception Parse_error of { line : int; msg : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let out = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        match String.index_opt line ':' with
+        | None -> fail lineno "expected `name: values...'"
+        | Some i ->
+          let name = String.trim (String.sub line 0 i) in
+          let rest = String.sub line (i + 1) (String.length line - i - 1) in
+          let fields =
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim rest))
+          in
+          let values =
+            match fields with
+            | "f" :: fs ->
+              List.map
+                (fun s ->
+                  match float_of_string_opt s with
+                  | Some f -> Value.flt f
+                  | None -> fail lineno "bad float %S" s)
+                fs
+            | ws ->
+              List.map
+                (fun s ->
+                  match int_of_string_opt s with
+                  | Some v -> Value.int v
+                  | None -> fail lineno "bad integer %S" s)
+                ws
+          in
+          out := (name, Array.of_list values) :: !out
+      end)
+    lines;
+  List.rev !out
+
+let print t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, values) ->
+      let is_float =
+        Array.length values > 0
+        && match values.(0) with Value.Flt _ -> true | Value.Int _ -> false
+      in
+      Buffer.add_string buf name;
+      Buffer.add_string buf ":";
+      if is_float then Buffer.add_string buf " f";
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ' ';
+          match v with
+          | Value.Int x -> Buffer.add_string buf (string_of_int x)
+          | Value.Flt f -> Buffer.add_string buf (Printf.sprintf "%h" f))
+        values;
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (In_channel.input_all ic))
+
+let print_to_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (print t))
+
+let of_ints l = List.map (fun (n, a) -> (n, Array.map Value.int a)) l
+let of_floats l = List.map (fun (n, a) -> (n, Array.map Value.flt a)) l

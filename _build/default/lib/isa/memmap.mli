@@ -1,0 +1,26 @@
+(** Memory-map files (paper §III-A, Fig. 3).
+
+    The toolchain has no operating system, so global variables are the only
+    way to feed input to an XMTC program.  A memory map carries the initial
+    values of named globals; the compiler post-pass links it against the
+    program's data section, overwriting the reserved space.
+
+    File format, one binding per line:
+    {v
+    name: 1 2 3 4        # integer words
+    name: f 1.5 2.5      # float words
+    v} *)
+
+type t = (string * Value.t array) list
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> t
+val print : t -> string
+val parse_file : string -> t
+val print_to_file : t -> string -> unit
+
+(** Convenience constructors. *)
+val of_ints : (string * int array) list -> t
+
+val of_floats : (string * float array) list -> t

@@ -1,0 +1,141 @@
+type item = Label of string | Ins of Instr.t | Comment of string
+
+type data_payload =
+  | Words of int list
+  | Floats of float list
+  | Space of int
+  | Asciiz of string
+
+type data_item = { dlabel : string; payload : data_payload }
+type t = { text : item list; data : data_item list }
+
+let empty = { text = []; data = [] }
+
+let payload_words = function
+  | Words ws -> List.length ws
+  | Floats fs -> List.length fs
+  | Space n -> n
+  | Asciiz s -> String.length s + 1
+
+let instructions t =
+  List.filter_map
+    (function Ins i -> Some i | Label _ | Comment _ -> None)
+    t.text
+
+type image = {
+  instrs : Instr.t array;
+  targets : int array;
+  code_labels : (string, int) Hashtbl.t;
+  data_addr : (string, int) Hashtbl.t;
+  data_words : Value.t array;
+  data_base : int;
+  entry : int;
+}
+
+let data_base_addr = 0x1000
+
+exception Resolve_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Resolve_error s)) fmt
+
+let payload_values = function
+  | Words ws -> List.map Value.int ws
+  | Floats fs -> List.map Value.flt fs
+  | Space n -> List.init n (fun _ -> Value.zero)
+  | Asciiz s ->
+    List.init
+      (String.length s + 1)
+      (fun i -> if i < String.length s then Value.int (Char.code s.[i]) else Value.zero)
+
+let resolve ?(extra_data = []) t =
+  (* Pass 1: code label addresses. *)
+  let code_labels = Hashtbl.create 64 in
+  let n_instrs =
+    List.fold_left
+      (fun idx item ->
+        match item with
+        | Label l ->
+          if Hashtbl.mem code_labels l then err "duplicate code label %s" l;
+          Hashtbl.replace code_labels l idx;
+          idx
+        | Ins _ -> idx + 1
+        | Comment _ -> idx)
+      0 t.text
+  in
+  (* Data layout. *)
+  let data_addr = Hashtbl.create 64 in
+  let all_data =
+    t.data
+    @ List.map
+        (fun (name, vals) -> { dlabel = name; payload = Space (Array.length vals) })
+        (List.filter
+           (fun (name, _) -> not (List.exists (fun d -> d.dlabel = name) t.data))
+           extra_data)
+  in
+  let total_words =
+    List.fold_left
+      (fun off d ->
+        if Hashtbl.mem data_addr d.dlabel then err "duplicate data label %s" d.dlabel;
+        if Hashtbl.mem code_labels d.dlabel then
+          err "label %s defined in both text and data" d.dlabel;
+        Hashtbl.replace data_addr d.dlabel (data_base_addr + (4 * off));
+        off + payload_words d.payload)
+      0 all_data
+  in
+  let data_words = Array.make (max total_words 1) Value.zero in
+  List.iter
+    (fun d ->
+      let addr = Hashtbl.find data_addr d.dlabel in
+      let word0 = (addr - data_base_addr) / 4 in
+      List.iteri (fun i v -> data_words.(word0 + i) <- v) (payload_values d.payload))
+    all_data;
+  (* Linked memory-map inputs overwrite their placement. *)
+  List.iter
+    (fun (name, vals) ->
+      match Hashtbl.find_opt data_addr name with
+      | None -> err "memory map names unknown label %s" name
+      | Some addr ->
+        let word0 = (addr - data_base_addr) / 4 in
+        if word0 + Array.length vals > Array.length data_words then
+          err "memory map values for %s overflow its space" name;
+        Array.iteri (fun i v -> data_words.(word0 + i) <- v) vals)
+    extra_data;
+  (* Pass 2: flatten instructions, resolve targets. *)
+  let instrs = Array.make (max n_instrs 1) Instr.Halt in
+  let targets = Array.make (max n_instrs 1) (-1) in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Label _ | Comment _ -> ()
+      | Ins i ->
+        instrs.(!idx) <- i;
+        (match i with
+        | Instr.La (_, l) -> (
+          match Hashtbl.find_opt data_addr l with
+          | Some a -> targets.(!idx) <- a
+          | None -> (
+            (* la of a code label: used for function pointers in tables *)
+            match Hashtbl.find_opt code_labels l with
+            | Some a -> targets.(!idx) <- a
+            | None -> err "la: undefined label %s" l))
+        | _ -> (
+          match Instr.target i with
+          | None -> ()
+          | Some l -> (
+            match Hashtbl.find_opt code_labels l with
+            | Some a -> targets.(!idx) <- a
+            | None -> err "undefined code label %s" l)));
+        incr idx)
+    t.text;
+  let entry =
+    match Hashtbl.find_opt code_labels "__start" with
+    | Some i -> i
+    | None -> (
+      match Hashtbl.find_opt code_labels "main" with Some i -> i | None -> 0)
+  in
+  { instrs; targets; code_labels; data_addr; data_words; data_base = data_base_addr; entry }
+
+let address_of img name =
+  match Hashtbl.find_opt img.data_addr name with
+  | Some a -> a
+  | None -> err "address_of: unknown data label %s" name

@@ -1,0 +1,51 @@
+(** Symbolic assembly programs and resolved executable images.
+
+    A {!t} is what the compiler emits and the post-pass rewrites: a list of
+    text items (labels and instructions) plus a data section.  An {!image}
+    is the loaded form the simulator executes: a flat instruction array with
+    branch targets and data-label addresses pre-resolved, and the initial
+    memory contents (the "memory map" role of paper Fig. 3). *)
+
+type item = Label of string | Ins of Instr.t | Comment of string
+
+type data_payload =
+  | Words of int list
+  | Floats of float list
+  | Space of int  (** n zero-initialized words *)
+  | Asciiz of string  (** one char code per word, NUL-terminated *)
+
+type data_item = { dlabel : string; payload : data_payload }
+type t = { text : item list; data : data_item list }
+
+val empty : t
+
+(** Number of words a payload occupies. *)
+val payload_words : data_payload -> int
+
+(** Instructions only, labels dropped. *)
+val instructions : t -> Instr.t list
+
+type image = {
+  instrs : Instr.t array;
+  targets : int array;
+      (** per-instruction resolved operand: branch/jump/jal target index, or
+          byte address for [La], or [-1] *)
+  code_labels : (string, int) Hashtbl.t;
+  data_addr : (string, int) Hashtbl.t;  (** data label -> byte address *)
+  data_words : Value.t array;  (** initial data segment, word-indexed *)
+  data_base : int;  (** byte address where the data segment starts *)
+  entry : int;  (** instruction index of [__start], else [main], else 0 *)
+}
+
+(** Base byte address of the data segment in every image. *)
+val data_base_addr : int
+
+exception Resolve_error of string
+
+(** Resolve labels and lay out data.  Raises {!Resolve_error} on duplicate
+    or undefined labels.  [extra_data] appends additional initialized
+    arrays (the linked memory-map inputs) after the program's own data. *)
+val resolve : ?extra_data:(string * Value.t array) list -> t -> image
+
+(** Address of a data label in an image. *)
+val address_of : image -> string -> int

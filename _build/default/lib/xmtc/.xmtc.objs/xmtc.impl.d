@@ -1,0 +1,1 @@
+lib/xmtc/xmtc.ml: Ast Lexer Parser Pretty Tast Typecheck Types

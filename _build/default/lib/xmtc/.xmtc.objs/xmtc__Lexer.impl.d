@@ -1,0 +1,1 @@
+lib/xmtc/lexer.ml: Buffer List Printf String

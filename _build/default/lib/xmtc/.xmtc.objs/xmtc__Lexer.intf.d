@@ -1,0 +1,1 @@
+lib/xmtc/lexer.mli:

@@ -1,0 +1,1 @@
+lib/xmtc/parser.ml: Array Ast Lexer List Printf Types

@@ -1,0 +1,1 @@
+lib/xmtc/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/xmtc/pretty.ml: List Option Printf String Tast Types

@@ -1,0 +1,1 @@
+lib/xmtc/pretty.mli: Tast

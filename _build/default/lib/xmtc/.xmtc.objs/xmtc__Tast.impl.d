@@ -1,0 +1,1 @@
+lib/xmtc/tast.ml: List Types

@@ -1,0 +1,1 @@
+lib/xmtc/typecheck.ml: Ast Bool Char Hashtbl List Option Parser Printf String Tast Types

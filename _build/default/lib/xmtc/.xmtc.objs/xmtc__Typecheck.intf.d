@@ -1,0 +1,1 @@
+lib/xmtc/typecheck.mli: Ast Tast

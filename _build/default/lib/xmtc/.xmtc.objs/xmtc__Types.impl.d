@@ -1,0 +1,1 @@
+lib/xmtc/types.ml: Hashtbl List Printf

@@ -1,0 +1,77 @@
+(** Untyped abstract syntax, as produced by the parser.  The typechecker
+    resolves names and types and converts this into {!Tast}. *)
+
+open Types
+
+type pos = int  (** source line *)
+
+type expr = { node : enode; pos : pos }
+
+and enode =
+  | Eint of int
+  | Eflt of float
+  | Estr of string
+  | Echar of char
+  | Eid of string
+  | Etid  (** [$], the virtual-thread identifier *)
+  | Eunop of unop * expr
+  | Elognot of expr  (** [!e] *)
+  | Ebinop of binop * expr * expr
+  | Eland of expr * expr  (** short-circuit && *)
+  | Elor of expr * expr  (** short-circuit || *)
+  | Eassign of expr * expr
+  | Eopassign of binop * expr * expr  (** lhs op= rhs *)
+  | Eincdec of incdec * bool * expr  (** op, is_prefix, lvalue *)
+  | Ecall of string * expr list
+  | Eindex of expr * expr
+  | Emember of expr * string * bool  (** base, field, is_arrow *)
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of ty * expr
+  | Econd of expr * expr * expr
+
+type init = Iexpr of expr | Ilist of expr list  (** brace initializer *)
+
+type decl = {
+  d_ty : ty;
+  d_name : string;
+  d_init : init option;
+  d_volatile : bool;
+  d_pos : pos;
+}
+
+type stmt = { snode : snode; spos : pos }
+
+and snode =
+  | Sskip
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdowhile of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sspawn of expr * expr * stmt  (** spawn(low, high) body (§II-A) *)
+  | Sps of string * string  (** ps(local, base) *)
+  | Spsm of string * expr  (** psm(local, lvalue) *)
+
+type func = {
+  f_ret : ty;
+  f_name : string;
+  f_params : (ty * string) list;
+  f_body : stmt;
+  f_pos : pos;
+}
+
+type structdef = {
+  sd_name : string;
+  sd_fields : (ty * string) list;
+  sd_pos : pos;
+}
+
+type top = Tglobal of decl | Tfunc of func | Tstructdef of structdef
+
+type program = top list

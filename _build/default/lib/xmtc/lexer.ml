@@ -1,0 +1,177 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | CHAR of char
+  | ID of string
+  | KW of string
+  | PUNCT of string
+  | DOLLAR
+  | EOF
+
+exception Lex_error of { line : int; msg : string }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Lex_error { line; msg })) fmt
+
+let keywords =
+  [
+    "int"; "float"; "void"; "struct"; "if"; "else"; "while"; "do"; "for";
+    "return"; "break"; "continue"; "spawn"; "ps"; "psm"; "volatile"; "const";
+  ]
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [
+    "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->"; "+"; "-"; "*"; "/";
+    "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; "("; ")"; "{"; "}"; "[";
+    "]"; ";"; ","; "?"; ":"; ".";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let emit t = toks := (t, !line) :: !toks in
+  let read_escape () =
+    (* at src.[!i] = '\\' *)
+    incr i;
+    if !i >= n then fail !line "unterminated escape";
+    let c =
+      match src.[!i] with
+      | 'n' -> '\n'
+      | 't' -> '\t'
+      | 'r' -> '\r'
+      | '0' -> '\000'
+      | '\\' -> '\\'
+      | '\'' -> '\''
+      | '"' -> '"'
+      | other -> fail !line "unknown escape \\%c" other
+    in
+    incr i;
+    c
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail !line "unterminated comment"
+    end
+    else if c = '$' then (emit DOLLAR; incr i)
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '"' then (closed := true; incr i)
+        else if src.[!i] = '\\' then Buffer.add_char buf (read_escape ())
+        else begin
+          if src.[!i] = '\n' then fail !line "newline in string literal";
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then fail !line "unterminated string literal";
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '\'' then begin
+      incr i;
+      if !i >= n then fail !line "unterminated char literal";
+      let ch = if src.[!i] = '\\' then read_escape () else (let x = src.[!i] in incr i; x) in
+      if !i >= n || src.[!i] <> '\'' then fail !line "unterminated char literal";
+      incr i;
+      emit (CHAR ch)
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !i in
+      let is_hex = c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') in
+      if is_hex then i := !i + 2;
+      let isfloat = ref false in
+      let continue = ref true in
+      while !i < n && !continue do
+        let d = src.[!i] in
+        if is_hex then begin
+          if is_digit d || (d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F') then incr i
+          else continue := false
+        end
+        else if is_digit d then incr i
+        else if d = '.' then (isfloat := true; incr i)
+        else if d = 'e' || d = 'E' then begin
+          isfloat := true;
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i
+        end
+        else if d = 'f' || d = 'F' then (isfloat := true; incr i; continue := false)
+        else continue := false
+      done;
+      let lit = String.sub src start (!i - start) in
+      if !isfloat then begin
+        let lit =
+          if String.length lit > 0 && (lit.[String.length lit - 1] = 'f' || lit.[String.length lit - 1] = 'F')
+          then String.sub lit 0 (String.length lit - 1)
+          else lit
+        in
+        match float_of_string_opt lit with
+        | Some f -> emit (FLOAT f)
+        | None -> fail !line "bad float literal %S" lit
+      end
+      else begin
+        match int_of_string_opt lit with
+        | Some v -> emit (INT v)
+        | None -> fail !line "bad integer literal %S" lit
+      end
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then emit (KW word) else emit (ID word)
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let lp = String.length p in
+            !i + lp <= n && String.sub src !i lp = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+        emit (PUNCT p);
+        i := !i + String.length p
+      | None -> fail !line "unexpected character %C" c
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+let token_to_string = function
+  | INT v -> string_of_int v
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "%C" c
+  | ID s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | DOLLAR -> "$"
+  | EOF -> "<eof>"

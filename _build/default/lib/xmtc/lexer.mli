@@ -1,0 +1,21 @@
+(** Hand-written lexer for XMTC source. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | CHAR of char
+  | ID of string
+  | KW of string  (** keyword *)
+  | PUNCT of string  (** operator or punctuation, e.g. "+", "<<=", "{" *)
+  | DOLLAR
+  | EOF
+
+exception Lex_error of { line : int; msg : string }
+
+val keywords : string list
+
+(** Tokenize the whole source; each token is paired with its line. *)
+val tokenize : string -> (token * int) list
+
+val token_to_string : token -> string

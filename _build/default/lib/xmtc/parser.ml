@@ -1,0 +1,553 @@
+open Types
+
+exception Parse_error of { line : int; msg : string }
+
+type state = { mutable toks : (Lexer.token * int) array; mutable pos : int }
+
+let fail st fmt =
+  let line = snd st.toks.(st.pos) in
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+let peek st = fst st.toks.(st.pos)
+let peek2 st = if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else Lexer.EOF
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> fail st "expected %S, got %S" p (Lexer.token_to_string t)
+
+let expect_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st
+  | t -> fail st "expected %S, got %S" k (Lexer.token_to_string t)
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_id st =
+  match next st with
+  | Lexer.ID s -> s
+  | t -> fail st "expected identifier, got %S" (Lexer.token_to_string t)
+
+let is_type_kw = function "int" | "float" | "void" -> true | _ -> false
+
+let base_ty st =
+  match next st with
+  | Lexer.KW "int" -> Tint
+  | Lexer.KW "float" -> Tfloat
+  | Lexer.KW "void" -> Tvoid
+  | Lexer.KW "struct" -> Tstruct (expect_id st)
+  | t -> fail st "expected type, got %S" (Lexer.token_to_string t)
+
+(* declarator: '*'* id ('[' INT ']')* ; returns (name, ty builder applied) *)
+let declarator st base =
+  let ty = ref base in
+  while accept_punct st "*" do
+    ty := Tptr !ty
+  done;
+  let name = expect_id st in
+  let rec dims () =
+    if accept_punct st "[" then begin
+      let n =
+        match next st with
+        | Lexer.INT v -> v
+        | t -> fail st "expected array size, got %S" (Lexer.token_to_string t)
+      in
+      expect_punct st "]";
+      let inner = dims () in
+      Tarr (inner, n)
+    end
+    else !ty
+  in
+  let final = dims () in
+  (name, final)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing. *)
+
+let mk st node = { Ast.node; pos = line st }
+
+let rec parse_expression st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match peek st with
+  | Lexer.PUNCT "=" ->
+    advance st;
+    let rhs = parse_assign st in
+    { Ast.node = Ast.Eassign (lhs, rhs); pos = lhs.Ast.pos }
+  | Lexer.PUNCT ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=") ->
+    let op =
+      match next st with
+      | Lexer.PUNCT "+=" -> Add
+      | Lexer.PUNCT "-=" -> Sub
+      | Lexer.PUNCT "*=" -> Mul
+      | Lexer.PUNCT "/=" -> Div
+      | Lexer.PUNCT "%=" -> Mod
+      | Lexer.PUNCT "&=" -> Band
+      | Lexer.PUNCT "|=" -> Bor
+      | Lexer.PUNCT "^=" -> Bxor
+      | Lexer.PUNCT "<<=" -> Shl
+      | Lexer.PUNCT ">>=" -> Shr
+      | _ -> assert false
+    in
+    let rhs = parse_assign st in
+    { Ast.node = Ast.Eopassign (op, lhs, rhs); pos = lhs.Ast.pos }
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_lor st in
+  if accept_punct st "?" then begin
+    let t = parse_expression st in
+    expect_punct st ":";
+    let e = parse_cond st in
+    { Ast.node = Ast.Econd (c, t, e); pos = c.Ast.pos }
+  end
+  else c
+
+and parse_lor st =
+  let rec go acc =
+    if accept_punct st "||" then
+      let rhs = parse_land st in
+      go { Ast.node = Ast.Elor (acc, rhs); pos = acc.Ast.pos }
+    else acc
+  in
+  go (parse_land st)
+
+and parse_land st =
+  let rec go acc =
+    if accept_punct st "&&" then
+      let rhs = parse_bor st in
+      go { Ast.node = Ast.Eland (acc, rhs); pos = acc.Ast.pos }
+    else acc
+  in
+  go (parse_bor st)
+
+and parse_binlevel st ops sub =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT p when List.mem_assoc p ops ->
+      advance st;
+      let rhs = sub st in
+      go { Ast.node = Ast.Ebinop (List.assoc p ops, acc, rhs); pos = acc.Ast.pos }
+    | _ -> acc
+  in
+  go (sub st)
+
+and parse_bor st = parse_binlevel st [ ("|", Bor) ] parse_bxor
+and parse_bxor st = parse_binlevel st [ ("^", Bxor) ] parse_band
+and parse_band st = parse_binlevel st [ ("&", Band) ] parse_eq
+and parse_eq st = parse_binlevel st [ ("==", Eq); ("!=", Ne) ] parse_rel
+
+and parse_rel st =
+  parse_binlevel st [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ] parse_shift
+
+and parse_shift st = parse_binlevel st [ ("<<", Shl); (">>", Shr) ] parse_add
+and parse_add st = parse_binlevel st [ ("+", Add); ("-", Sub) ] parse_mul
+and parse_mul st = parse_binlevel st [ ("*", Mul); ("/", Div); ("%", Mod) ] parse_unary
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Eunop (Neg, e))
+  | Lexer.PUNCT "~" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Eunop (Bnot, e))
+  | Lexer.PUNCT "!" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Elognot e)
+  | Lexer.PUNCT "*" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Ederef e)
+  | Lexer.PUNCT "&" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Eaddr e)
+  | Lexer.PUNCT "++" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Eincdec (Incr, true, e))
+  | Lexer.PUNCT "--" ->
+    advance st;
+    let e = parse_unary st in
+    mk st (Ast.Eincdec (Decr, true, e))
+  | Lexer.PUNCT "("
+    when (match peek2 st with
+         | Lexer.KW k -> is_type_kw k || k = "struct"
+         | _ -> false) ->
+    advance st;
+    let base = base_ty st in
+    let ty = ref base in
+    while accept_punct st "*" do
+      ty := Tptr !ty
+    done;
+    expect_punct st ")";
+    let e = parse_unary st in
+    mk st (Ast.Ecast (!ty, e))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go acc =
+    match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expression st in
+      expect_punct st "]";
+      go { Ast.node = Ast.Eindex (acc, idx); pos = acc.Ast.pos }
+    | Lexer.PUNCT "." ->
+      advance st;
+      let field = expect_id st in
+      go { Ast.node = Ast.Emember (acc, field, false); pos = acc.Ast.pos }
+    | Lexer.PUNCT "->" ->
+      advance st;
+      let field = expect_id st in
+      go { Ast.node = Ast.Emember (acc, field, true); pos = acc.Ast.pos }
+    | Lexer.PUNCT "++" ->
+      advance st;
+      go { Ast.node = Ast.Eincdec (Incr, false, acc); pos = acc.Ast.pos }
+    | Lexer.PUNCT "--" ->
+      advance st;
+      go { Ast.node = Ast.Eincdec (Decr, false, acc); pos = acc.Ast.pos }
+    | _ -> acc
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match next st with
+  | Lexer.INT v -> mk st (Ast.Eint v)
+  | Lexer.FLOAT f -> mk st (Ast.Eflt f)
+  | Lexer.STRING s -> mk st (Ast.Estr s)
+  | Lexer.CHAR c -> mk st (Ast.Echar c)
+  | Lexer.DOLLAR -> mk st Ast.Etid
+  | Lexer.ID name ->
+    if accept_punct st "(" then begin
+      let args = parse_args st in
+      mk st (Ast.Ecall (name, args))
+    end
+    else mk st (Ast.Eid name)
+  | Lexer.PUNCT "(" ->
+    let e = parse_expression st in
+    expect_punct st ")";
+    e
+  | t -> fail st "unexpected token %S in expression" (Lexer.token_to_string t)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expression st in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements. *)
+
+let rec parse_stmt st =
+  let pos = line st in
+  let s snode = { Ast.snode; spos = pos } in
+  match peek st with
+  | Lexer.PUNCT ";" ->
+    advance st;
+    s Ast.Sskip
+  | Lexer.PUNCT "{" ->
+    advance st;
+    let rec go acc =
+      if accept_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+    in
+    s (Ast.Sblock (go []))
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expression st in
+    expect_punct st ")";
+    let then_ = parse_stmt st in
+    let else_ =
+      match peek st with
+      | Lexer.KW "else" ->
+        advance st;
+        Some (parse_stmt st)
+      | _ -> None
+    in
+    s (Ast.Sif (c, then_, else_))
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expression st in
+    expect_punct st ")";
+    let body = parse_stmt st in
+    s (Ast.Swhile (c, body))
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt st in
+    expect_kw st "while";
+    expect_punct st "(";
+    let c = parse_expression st in
+    expect_punct st ")";
+    expect_punct st ";";
+    s (Ast.Sdowhile (body, c))
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let s' =
+          match peek st with
+          | Lexer.KW k when is_type_kw k || k = "struct" || k = "volatile" ->
+            parse_decl_stmt st
+          | _ ->
+            let e = parse_expression st in
+            { Ast.snode = Ast.Sexpr e; spos = pos }
+        in
+        expect_punct st ";";
+        Some s'
+      end
+    in
+    let cond = if peek st = Lexer.PUNCT ";" then None else Some (parse_expression st) in
+    expect_punct st ";";
+    let post = if peek st = Lexer.PUNCT ")" then None else Some (parse_expression st) in
+    expect_punct st ")";
+    let body = parse_stmt st in
+    s (Ast.Sfor (init, cond, post, body))
+  | Lexer.KW "return" ->
+    advance st;
+    let e = if peek st = Lexer.PUNCT ";" then None else Some (parse_expression st) in
+    expect_punct st ";";
+    s (Ast.Sreturn e)
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    s Ast.Sbreak
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    s Ast.Scontinue
+  | Lexer.KW "spawn" ->
+    advance st;
+    expect_punct st "(";
+    let lo = parse_expression st in
+    expect_punct st ",";
+    let hi = parse_expression st in
+    expect_punct st ")";
+    let body = parse_stmt st in
+    s (Ast.Sspawn (lo, hi, body))
+  | Lexer.KW "ps" ->
+    advance st;
+    expect_punct st "(";
+    let v = expect_id st in
+    expect_punct st ",";
+    let base = expect_id st in
+    expect_punct st ")";
+    expect_punct st ";";
+    s (Ast.Sps (v, base))
+  | Lexer.KW "psm" ->
+    advance st;
+    expect_punct st "(";
+    let v = expect_id st in
+    expect_punct st ",";
+    let base = parse_expression st in
+    expect_punct st ")";
+    expect_punct st ";";
+    s (Ast.Spsm (v, base))
+  | Lexer.KW k when is_type_kw k || k = "struct" || k = "volatile" || k = "const" ->
+    let d = parse_decl_stmt st in
+    expect_punct st ";";
+    d
+  | _ ->
+    let e = parse_expression st in
+    expect_punct st ";";
+    s (Ast.Sexpr e)
+
+and parse_decl_stmt st =
+  let pos = line st in
+  let volatile = match peek st with
+    | Lexer.KW "volatile" -> advance st; true
+    | Lexer.KW "const" -> advance st; false
+    | _ -> false
+  in
+  let base = base_ty st in
+  let rec go acc =
+    let name, ty = declarator st base in
+    let init =
+      if accept_punct st "=" then
+        if peek st = Lexer.PUNCT "{" then Some (Ast.Ilist (parse_initlist st))
+        else Some (Ast.Iexpr (parse_assign st))
+      else None
+    in
+    let d = { Ast.d_ty = ty; d_name = name; d_init = init; d_volatile = volatile; d_pos = pos } in
+    if accept_punct st "," then go (d :: acc) else List.rev (d :: acc)
+  in
+  { Ast.snode = Ast.Sdecl (go []); spos = pos }
+
+and parse_initlist st =
+  expect_punct st "{";
+  if accept_punct st "}" then []
+  else begin
+    let rec go acc =
+      let e = parse_assign st in
+      if accept_punct st "," then
+        if peek st = Lexer.PUNCT "}" then (advance st; List.rev (e :: acc))
+        else go (e :: acc)
+      else begin
+        expect_punct st "}";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Top level. *)
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc
+    else begin
+      let pos = line st in
+      let volatile = match peek st with
+        | Lexer.KW "volatile" -> advance st; true
+        | Lexer.KW "const" -> advance st; false
+        | _ -> false
+      in
+      (* struct definition: struct S { fields };  *)
+      if
+        peek st = Lexer.KW "struct"
+        && (match (peek2 st, st.toks.(min (st.pos + 2) (Array.length st.toks - 1))) with
+           | Lexer.ID _, (Lexer.PUNCT "{", _) -> true
+           | _ -> false)
+      then begin
+        advance st (* struct *);
+        let sname = expect_id st in
+        expect_punct st "{";
+        let fields = ref [] in
+        while peek st <> Lexer.PUNCT "}" do
+          let fbase = base_ty st in
+          let fname, fty = declarator st fbase in
+          expect_punct st ";";
+          fields := (fty, fname) :: !fields
+        done;
+        expect_punct st "}";
+        expect_punct st ";";
+        go
+          (Ast.Tstructdef { sd_name = sname; sd_fields = List.rev !fields; sd_pos = pos }
+          :: acc)
+      end
+      else begin
+      let base = base_ty st in
+      let stars = ref 0 in
+      while accept_punct st "*" do incr stars done;
+      let name = expect_id st in
+      let ty0 = ref base in
+      for _ = 1 to !stars do ty0 := Tptr !ty0 done;
+      if accept_punct st "(" then begin
+        let params =
+          if accept_punct st ")" then []
+          else if peek st = Lexer.KW "void" && peek2 st = Lexer.PUNCT ")" then begin
+            advance st;
+            advance st;
+            []
+          end
+          else begin
+            let rec gop acc =
+              let pbase = base_ty st in
+              let pname, pty = declarator st pbase in
+              let pty = Types.decay pty in
+              if accept_punct st "," then gop ((pty, pname) :: acc)
+              else begin
+                expect_punct st ")";
+                List.rev ((pty, pname) :: acc)
+              end
+            in
+            gop []
+          end
+        in
+        let body = parse_stmt st in
+        go
+          (Ast.Tfunc
+             { f_ret = !ty0; f_name = name; f_params = params; f_body = body; f_pos = pos }
+          :: acc)
+      end
+      else begin
+        let rec dims ty =
+          if accept_punct st "[" then begin
+            let n =
+              match next st with
+              | Lexer.INT v -> v
+              | t -> fail st "expected array size, got %S" (Lexer.token_to_string t)
+            in
+            expect_punct st "]";
+            Types.Tarr (dims ty, n)
+          end
+          else ty
+        in
+        let init_of () =
+          if accept_punct st "=" then
+            if peek st = Lexer.PUNCT "{" then Some (Ast.Ilist (parse_initlist st))
+            else Some (Ast.Iexpr (parse_assign st))
+          else None
+        in
+        let first =
+          let dty = dims !ty0 in
+          let dinit = init_of () in
+          { Ast.d_ty = dty; d_name = name; d_init = dinit; d_volatile = volatile; d_pos = pos }
+        in
+        let rec gog acc =
+          if accept_punct st "," then begin
+            let dname, dty = declarator st base in
+            let d =
+              let dinit = init_of () in
+              {
+                Ast.d_ty = dty;
+                d_name = dname;
+                d_init = dinit;
+                d_volatile = volatile;
+                d_pos = pos;
+              }
+            in
+            gog (d :: acc)
+          end
+          else begin
+            expect_punct st ";";
+            List.rev acc
+          end
+        in
+        let ds = gog [ first ] in
+        go (List.rev_append (List.rev_map (fun d -> Ast.Tglobal d) ds) acc)
+      end
+      end
+    end
+  in
+  go []
+
+let parse_expr src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let e = parse_expression st in
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> fail st "trailing tokens after expression: %S" (Lexer.token_to_string t));
+  e

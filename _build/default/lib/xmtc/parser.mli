@@ -1,0 +1,10 @@
+(** Recursive-descent parser for XMTC (paper §II-A): C with the [spawn]
+    statement, the [$] thread identifier, and the [ps]/[psm] prefix-sum
+    statements. *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Ast.program
+
+(** Parse a single expression (used by tests). *)
+val parse_expr : string -> Ast.expr

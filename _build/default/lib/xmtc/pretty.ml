@@ -1,0 +1,228 @@
+open Types
+
+let rec ty_decl ty name =
+  (* C-style declaration of [name] with type [ty] *)
+  match ty with
+  | Tarr (elem, n) -> ty_decl elem (Printf.sprintf "%s[%d]" name n)
+  | Tptr inner -> ty_decl inner ("*" ^ name)
+  | Tint -> "int " ^ name
+  | Tfloat -> "float " ^ name
+  | Tvoid -> "void " ^ name
+  | Tstruct sname -> "struct " ^ sname ^ " " ^ name
+
+let builtin_name = function
+  | Tast.Bprint_int -> "print_int"
+  | Tast.Bprint_float -> "print_float"
+  | Tast.Bprint_char -> "print_char"
+  | Tast.Bprint_string -> "print_string"
+  | Tast.Bsqrtf -> "sqrtf"
+  | Tast.Bfabsf -> "fabsf"
+  | Tast.Babs -> "abs"
+  | Tast.Bmalloc -> "malloc"
+  | Tast.Bro -> "__ro_addr"
+
+(* The typechecker pre-scales pointer arithmetic to bytes
+   (p + i becomes p + i*sizeof).  Printing must undo the scaling, or the
+   reparsed source would scale twice. *)
+let unscale (off : Tast.expr) ~elem =
+  match off.enode with
+  | Tast.Ebinop (Mul, idx, { enode = Tast.Eint s; _ }) when s = sizeof elem ->
+    Some idx
+  | Tast.Eint k when k mod max 1 (sizeof elem) = 0 ->
+    Some { off with enode = Tast.Eint (k / max 1 (sizeof elem)) }
+  | _ -> None
+
+(* Recognize the desugared struct member access produced by the
+   typechecker: cast(fieldptr)(base + off) with base : struct pointer. *)
+let member_of (e : Tast.expr) =
+  match e.Tast.enode with
+  | Tast.Ecast
+      ( Tptr _,
+        {
+          enode =
+            Tast.Ebinop
+              (Add, ({ ety = Tptr (Tstruct sname); _ } as base),
+                { enode = Tast.Eint off; _ });
+          _;
+        } ) -> (
+    match field_at_offset sname off with
+    | Some (fname, _) -> Some (base, fname)
+    | None -> None)
+  | _ -> None
+
+let rec expr_to_string (e : Tast.expr) =
+  let s = expr_to_string in
+  match e.enode with
+  | Tast.Ederef inner when member_of inner <> None ->
+    let base, fname = Option.get (member_of inner) in
+    (match base.Tast.enode with
+    | Tast.Eaddr ({ enode = Tast.Evar v; _ }) -> v.Tast.vname ^ "." ^ fname
+    | _ -> Printf.sprintf "%s->%s" (s base) fname)
+  | _ when member_of e <> None ->
+    (* array-typed field: the address itself, decayed *)
+    let base, fname = Option.get (member_of e) in
+    (match base.Tast.enode with
+    | Tast.Eaddr ({ enode = Tast.Evar v; _ }) -> v.Tast.vname ^ "." ^ fname
+    | _ -> Printf.sprintf "%s->%s" (s base) fname)
+  | Tast.Ederef
+      { enode = Tast.Ebinop (Add, ({ ety = Tptr elem; _ } as p), off); _ }
+    when unscale off ~elem <> None ->
+    Printf.sprintf "%s[%s]" (s p) (s (Option.get (unscale off ~elem)))
+  | Tast.Ebinop
+      (((Add | Sub) as op), ({ ety = Tptr elem; _ } as p), off)
+    when unscale off ~elem <> None ->
+    Printf.sprintf "(%s %s %s)" (s p) (string_of_binop op)
+      (s (Option.get (unscale off ~elem)))
+  | Tast.Eopassign
+      (((Add | Sub) as op), ({ ety = Tptr elem; _ } as p), off)
+    when unscale off ~elem <> None ->
+    Printf.sprintf "%s %s= %s" (s p) (string_of_binop op)
+      (s (Option.get (unscale off ~elem)))
+  | Tast.Ebinop
+      (Div, { enode = Tast.Ebinop (Sub, ({ ety = Tptr e1; _ } as p), q); _ },
+        { enode = Tast.Eint k; _ })
+    when k = sizeof e1 ->
+    Printf.sprintf "(%s - %s)" (s p) (s q)
+  | Tast.Eint v -> string_of_int v
+  | Tast.Eflt f ->
+    let str = Printf.sprintf "%g" f in
+    if String.contains str '.' || String.contains str 'e' then str else str ^ ".0"
+  | Tast.Evar v -> v.vname
+  | Tast.Etid -> "$"
+  | Tast.Eunop (op, a) -> Printf.sprintf "(%s%s)" (string_of_unop op) (s a)
+  | Tast.Elognot a -> Printf.sprintf "(!%s)" (s a)
+  | Tast.Ebinop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (s a) (string_of_binop op) (s b)
+  | Tast.Eland (a, b) -> Printf.sprintf "(%s && %s)" (s a) (s b)
+  | Tast.Elor (a, b) -> Printf.sprintf "(%s || %s)" (s a) (s b)
+  | Tast.Eassign (a, b) -> Printf.sprintf "%s = %s" (s a) (s b)
+  | Tast.Eopassign (op, a, b) ->
+    Printf.sprintf "%s %s= %s" (s a) (string_of_binop op) (s b)
+  | Tast.Eincdec (Incr, true, a) -> Printf.sprintf "++%s" (s a)
+  | Tast.Eincdec (Decr, true, a) -> Printf.sprintf "--%s" (s a)
+  | Tast.Eincdec (Incr, false, a) -> Printf.sprintf "%s++" (s a)
+  | Tast.Eincdec (Decr, false, a) -> Printf.sprintf "%s--" (s a)
+  | Tast.Ecall (Tast.Cbuiltin Tast.Bro, [ addr ]) ->
+    (* print back in source form: ro(lvalue) *)
+    let lv =
+      match addr.enode with
+      | Tast.Eaddr inner -> s inner
+      | _ -> "*" ^ s addr
+    in
+    Printf.sprintf "ro(%s)" lv
+  | Tast.Ecall (Tast.Cuser f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map s args))
+  | Tast.Ecall (Tast.Cbuiltin b, args) ->
+    Printf.sprintf "%s(%s)" (builtin_name b) (String.concat ", " (List.map s args))
+  | Tast.Ederef a -> Printf.sprintf "(*%s)" (s a)
+  | Tast.Eaddr a -> Printf.sprintf "(&%s)" (s a)
+  | Tast.Ecast (t, a) -> Printf.sprintf "((%s)%s)" (string_of_ty t) (s a)
+  | Tast.Econd (c, a, b) -> Printf.sprintf "(%s ? %s : %s)" (s c) (s a) (s b)
+
+let rec stmt_lines indent (st : Tast.stmt) : string list =
+  let pad = String.make indent ' ' in
+  match st with
+  | Tast.Sskip -> [ pad ^ ";" ]
+  | Tast.Sexpr e -> [ pad ^ expr_to_string e ^ ";" ]
+  | Tast.Sdecl (v, init) ->
+    let head = ty_decl v.vty v.vname in
+    let head = if v.vvolatile then "volatile " ^ head else head in
+    (match init with
+    | None -> [ pad ^ head ^ ";" ]
+    | Some e -> [ pad ^ head ^ " = " ^ expr_to_string e ^ ";" ])
+  | Tast.Sblock ss ->
+    (* the typechecker wraps declaration lists in scopeless blocks; print
+       nested blocks flattened so the output's scoping matches the typed
+       AST's (variables are already uniquely resolved) *)
+    let rec flatten = function
+      | Tast.Sblock inner -> List.concat_map flatten inner
+      | s -> [ s ]
+    in
+    [ pad ^ "{" ]
+    @ List.concat_map (stmt_lines (indent + 2)) (List.concat_map flatten ss)
+    @ [ pad ^ "}" ]
+  | Tast.Sif (c, a, Tast.Sskip) ->
+    (pad ^ "if (" ^ expr_to_string c ^ ")") :: stmt_lines (indent + 2) a
+  | Tast.Sif (c, a, b) ->
+    ((pad ^ "if (" ^ expr_to_string c ^ ")") :: stmt_lines (indent + 2) a)
+    @ [ pad ^ "else" ]
+    @ stmt_lines (indent + 2) b
+  | Tast.Swhile (c, b) ->
+    (pad ^ "while (" ^ expr_to_string c ^ ")") :: stmt_lines (indent + 2) b
+  | Tast.Sdowhile (b, c) ->
+    [ pad ^ "do" ]
+    @ stmt_lines (indent + 2) b
+    @ [ pad ^ "while (" ^ expr_to_string c ^ ");" ]
+  | Tast.Sfor (init, cond, post, body) ->
+    let inline s =
+      match stmt_lines 0 s with
+      | [ line ] -> (try String.sub line 0 (String.length line - 1) with _ -> line)
+      | _ -> "..."
+    in
+    let c = match cond with Some c -> expr_to_string c | None -> "" in
+    (pad
+    ^ Printf.sprintf "for (%s; %s; %s)" (inline init) c
+        (match post with Tast.Sskip -> "" | s -> inline s))
+    :: stmt_lines (indent + 2) body
+  | Tast.Sreturn None -> [ pad ^ "return;" ]
+  | Tast.Sreturn (Some e) -> [ pad ^ "return " ^ expr_to_string e ^ ";" ]
+  | Tast.Sbreak -> [ pad ^ "break;" ]
+  | Tast.Scontinue -> [ pad ^ "continue;" ]
+  | Tast.Sspawn sp ->
+    (pad
+    ^ Printf.sprintf "spawn(%s, %s)" (expr_to_string sp.sp_lo)
+        (expr_to_string sp.sp_hi))
+    :: stmt_lines (indent + 2) sp.sp_body
+  | Tast.Sps (v, b) -> [ pad ^ Printf.sprintf "ps(%s, %s);" v.vname b.vname ]
+  | Tast.Spsm (v, addr) ->
+    (* print back in source form: psm(v, *addr) *)
+    let base =
+      match addr.enode with
+      | Tast.Eaddr inner -> expr_to_string inner
+      | _ -> "*" ^ expr_to_string addr
+    in
+    [ pad ^ Printf.sprintf "psm(%s, %s);" v.vname base ]
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s)
+
+let func_to_string (f : Tast.func) =
+  let params =
+    match f.fparams with
+    | [] -> "void"
+    | ps -> String.concat ", " (List.map (fun v -> ty_decl v.Tast.vty v.Tast.vname) ps)
+  in
+  let header = Printf.sprintf "%s(%s)" f.fname params in
+  let header = ty_decl f.fret header in
+  (* reuse declaration syntax for the return type *)
+  header ^ "\n" ^ stmt_to_string f.fbody
+
+let program_to_string (p : Tast.program) =
+  let structs =
+    List.map
+      (fun name ->
+        let fields = Option.value ~default:[] (Types.struct_fields name) in
+        Printf.sprintf "struct %s {\n%s\n};" name
+          (String.concat "\n"
+             (List.map (fun (f, t) -> "  " ^ ty_decl t f ^ ";") fields)))
+      (Types.defined_structs ())
+  in
+  let globals =
+    List.map
+      (fun ((v : Tast.var), init) ->
+        let head = ty_decl v.vty v.vname in
+        let head = if v.vvolatile then "volatile " ^ head else head in
+        match init with
+        | Tast.Czeros -> head ^ ";"
+        | Tast.Cints [ x ] -> Printf.sprintf "%s = %d;" head x
+        | Tast.Cints xs ->
+          Printf.sprintf "%s = {%s};" head
+            (String.concat ", " (List.map string_of_int xs))
+        | Tast.Cflts [ x ] -> Printf.sprintf "%s = %g;" head x
+        | Tast.Cflts xs ->
+          Printf.sprintf "%s = {%s};" head
+            (String.concat ", " (List.map (Printf.sprintf "%g") xs)))
+      p.globals
+  in
+  String.concat "\n"
+    (structs @ globals @ [ "" ]
+    @ List.map (fun f -> func_to_string f ^ "\n") p.funcs)

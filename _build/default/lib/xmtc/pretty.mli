@@ -1,0 +1,10 @@
+(** Pretty-printer from the typed AST back to XMTC source.
+
+    Used to expose the pre-pass (outlining, clustering) as the
+    source-to-source XMTC-to-XMTC transformation the paper describes for
+    its CIL-based pre-pass, and by golden tests on those passes. *)
+
+val expr_to_string : Tast.expr -> string
+val stmt_to_string : ?indent:int -> Tast.stmt -> string
+val func_to_string : Tast.func -> string
+val program_to_string : Tast.program -> string

@@ -1,0 +1,179 @@
+(** Typed abstract syntax.
+
+    Produced by {!Typecheck} from the parser's {!Ast}; consumed by the
+    compiler's source-to-source passes (outlining §IV-B, clustering §IV-C)
+    and by lowering.  Names are resolved to {!var} records with unique ids,
+    implicit conversions are explicit [Ecast]s, array indexing is desugared
+    to scaled pointer arithmetic, and string/char literals are materialized.
+    {!Pretty} prints this representation back as XMTC source, which is what
+    makes the pre-pass transformations source-to-source, as in CIL. *)
+
+open Types
+
+type vkind =
+  | Kglobal
+  | Klocal  (** serial-function local, or spawn-block thread-local *)
+  | Kparam
+
+type var = {
+  vid : int;
+  vname : string;
+  vty : ty;
+  vkind : vkind;
+  vvolatile : bool;
+  mutable vaddr_taken : bool;
+  mutable vps_base : bool;  (** global used as a [ps] base: lives in a $g register *)
+  mutable vthread_local : bool;  (** declared inside a spawn block *)
+}
+
+type builtin =
+  | Bprint_int
+  | Bprint_float
+  | Bprint_char
+  | Bprint_string
+  | Bsqrtf
+  | Bfabsf
+  | Babs
+  | Bmalloc  (** bump allocation from the serial heap (§IV-D) *)
+  | Bro
+      (** [ro(lvalue)]: load through the cluster read-only cache (§IV-C:
+          "programmers can explicitly load data into the read-only caches").
+          The programmer asserts the location is not written during the
+          spawn; stale values are their own fault, as on the hardware. *)
+
+type callee = Cuser of string | Cbuiltin of builtin
+
+type expr = { ety : ty; enode : enode }
+
+and enode =
+  | Eint of int
+  | Eflt of float
+  | Evar of var
+  | Etid
+  | Eunop of unop * expr
+  | Elognot of expr
+  | Ebinop of binop * expr * expr
+      (** both operands already converted to [ety] (or int for comparisons);
+          pointer arithmetic is pre-scaled to bytes *)
+  | Eland of expr * expr
+  | Elor of expr * expr
+  | Eassign of expr * expr  (** lhs is an lvalue *)
+  | Eopassign of binop * expr * expr  (** lvalue address evaluated once *)
+  | Eincdec of incdec * bool * expr  (** op, is_prefix, lvalue *)
+  | Ecall of callee * expr list
+  | Ederef of expr
+  | Eaddr of expr
+  | Ecast of ty * expr
+  | Econd of expr * expr * expr
+
+type stmt =
+  | Sskip
+  | Sexpr of expr
+  | Sdecl of var * expr option
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt
+  | Swhile of expr * stmt
+  | Sdowhile of stmt * expr
+  | Sfor of stmt * expr option * stmt * stmt  (** init, cond, post, body *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sspawn of spawn
+  | Sps of var * var  (** ps(local, base): local gets old base, base += local *)
+  | Spsm of var * expr  (** psm(local, addr): same, on a memory word *)
+
+and spawn = {
+  sp_lo : expr;
+  sp_hi : expr;
+  mutable sp_body : stmt;
+  sp_id : int;  (** unique spawn-site id, names the outlined function *)
+  mutable sp_nested : bool;  (** lexically inside another spawn: serialized *)
+}
+
+type const_init = Cints of int list | Cflts of float list | Czeros
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : var list;
+  mutable fbody : stmt;
+  mutable fis_outlined_spawn : bool;
+      (** true for the [__outl_sp_k] functions created by the pre-pass *)
+}
+
+type program = {
+  globals : (var * const_init) list;
+  mutable funcs : func list;
+}
+
+(** Iterate over every spawn statement in a statement tree. *)
+let rec iter_spawns f = function
+  | Sspawn sp ->
+    f sp;
+    iter_spawns f sp.sp_body
+  | Sblock ss -> List.iter (iter_spawns f) ss
+  | Sif (_, a, b) ->
+    iter_spawns f a;
+    iter_spawns f b
+  | Swhile (_, b) | Sdowhile (b, _) -> iter_spawns f b
+  | Sfor (i, _, p, b) ->
+    iter_spawns f i;
+    iter_spawns f p;
+    iter_spawns f b
+  | Sskip | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Sps _ | Spsm _ -> ()
+
+(** Map over statements bottom-up. *)
+let rec map_stmt f s =
+  let s' =
+    match s with
+    | Sblock ss -> Sblock (List.map (map_stmt f) ss)
+    | Sif (c, a, b) -> Sif (c, map_stmt f a, map_stmt f b)
+    | Swhile (c, b) -> Swhile (c, map_stmt f b)
+    | Sdowhile (b, c) -> Sdowhile (map_stmt f b, c)
+    | Sfor (i, c, p, b) -> Sfor (map_stmt f i, c, map_stmt f p, map_stmt f b)
+    | Sspawn sp ->
+      sp.sp_body <- map_stmt f sp.sp_body;
+      Sspawn sp
+    | Sskip | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Sps _ | Spsm _
+      -> s
+  in
+  f s'
+
+(** Fold over all expressions in a statement tree (pre-order). *)
+let rec fold_exprs f acc s =
+  let fe = f in
+  match s with
+  | Sexpr e -> fe acc e
+  | Sdecl (_, Some e) -> fe acc e
+  | Sdecl (_, None) | Sskip | Sbreak | Scontinue -> acc
+  | Sblock ss -> List.fold_left (fold_exprs fe) acc ss
+  | Sif (c, a, b) -> fold_exprs fe (fold_exprs fe (fe acc c) a) b
+  | Swhile (c, b) -> fold_exprs fe (fe acc c) b
+  | Sdowhile (b, c) -> fe (fold_exprs fe acc b) c
+  | Sfor (i, c, p, b) ->
+    let acc = fold_exprs fe acc i in
+    let acc = match c with Some c -> fe acc c | None -> acc in
+    fold_exprs fe (fold_exprs fe acc p) b
+  | Sreturn (Some e) -> fe acc e
+  | Sreturn None -> acc
+  | Sspawn sp -> fold_exprs fe (fe (fe acc sp.sp_lo) sp.sp_hi) sp.sp_body
+  | Sps _ -> acc
+  | Spsm (_, e) -> fe acc e
+
+(** Fold [f] over every variable occurrence in an expression. *)
+let rec fold_expr_vars f acc (e : expr) =
+  match e.enode with
+  | Evar v -> f acc v
+  | Eint _ | Eflt _ | Etid -> acc
+  | Eunop (_, a) | Elognot a | Ederef a | Eaddr a | Ecast (_, a) ->
+    fold_expr_vars f acc a
+  | Ebinop (_, a, b)
+  | Eland (a, b)
+  | Elor (a, b)
+  | Eassign (a, b)
+  | Eopassign (_, a, b) ->
+    fold_expr_vars f (fold_expr_vars f acc a) b
+  | Eincdec (_, _, a) -> fold_expr_vars f acc a
+  | Ecall (_, args) -> List.fold_left (fold_expr_vars f) acc args
+  | Econd (a, b, c) ->
+    fold_expr_vars f (fold_expr_vars f (fold_expr_vars f acc a) b) c

@@ -1,0 +1,740 @@
+open Types
+
+exception Error of { line : int; msg : string }
+
+let err line fmt = Printf.ksprintf (fun msg -> raise (Error { line; msg })) fmt
+
+type fsig = { fs_ret : ty; fs_params : ty list }
+
+type env = {
+  global_vars : (string, Tast.var) Hashtbl.t;
+  fsigs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string, Tast.var) Hashtbl.t list;
+  mutable next_vid : int;
+  mutable next_spawn : int;
+  mutable in_spawn : int;  (* spawn nesting depth *)
+  mutable loop_depth : int;  (* loops entered inside current spawn/function *)
+  mutable cur_ret : ty;
+  mutable extra_globals : (Tast.var * Tast.const_init) list;  (* string literals *)
+  mutable string_count : int;
+}
+
+let new_env () =
+  {
+    global_vars = Hashtbl.create 64;
+    fsigs = Hashtbl.create 64;
+    scopes = [];
+    next_vid = 0;
+    next_spawn = 0;
+    in_spawn = 0;
+    loop_depth = 0;
+    cur_ret = Tvoid;
+    extra_globals = [];
+    string_count = 0;
+  }
+
+let fresh_var env ~name ~ty ~kind ~volatile =
+  let v =
+    {
+      Tast.vid = env.next_vid;
+      vname = name;
+      vty = ty;
+      vkind = kind;
+      vvolatile = volatile;
+      vaddr_taken = false;
+      vps_base = false;
+      vthread_local = false;
+    }
+  in
+  env.next_vid <- env.next_vid + 1;
+  v
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let declare_local env line (v : Tast.var) =
+  match env.scopes with
+  | [] -> err line "internal: no scope"
+  | scope :: _ ->
+    if Hashtbl.mem scope v.vname then err line "redeclaration of %s" v.vname;
+    Hashtbl.replace scope v.vname v
+
+let lookup env line name =
+  let rec go = function
+    | [] -> (
+      match Hashtbl.find_opt env.global_vars name with
+      | Some v -> v
+      | None -> err line "undeclared identifier %s" name)
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with Some v -> v | None -> go rest)
+  in
+  go env.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Expression helpers *)
+
+let is_int_ty = function Tint -> true | Tvoid | Tfloat | Tptr _ | Tarr _ | Tstruct _ -> false
+let is_ptr_ty = function Tptr _ -> true | Tvoid | Tint | Tfloat | Tarr _ | Tstruct _ -> false
+
+let mk ty node = { Tast.ety = ty; enode = node }
+
+(* Implicit conversion of [e] to type [want]; errors when impossible. *)
+let convert line (e : Tast.expr) want =
+  let have = e.ety in
+  if ty_equal have want then e
+  else
+    match (have, want) with
+    | Tint, Tfloat -> mk Tfloat (Tast.Ecast (Tfloat, e))
+    | Tfloat, Tint -> mk Tint (Tast.Ecast (Tint, e))
+    | Tptr _, Tptr _ -> mk want (Tast.Ecast (want, e))
+    | Tint, Tptr _ ->
+      (* allow literal 0 as null pointer *)
+      (match e.enode with
+      | Tast.Eint 0 -> mk want (Tast.Ecast (want, e))
+      | _ -> err line "cannot convert int to %s implicitly" (string_of_ty want))
+    | _ ->
+      err line "cannot convert %s to %s" (string_of_ty have) (string_of_ty want)
+
+(* Unify numeric operand types for an arithmetic binop. *)
+let unify_arith line a b =
+  match (a.Tast.ety, b.Tast.ety) with
+  | Tint, Tint -> (a, b, Tint)
+  | Tfloat, Tfloat -> (a, b, Tfloat)
+  | Tint, Tfloat -> (convert line a Tfloat, b, Tfloat)
+  | Tfloat, Tint -> (a, convert line b Tfloat, Tfloat)
+  | ta, tb ->
+    err line "invalid operand types %s and %s" (string_of_ty ta) (string_of_ty tb)
+
+let scale_index line (idx : Tast.expr) elem_ty =
+  let idx = convert line idx Tint in
+  let size = sizeof elem_ty in
+  if size = 0 then err line "cannot index elements of incomplete type";
+  mk Tint (Tast.Ebinop (Mul, idx, mk Tint (Tast.Eint size)))
+
+(* A value use of a type requires complete struct layouts (pointer
+   components may reference structs defined later or never). *)
+let rec check_complete line ty =
+  match ty with
+  | Tstruct s -> (
+    match struct_fields s with
+    | None -> err line "struct %s is not defined" s
+    | Some fields -> List.iter (fun (_, t) -> check_complete line t) fields)
+  | Tarr (t, _) -> check_complete line t
+  | Tvoid | Tint | Tfloat | Tptr _ -> ()
+
+let rec is_lvalue (e : Tast.expr) =
+  match e.enode with
+  | Tast.Evar v -> (match v.Tast.vty with Tarr _ -> false | _ -> true)
+  | Tast.Ederef _ -> true
+  | Tast.Ecast (_, inner) -> is_lvalue inner
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+
+let builtin_of_name = function
+  | "print_int" -> Some Tast.Bprint_int
+  | "print_float" -> Some Tast.Bprint_float
+  | "print_char" -> Some Tast.Bprint_char
+  | "print_string" -> Some Tast.Bprint_string
+  | "sqrtf" -> Some Tast.Bsqrtf
+  | "fabsf" -> Some Tast.Bfabsf
+  | "abs" -> Some Tast.Babs
+  | "malloc" -> Some Tast.Bmalloc
+  | "ro" -> Some Tast.Bro
+  | _ -> None
+
+let intern_string env s =
+  let name = Printf.sprintf "__str_%d" env.string_count in
+  env.string_count <- env.string_count + 1;
+  let codes = List.init (String.length s + 1) (fun i ->
+      if i < String.length s then Char.code s.[i] else 0)
+  in
+  let v =
+    fresh_var env ~name
+      ~ty:(Tarr (Tint, String.length s + 1))
+      ~kind:Tast.Kglobal ~volatile:false
+  in
+  Hashtbl.replace env.global_vars name v;
+  env.extra_globals <- (v, Tast.Cints codes) :: env.extra_globals;
+  v
+
+let rec check_expr env (e : Ast.expr) : Tast.expr =
+  let line = e.pos in
+  match e.node with
+  | Ast.Eint v -> mk Tint (Tast.Eint v)
+  | Ast.Eflt f -> mk Tfloat (Tast.Eflt f)
+  | Ast.Echar c -> mk Tint (Tast.Eint (Char.code c))
+  | Ast.Estr s ->
+    let v = intern_string env s in
+    mk (Tptr Tint) (Tast.Evar v)
+  | Ast.Etid ->
+    if env.in_spawn = 0 then err line "$ may only appear inside a spawn block";
+    mk Tint Tast.Etid
+  | Ast.Eid name ->
+    let v = lookup env line name in
+    if v.Tast.vps_base && env.in_spawn > 0 then
+      err line
+        "ps base %s lives in a global register; virtual threads may only \
+         access it through ps" name;
+    mk (decay v.Tast.vty) (Tast.Evar v)
+  | Ast.Eunop (op, a) -> (
+    let a = check_expr env a in
+    match (op, a.ety) with
+    | Neg, Tint -> mk Tint (Tast.Eunop (Neg, a))
+    | Neg, Tfloat -> mk Tfloat (Tast.Eunop (Neg, a))
+    | Bnot, Tint -> mk Tint (Tast.Eunop (Bnot, a))
+    | _, t -> err line "invalid operand of type %s" (string_of_ty t))
+  | Ast.Elognot a ->
+    let a = check_expr env a in
+    if not (is_int_ty a.ety || is_ptr_ty a.ety) then
+      err line "! requires an int or pointer operand";
+    mk Tint (Tast.Elognot a)
+  | Ast.Ebinop (op, a, b) -> check_binop env line op a b
+  | Ast.Eland (a, b) ->
+    let a = check_expr env a and b = check_expr env b in
+    if not ((is_int_ty a.ety || is_ptr_ty a.ety) && (is_int_ty b.ety || is_ptr_ty b.ety))
+    then err line "&& requires int or pointer operands";
+    mk Tint (Tast.Eland (a, b))
+  | Ast.Elor (a, b) ->
+    let a = check_expr env a and b = check_expr env b in
+    if not ((is_int_ty a.ety || is_ptr_ty a.ety) && (is_int_ty b.ety || is_ptr_ty b.ety))
+    then err line "|| requires int or pointer operands";
+    mk Tint (Tast.Elor (a, b))
+  | Ast.Eassign (lhs, rhs) ->
+    let lhs = check_expr env lhs in
+    if not (is_lvalue lhs) then err line "assignment target is not an lvalue";
+    (match lhs.ety with
+    | Tstruct _ -> err line "whole-struct assignment is not supported"
+    | _ -> ());
+    let rhs = convert line (check_expr env rhs) lhs.ety in
+    mk lhs.ety (Tast.Eassign (lhs, rhs))
+  | Ast.Eopassign (op, lhs, rhs) ->
+    let lhs = check_expr env lhs in
+    if not (is_lvalue lhs) then err line "assignment target is not an lvalue";
+    let rhs = check_expr env rhs in
+    (match lhs.ety with
+    | Tint | Tfloat ->
+      let rhs = convert line rhs lhs.ety in
+      (match (op, lhs.ety) with
+      | (Mod | Band | Bor | Bxor | Shl | Shr), Tfloat ->
+        err line "invalid float operation %s" (string_of_binop op)
+      | _ -> mk lhs.ety (Tast.Eopassign (op, lhs, rhs)))
+    | Tptr elem when op = Add || op = Sub ->
+      let scaled = scale_index line rhs elem in
+      mk lhs.ety (Tast.Eopassign (op, lhs, scaled))
+    | t -> err line "invalid op-assign on type %s" (string_of_ty t))
+  | Ast.Eincdec (op, pre, lv) ->
+    let lv = check_expr env lv in
+    if not (is_lvalue lv) then err line "++/-- target is not an lvalue";
+    (match lv.ety with
+    | Tint -> mk Tint (Tast.Eincdec (op, pre, lv))
+    | Tptr _ -> mk lv.ety (Tast.Eincdec (op, pre, lv))
+    | t -> err line "++/-- on invalid type %s" (string_of_ty t))
+  | Ast.Ecall (name, args) -> check_call env line name args
+  | Ast.Eindex (arr, idx) ->
+    let arr = check_expr env arr in
+    let idx = check_expr env idx in
+    (match arr.ety with
+    | Tptr elem -> (
+      let off = scale_index line idx elem in
+      let addr = mk (Tptr elem) (Tast.Ebinop (Add, arr, off)) in
+      match elem with
+      | Tarr (inner, _) ->
+        (* multi-dimensional indexing: A[i] of an int[n][m] is the address
+           of row i, which decays to an inner pointer *)
+        mk (Tptr inner) (Tast.Ecast (Tptr inner, addr))
+      | Tstruct _ ->
+        (* struct element: an lvalue consumed by member access or & *)
+        mk elem (Tast.Ederef addr)
+      | _ when is_scalar elem -> mk elem (Tast.Ederef addr)
+      | _ -> err line "indexing non-scalar elements unsupported")
+    | t -> err line "cannot index a value of type %s" (string_of_ty t))
+  | Ast.Emember (base, field, arrow) -> (
+    let base = check_expr env base in
+    let sname, base_addr =
+      if arrow then
+        match base.ety with
+        | Tptr (Tstruct s) -> (s, base)
+        | t -> err line "-> on non-struct-pointer %s" (string_of_ty t)
+      else
+        match (base.ety, base.Tast.enode) with
+        | Tstruct s, Tast.Evar v ->
+          if v.Tast.vthread_local then
+            err line "struct %s cannot live in thread-local registers" v.Tast.vname;
+          v.Tast.vaddr_taken <- true;
+          (s, mk (Tptr (Tstruct s)) (Tast.Eaddr base))
+        | Tstruct s, Tast.Ederef p -> (s, p)
+        | t, _ -> err line ". on non-struct %s" (string_of_ty t)
+    in
+    match field_offset sname field with
+    | None -> err line "struct %s has no field %s" sname field
+    | Some (off, fty) -> (
+      let addr =
+        mk (Tptr (decay fty))
+          (Tast.Ecast
+             ( Tptr (decay fty),
+               mk (Tptr (Tstruct sname))
+                 (Tast.Ebinop (Add, base_addr, mk Tint (Tast.Eint off))) ))
+      in
+      match fty with
+      | Tarr (elem, _) -> { addr with Tast.ety = Tptr elem } (* decays *)
+      | Tstruct _ -> mk fty (Tast.Ederef addr) (* nested struct lvalue *)
+      | _ -> mk fty (Tast.Ederef addr)))
+  | Ast.Ederef p ->
+    let p = check_expr env p in
+    (match p.ety with
+    | Tptr elem ->
+      if not (is_scalar elem) then err line "dereferencing non-scalar unsupported";
+      mk elem (Tast.Ederef p)
+    | t -> err line "cannot dereference %s" (string_of_ty t))
+  | Ast.Eaddr lv -> (
+    let lv' = check_expr env lv in
+    match lv'.enode with
+    | Tast.Evar v ->
+      (match v.Tast.vty with
+      | Tarr (elem, _) -> mk (Tptr elem) (Tast.Evar v) (* arrays decay *)
+      | Tstruct s ->
+        if v.Tast.vthread_local then
+          err line "cannot take the address of thread-local %s" v.Tast.vname;
+        v.Tast.vaddr_taken <- true;
+        mk (Tptr (Tstruct s)) (Tast.Eaddr lv')
+      | _ ->
+        if v.Tast.vthread_local then
+          err line "cannot take the address of thread-local %s (no parallel stack)"
+            v.Tast.vname;
+        v.Tast.vaddr_taken <- true;
+        mk (Tptr v.Tast.vty) (Tast.Eaddr lv'))
+    | Tast.Ederef inner -> inner (* &*p and &a[i] *)
+    | _ -> err line "cannot take the address of this expression")
+  | Ast.Ecast (ty, a) -> (
+    let a = check_expr env a in
+    match (a.ety, ty) with
+    | t1, t2 when ty_equal t1 t2 -> a
+    | Tint, Tfloat | Tfloat, Tint | Tptr _, Tptr _ | Tint, Tptr _ | Tptr _, Tint ->
+      mk ty (Tast.Ecast (ty, a))
+    | t1, t2 -> err line "invalid cast from %s to %s" (string_of_ty t1) (string_of_ty t2))
+  | Ast.Econd (c, a, b) ->
+    let c = check_expr env c in
+    if not (is_int_ty c.ety || is_ptr_ty c.ety) then
+      err line "?: condition must be int or pointer";
+    let a = check_expr env a and b = check_expr env b in
+    if ty_equal a.ety b.ety then mk a.ety (Tast.Econd (c, a, b))
+    else
+      let a, b, t = unify_arith line a b in
+      mk t (Tast.Econd (c, a, b))
+
+and check_binop env line op a b =
+  let a = check_expr env a and b = check_expr env b in
+  match op with
+  | Add | Sub -> (
+    match (a.ety, b.ety) with
+    | Tptr elem, (Tint | Tfloat) ->
+      let off = scale_index line b elem in
+      mk a.ety (Tast.Ebinop (op, a, off))
+    | (Tint | Tfloat), Tptr elem when op = Add ->
+      let off = scale_index line a elem in
+      mk b.ety (Tast.Ebinop (op, b, off))
+    | Tptr e1, Tptr e2 when op = Sub && ty_equal e1 e2 ->
+      let diff = mk Tint (Tast.Ebinop (Sub, a, b)) in
+      mk Tint (Tast.Ebinop (Div, diff, mk Tint (Tast.Eint (sizeof e1))))
+    | _ ->
+      let a, b, t = unify_arith line a b in
+      mk t (Tast.Ebinop (op, a, b)))
+  | Mul | Div ->
+    let a, b, t = unify_arith line a b in
+    mk t (Tast.Ebinop (op, a, b))
+  | Mod | Band | Bor | Bxor | Shl | Shr ->
+    if not (is_int_ty a.ety && is_int_ty b.ety) then
+      err line "%s requires int operands" (string_of_binop op);
+    mk Tint (Tast.Ebinop (op, a, b))
+  | Lt | Le | Gt | Ge | Eq | Ne -> (
+    match (a.ety, b.ety) with
+    | Tptr _, Tptr _ -> mk Tint (Tast.Ebinop (op, a, b))
+    | Tptr _, Tint -> mk Tint (Tast.Ebinop (op, a, convert line b a.ety))
+    | Tint, Tptr _ -> mk Tint (Tast.Ebinop (op, convert line a b.ety, b))
+    | _ ->
+      let a, b, _ = unify_arith line a b in
+      mk Tint (Tast.Ebinop (op, a, b)))
+
+and check_call env line name args =
+  match builtin_of_name name with
+  | Some b -> (
+    let args = List.map (check_expr env) args in
+    let one () =
+      match args with [ a ] -> a | _ -> err line "%s expects one argument" name
+    in
+    match b with
+    | Tast.Bprint_int | Tast.Babs ->
+      let a = convert line (one ()) Tint in
+      mk (if b = Tast.Babs then Tint else Tvoid) (Tast.Ecall (Tast.Cbuiltin b, [ a ]))
+    | Tast.Bprint_char ->
+      let a = convert line (one ()) Tint in
+      mk Tvoid (Tast.Ecall (Tast.Cbuiltin b, [ a ]))
+    | Tast.Bprint_float | Tast.Bsqrtf | Tast.Bfabsf ->
+      let a = convert line (one ()) Tfloat in
+      mk
+        (if b = Tast.Bprint_float then Tvoid else Tfloat)
+        (Tast.Ecall (Tast.Cbuiltin b, [ a ]))
+    | Tast.Bprint_string -> (
+      let a = one () in
+      match a.ety with
+      | Tptr Tint -> mk Tvoid (Tast.Ecall (Tast.Cbuiltin b, [ a ]))
+      | t -> err line "print_string expects an int* argument, got %s" (string_of_ty t))
+    | Tast.Bmalloc ->
+      if env.in_spawn > 0 then
+        err line "malloc is not available in parallel code (§IV-D)";
+      let a = convert line (one ()) Tint in
+      mk (Tptr Tint) (Tast.Ecall (Tast.Cbuiltin b, [ a ]))
+    | Tast.Bro ->
+      if env.in_spawn = 0 then
+        err line "ro() loads through a cluster read-only cache: parallel only";
+      let lv = one () in
+      if not (is_lvalue lv) then err line "ro() expects a memory lvalue";
+      if not (is_int_ty lv.ety) then err line "ro() expects an int location";
+      let addr =
+        match lv.Tast.enode with
+        | Tast.Ederef p -> p
+        | Tast.Evar v' ->
+          if v'.Tast.vthread_local then
+            err line "ro() argument must be in memory, not a register";
+          v'.Tast.vaddr_taken <- true;
+          mk (Tptr lv.ety) (Tast.Eaddr lv)
+        | _ -> err line "unsupported ro() argument"
+      in
+      mk Tint (Tast.Ecall (Tast.Cbuiltin b, [ addr ])))
+  | None -> (
+    if env.in_spawn > 0 then
+      err line
+        "function call to %s inside a spawn block: the parallel cactus stack \
+         is not supported in this release (§IV-E)"
+        name;
+    match Hashtbl.find_opt env.fsigs name with
+    | None -> err line "call to undefined function %s" name
+    | Some fs ->
+      if List.length args <> List.length fs.fs_params then
+        err line "%s expects %d arguments, got %d" name (List.length fs.fs_params)
+          (List.length args);
+      let args =
+        List.map2 (fun a t -> convert line (check_expr env a) t) args fs.fs_params
+      in
+      mk fs.fs_ret (Tast.Ecall (Tast.Cuser name, args)))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let check_cond env (e : Ast.expr) =
+  let line = e.pos in
+  let c = check_expr env e in
+  if not (is_int_ty c.ety || is_ptr_ty c.ety) then
+    err line "condition must have int or pointer type";
+  c
+
+let rec check_stmt env (s : Ast.stmt) : Tast.stmt =
+  let line = s.spos in
+  match s.snode with
+  | Ast.Sskip -> Tast.Sskip
+  | Ast.Sexpr e -> Tast.Sexpr (check_expr env e)
+  | Ast.Sdecl ds ->
+    let one (d : Ast.decl) =
+      (match d.d_ty with
+      | Tvoid -> err line "cannot declare a void variable"
+      | (Tarr _ | Tstruct _) when env.in_spawn > 0 ->
+        err line
+          "%s declared in a spawn block: virtual threads have no stack (§IV-D)"
+          d.d_name
+      | t -> check_complete line t);
+      let v =
+        fresh_var env ~name:d.d_name ~ty:d.d_ty ~kind:Tast.Klocal
+          ~volatile:d.d_volatile
+      in
+      if env.in_spawn > 0 then v.Tast.vthread_local <- true;
+      let init =
+        match d.d_init with
+        | None -> None
+        | Some (Ast.Iexpr e) -> Some (convert line (check_expr env e) (decay d.d_ty))
+        | Some (Ast.Ilist _) ->
+          err line "brace initializers are only supported on globals"
+      in
+      declare_local env line v;
+      Tast.Sdecl (v, init)
+    in
+    Tast.Sblock (List.map one ds)
+  | Ast.Sblock ss ->
+    push_scope env;
+    let out = List.map (check_stmt env) ss in
+    pop_scope env;
+    Tast.Sblock out
+  | Ast.Sif (c, a, b) ->
+    let c = check_cond env c in
+    let a = check_stmt env a in
+    let b = match b with Some b -> check_stmt env b | None -> Tast.Sskip in
+    Tast.Sif (c, a, b)
+  | Ast.Swhile (c, body) ->
+    let c = check_cond env c in
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_stmt env body in
+    env.loop_depth <- env.loop_depth - 1;
+    Tast.Swhile (c, body)
+  | Ast.Sdowhile (body, c) ->
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_stmt env body in
+    env.loop_depth <- env.loop_depth - 1;
+    let c = check_cond env c in
+    Tast.Sdowhile (body, c)
+  | Ast.Sfor (init, cond, post, body) ->
+    push_scope env;
+    let init = match init with Some i -> check_stmt env i | None -> Tast.Sskip in
+    let cond = Option.map (check_cond env) cond in
+    let post =
+      match post with Some p -> Tast.Sexpr (check_expr env p) | None -> Tast.Sskip
+    in
+    env.loop_depth <- env.loop_depth + 1;
+    let body = check_stmt env body in
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env;
+    Tast.Sfor (init, cond, post, body)
+  | Ast.Sreturn e ->
+    if env.in_spawn > 0 then
+      err line "return inside a spawn block would exit the parallel section";
+    (match (e, env.cur_ret) with
+    | None, Tvoid -> Tast.Sreturn None
+    | None, t -> err line "missing return value of type %s" (string_of_ty t)
+    | Some _, Tvoid -> err line "void function returns a value"
+    | Some e, t -> Tast.Sreturn (Some (convert line (check_expr env e) t)))
+  | Ast.Sbreak ->
+    if env.loop_depth = 0 then err line "break outside of a loop";
+    Tast.Sbreak
+  | Ast.Scontinue ->
+    if env.loop_depth = 0 then err line "continue outside of a loop";
+    Tast.Scontinue
+  | Ast.Sspawn (lo, hi, body) ->
+    let lo = convert line (check_expr env lo) Tint in
+    let hi = convert line (check_expr env hi) Tint in
+    let nested = env.in_spawn > 0 in
+    let saved_loops = env.loop_depth in
+    env.in_spawn <- env.in_spawn + 1;
+    env.loop_depth <- 0;
+    push_scope env;
+    let body = check_stmt env body in
+    pop_scope env;
+    env.loop_depth <- saved_loops;
+    env.in_spawn <- env.in_spawn - 1;
+    let sp_id = env.next_spawn in
+    env.next_spawn <- env.next_spawn + 1;
+    Tast.Sspawn { sp_lo = lo; sp_hi = hi; sp_body = body; sp_id; sp_nested = nested }
+  | Ast.Sps (vname, bname) ->
+    if env.in_spawn = 0 then err line "ps may only appear inside a spawn block";
+    let v = lookup env line vname in
+    let b = lookup env line bname in
+    if v.Tast.vkind = Tast.Kglobal then
+      err line "ps increment %s must be a (thread-)local variable" vname;
+    if not (is_int_ty v.Tast.vty) then err line "ps increment must be int";
+    if b.Tast.vkind <> Tast.Kglobal || not (is_int_ty b.Tast.vty) then
+      err line "ps base %s must be a global int variable" bname;
+    b.Tast.vps_base <- true;
+    Tast.Sps (v, b)
+  | Ast.Spsm (vname, lval) ->
+    if env.in_spawn = 0 then err line "psm may only appear inside a spawn block";
+    let v = lookup env line vname in
+    if v.Tast.vkind = Tast.Kglobal then
+      err line "psm increment %s must be a (thread-)local variable" vname;
+    if not (is_int_ty v.Tast.vty) then err line "psm increment must be int";
+    let lv = check_expr env lval in
+    if not (is_lvalue lv) then err line "psm base must be an lvalue";
+    if not (is_int_ty lv.ety) then err line "psm base must have int type";
+    let addr =
+      match lv.Tast.enode with
+      | Tast.Ederef p -> p
+      | Tast.Evar v' ->
+        if v'.Tast.vthread_local then
+          err line "psm base must be in memory, not a thread-local register";
+        v'.Tast.vaddr_taken <- true;
+        mk (Tptr lv.ety) (Tast.Eaddr lv)
+      | _ -> err line "unsupported psm base"
+    in
+    Tast.Spsm (v, addr)
+
+(* ------------------------------------------------------------------ *)
+(* Constant evaluation for global initializers. *)
+
+let rec const_eval_scalar line (e : Ast.expr) =
+  match e.node with
+  | Ast.Eint v -> `Int v
+  | Ast.Eflt f -> `Flt f
+  | Ast.Echar c -> `Int (Char.code c)
+  | Ast.Eunop (Neg, a) -> (
+    match const_eval_scalar line a with `Int v -> `Int (-v) | `Flt f -> `Flt (-.f))
+  | Ast.Eunop (Bnot, a) -> (
+    match const_eval_scalar line a with
+    | `Int v -> `Int (lnot v)
+    | `Flt _ -> err line "invalid float operand of ~")
+  | Ast.Ebinop (op, a, b) -> (
+    match (const_eval_scalar line a, const_eval_scalar line b) with
+    | `Int x, `Int y ->
+      let r =
+        match op with
+        | Add -> x + y | Sub -> x - y | Mul -> x * y
+        | Div -> if y = 0 then err line "division by zero in initializer" else x / y
+        | Mod -> if y = 0 then err line "division by zero in initializer" else x mod y
+        | Band -> x land y | Bor -> x lor y | Bxor -> x lxor y
+        | Shl -> x lsl y | Shr -> x asr y
+        | Lt -> Bool.to_int (x < y) | Le -> Bool.to_int (x <= y)
+        | Gt -> Bool.to_int (x > y) | Ge -> Bool.to_int (x >= y)
+        | Eq -> Bool.to_int (x = y) | Ne -> Bool.to_int (x <> y)
+      in
+      `Int r
+    | `Flt x, `Flt y -> (
+      match op with
+      | Add -> `Flt (x +. y) | Sub -> `Flt (x -. y)
+      | Mul -> `Flt (x *. y) | Div -> `Flt (x /. y)
+      | _ -> err line "invalid constant float operation")
+    | _ -> err line "mixed int/float constant expression")
+  | Ast.Ecast (Tint, a) -> (
+    match const_eval_scalar line a with
+    | `Int v -> `Int v
+    | `Flt f -> `Int (int_of_float f))
+  | Ast.Ecast (Tfloat, a) -> (
+    match const_eval_scalar line a with
+    | `Flt f -> `Flt f
+    | `Int v -> `Flt (float_of_int v))
+  | _ -> err line "global initializer must be a constant expression"
+
+let global_init line (d : Ast.decl) =
+  match (d.d_ty, d.d_init) with
+  | (Tstruct _ | Tarr (Tstruct _, _)), Some _ ->
+    err line "struct globals cannot have initializers"
+  | _, None -> Tast.Czeros
+  | (Tint | Tptr _), Some (Ast.Iexpr e) -> (
+    match const_eval_scalar line e with
+    | `Int v -> Tast.Cints [ v ]
+    | `Flt _ -> err line "float initializer for int global")
+  | Tfloat, Some (Ast.Iexpr e) -> (
+    match const_eval_scalar line e with
+    | `Flt f -> Tast.Cflts [ f ]
+    | `Int v -> Tast.Cflts [ float_of_int v ])
+  | Tarr (Tint, n), Some (Ast.Ilist es) ->
+    if List.length es > n then err line "too many initializers for %s" d.d_name;
+    Tast.Cints
+      (List.map
+         (fun e ->
+           match const_eval_scalar line e with
+           | `Int v -> v
+           | `Flt _ -> err line "float in int array initializer")
+         es)
+  | Tarr (Tfloat, n), Some (Ast.Ilist es) ->
+    if List.length es > n then err line "too many initializers for %s" d.d_name;
+    Tast.Cflts
+      (List.map
+         (fun e ->
+           match const_eval_scalar line e with
+           | `Flt f -> f
+           | `Int v -> float_of_int v)
+         es)
+  | _, Some _ -> err line "unsupported global initializer for %s" d.d_name
+
+(* ------------------------------------------------------------------ *)
+
+let check (prog : Ast.program) : Tast.program =
+  let env = new_env () in
+  reset_structs ();
+  (* Struct definitions, in order: value fields must already be complete
+     (so struct values cannot be recursive), pointer fields may reference
+     any struct name. *)
+  List.iter
+    (function
+      | Ast.Tstructdef sd ->
+        if struct_fields sd.sd_name <> None then
+          err sd.sd_pos "redefinition of struct %s" sd.sd_name;
+        List.iter
+          (fun (ty, fname) ->
+            match ty with
+            | Tvoid -> err sd.sd_pos "field %s has void type" fname
+            | Tptr _ -> ()
+            | t -> check_complete sd.sd_pos t)
+          sd.sd_fields;
+        let names = List.map snd sd.sd_fields in
+        if List.length (List.sort_uniq compare names) <> List.length names then
+          err sd.sd_pos "duplicate field name in struct %s" sd.sd_name;
+        define_struct sd.sd_name (List.map (fun (t, n) -> (n, t)) sd.sd_fields)
+      | Ast.Tfunc _ | Ast.Tglobal _ -> ())
+    prog;
+  (* Pre-scan function signatures (allows forward calls). *)
+  List.iter
+    (function
+      | Ast.Tfunc f ->
+        if Hashtbl.mem env.fsigs f.f_name then
+          err f.f_pos "redefinition of function %s" f.f_name;
+        if builtin_of_name f.f_name <> None then
+          err f.f_pos "%s is a builtin function" f.f_name;
+        List.iter
+          (fun (t, _) ->
+            match t with
+            | Tstruct _ ->
+              err f.f_pos "pass struct parameters by pointer (%s)" f.f_name
+            | _ -> check_complete f.f_pos t)
+          f.f_params;
+        (match f.f_ret with
+        | Tstruct _ -> err f.f_pos "return structs by pointer (%s)" f.f_name
+        | _ -> ());
+        Hashtbl.replace env.fsigs f.f_name
+          { fs_ret = f.f_ret; fs_params = List.map fst f.f_params }
+      | Ast.Tglobal _ | Ast.Tstructdef _ -> ())
+    prog;
+  let globals = ref [] in
+  let funcs = ref [] in
+  List.iter
+    (function
+      | Ast.Tstructdef _ -> ()
+      | Ast.Tglobal d ->
+        if Hashtbl.mem env.global_vars d.d_name then
+          err d.d_pos "redefinition of global %s" d.d_name;
+        if Hashtbl.mem env.fsigs d.d_name then
+          err d.d_pos "%s is already a function name" d.d_name;
+        (match d.d_ty with
+        | Tvoid -> err d.d_pos "cannot declare a void variable"
+        | t -> check_complete d.d_pos t);
+        let v =
+          fresh_var env ~name:d.d_name ~ty:d.d_ty ~kind:Tast.Kglobal
+            ~volatile:d.d_volatile
+        in
+        Hashtbl.replace env.global_vars d.d_name v;
+        globals := (v, global_init d.d_pos d) :: !globals
+      | Ast.Tfunc f ->
+        env.cur_ret <- f.f_ret;
+        env.in_spawn <- 0;
+        env.loop_depth <- 0;
+        push_scope env;
+        let params =
+          List.map
+            (fun (ty, name) ->
+              let v = fresh_var env ~name ~ty ~kind:Tast.Kparam ~volatile:false in
+              declare_local env f.f_pos v;
+              v)
+            f.f_params
+        in
+        let body = check_stmt env f.f_body in
+        pop_scope env;
+        funcs :=
+          {
+            Tast.fname = f.f_name;
+            fret = f.f_ret;
+            fparams = params;
+            fbody = body;
+            fis_outlined_spawn = false;
+          }
+          :: !funcs)
+    prog;
+  (* XMTC hardware limit: ps bases live in the global register file. *)
+  let ps_bases =
+    List.filter (fun (v, _) -> v.Tast.vps_base) !globals |> List.length
+  in
+  if ps_bases > 8 then
+    err 0 "too many distinct ps base variables (%d); the hardware has 8 global \
+           registers" ps_bases;
+  if not (Hashtbl.mem env.fsigs "main") then err 0 "program has no main function";
+  {
+    Tast.globals = List.rev !globals @ List.rev env.extra_globals;
+    funcs = List.rev !funcs;
+  }
+
+let program_of_source src = check (Parser.parse src)

@@ -1,0 +1,25 @@
+(** Typechecker: resolves names, checks and inserts conversions, enforces
+    the XMTC static rules of the paper, and produces the typed AST.
+
+    XMTC-specific rules enforced here:
+    - [$], [ps] and [psm] may appear only inside a spawn block (§II-A);
+    - a [ps] base must be a global [int] variable; such variables are
+      allocated to the global PS register file, of which only
+      [Reg.num_globals - 1] exist (§II-A: "a limited number of global
+      registers");
+    - function calls inside spawn blocks are rejected — the parallel
+      cactus stack is not in the public release (§IV-E); builtins that
+      expand inline are allowed;
+    - [return], and [break]/[continue] that would exit the spawn block,
+      are rejected (virtual threads cannot transfer control out);
+    - thread-local variables cannot have their address taken and cannot be
+      arrays: virtual threads have no stack, only registers (§IV-D);
+    - [malloc] is serial-only (§IV-D);
+    - nested spawns are accepted and marked for serialization (§IV-E). *)
+
+exception Error of { line : int; msg : string }
+
+val check : Ast.program -> Tast.program
+
+(** [parse >> check] in one step. *)
+val program_of_source : string -> Tast.program

@@ -1,0 +1,102 @@
+(** Types and operators shared by the untyped and typed ASTs of XMTC
+    (paper §II-A): a modest SPMD extension of C. *)
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tfloat
+  | Tptr of ty
+  | Tarr of ty * int  (** element type, length *)
+  | Tstruct of string  (** by name; layout in {!struct_defs} *)
+
+(** Struct layouts, populated by the typechecker for the program being
+    compiled (the compiler is single-threaded and compiles one program at
+    a time; {!reset_structs} clears stale entries). *)
+let struct_defs : (string, (string * ty) list) Hashtbl.t = Hashtbl.create 16
+
+let struct_order : string list ref = ref []
+
+let reset_structs () =
+  Hashtbl.reset struct_defs;
+  struct_order := []
+
+let define_struct name fields =
+  if not (Hashtbl.mem struct_defs name) then
+    struct_order := !struct_order @ [ name ];
+  Hashtbl.replace struct_defs name fields
+
+let struct_fields name = Hashtbl.find_opt struct_defs name
+let defined_structs () = !struct_order
+
+type unop = Neg | Bnot  (** -e, ~e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+
+type incdec = Incr | Decr
+
+let rec string_of_ty = function
+  | Tvoid -> "void"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tptr t -> string_of_ty t ^ " *"
+  | Tarr (t, n) -> Printf.sprintf "%s[%d]" (string_of_ty t) n
+  | Tstruct s -> "struct " ^ s
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let string_of_unop = function Neg -> "-" | Bnot -> "~"
+
+(** Type equality is structural. *)
+let rec ty_equal a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tint, Tint | Tfloat, Tfloat -> true
+  | Tptr x, Tptr y -> ty_equal x y
+  | Tarr (x, n), Tarr (y, m) -> n = m && ty_equal x y
+  | Tstruct x, Tstruct y -> x = y
+  | (Tvoid | Tint | Tfloat | Tptr _ | Tarr _ | Tstruct _), _ -> false
+
+(** Array-of-T decays to pointer-to-T in expression contexts. *)
+let decay = function Tarr (t, _) -> Tptr t | other -> other
+
+let is_scalar = function
+  | Tint | Tfloat | Tptr _ -> true
+  | Tvoid | Tarr _ | Tstruct _ -> false
+
+(** Size of a type in bytes (words are 4 bytes; cells are word-sized). *)
+let rec sizeof = function
+  | Tvoid -> 0
+  | Tint | Tfloat | Tptr _ -> 4
+  | Tarr (t, n) -> n * sizeof t
+  | Tstruct s -> (
+    match struct_fields s with
+    | None -> 0 (* incomplete type; the typechecker rejects value uses *)
+    | Some fields -> List.fold_left (fun acc (_, t) -> acc + sizeof t) 0 fields)
+
+(** Byte offset and type of field [f] in [struct s]. *)
+let field_offset s f =
+  match struct_fields s with
+  | None -> None
+  | Some fields ->
+    let rec go off = function
+      | [] -> None
+      | (name, t) :: rest ->
+        if name = f then Some (off, t) else go (off + sizeof t) rest
+    in
+    go 0 fields
+
+(** Field name at byte offset [off] in [struct s] (pretty-printing). *)
+let field_at_offset s off =
+  match struct_fields s with
+  | None -> None
+  | Some fields ->
+    let rec go o = function
+      | [] -> None
+      | (name, t) :: rest -> if o = off then Some (name, t) else go (o + sizeof t) rest
+    in
+    go 0 fields

@@ -1,0 +1,11 @@
+(** The XMTC language front end (paper §II-A): lexer, parser, typed AST and
+    typechecker for the SPMD C extension with [spawn], [$], [ps] and [psm],
+    plus a pretty-printer used by the source-to-source pre-pass. *)
+
+module Types = Types
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Tast = Tast
+module Typecheck = Typecheck
+module Pretty = Pretty

@@ -1,0 +1,1 @@
+lib/xmtsim/xmtsim.ml: Config Floorplan Funcmodel Functional_mode Machine Mem Phase_sampling Plugin Power Prefetch_buffer Profiler Stats Tags Thermal Trace

@@ -1,0 +1,1 @@
+lib/xmtsim/config.ml: List Printf String

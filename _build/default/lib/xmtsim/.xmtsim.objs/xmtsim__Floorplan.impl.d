@@ -1,0 +1,1 @@
+lib/xmtsim/floorplan.ml: Array Buffer Printf

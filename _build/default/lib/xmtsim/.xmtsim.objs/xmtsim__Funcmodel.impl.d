@@ -1,0 +1,1 @@
+lib/xmtsim/funcmodel.ml: Array Bool Char Float Isa Printf String

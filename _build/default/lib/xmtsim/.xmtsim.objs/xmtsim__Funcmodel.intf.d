@@ -1,0 +1,1 @@
+lib/xmtsim/funcmodel.mli: Isa

@@ -1,0 +1,1 @@
+lib/xmtsim/functional_mode.ml: Array Buffer Funcmodel Hashtbl Isa Machine Mem Printf Stats

@@ -1,0 +1,1 @@
+lib/xmtsim/functional_mode.mli: Isa Machine Stats

@@ -1,0 +1,1 @@
+lib/xmtsim/machine.ml: Array Buffer Config Desim Fun Funcmodel Hashtbl Int64 Isa List Marshal Mem Plugin Prefetch_buffer Printf Queue Stats Tags

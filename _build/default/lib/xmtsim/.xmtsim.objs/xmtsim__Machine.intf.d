@@ -1,0 +1,1 @@
+lib/xmtsim/machine.mli: Config Isa Mem Plugin Stats

@@ -1,0 +1,1 @@
+lib/xmtsim/mem.ml: Array Buffer Char Isa Printf

@@ -1,0 +1,1 @@
+lib/xmtsim/mem.mli: Isa

@@ -1,0 +1,1 @@
+lib/xmtsim/phase_sampling.ml: Array Config Functional_mode Isa List Machine Stats

@@ -1,0 +1,1 @@
+lib/xmtsim/phase_sampling.mli: Config Isa

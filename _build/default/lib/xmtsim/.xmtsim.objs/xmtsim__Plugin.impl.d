@@ -1,0 +1,1 @@
+lib/xmtsim/plugin.ml: Buffer Hashtbl Isa List Printf String

@@ -1,0 +1,1 @@
+lib/xmtsim/power.ml: Array Config List Machine Printf Stats

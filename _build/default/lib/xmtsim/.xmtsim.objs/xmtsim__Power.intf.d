@@ -1,0 +1,1 @@
+lib/xmtsim/power.mli: Machine

@@ -1,0 +1,1 @@
+lib/xmtsim/prefetch_buffer.ml: Config Isa List

@@ -1,0 +1,1 @@
+lib/xmtsim/prefetch_buffer.mli: Config Isa

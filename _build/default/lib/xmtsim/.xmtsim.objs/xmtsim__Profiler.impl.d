@@ -1,0 +1,1 @@
+lib/xmtsim/profiler.ml: List Machine Plugin Stats

@@ -1,0 +1,1 @@
+lib/xmtsim/stats.ml: Array Buffer Isa List Printf

@@ -1,0 +1,1 @@
+lib/xmtsim/tags.ml: Array

@@ -1,0 +1,1 @@
+lib/xmtsim/thermal.ml: Array List String

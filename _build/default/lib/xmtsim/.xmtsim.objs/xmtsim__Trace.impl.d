@@ -1,0 +1,1 @@
+lib/xmtsim/trace.ml: Isa List Machine Printf

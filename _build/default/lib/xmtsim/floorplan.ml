@@ -1,0 +1,56 @@
+(** ASCII floorplan visualization (paper §III-E).
+
+    Displays per-cluster data (activity, power, temperature...) on a grid
+    approximating the XMT floorplan, in text.  Designed to be driven from
+    an activity plug-in to animate statistics over a run, like the
+    floorplan visualization package of the XMT software release. *)
+
+(* shade characters from cold to hot *)
+let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let shade ~lo ~hi v =
+  if hi <= lo then shades.(0)
+  else begin
+    let t = (v -. lo) /. (hi -. lo) in
+    let i = int_of_float (t *. float_of_int (Array.length shades - 1)) in
+    shades.(max 0 (min (Array.length shades - 1) i))
+  end
+
+(** Render per-cluster values as a [w]-wide grid heat map. *)
+let render ?(title = "") ~grid_w values =
+  let n = Array.length values in
+  let lo = Array.fold_left min infinity values in
+  let hi = Array.fold_left max neg_infinity values in
+  let b = Buffer.create 256 in
+  if title <> "" then
+    Buffer.add_string b (Printf.sprintf "%s  [%.2f .. %.2f]\n" title lo hi);
+  let h = (n + grid_w - 1) / grid_w in
+  for y = 0 to h - 1 do
+    Buffer.add_string b "  |";
+    for x = 0 to grid_w - 1 do
+      let i = (y * grid_w) + x in
+      if i < n then begin
+        Buffer.add_char b (shade ~lo ~hi values.(i));
+        Buffer.add_char b (shade ~lo ~hi values.(i))
+      end
+      else Buffer.add_string b "  "
+    done;
+    Buffer.add_string b "|\n"
+  done;
+  Buffer.contents b
+
+(** Render with numeric cells instead of shades. *)
+let render_numeric ?(title = "") ~grid_w values =
+  let n = Array.length values in
+  let b = Buffer.create 256 in
+  if title <> "" then Buffer.add_string b (title ^ "\n");
+  let h = (n + grid_w - 1) / grid_w in
+  for y = 0 to h - 1 do
+    Buffer.add_string b "  ";
+    for x = 0 to grid_w - 1 do
+      let i = (y * grid_w) + x in
+      if i < n then Buffer.add_string b (Printf.sprintf "%7.1f" values.(i))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.contents b

@@ -1,0 +1,249 @@
+module I = Isa.Instr
+module V = Isa.Value
+
+type ctx = { regs : int array; fregs : float array; mutable pc : int }
+
+let make_ctx () = { regs = Array.make 32 0; fregs = Array.make 32 0.0; pc = 0 }
+
+let copy_regs ~src ~dst =
+  Array.blit src.regs 0 dst.regs 0 32;
+  Array.blit src.fregs 0 dst.fregs 0 32
+
+exception Runtime_error of { pc : int; msg : string }
+
+let err pc fmt = Printf.ksprintf (fun msg -> raise (Runtime_error { pc; msg })) fmt
+
+type issue =
+  | Done
+  | Load of { dst : [ `I of int | `F of int ]; addr : int; ro : bool }
+  | Store of { addr : int; value : Isa.Value.t; nb : bool }
+  | Psm of { dst : int; addr : int; inc : int }
+  | Prefetch of { addr : int }
+  | Ps of { dst : int; g : int; inc : int }
+  | Spawn of { lo : int; hi : int }
+  | Join
+  | Chkid of { id : int }
+  | Mfg of { dst : int; g : int }
+  | Mtg of { g : int; src : int }
+  | Fence
+  | Halt
+  | Output of string
+
+let issue (img : Isa.Program.image) ctx ~read_str : issue =
+  let pc = ctx.pc in
+  let n = Array.length img.Isa.Program.instrs in
+  if pc < 0 || pc >= n then err pc "program counter out of range";
+  let ins = img.Isa.Program.instrs.(pc) in
+  let tgt = img.Isa.Program.targets.(pc) in
+  let r i = if i = 0 then 0 else ctx.regs.(i) in
+  let w i v = if i <> 0 then ctx.regs.(i) <- V.wrap32 v in
+  let f i = ctx.fregs.(i) in
+  let wf i v = ctx.fregs.(i) <- v in
+  let next () = ctx.pc <- pc + 1 in
+  let jump t = if t < 0 then err pc "unresolved branch target" else ctx.pc <- t in
+  match ins with
+  | I.Alu (op, rd, rs, rt) ->
+    let a = r rs and b = r rt in
+    let v =
+      match op with
+      | I.Add -> a + b
+      | I.Sub -> a - b
+      | I.And -> a land b
+      | I.Or -> a lor b
+      | I.Xor -> a lxor b
+      | I.Nor -> lnot (a lor b)
+      | I.Slt -> Bool.to_int (a < b)
+      | I.Sltu -> Bool.to_int (a land 0xFFFFFFFF < b land 0xFFFFFFFF)
+    in
+    w rd v;
+    next ();
+    Done
+  | I.Alui (op, rd, rs, imm) ->
+    let a = r rs in
+    let v =
+      match op with
+      | I.Addi -> a + imm
+      | I.Andi -> a land imm
+      | I.Ori -> a lor imm
+      | I.Xori -> a lxor imm
+      | I.Slti -> Bool.to_int (a < imm)
+    in
+    w rd v;
+    next ();
+    Done
+  | I.Li (rd, imm) ->
+    w rd imm;
+    next ();
+    Done
+  | I.La (rd, _) ->
+    if tgt < 0 then err pc "unresolved la";
+    w rd tgt;
+    next ();
+    Done
+  | I.Sft (op, rd, rs, rt) ->
+    let a = r rs and s = r rt land 31 in
+    let v =
+      match op with
+      | I.Sll -> a lsl s
+      | I.Srl -> (a land 0xFFFFFFFF) lsr s
+      | I.Sra -> a asr s
+    in
+    w rd v;
+    next ();
+    Done
+  | I.Sfti (op, rd, rs, imm) ->
+    let a = r rs and s = imm land 31 in
+    let v =
+      match op with
+      | I.Sll -> a lsl s
+      | I.Srl -> (a land 0xFFFFFFFF) lsr s
+      | I.Sra -> a asr s
+    in
+    w rd v;
+    next ();
+    Done
+  | I.Mdu (op, rd, rs, rt) ->
+    let a = r rs and b = r rt in
+    let v =
+      match op with
+      | I.Mul -> a * b
+      | I.Div -> if b = 0 then err pc "division by zero" else a / b
+      | I.Rem -> if b = 0 then err pc "division by zero" else a mod b
+    in
+    w rd v;
+    next ();
+    Done
+  | I.Fpu (op, fd, fs, ft) ->
+    let a = f fs and b = f ft in
+    let v =
+      match op with
+      | I.Fadd -> a +. b
+      | I.Fsub -> a -. b
+      | I.Fmul -> a *. b
+      | I.Fdiv -> a /. b
+    in
+    wf fd v;
+    next ();
+    Done
+  | I.Fpu1 (op, fd, fs) ->
+    let a = f fs in
+    let v =
+      match op with
+      | I.Fneg -> -.a
+      | I.Fabs -> Float.abs a
+      | I.Fsqrt -> sqrt a
+      | I.Fmov -> a
+    in
+    wf fd v;
+    next ();
+    Done
+  | I.Fcmp (op, rd, fs, ft) ->
+    let a = f fs and b = f ft in
+    let v =
+      match op with I.Feq -> a = b | I.Flt -> a < b | I.Fle -> a <= b
+    in
+    w rd (Bool.to_int v);
+    next ();
+    Done
+  | I.Cvt_i2f (fd, rs) ->
+    wf fd (float_of_int (r rs));
+    next ();
+    Done
+  | I.Cvt_f2i (rd, fs) ->
+    w rd (int_of_float (f fs));
+    next ();
+    Done
+  | I.Fli (fd, x) ->
+    wf fd x;
+    next ();
+    Done
+  | I.Lw (rt, off, rs) ->
+    next ();
+    Load { dst = `I rt; addr = r rs + off; ro = false }
+  | I.Lwro (rt, off, rs) ->
+    next ();
+    Load { dst = `I rt; addr = r rs + off; ro = true }
+  | I.Flw (ft, off, rs) ->
+    next ();
+    Load { dst = `F ft; addr = r rs + off; ro = false }
+  | I.Sw (rt, off, rs) ->
+    next ();
+    Store { addr = r rs + off; value = V.int (r rt); nb = false }
+  | I.Swnb (rt, off, rs) ->
+    next ();
+    Store { addr = r rs + off; value = V.int (r rt); nb = true }
+  | I.Fsw (ft, off, rs) ->
+    next ();
+    Store { addr = r rs + off; value = V.flt (f ft); nb = false }
+  | I.Pref (off, rs) ->
+    next ();
+    Prefetch { addr = r rs + off }
+  | I.Psm (rd, off, rs) ->
+    next ();
+    Psm { dst = rd; addr = r rs + off; inc = r rd }
+  | I.Br (op, rs, rt, _) ->
+    let taken = match op with I.Beq -> r rs = r rt | I.Bne -> r rs <> r rt in
+    if taken then jump tgt else next ();
+    Done
+  | I.Brz (op, rs, _) ->
+    let a = r rs in
+    let taken =
+      match op with
+      | I.Blez -> a <= 0
+      | I.Bgtz -> a > 0
+      | I.Bltz -> a < 0
+      | I.Bgez -> a >= 0
+      | I.Beqz -> a = 0
+      | I.Bnez -> a <> 0
+    in
+    if taken then jump tgt else next ();
+    Done
+  | I.J _ ->
+    jump tgt;
+    Done
+  | I.Jal _ ->
+    w Isa.Reg.ra (pc + 1);
+    jump tgt;
+    Done
+  | I.Jr rs ->
+    ctx.pc <- r rs;
+    Done
+  | I.Spawn (rl, rh) ->
+    next ();
+    Spawn { lo = r rl; hi = r rh }
+  | I.Join ->
+    next ();
+    Join
+  | I.Ps (rd, g) ->
+    next ();
+    Ps { dst = rd; g; inc = r rd }
+  | I.Chkid rd ->
+    next ();
+    Chkid { id = r rd }
+  | I.Mfg (rd, g) ->
+    next ();
+    Mfg { dst = rd; g }
+  | I.Mtg (g, rs) ->
+    next ();
+    Mtg { g; src = r rs }
+  | I.Fence ->
+    next ();
+    Fence
+  | I.Sys (op, reg) ->
+    next ();
+    let s =
+      match op with
+      | I.Print_int -> string_of_int (r reg)
+      | I.Print_float -> Printf.sprintf "%g" (f reg)
+      | I.Print_char -> String.make 1 (Char.chr (r reg land 0xFF))
+      | I.Print_str -> read_str (r reg)
+    in
+    Output s
+  | I.Halt ->
+    next ();
+    Halt
+
+let complete_load ctx dst v =
+  match dst with
+  | `I r -> if r <> 0 then ctx.regs.(r) <- Isa.Value.to_int v
+  | `F r -> ctx.fregs.(r) <- Isa.Value.to_flt v

@@ -1,0 +1,182 @@
+module I = Isa.Instr
+module F = Funcmodel
+
+type result = {
+  output : string;
+  instructions : int;
+  halted : bool;
+  stats : Stats.t;
+}
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+type state = {
+  img : Isa.Program.image;
+  memory : Mem.t;
+  globals : int array;
+  st_stats : Stats.t;
+  out : Buffer.t;
+  join_of : (int, int) Hashtbl.t;
+  master : F.ctx;
+  mutable executed : int;
+  mutable st_halted : bool;
+}
+
+let compute_join_map img =
+  let join_of = Hashtbl.create 8 in
+  let open_spawn = ref None in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | I.Spawn _ -> (
+        match !open_spawn with
+        | Some _ -> fail "nested spawn at %d" i
+        | None -> open_spawn := Some i)
+      | I.Join -> (
+        match !open_spawn with
+        | Some s ->
+          Hashtbl.replace join_of s i;
+          open_spawn := None
+        | None -> fail "join without spawn at %d" i)
+      | _ -> ())
+    img.Isa.Program.instrs;
+  (match !open_spawn with Some s -> fail "unmatched spawn at %d" s | None -> ());
+  join_of
+
+let init img =
+  let master = F.make_ctx () in
+  master.F.pc <- img.Isa.Program.entry;
+  {
+    img;
+    memory = Mem.load img;
+    globals = Array.make Isa.Reg.num_globals 0;
+    st_stats = Stats.create ();
+    out = Buffer.create 256;
+    join_of = compute_join_map img;
+    master;
+    executed = 0;
+    st_halted = false;
+  }
+
+(* Run one serial-boundary step: either a single master instruction, or a
+   whole spawn (all virtual threads, serialized). *)
+let step ?(on_instr = fun ~pc:_ -> ()) (t : state) =
+  let read_str a = Mem.read_string t.memory a in
+  let ctx = t.master in
+  let pc = ctx.F.pc in
+  let ins = t.img.Isa.Program.instrs.(pc) in
+  t.executed <- t.executed + 1;
+  Stats.count_instr t.st_stats ~master:true ins;
+  on_instr ~pc;
+  match F.issue t.img ctx ~read_str with
+  | F.Done -> ()
+  | F.Load { dst; addr; ro = _ } -> F.complete_load ctx dst (Mem.read t.memory addr)
+  | F.Store { addr; value; nb = _ } -> Mem.write t.memory addr value
+  | F.Psm { dst; addr; inc } ->
+    t.st_stats.Stats.psm_ops <- t.st_stats.Stats.psm_ops + 1;
+    let old = Mem.fetch_add t.memory addr inc in
+    if dst <> 0 then ctx.F.regs.(dst) <- old
+  | F.Prefetch _ -> ()
+  | F.Ps { dst; g; inc } ->
+    if inc <> 0 && inc <> 1 then fail "ps increment must be 0 or 1 (got %d)" inc;
+    t.st_stats.Stats.ps_ops <- t.st_stats.Stats.ps_ops + 1;
+    let old = t.globals.(g) in
+    t.globals.(g) <- old + inc;
+    if dst <> 0 then ctx.F.regs.(dst) <- old
+  | F.Spawn { lo; hi } ->
+    t.st_stats.Stats.spawns <- t.st_stats.Stats.spawns + 1;
+    let spawn_idx = pc in
+    let join_idx =
+      match Hashtbl.find_opt t.join_of spawn_idx with
+      | Some j -> j
+      | None -> fail "spawn without join at %d" spawn_idx
+    in
+    (* serialize: one context runs the dispatch loop for all ids *)
+    t.globals.(Isa.Reg.g_spawn) <- lo;
+    let bound = hi in
+    let thread = F.make_ctx () in
+    F.copy_regs ~src:ctx ~dst:thread;
+    thread.F.pc <- spawn_idx + 1;
+    let finished = ref false in
+    while not !finished do
+      let tpc = thread.F.pc in
+      if tpc <= spawn_idx || tpc >= join_idx then
+        fail
+          "functional mode: pc %d escaped the spawn region (%d,%d) — block \
+           not broadcast (Fig. 9)"
+          tpc spawn_idx join_idx;
+      let tins = t.img.Isa.Program.instrs.(tpc) in
+      t.executed <- t.executed + 1;
+      Stats.count_instr t.st_stats ~master:false tins;
+      on_instr ~pc:tpc;
+      match F.issue t.img thread ~read_str with
+      | F.Done -> ()
+      | F.Load { dst; addr; ro = _ } ->
+        F.complete_load thread dst (Mem.read t.memory addr)
+      | F.Store { addr; value; nb = _ } -> Mem.write t.memory addr value
+      | F.Psm { dst; addr; inc } ->
+        t.st_stats.Stats.psm_ops <- t.st_stats.Stats.psm_ops + 1;
+        let old = Mem.fetch_add t.memory addr inc in
+        if dst <> 0 then thread.F.regs.(dst) <- old
+      | F.Prefetch _ -> ()
+      | F.Ps { dst; g; inc } ->
+        if inc <> 0 && inc <> 1 then fail "ps increment must be 0 or 1";
+        t.st_stats.Stats.ps_ops <- t.st_stats.Stats.ps_ops + 1;
+        let old = t.globals.(g) in
+        t.globals.(g) <- old + inc;
+        if dst <> 0 then thread.F.regs.(dst) <- old
+      | F.Chkid { id } ->
+        if id <= bound then
+          t.st_stats.Stats.virtual_threads <- t.st_stats.Stats.virtual_threads + 1
+        else finished := true
+      | F.Fence -> t.st_stats.Stats.fences <- t.st_stats.Stats.fences + 1
+      | F.Output s -> Buffer.add_string t.out s
+      | F.Spawn _ -> fail "nested spawn executed by a virtual thread"
+      | F.Join -> fail "virtual thread reached join"
+      | F.Halt -> fail "virtual thread executed halt"
+      | F.Mfg _ | F.Mtg _ -> fail "virtual thread executed mfg/mtg"
+    done;
+    ctx.F.pc <- join_idx + 1
+  | F.Join -> fail "join reached in serial flow"
+  | F.Chkid _ -> fail "chkid in serial flow"
+  | F.Mfg { dst; g } -> if dst <> 0 then ctx.F.regs.(dst) <- t.globals.(g)
+  | F.Mtg { g; src } -> t.globals.(g) <- src
+  | F.Fence -> ()
+  | F.Output s -> Buffer.add_string t.out s
+  | F.Halt -> t.st_halted <- true
+
+let advance ?on_instr t ~budget =
+  let target = t.executed + budget in
+  (try
+     while (not t.st_halted) && t.executed < target do
+       step ?on_instr t
+     done
+   with F.Runtime_error { pc; msg } -> fail "runtime error at pc %d: %s" pc msg);
+  if t.st_halted then `Halted else `Paused
+
+let instructions t = t.executed
+let halted t = t.st_halted
+let output t = Buffer.contents t.out
+let stats t = t.st_stats
+
+let snapshot t =
+  Machine.make_snapshot ~mem:(Mem.snapshot t.memory)
+    ~regs:(Array.copy t.master.F.regs)
+    ~fregs:(Array.copy t.master.F.fregs)
+    ~pc:t.master.F.pc
+    ~globals:(Array.copy t.globals)
+    ~output:(Buffer.contents t.out)
+
+let run ?(max_instructions = 2_000_000_000) ?on_instr img =
+  let t = init img in
+  (match advance ?on_instr t ~budget:max_instructions with
+  | `Halted -> ()
+  | `Paused -> fail "instruction budget exhausted");
+  {
+    output = Buffer.contents t.out;
+    instructions = t.executed;
+    halted = t.st_halted;
+    stats = t.st_stats;
+  }

@@ -1,0 +1,115 @@
+(** The cycle-accurate XMT machine (paper §III, Fig. 1, Fig. 3).
+
+    Execution-driven simulation: TCUs and the Master TCU ask the
+    functional model to issue instructions; memory operations travel as
+    packages through the cluster outbox, the interconnection network, the
+    hashed shared cache modules and DRAM, with contention and queueing at
+    each stage.  Values are read/written {e when the package is serviced},
+    so relaxed-memory outcomes (Fig. 6) are faithful.
+
+    TCUs may only fetch instructions inside the broadcast spawn-join
+    region; violating this (e.g. compiling with the Fig. 9 repair
+    disabled) raises {!Sim_error} — the hardware constraint that makes the
+    compiler post-pass load-bearing. *)
+
+type t
+
+exception Sim_error of string
+
+type result = {
+  output : string;
+  cycles : int;
+  halted : bool;  (** false when the run hit the cycle budget *)
+}
+
+val create : ?config:Config.t -> Isa.Program.image -> t
+
+(** Run to completion (halt) or until [max_cycles]. *)
+val run : ?max_cycles:int -> t -> result
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+val output : t -> string
+val cycles : t -> int
+val mem : t -> Mem.t
+
+(** Diagnostics: per-(module, subtree-side) ICN merge backlog (cycles) and
+    per-module input queue depths. *)
+val icn_backlog : t -> int array array
+
+val module_queue_depths : t -> int array
+
+(** Executed TCU instructions per cluster — the spatial activity behind
+    the floorplan visualization and per-cluster power attribution. *)
+val cluster_activity : t -> int array
+val globals : t -> int array  (** the global PS register file *)
+
+(* -------- runtime control (activity plug-in interface, §III-B) -------- *)
+
+type domain = Clusters | Icn | Caches | Dram
+
+val set_period : t -> domain -> int -> unit
+val period : t -> domain -> int
+
+(** [add_activity_plugin t ~name ~interval hook] — [hook t cycle] runs
+    every [interval] cluster-clock cycles during the simulation. *)
+val add_activity_plugin : t -> name:string -> interval:int -> (t -> int -> unit) -> unit
+
+val add_filter_plugin : t -> Plugin.filter -> unit
+val filter_reports : t -> (string * string) list
+
+(** Trace hook: called for every issued instruction.
+    [tcu] is [-1] for the Master TCU. *)
+val on_instr : t -> (tcu:int -> pc:int -> Isa.Instr.t -> time:int -> unit) -> unit
+
+(** Cycle-accurate trace level (§III-E): one event per station a package
+    passes through ("icn-inject", "module-arrive", "cache-hit"/"cache-miss",
+    "dram-fill", "reply"). *)
+type package_event = {
+  pe_time : int;
+  pe_stage : string;
+  pe_kind : string;
+  pe_addr : int;
+  pe_tcu : int;  (** -1 when not attributable (e.g. a line fill) *)
+  pe_module : int;  (** -1 for reply deliveries *)
+}
+
+val on_package : t -> (package_event -> unit) -> unit
+
+(* -------- checkpoints (§III-E) -------- *)
+
+type snapshot
+
+(** Is the machine at a point where a checkpoint is legal (serial mode,
+    nothing in flight)?  True before the first [run] and after a halt. *)
+val is_quiescent : t -> bool
+
+(** Keep running in small increments until the machine is quiescent or
+    halted — used to take the "checkpoint at a user-given point" of
+    §III-E: run to the requested cycle, then to the next quiescent
+    boundary, then {!checkpoint}. *)
+val run_to_quiescent : t -> unit
+
+(** Build a snapshot from raw architectural state — used by
+    {!Functional_mode.snapshot} to hand a functionally-fast-forwarded
+    state to the cycle-accurate machine (phase sampling, §III-F). *)
+val make_snapshot :
+  mem:Mem.t ->
+  regs:int array ->
+  fregs:float array ->
+  pc:int ->
+  globals:int array ->
+  output:string ->
+  snapshot
+
+(** Snapshot machine state.  Only legal while the machine is in serial
+    mode with no outstanding master memory operation (e.g. before [run],
+    or from an activity plug-in during a serial phase); raises
+    {!Sim_error} otherwise. *)
+val checkpoint : t -> snapshot
+
+(** Restore into a machine created from the same image/config. *)
+val restore : t -> snapshot -> unit
+
+val snapshot_to_file : snapshot -> string -> unit
+val snapshot_of_file : string -> snapshot

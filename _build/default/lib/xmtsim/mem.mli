@@ -1,0 +1,33 @@
+(** The simulated shared memory: word-granularity cells holding typed
+    values (transaction-level accuracy, §III-A).
+
+    Two regions: the data/heap region growing up from the image's data
+    base, and the Master TCU's stack region just below {!stack_top}.
+    Cells are auto-zeroed; accesses outside both regions raise. *)
+
+type t
+
+exception Fault of string
+
+val stack_top : int
+val stack_bytes : int
+
+(** Create from a resolved image (loads the initial data segment). *)
+val load : Isa.Program.image -> t
+
+val read : t -> int -> Isa.Value.t
+val write : t -> int -> Isa.Value.t -> unit
+
+(** Atomic fetch-and-add for [psm]: returns the old value. *)
+val fetch_add : t -> int -> int -> int
+
+(** Read a NUL-terminated string of character codes. *)
+val read_string : t -> int -> string
+
+(** Words currently allocated in the data region (for bounds reporting). *)
+val data_words : t -> int
+
+(** Deep snapshot for checkpointing. *)
+val snapshot : t -> t
+
+val restore : t -> t -> unit

@@ -1,0 +1,116 @@
+type result = {
+  estimated_cycles : int;
+  total_instructions : int;
+  intervals : int;
+  phases : int;
+  samples_taken : int;
+  sampled_instructions : int;
+  sampled_cycles : int;
+}
+
+exception Error of string
+
+let buckets = 64
+
+(* L1 distance between normalized pc histograms; ranges over [0, 2]. *)
+let distance a b =
+  let ta = Array.fold_left ( + ) 0 a and tb = Array.fold_left ( + ) 0 b in
+  if ta = 0 || tb = 0 then 2.0
+  else begin
+    let d = ref 0.0 in
+    for i = 0 to buckets - 1 do
+      d :=
+        !d
+        +. abs_float
+             ((float_of_int a.(i) /. float_of_int ta)
+             -. (float_of_int b.(i) /. float_of_int tb))
+    done;
+    !d
+  end
+
+type phase = {
+  fingerprint : int array;  (* the leader interval's histogram *)
+  mutable samples : int;
+  mutable cycles : int;
+  mutable instrs : int;
+}
+
+(* Cycle-simulate from [snap] until ~[instr_budget] instructions execute;
+   returns (cycles, instructions). *)
+let cycle_sample ~config ~image ~snap ~instr_budget =
+  let m = Machine.create ~config image in
+  Machine.restore m snap;
+  let start_instrs = Stats.total_instrs (Machine.stats m) in
+  let executed () = Stats.total_instrs (Machine.stats m) - start_instrs in
+  let rec go () =
+    let r = Machine.run ~max_cycles:2048 m in
+    if r.Machine.halted || executed () >= instr_budget then ()
+    else if Machine.cycles m > 100 * instr_budget then
+      raise (Error "cycle sample made no progress")
+    else go ()
+  in
+  go ();
+  (Machine.cycles m, max 1 (executed ()))
+
+let estimate ?(config = Config.fpga64) ?(interval = 20_000)
+    ?(samples_per_phase = 1) ?(similarity = 0.5) image =
+  let st = Functional_mode.init image in
+  let phases : phase list ref = ref [] in
+  let estimated = ref 0.0 in
+  let intervals = ref 0 in
+  let samples_taken = ref 0 in
+  let sampled_instructions = ref 0 in
+  let sampled_cycles = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let hist = Array.make buckets 0 in
+    let snap = Functional_mode.snapshot st in
+    let before = Functional_mode.instructions st in
+    let status =
+      Functional_mode.advance st ~budget:interval ~on_instr:(fun ~pc ->
+          let b = pc * buckets / max 1 (Array.length image.Isa.Program.instrs) in
+          let b = min (buckets - 1) (max 0 b) in
+          hist.(b) <- hist.(b) + 1)
+    in
+    let ran = Functional_mode.instructions st - before in
+    if ran > 0 then begin
+      incr intervals;
+      (* find or create this interval's phase *)
+      let phase =
+        match
+          List.find_opt (fun p -> distance p.fingerprint hist < similarity) !phases
+        with
+        | Some p -> p
+        | None ->
+          let p = { fingerprint = hist; samples = 0; cycles = 0; instrs = 0 } in
+          phases := p :: !phases;
+          p
+      in
+      if phase.samples < samples_per_phase then begin
+        let cycles, instrs = cycle_sample ~config ~image ~snap ~instr_budget:ran in
+        phase.samples <- phase.samples + 1;
+        phase.cycles <- phase.cycles + cycles;
+        phase.instrs <- phase.instrs + instrs;
+        incr samples_taken;
+        sampled_instructions := !sampled_instructions + instrs;
+        sampled_cycles := !sampled_cycles + cycles;
+        estimated :=
+          !estimated
+          +. (float_of_int ran *. float_of_int cycles /. float_of_int instrs)
+      end
+      else begin
+        let cpi = float_of_int phase.cycles /. float_of_int phase.instrs in
+        estimated := !estimated +. (float_of_int ran *. cpi)
+      end
+    end;
+    if status = `Halted then continue_ := false
+  done;
+  {
+    estimated_cycles = int_of_float !estimated;
+    total_instructions = Functional_mode.instructions st;
+    intervals = !intervals;
+    phases = List.length !phases;
+    samples_taken = !samples_taken;
+    sampled_instructions = !sampled_instructions;
+    sampled_cycles = !sampled_cycles;
+  }

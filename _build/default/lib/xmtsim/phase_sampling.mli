@@ -1,0 +1,46 @@
+(** Phase sampling (paper §III-F, "Features under Development"; ref [38],
+    SimPoint).
+
+    Programs with long execution times consist of phases — sets of
+    intervals with similar behaviour.  Instead of cycle-simulating the
+    whole program, this module:
+
+    + fast-forwards through the program in the functional mode, cutting it
+      into intervals of ~[interval] instructions (at serial boundaries)
+      and fingerprinting each with a basic-block-vector-style histogram of
+      executed pcs;
+    + clusters interval fingerprints into phases (greedy leader
+      clustering, the lightweight stand-in for SimPoint's k-means);
+    + cycle-simulates only the first [samples_per_phase] intervals of each
+      phase — the cycle machine takes over from the functional state via
+      {!Machine.make_snapshot} — and charges the remaining intervals at
+      their phase's measured CPI.
+
+    The result is an estimated total cycle count at a fraction of the
+    cycle-accurate simulation work. *)
+
+type result = {
+  estimated_cycles : int;
+  total_instructions : int;
+  intervals : int;
+  phases : int;
+  samples_taken : int;
+  sampled_instructions : int;  (** instructions actually cycle-simulated *)
+  sampled_cycles : int;
+}
+
+exception Error of string
+
+(** [estimate ?config ?interval ?samples_per_phase ?similarity image].
+    [interval] is the fast-forward quantum in instructions (default
+    20_000); [samples_per_phase] how many intervals of each phase to
+    cycle-simulate (default 1); [similarity] the fingerprint-distance
+    threshold in [0,2] below which two intervals share a phase (default
+    0.5; smaller = more phases). *)
+val estimate :
+  ?config:Config.t ->
+  ?interval:int ->
+  ?samples_per_phase:int ->
+  ?similarity:float ->
+  Isa.Program.image ->
+  result

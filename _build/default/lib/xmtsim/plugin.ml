@@ -1,0 +1,112 @@
+(** Simulation plug-ins (paper §III-B).
+
+    {e Filter plug-ins} observe every executed instruction and produce a
+    report at the end of the simulation.  The built-in {!hot_locations}
+    plug-in reproduces the paper's example: a list of the most frequently
+    accessed shared-memory locations, which points the programmer at
+    memory bottlenecks.
+
+    {e Activity plug-ins} are registered on the machine with a sampling
+    interval; they read the activity counters during the run and may
+    retune clock domains — the hook used for dynamic power and thermal
+    management (see {!Power} and {!Thermal}). *)
+
+type filter = {
+  f_name : string;
+  f_on_instr : master:bool -> pc:int -> Isa.Instr.t -> addr:int option -> unit;
+  f_report : unit -> string;
+}
+
+(** Tracks the [top] most frequently accessed memory addresses. *)
+let hot_locations ~top () =
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 256 in
+  let on_instr ~master:_ ~pc:_ _ins ~addr =
+    match addr with
+    | None -> ()
+    | Some a -> (
+      match Hashtbl.find_opt counts a with
+      | Some r -> incr r
+      | None -> Hashtbl.replace counts a (ref 1))
+  in
+  let report () =
+    let all = Hashtbl.fold (fun a r acc -> (a, !r) :: acc) counts [] in
+    let sorted = List.sort (fun (_, x) (_, y) -> compare y x) all in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    let lines =
+      List.map
+        (fun (a, c) -> Printf.sprintf "  0x%06x: %d accesses" a c)
+        (take top sorted)
+    in
+    String.concat "\n" (("hot memory locations (top " ^ string_of_int top ^ "):") :: lines)
+  in
+  { f_name = "hot-locations"; f_on_instr = on_instr; f_report = report }
+
+(** Histogram of executed instructions per functional-unit class. *)
+let class_histogram () =
+  let counts = Hashtbl.create 8 in
+  let on_instr ~master:_ ~pc:_ ins ~addr:_ =
+    let c = Isa.Instr.fu_class_of ins in
+    match Hashtbl.find_opt counts c with
+    | Some r -> incr r
+    | None -> Hashtbl.replace counts c (ref 1)
+  in
+  let report () =
+    let lines =
+      List.filter_map
+        (fun c ->
+          match Hashtbl.find_opt counts c with
+          | Some r ->
+            Some (Printf.sprintf "  %-4s %d" (Isa.Instr.fu_class_name c) !r)
+          | None -> None)
+        Isa.Instr.all_fu_classes
+    in
+    String.concat "\n" ("instruction class histogram:" :: lines)
+  in
+  { f_name = "class-histogram"; f_on_instr = on_instr; f_report = report }
+
+(** Execution profile over simulated time (§III-B: "An activity plug-in
+    can generate execution profiles of XMTC programs over simulated time,
+    showing memory and computation intensive phases").
+
+    Attach with {!attach_profiler}; each sample records the instruction
+    counts by functional-unit class and the TCU memory-wait cycles accrued
+    since the previous sample.  {!render_profile} draws a text timeline
+    where each row is one interval and the bar shows its mix. *)
+
+type profile_sample = {
+  ps_cycle : int;
+  ps_compute : int;  (** ALU+SFT+BR+MDU+FPU instructions in the window *)
+  ps_memory : int;  (** MEM instructions in the window *)
+  ps_memwait : int;  (** TCU memory-wait cycles in the window *)
+}
+
+type profiler = { mutable samples : profile_sample list (* reversed *) }
+
+let render_profile (p : profiler) =
+  let samples = List.rev p.samples in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "cycle      compute     memory    memwait  phase\n";
+  List.iter
+    (fun s ->
+      (* classify by where the TCUs spent their time: cycles waiting on
+         memory vs cycles executing instructions *)
+      let total = max 1 (s.ps_compute + s.ps_memory + s.ps_memwait) in
+      let frac = float_of_int s.ps_memwait /. float_of_int total in
+      let width = 24 in
+      let memw = int_of_float (frac *. float_of_int width) in
+      let bar = String.make memw 'M' ^ String.make (width - memw) 'c' in
+      let tag =
+        if s.ps_compute + s.ps_memory = 0 then "idle"
+        else if s.ps_memwait > s.ps_compute then "memory-intensive"
+        else "compute-intensive"
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%-10d %10d %10d %10d  |%s| %s\n" s.ps_cycle s.ps_compute
+           s.ps_memory s.ps_memwait bar tag))
+    samples;
+  Buffer.contents b

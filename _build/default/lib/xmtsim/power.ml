@@ -1,0 +1,131 @@
+type params = {
+  e_alu : float;
+  e_mdu : float;
+  e_fpu : float;
+  e_mem : float;
+  e_icn_flit : float;
+  e_cache : float;
+  e_dram : float;
+  leak_cluster : float;
+  leak_icn : float;
+  leak_cache : float;
+  leak_dram : float;
+  leak_master : float;
+  clock_ghz : float;
+}
+
+let default =
+  {
+    e_alu = 0.02;
+    e_mdu = 0.08;
+    e_fpu = 0.12;
+    e_mem = 0.05;
+    e_icn_flit = 0.03;
+    e_cache = 0.04;
+    e_dram = 0.4;
+    leak_cluster = 0.12;
+    leak_icn = 1.5;
+    leak_cache = 1.0;
+    leak_dram = 2.0;
+    leak_master = 0.5;
+    clock_ghz = 1.0;
+  }
+
+type snapshot = {
+  alu_ops : int;
+  mdu_ops : int;
+  fpu_ops : int;
+  mem_ops : int;
+  icn : int;
+  cache : int;
+  dram : int;
+  master_ops : int;
+  cycle : int;
+  per_cluster : int array;
+}
+
+type t = {
+  p : params;
+  m : Machine.t;
+  nclusters : int;
+  names : string array;
+  mutable last : snapshot;
+  mutable last_sample : float array;
+}
+
+let snap (m : Machine.t) =
+  let s = Machine.stats m in
+  let by = Stats.by_class s in
+  let get n = try List.assoc n by with Not_found -> 0 in
+  {
+    alu_ops = get "ALU" + get "SFT" + get "BR";
+    mdu_ops = get "MDU";
+    fpu_ops = get "FPU";
+    mem_ops = get "MEM";
+    icn = s.Stats.icn_packets;
+    cache = s.Stats.cache_hits + s.Stats.cache_misses;
+    dram = s.Stats.dram_reads;
+    master_ops = s.Stats.master_instrs;
+    cycle = Machine.cycles m;
+    per_cluster = Machine.cluster_activity m;
+  }
+
+let create ?(params = default) m =
+  let nclusters = (Machine.config m).Config.num_clusters in
+  let names =
+    Array.init (nclusters + 4) (fun i ->
+        if i < nclusters then Printf.sprintf "cluster%d" i
+        else match i - nclusters with
+          | 0 -> "icn"
+          | 1 -> "cache"
+          | 2 -> "dram"
+          | _ -> "master")
+  in
+  {
+    p = params;
+    m;
+    nclusters;
+    names;
+    last = snap m;
+    last_sample = Array.make (nclusters + 4) 0.0;
+  }
+
+let component_names t = t.names
+
+let sample t =
+  let now = snap t.m in
+  let prev = t.last in
+  t.last <- now;
+  let dcyc = max 1 (now.cycle - prev.cycle) in
+  let dt = float_of_int dcyc /. (t.p.clock_ghz *. 1e9) in
+  let nj x = float_of_int x *. 1e-9 in
+  (* dynamic energy in the window *)
+  let e_cluster_total =
+    (nj (now.alu_ops - prev.alu_ops) *. t.p.e_alu)
+    +. (nj (now.mdu_ops - prev.mdu_ops) *. t.p.e_mdu)
+    +. (nj (now.fpu_ops - prev.fpu_ops) *. t.p.e_fpu)
+    +. (nj (now.mem_ops - prev.mem_ops) *. t.p.e_mem)
+  in
+  let out = Array.make (t.nclusters + 4) 0.0 in
+  (* TCU dynamic energy attributed by each cluster's share of the window's
+     executed instructions *)
+  let deltas =
+    Array.init t.nclusters (fun i -> now.per_cluster.(i) - prev.per_cluster.(i))
+  in
+  let total_delta = max 1 (Array.fold_left ( + ) 0 deltas) in
+  for i = 0 to t.nclusters - 1 do
+    let share = float_of_int deltas.(i) /. float_of_int total_delta in
+    out.(i) <- (e_cluster_total *. share /. dt) +. t.p.leak_cluster
+  done;
+  out.(t.nclusters) <-
+    (nj (now.icn - prev.icn) *. t.p.e_icn_flit /. dt) +. t.p.leak_icn;
+  out.(t.nclusters + 1) <-
+    (nj (now.cache - prev.cache) *. t.p.e_cache /. dt) +. t.p.leak_cache;
+  out.(t.nclusters + 2) <-
+    (nj (now.dram - prev.dram) *. t.p.e_dram /. dt) +. t.p.leak_dram;
+  out.(t.nclusters + 3) <-
+    (nj (now.master_ops - prev.master_ops) *. t.p.e_alu /. dt) +. t.p.leak_master;
+  t.last_sample <- out;
+  out
+
+let total t = Array.fold_left ( +. ) 0.0 t.last_sample

@@ -1,0 +1,38 @@
+(** Power estimation (paper §III-F): power is computed as a function of
+    the activity counters.  Energies are per-operation in nanojoules;
+    leakage in watts.  The model is deliberately simple — the paper's own
+    power model is "a function of the activity counters" feeding HotSpot —
+    but it exposes the same structure: per-component dynamic + leakage.
+
+    Component indices follow {!component_names}: one entry per cluster,
+    then ICN, cache, DRAM, master. *)
+
+type params = {
+  e_alu : float;  (** nJ per ALU/SFT/BR op *)
+  e_mdu : float;
+  e_fpu : float;
+  e_mem : float;  (** nJ per memory package (TCU side) *)
+  e_icn_flit : float;
+  e_cache : float;
+  e_dram : float;
+  leak_cluster : float;  (** W *)
+  leak_icn : float;
+  leak_cache : float;
+  leak_dram : float;
+  leak_master : float;
+  clock_ghz : float;  (** converts cycles to seconds *)
+}
+
+val default : params
+
+type t
+
+val create : ?params:params -> Machine.t -> t
+val component_names : t -> string array
+
+(** Power per component (W) over the window since the previous sample;
+    call periodically from an activity plug-in. *)
+val sample : t -> float array
+
+(** Total chip power of the last sample (W). *)
+val total : t -> float

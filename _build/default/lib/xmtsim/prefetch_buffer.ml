@@ -1,0 +1,82 @@
+type status =
+  | In_flight_st of [ `I of int | `F of int ] option
+  | Ready_st of Isa.Value.t
+
+type entry = {
+  addr : int;
+  mutable status : status;
+  mutable stamp : int;  (* FIFO: allocation order; LRU: last touch *)
+}
+
+type t = {
+  size : int;
+  policy : Config.prefetch_policy;
+  mutable entries : entry list;
+  mutable tick : int;
+  mutable evictions : int;
+}
+
+type lookup = Hit of Isa.Value.t | In_flight | Miss
+
+let create ~size ~policy = { size; policy; entries = []; tick = 0; evictions = 0 }
+
+let find t addr = List.find_opt (fun e -> e.addr = addr) t.entries
+
+let evict_one t =
+  match t.entries with
+  | [] -> ()
+  | _ ->
+    let victim =
+      List.fold_left
+        (fun acc e -> if e.stamp < acc.stamp then e else acc)
+        (List.hd t.entries) t.entries
+    in
+    t.evictions <- t.evictions + 1;
+    t.entries <- List.filter (fun e -> e != victim) t.entries
+
+let start t addr =
+  if t.size <= 0 then false
+  else
+    match find t addr with
+    | Some _ -> false
+    | None ->
+      if List.length t.entries >= t.size then evict_one t;
+      t.tick <- t.tick + 1;
+      t.entries <- { addr; status = In_flight_st None; stamp = t.tick } :: t.entries;
+      true
+
+let fill t addr v =
+  match find t addr with
+  | None -> None (* evicted while in flight *)
+  | Some e -> (
+    match e.status with
+    | Ready_st _ -> None
+    | In_flight_st waiter ->
+      e.status <- Ready_st v;
+      waiter)
+
+let lookup t addr =
+  match find t addr with
+  | None -> Miss
+  | Some e -> (
+    (match t.policy with
+    | Config.Lru ->
+      t.tick <- t.tick + 1;
+      e.stamp <- t.tick
+    | Config.Fifo -> ());
+    match e.status with
+    | Ready_st v -> Hit v
+    | In_flight_st _ -> In_flight)
+
+let wait_on t addr dst =
+  match find t addr with
+  | Some ({ status = In_flight_st None; _ } as e) -> e.status <- In_flight_st (Some dst)
+  | Some { status = In_flight_st (Some _); _ } ->
+    invalid_arg "Prefetch_buffer.wait_on: entry already has a waiter"
+  | Some { status = Ready_st _; _ } | None ->
+    invalid_arg "Prefetch_buffer.wait_on: entry is not in flight"
+
+let invalidate t addr = t.entries <- List.filter (fun e -> e.addr <> addr) t.entries
+
+let evictions t = t.evictions
+let clear t = t.entries <- []

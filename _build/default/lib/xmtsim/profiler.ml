@@ -1,0 +1,32 @@
+(** Built-in execution-profile activity plug-in (§III-B).
+
+    [attach m ~interval] registers an activity plug-in that samples the
+    instruction-class and memory-wait counters every [interval] cycles;
+    render the collected timeline with {!Plugin.render_profile}. *)
+
+let class_counts stats =
+  let by = Stats.by_class stats in
+  let get n = try List.assoc n by with Not_found -> 0 in
+  let compute = get "ALU" + get "SFT" + get "BR" + get "MDU" + get "FPU" in
+  let memory = get "MEM" in
+  (compute, memory)
+
+let attach ?(interval = 1000) m =
+  let p = { Plugin.samples = [] } in
+  let stats = Machine.stats m in
+  let last_c = ref 0 and last_m = ref 0 and last_w = ref 0 in
+  Machine.add_activity_plugin m ~name:"profiler" ~interval (fun m cycle ->
+      let c, mem = class_counts (Machine.stats m) in
+      let w = stats.Stats.tcu_memwait_cycles in
+      p.Plugin.samples <-
+        {
+          Plugin.ps_cycle = cycle;
+          ps_compute = c - !last_c;
+          ps_memory = mem - !last_m;
+          ps_memwait = w - !last_w;
+        }
+        :: p.Plugin.samples;
+      last_c := c;
+      last_m := mem;
+      last_w := w);
+  p

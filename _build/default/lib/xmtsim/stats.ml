@@ -1,0 +1,114 @@
+(** Instruction and activity counters (paper §III-B).
+
+    Instruction counters record executed instructions per functional-unit
+    class; activity counters monitor component state over time (TCU busy /
+    memory-wait cycles, ICN traffic, cache hits/misses, DRAM accesses).
+    Both can be read during the run (through the activity plug-in
+    interface) and are reported at the end of the simulation. *)
+
+type t = {
+  mutable cycles : int;  (** simulated cycles at program completion *)
+  instr_by_class : int array;  (** indexed by Instr.fu_class order *)
+  mutable master_instrs : int;
+  mutable tcu_instrs : int;
+  (* activity counters *)
+  mutable tcu_busy_cycles : int;
+  mutable tcu_memwait_cycles : int;
+  mutable tcu_fuwait_cycles : int;
+  mutable tcu_pswait_cycles : int;
+  mutable icn_packets : int;
+  mutable icn_occupancy : int;  (** sum of in-flight packets per cycle *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable rocache_hits : int;
+  mutable rocache_misses : int;
+  mutable master_cache_hits : int;
+  mutable master_cache_misses : int;
+  mutable dram_reads : int;
+  mutable prefetch_hits : int;
+  mutable prefetch_misses : int;  (** loads that found no buffered value *)
+  mutable prefetch_late : int;
+      (** loads that attached to a still-in-flight prefetch *)
+  mutable prefetch_issued : int;
+  mutable prefetch_evicted : int;
+  mutable ps_ops : int;
+  mutable psm_ops : int;
+  mutable spawns : int;
+  mutable virtual_threads : int;
+  mutable nb_stores : int;
+  mutable fences : int;
+}
+
+let fu_index c =
+  let rec go i = function
+    | [] -> invalid_arg "fu_index"
+    | x :: rest -> if x = c then i else go (i + 1) rest
+  in
+  go 0 Isa.Instr.all_fu_classes
+
+let create () =
+  {
+    cycles = 0;
+    instr_by_class = Array.make (List.length Isa.Instr.all_fu_classes) 0;
+    master_instrs = 0;
+    tcu_instrs = 0;
+    tcu_busy_cycles = 0;
+    tcu_memwait_cycles = 0;
+    tcu_fuwait_cycles = 0;
+    tcu_pswait_cycles = 0;
+    icn_packets = 0;
+    icn_occupancy = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    rocache_hits = 0;
+    rocache_misses = 0;
+    master_cache_hits = 0;
+    master_cache_misses = 0;
+    dram_reads = 0;
+    prefetch_hits = 0;
+    prefetch_misses = 0;
+    prefetch_late = 0;
+    prefetch_issued = 0;
+    prefetch_evicted = 0;
+    ps_ops = 0;
+    psm_ops = 0;
+    spawns = 0;
+    virtual_threads = 0;
+    nb_stores = 0;
+    fences = 0;
+  }
+
+let count_instr t ~master ins =
+  t.instr_by_class.(fu_index (Isa.Instr.fu_class_of ins)) <-
+    t.instr_by_class.(fu_index (Isa.Instr.fu_class_of ins)) + 1;
+  if master then t.master_instrs <- t.master_instrs + 1
+  else t.tcu_instrs <- t.tcu_instrs + 1
+
+let total_instrs t = t.master_instrs + t.tcu_instrs
+
+let by_class t =
+  List.mapi
+    (fun i c -> (Isa.Instr.fu_class_name c, t.instr_by_class.(i)))
+    Isa.Instr.all_fu_classes
+
+let to_string t =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "cycles:            %d\n" t.cycles;
+  pf "instructions:      %d (master %d, TCU %d)\n" (total_instrs t)
+    t.master_instrs t.tcu_instrs;
+  List.iter (fun (n, c) -> if c > 0 then pf "  %-4s             %d\n" n c) (by_class t);
+  pf "spawns:            %d (virtual threads %d)\n" t.spawns t.virtual_threads;
+  pf "TCU busy cycles:   %d\n" t.tcu_busy_cycles;
+  pf "TCU mem-wait:      %d  fu-wait: %d  ps-wait: %d\n" t.tcu_memwait_cycles
+    t.tcu_fuwait_cycles t.tcu_pswait_cycles;
+  pf "ICN packets:       %d\n" t.icn_packets;
+  pf "cache hits/misses: %d/%d\n" t.cache_hits t.cache_misses;
+  pf "master cache h/m:  %d/%d\n" t.master_cache_hits t.master_cache_misses;
+  pf "ro-cache h/m:      %d/%d\n" t.rocache_hits t.rocache_misses;
+  pf "DRAM reads:        %d\n" t.dram_reads;
+  pf "prefetch issued/hit/late/evicted: %d/%d/%d/%d\n" t.prefetch_issued
+    t.prefetch_hits t.prefetch_late t.prefetch_evicted;
+  pf "ps/psm ops:        %d/%d\n" t.ps_ops t.psm_ops;
+  pf "nb stores:         %d  fences: %d\n" t.nb_stores t.fences;
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(** Timing-only cache tag arrays.
+
+    The simulator's memory values live in the coherent functional memory
+    ({!Mem}); caches only decide {e when} an access completes, so they
+    track tags, not data.  Set-associative with LRU replacement. *)
+
+type t
+
+val create : lines:int -> assoc:int -> line_words:int -> t
+
+(** Address of the first word of the line containing [addr]. *)
+val line_of : t -> int -> int
+
+(** [lookup t addr] — true on hit; touches LRU. *)
+val lookup : t -> int -> bool
+
+(** Install the line containing [addr], evicting LRU if needed. *)
+val install : t -> int -> unit
+
+val invalidate_all : t -> unit
+val hits_possible : t -> bool  (** false for a zero-line cache *)

@@ -1,0 +1,99 @@
+type params = {
+  ambient : float;
+  c_cluster : float;
+  c_other : float;
+  r_vertical : float;
+  r_lateral : float;
+}
+
+let default =
+  {
+    ambient = 318.0;
+    c_cluster = 0.002;
+    c_other = 0.01;
+    r_vertical = 2.0;
+    r_lateral = 8.0;
+  }
+
+let demo =
+  {
+    ambient = 318.0;
+    c_cluster = 2e-6;
+    c_other = 1e-5;
+    r_vertical = 8.0;
+    r_lateral = 20.0;
+  }
+
+type t = {
+  p : params;
+  names : string array;
+  grid_w : int;
+  grid_n : int;  (* number of grid (cluster) nodes *)
+  temps : float array;
+  caps : float array;
+}
+
+let create ?(params = default) ~grid_w names =
+  let n = Array.length names in
+  (* cluster nodes are those named cluster*; they come first *)
+  let grid_n =
+    let rec count i =
+      if i < n && String.length names.(i) >= 7 && String.sub names.(i) 0 7 = "cluster"
+      then count (i + 1)
+      else i
+    in
+    count 0
+  in
+  {
+    p = params;
+    names;
+    grid_w = max 1 grid_w;
+    grid_n;
+    temps = Array.make n params.ambient;
+    caps =
+      Array.init n (fun i -> if i < grid_n then params.c_cluster else params.c_other);
+  }
+
+let neighbours t i =
+  if i < t.grid_n then begin
+    let x = i mod t.grid_w and y = i / t.grid_w in
+    let cand = [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ] in
+    List.filter_map
+      (fun (cx, cy) ->
+        let j = (cy * t.grid_w) + cx in
+        if cx >= 0 && cx < t.grid_w && j >= 0 && j < t.grid_n then Some j else None)
+      cand
+  end
+  else
+    (* chip-spanning components couple to all grid nodes *)
+    List.init t.grid_n (fun j -> j)
+
+let step t ~dt p =
+  let n = Array.length t.temps in
+  (* forward Euler is only stable for dt well below the smallest RC time
+     constant; substep long windows so any parameterization integrates
+     robustly *)
+  let cmin = Array.fold_left min infinity t.caps in
+  let tau = t.p.r_vertical *. cmin in
+  let nsub = max 1 (min 1000 (int_of_float (ceil (dt /. (0.2 *. tau))))) in
+  let h = dt /. float_of_int nsub in
+  let dtemp = Array.make n 0.0 in
+  for _ = 1 to nsub do
+    for i = 0 to n - 1 do
+      let ti = t.temps.(i) in
+      let flow_sink = (ti -. t.p.ambient) /. t.p.r_vertical in
+      let flow_lat =
+        List.fold_left
+          (fun acc j -> acc +. ((ti -. t.temps.(j)) /. t.p.r_lateral))
+          0.0 (neighbours t i)
+      in
+      dtemp.(i) <- h *. (p.(i) -. flow_sink -. flow_lat) /. t.caps.(i)
+    done;
+    for i = 0 to n - 1 do
+      t.temps.(i) <- t.temps.(i) +. dtemp.(i)
+    done
+  done
+
+let temperatures t = t.temps
+let max_temperature t = Array.fold_left max neg_infinity t.temps
+let component_names t = t.names

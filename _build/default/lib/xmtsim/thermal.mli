@@ -1,0 +1,44 @@
+(** Lumped-RC thermal model — the HotSpot substitute (paper §III-F).
+
+    Each floorplan component is a thermal node with a heat capacity, a
+    resistance to the heat sink (ambient) and lateral resistances to its
+    floorplan neighbours.  Per sample, the power vector from {!Power} is
+    integrated with forward Euler:
+
+    [C dT/dt = P - (T - Tamb)/Rv - sum_j (T - Tj)/Rl]
+
+    The paper computed power from activity counters and passed it to
+    HotSpot via JNI for temperature estimation; this model plays the same
+    role natively, enabling the dynamic thermal-management experiments
+    (the activity plug-in can read temperatures and throttle clock
+    domains). *)
+
+type params = {
+  ambient : float;  (** K *)
+  c_cluster : float;  (** J/K *)
+  c_other : float;
+  r_vertical : float;  (** K/W to heat sink *)
+  r_lateral : float;  (** K/W between floorplan neighbours *)
+}
+
+val default : params
+
+(** Parameters scaled so thermal dynamics are visible within the tens of
+    microseconds a typical simulated kernel lasts (demo/benchmark use);
+    physical chips have millisecond time constants, which would need
+    billions of simulated cycles to show any temperature movement. *)
+val demo : params
+
+type t
+
+(** [create ~params ~grid_w names] — the first [grid_w*grid_h] components
+    (the clusters) form a 2-D floorplan grid; remaining components couple
+    laterally to every grid node (ICN, caches span the chip). *)
+val create : ?params:params -> grid_w:int -> string array -> t
+
+(** Integrate one window of [dt] seconds under component powers [p]. *)
+val step : t -> dt:float -> float array -> unit
+
+val temperatures : t -> float array
+val max_temperature : t -> float
+val component_names : t -> string array

@@ -1,0 +1,49 @@
+(** Execution traces (paper §III-E): functional-level traces show the
+    executed instructions; filters restrict to specific TCUs and/or
+    instruction classes.  Attach with {!attach}; lines go to the given
+    sink (e.g. [Buffer.add_string buf] or [print_string]). *)
+
+type filter = {
+  tcus : int list option;  (** [None] = all; Master TCU is -1 *)
+  classes : Isa.Instr.fu_class list option;
+  limit : int;  (** stop recording after this many lines; <=0 = unlimited *)
+}
+
+let all = { tcus = None; classes = None; limit = 0 }
+
+let attach ?(filter = all) machine sink =
+  let count = ref 0 in
+  Machine.on_instr machine (fun ~tcu ~pc ins ~time ->
+      let keep =
+        (match filter.tcus with None -> true | Some l -> List.mem tcu l)
+        && (match filter.classes with
+           | None -> true
+           | Some l -> List.mem (Isa.Instr.fu_class_of ins) l)
+        && (filter.limit <= 0 || !count < filter.limit)
+      in
+      if keep then begin
+        incr count;
+        let who = if tcu < 0 then "MTCU" else Printf.sprintf "TCU%-4d" tcu in
+        sink
+          (Printf.sprintf "%8d %s pc=%-5d %s\n" time who pc (Isa.Instr.to_string ins))
+      end)
+
+(** Attach the cycle-accurate (package-level) trace: one line per station
+    an instruction/data package travels through (§III-E).  [addr] limits
+    the trace to packages touching that address. *)
+let attach_packages ?addr ?(limit = 0) machine sink =
+  let count = ref 0 in
+  Machine.on_package machine (fun ev ->
+      let keep =
+        (match addr with
+        | Some a -> ev.Machine.pe_addr = a || ev.Machine.pe_stage = "dram-fill"
+        | None -> true)
+        && (limit <= 0 || !count < limit)
+      in
+      if keep then begin
+        incr count;
+        sink
+          (Printf.sprintf "%8d %-13s %-9s addr=0x%-6x tcu=%-4d module=%d\n"
+             ev.Machine.pe_time ev.Machine.pe_stage ev.Machine.pe_kind
+             ev.Machine.pe_addr ev.Machine.pe_tcu ev.Machine.pe_module)
+      end)

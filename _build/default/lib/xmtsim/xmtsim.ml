@@ -1,0 +1,28 @@
+(** XMTSim — the cycle-accurate simulator of the XMT architecture
+    (paper §III), built on the {!Desim} discrete-event engine.
+
+    {!Machine} is the cycle-accurate model (Fig. 1 components:
+    TCUs/clusters with shared MDU/FPU, prefetch buffers, read-only caches,
+    the interconnection network, hashed shared cache modules, DRAM, the
+    global prefix-sum unit and the spawn-join mechanism), driven by the
+    execution-driven {!Funcmodel}.  {!Functional_mode} is the fast
+    serializing mode.  {!Stats}, {!Plugin} and {!Trace} provide the
+    counters, filter/activity plug-ins and traces of §III-B/E; {!Power},
+    {!Thermal} and {!Floorplan} the §III-F power/temperature stack;
+    {!Machine.checkpoint} the §III-E checkpoints. *)
+
+module Config = Config
+module Mem = Mem
+module Funcmodel = Funcmodel
+module Stats = Stats
+module Tags = Tags
+module Prefetch_buffer = Prefetch_buffer
+module Plugin = Plugin
+module Profiler = Profiler
+module Machine = Machine
+module Functional_mode = Functional_mode
+module Phase_sampling = Phase_sampling
+module Trace = Trace
+module Power = Power
+module Thermal = Thermal
+module Floorplan = Floorplan

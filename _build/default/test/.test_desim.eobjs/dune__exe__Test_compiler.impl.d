@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Compiler Core Isa List Printexc Printf String Tu Xmtc Xmtsim

@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Desim Filename List Printf QCheck QCheck_alcotest Sys Tu

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Compiler Core Isa List Printf Tu Xmtc Xmtsim

@@ -1,0 +1,1 @@
+test/test_memory_model.ml: Alcotest Compiler Core List Printf String Tu Xmtsim

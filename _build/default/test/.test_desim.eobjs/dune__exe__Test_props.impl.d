@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Compiler Core Desim Gen Isa List Printf QCheck QCheck_alcotest Tu Xmtc Xmtsim

@@ -1,0 +1,1 @@
+test/test_xmtc.ml: Alcotest List Printexc String Tu Xmtc

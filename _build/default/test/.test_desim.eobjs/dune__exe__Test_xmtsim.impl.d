@@ -1,0 +1,1 @@
+test/test_xmtsim.ml: Alcotest Array Buffer Core Filename Isa List Printf String Sys Tu Xmtsim

@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Core Isa Xmtsim

@@ -1,0 +1,325 @@
+(** Tests for the discrete-event engine (paper §III-C/D). *)
+
+module D = Desim
+
+let heap_pop_order () =
+  let h = D.Event_heap.create () in
+  D.Event_heap.add h ~time:5 ~prio:0 "c";
+  D.Event_heap.add h ~time:1 ~prio:0 "a";
+  D.Event_heap.add h ~time:3 ~prio:0 "b";
+  let pop () = let _, _, x = D.Event_heap.pop h in x in
+  Tu.check_string "first" "a" (pop ());
+  Tu.check_string "second" "b" (pop ());
+  Tu.check_string "third" "c" (pop ())
+
+let heap_priority_breaks_ties () =
+  let h = D.Event_heap.create () in
+  D.Event_heap.add h ~time:2 ~prio:5 "low-prio";
+  D.Event_heap.add h ~time:2 ~prio:1 "high-prio";
+  let _, _, x = D.Event_heap.pop h in
+  Tu.check_string "priority first" "high-prio" x
+
+let heap_fifo_within_priority () =
+  let h = D.Event_heap.create () in
+  for i = 0 to 9 do
+    D.Event_heap.add h ~time:1 ~prio:0 i
+  done;
+  for i = 0 to 9 do
+    let _, _, x = D.Event_heap.pop h in
+    Tu.check_int (Printf.sprintf "fifo %d" i) i x
+  done
+
+let heap_empty_raises () =
+  let h = D.Event_heap.create () in
+  Alcotest.check_raises "empty pop" Not_found (fun () ->
+      ignore (D.Event_heap.pop h : int * int * unit))
+
+let heap_min_time () =
+  let h = D.Event_heap.create () in
+  Alcotest.(check (option int)) "empty" None (D.Event_heap.min_time h);
+  D.Event_heap.add h ~time:7 ~prio:0 ();
+  Alcotest.(check (option int)) "seven" (Some 7) (D.Event_heap.min_time h)
+
+(* ------------------------------------------------------------------ *)
+
+let scheduler_time_jumps () =
+  (* DE simulation: time advances to event timestamps, not in unit steps
+     (paper Fig. 5b). *)
+  let s = D.Scheduler.create () in
+  let seen = ref [] in
+  D.Scheduler.schedule s ~delay:100 (fun () -> seen := 100 :: !seen);
+  D.Scheduler.schedule s ~delay:3 (fun () -> seen := 3 :: !seen);
+  let outcome = D.Scheduler.run s in
+  Tu.check_bool "drained" true (outcome = D.Scheduler.Drained);
+  Alcotest.(check (list int)) "order" [ 3; 100 ] (List.rev !seen);
+  Tu.check_int "time" 100 (D.Scheduler.now s);
+  Tu.check_int "events" 2 (D.Scheduler.events_processed s)
+
+let scheduler_stop_event () =
+  let s = D.Scheduler.create () in
+  let ran = ref 0 in
+  D.Scheduler.schedule s ~delay:1 (fun () -> incr ran);
+  D.Scheduler.stop s ~time:5 ();
+  D.Scheduler.schedule s ~delay:10 (fun () -> incr ran);
+  let outcome = D.Scheduler.run s in
+  Tu.check_bool "stopped" true (outcome = D.Scheduler.Stopped);
+  Tu.check_int "only first ran" 1 !ran;
+  Tu.check_int "stop time" 5 (D.Scheduler.now s)
+
+let scheduler_budget () =
+  let s = D.Scheduler.create () in
+  let rec reschedule () = D.Scheduler.schedule s ~delay:1 reschedule in
+  reschedule ();
+  let outcome = D.Scheduler.run ~max_events:50 s in
+  Tu.check_bool "budget" true (outcome = D.Scheduler.Budget)
+
+let scheduler_rejects_past () =
+  let s = D.Scheduler.create () in
+  D.Scheduler.schedule s ~delay:10 (fun () ->
+      Alcotest.check_raises "past" (Invalid_argument
+        "Scheduler.schedule_at: time 5 is in the past (now 10)") (fun () ->
+          D.Scheduler.schedule_at s ~time:5 (fun () -> ())));
+  ignore (D.Scheduler.run s)
+
+let scheduler_nested_scheduling () =
+  let s = D.Scheduler.create () in
+  let log = ref [] in
+  D.Scheduler.schedule s ~delay:1 (fun () ->
+      log := "a" :: !log;
+      D.Scheduler.schedule s ~delay:0 (fun () -> log := "b" :: !log));
+  ignore (D.Scheduler.run s);
+  Alcotest.(check (list string)) "nested" [ "a"; "b" ] (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+
+let actor_notify () =
+  let s = D.Scheduler.create () in
+  let count = ref 0 in
+  let action a =
+    incr count;
+    if !count < 5 then D.Actor.notify_in a ~delay:2
+  in
+  let a = D.Actor.create s ~name:"counter" action in
+  D.Actor.notify_in a ~delay:2;
+  ignore (D.Scheduler.run s);
+  Tu.check_int "notified five times" 5 !count;
+  Tu.check_int "notifications counter" 5 (D.Actor.notifications a);
+  Tu.check_int "time" 10 (D.Scheduler.now s)
+
+(* ------------------------------------------------------------------ *)
+
+let clock_ticks () =
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:3 in
+  let ticks = ref [] in
+  D.Clock.on_tick c (fun cy -> ticks := cy :: !ticks);
+  D.Clock.start c;
+  D.Scheduler.stop s ~time:10 ();
+  ignore (D.Scheduler.run s);
+  Alcotest.(check (list int)) "cycles" [ 0; 1; 2; 3 ] (List.rev !ticks)
+
+let clock_phases_order () =
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:1 in
+  let log = ref [] in
+  D.Clock.on_tick ~phase:1 c (fun _ -> log := "transfer" :: !log);
+  D.Clock.on_tick ~phase:0 c (fun _ -> log := "negotiate" :: !log);
+  D.Clock.start c;
+  D.Scheduler.stop s ~time:0 ();
+  ignore (D.Scheduler.run s);
+  (* stop fires at prio_stop, after the tick at time 0 *)
+  Alcotest.(check (list string)) "phases" [ "negotiate"; "transfer" ] (List.rev !log)
+
+let clock_dvfs () =
+  (* frequency change mid-run (paper §III-B) *)
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:1 in
+  let times = ref [] in
+  D.Clock.on_tick c (fun _ ->
+      times := D.Scheduler.now s :: !times;
+      if D.Scheduler.now s = 2 then D.Clock.set_period c 4);
+  D.Clock.start c;
+  D.Scheduler.stop s ~time:12 ();
+  ignore (D.Scheduler.run s);
+  (* the new period takes effect after the tick at t=2 *)
+  Alcotest.(check (list int)) "tick times" [ 0; 1; 2; 6; 10 ] (List.rev !times)
+
+let clock_gating () =
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:1 in
+  let n = ref 0 in
+  D.Clock.on_tick c (fun _ ->
+      incr n;
+      if !n = 3 then D.Clock.disable c);
+  D.Clock.start c;
+  D.Scheduler.schedule s ~delay:10 (fun () -> D.Clock.enable c);
+  D.Scheduler.stop s ~time:12 ();
+  ignore (D.Scheduler.run s);
+  (* 3 ticks, gap, then ticks at 11 and 12 *)
+  Tu.check_int "ticks" 5 !n
+
+let clock_sleep_wake () =
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:2 in
+  let times = ref [] in
+  D.Clock.on_tick c (fun _ ->
+      times := D.Scheduler.now s :: !times;
+      if D.Scheduler.now s = 4 then D.Clock.sleep c);
+  D.Clock.start c;
+  D.Scheduler.schedule s ~delay:11 (fun () -> D.Clock.wake c);
+  D.Scheduler.stop s ~time:15 ();
+  ignore (D.Scheduler.run s);
+  (* sleeping skips 6..10; wake at 11 -> next grid point 12 *)
+  Alcotest.(check (list int)) "tick times" [ 0; 2; 4; 12; 14 ] (List.rev !times)
+
+let clock_macro_actor_grouping () =
+  (* one clock event drives many components per cycle (§III-D): event
+     count is per-cycle, not per-component *)
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"macro" ~period:1 in
+  let work = ref 0 in
+  for _ = 1 to 100 do
+    D.Clock.on_tick c (fun _ -> incr work)
+  done;
+  D.Clock.start c;
+  D.Scheduler.stop s ~time:9 ();
+  ignore (D.Scheduler.run s);
+  Tu.check_int "work" 1000 !work;
+  (* 10 tick events + stop *)
+  Tu.check_bool "few events" true (D.Scheduler.events_processed s <= 12)
+
+(* ------------------------------------------------------------------ *)
+
+let port_fifo () =
+  let p = D.Port.create ~name:"p" ~capacity:2 in
+  Tu.check_bool "push1" true (D.Port.push p 1);
+  Tu.check_bool "push2" true (D.Port.push p 2);
+  Tu.check_bool "full" false (D.Port.push p 3);
+  Alcotest.(check (option int)) "peek" (Some 1) (D.Port.peek p);
+  Alcotest.(check (option int)) "pop" (Some 1) (D.Port.pop p);
+  Tu.check_bool "room again" true (D.Port.can_push p);
+  Tu.check_int "pushed total" 2 (D.Port.pushed_total p)
+
+let port_unbounded () =
+  let p = D.Port.create ~name:"p" ~capacity:0 in
+  for i = 1 to 1000 do
+    D.Port.push_exn p i
+  done;
+  Tu.check_int "length" 1000 (D.Port.length p);
+  Alcotest.(check (list int)) "drain prefix" [ 1; 2; 3 ]
+    (match D.Port.drain p with a :: b :: c :: _ -> [ a; b; c ] | _ -> [])
+
+(* ------------------------------------------------------------------ *)
+
+let checkpoint_roundtrip () =
+  let r = D.Checkpoint.create () in
+  let state = ref 42 in
+  D.Checkpoint.register r ~name:"counter" ~save:(fun () -> !state)
+    ~load:(fun v -> state := v);
+  let blob = D.Checkpoint.save r in
+  state := 0;
+  D.Checkpoint.restore r blob;
+  Tu.check_int "restored" 42 !state
+
+let checkpoint_file_roundtrip () =
+  let r = D.Checkpoint.create () in
+  let state = ref [ 1; 2; 3 ] in
+  D.Checkpoint.register r ~name:"list" ~save:(fun () -> !state)
+    ~load:(fun v -> state := v);
+  let blob = D.Checkpoint.save r in
+  let path = Filename.temp_file "ckpt" ".bin" in
+  D.Checkpoint.to_file blob path;
+  state := [];
+  D.Checkpoint.restore r (D.Checkpoint.of_file path);
+  Sys.remove path;
+  Alcotest.(check (list int)) "restored" [ 1; 2; 3 ] !state
+
+let checkpoint_duplicate_name () =
+  let r = D.Checkpoint.create () in
+  D.Checkpoint.register r ~name:"x" ~save:(fun () -> 0) ~load:(fun _ -> ());
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Checkpoint.register: duplicate name \"x\"") (fun () ->
+      D.Checkpoint.register r ~name:"x" ~save:(fun () -> 0) ~load:(fun _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = D.Rng.create ~seed:7 and b = D.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Tu.check_int "same stream" (D.Rng.int a 1000) (D.Rng.int b 1000)
+  done
+
+let rng_split_independent () =
+  let a = D.Rng.create ~seed:7 in
+  let c = D.Rng.split a in
+  let x = D.Rng.int a 1000000 and y = D.Rng.int c 1000000 in
+  Tu.check_bool "different streams" true (x <> y)
+
+let rng_bounds () =
+  let a = D.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = D.Rng.int a 17 in
+    Tu.check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+(* qcheck: the heap always pops in nondecreasing key order *)
+let qcheck_heap_sorted =
+  QCheck.Test.make ~count:200 ~name:"event heap pops sorted"
+    QCheck.(list (pair small_nat small_nat))
+    (fun entries ->
+      let h = D.Event_heap.create () in
+      List.iter (fun (t, p) -> D.Event_heap.add h ~time:t ~prio:p ()) entries;
+      let rec drain last ok =
+        if D.Event_heap.is_empty h then ok
+        else begin
+          let t, p, () = D.Event_heap.pop h in
+          drain (t, p) (ok && (t, p) >= last)
+        end
+      in
+      drain (min_int, min_int) true)
+
+let () =
+  Alcotest.run "desim"
+    [
+      ( "event_heap",
+        [
+          Tu.tc "pop order" heap_pop_order;
+          Tu.tc "priority ties" heap_priority_breaks_ties;
+          Tu.tc "fifo within priority" heap_fifo_within_priority;
+          Tu.tc "empty raises" heap_empty_raises;
+          Tu.tc "min time" heap_min_time;
+          QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+        ] );
+      ( "scheduler",
+        [
+          Tu.tc "time jumps" scheduler_time_jumps;
+          Tu.tc "stop event" scheduler_stop_event;
+          Tu.tc "event budget" scheduler_budget;
+          Tu.tc "rejects past" scheduler_rejects_past;
+          Tu.tc "nested scheduling" scheduler_nested_scheduling;
+        ] );
+      ("actor", [ Tu.tc "notify" actor_notify ]);
+      ( "clock",
+        [
+          Tu.tc "ticks" clock_ticks;
+          Tu.tc "phase order" clock_phases_order;
+          Tu.tc "dvfs" clock_dvfs;
+          Tu.tc "gating" clock_gating;
+          Tu.tc "sleep/wake" clock_sleep_wake;
+          Tu.tc "macro-actor grouping" clock_macro_actor_grouping;
+        ] );
+      ( "port",
+        [ Tu.tc "fifo" port_fifo; Tu.tc "unbounded" port_unbounded ] );
+      ( "checkpoint",
+        [
+          Tu.tc "roundtrip" checkpoint_roundtrip;
+          Tu.tc "file roundtrip" checkpoint_file_roundtrip;
+          Tu.tc "duplicate name" checkpoint_duplicate_name;
+        ] );
+      ( "rng",
+        [
+          Tu.tc "deterministic" rng_deterministic;
+          Tu.tc "split" rng_split_independent;
+          Tu.tc "bounds" rng_bounds;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(** Memory-model tests (paper §IV-A, Figs. 6 and 7).
+
+    The litmus programs stage a writer and a reader on opposite subtrees
+    of the interconnection network with background traffic on the writer's
+    path to x's cache module.  Outcomes are collected across a sweep of
+    the reader's start delay and the arbitration seed. *)
+
+module D = Compiler.Driver
+
+let opts = D.default_options
+let threads = 64
+let hammer_iters = 400
+
+let config seed =
+  Xmtsim.Config.with_overrides Xmtsim.Config.fpga64
+    [ Printf.sprintf "seed=%d" seed; "icn_jitter=4"; "cache_ports=2" ]
+
+let delays = [ 0; 80; 160; 250; 400; 900 ]
+let seeds = [ 1; 2; 3 ]
+
+let outcomes ?(options = opts) src_of =
+  List.concat_map
+    (fun delay ->
+      List.map
+        (fun seed ->
+          let compiled = Core.Toolchain.compile ~options (src_of delay) in
+          let r = Core.Toolchain.run_cycle ~config:(config seed) compiled in
+          match String.split_on_char ' ' r.Core.Toolchain.output with
+          | [ rx; ry ] -> (int_of_string rx, int_of_string ry)
+          | _ -> Alcotest.failf "bad litmus output %S" r.Core.Toolchain.output)
+        seeds)
+    delays
+
+let fig6_src d = Core.Kernels.fig6_litmus ~threads ~hammer_iters ~delay:d ()
+let fig7_src d = Core.Kernels.fig7_litmus ~threads ~hammer_iters ~delay:d ()
+
+let fig6_shows_relaxed_outcomes () =
+  let out = outcomes fig6_src in
+  let distinct = List.sort_uniq compare out in
+  Tu.check_bool
+    (Printf.sprintf "multiple outcomes (%d)" (List.length distinct))
+    true
+    (List.length distinct >= 2);
+  (* the counter-intuitive relaxed result of Fig. 6 *)
+  Tu.check_bool "(rx,ry) = (0,1) observed" true (List.mem (0, 1) out)
+
+let fig6_all_outcomes_legal () =
+  List.iter
+    (fun (rx, ry) ->
+      Tu.check_bool "rx boolean" true (rx = 0 || rx = 1);
+      Tu.check_bool "ry boolean" true (ry = 0 || ry = 1))
+    (outcomes fig6_src)
+
+let fig7_invariant_holds () =
+  (* with psm + compiler fences: if ry >= 1 then rx = 1, always *)
+  List.iter
+    (fun (rx, ry) ->
+      if ry >= 1 && rx <> 1 then
+        Alcotest.failf "memory model violated: (rx,ry) = (%d,%d)" rx ry)
+    (outcomes fig7_src)
+
+let fig7_without_fences_violates () =
+  let out = outcomes ~options:{ opts with D.fences = false } fig7_src in
+  Tu.check_bool "violation (0,>=1) observed without fences" true
+    (List.exists (fun (rx, ry) -> ry >= 1 && rx = 0) out)
+
+let fig7_reader_psm_counts () =
+  (* ry is the reader's psm result: 0 if it went first, 1 if second *)
+  List.iter
+    (fun (_, ry) -> Tu.check_bool "ry in {0,1}" true (ry = 0 || ry = 1))
+    (outcomes fig7_src)
+
+let per_thread_program_order_holds () =
+  (* memory-model rule 1: a thread reads its own last write, even with
+     non-blocking stores and heavy traffic *)
+  let src =
+    {|
+int A[256];
+int errors = 0;
+int main(void) {
+  spawn(0, 63) {
+    int i;
+    for (i = 0; i < 4; i++) {
+      A[$ * 4 + i] = $ + i;
+      if (A[$ * 4 + i] != $ + i) {
+        int one = 1;
+        psm(one, errors);
+      }
+    }
+  }
+  print_int(errors);
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun seed ->
+      let compiled = Core.Toolchain.compile src in
+      let r = Core.Toolchain.run_cycle ~config:(config seed) compiled in
+      Tu.check_string "no program-order violations" "0" r.Core.Toolchain.output)
+    seeds
+
+let psm_synchronization_transfers_data () =
+  (* the Fig. 7 pattern used productively: producer writes a payload then
+     psm-increments a flag; consumers that see the flag read the payload *)
+  let src =
+    {|
+int payload = 0;
+int flag = 0;
+int bad = 0;
+int main(void) {
+  spawn(0, 31) {
+    if ($ == 0) {
+      int one = 1;
+      payload = 1234;
+      psm(one, flag);
+    } else {
+      int zero = 0;
+      psm(zero, flag);
+      if (zero >= 1) {
+        if (payload != 1234) {
+          int one = 1;
+          psm(one, bad);
+        }
+      }
+    }
+  }
+  print_int(bad);
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun seed ->
+      let compiled = Core.Toolchain.compile src in
+      let r = Core.Toolchain.run_cycle ~config:(config seed) compiled in
+      Tu.check_string "fence + psm publishes payload" "0" r.Core.Toolchain.output)
+    [ 1; 2; 3; 4; 5 ]
+
+let join_drains_stores () =
+  (* all non-blocking stores are visible to the master after join *)
+  let src =
+    {|
+int A[512];
+int main(void) {
+  int i;
+  int sum = 0;
+  spawn(0, 511) { A[$] = 1; }
+  for (i = 0; i < 512; i++) sum = sum + A[i];
+  print_int(sum);
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun seed ->
+      let compiled = Core.Toolchain.compile src in
+      let r = Core.Toolchain.run_cycle ~config:(config seed) compiled in
+      Tu.check_string "all stores visible after join" "512" r.Core.Toolchain.output)
+    seeds
+
+let functional_mode_hides_races () =
+  (* §III-A: the serializing functional mode cannot reveal the relaxed
+     outcome — it always executes thread 0 to completion first *)
+  let r =
+    Core.Toolchain.run_functional (Core.Toolchain.compile (fig6_src 0))
+  in
+  Tu.check_string "serialized outcome" "1 1" r.Core.Toolchain.output
+
+let () =
+  Alcotest.run "memory_model"
+    [
+      ( "fig6",
+        [
+          Tu.tc "relaxed outcomes appear" fig6_shows_relaxed_outcomes;
+          Tu.tc "outcomes well-formed" fig6_all_outcomes_legal;
+        ] );
+      ( "fig7",
+        [
+          Tu.tc "invariant holds with fences" fig7_invariant_holds;
+          Tu.tc "violated without fences" fig7_without_fences_violates;
+          Tu.tc "psm results well-formed" fig7_reader_psm_counts;
+        ] );
+      ( "rules",
+        [
+          Tu.tc "per-thread program order" per_thread_program_order_holds;
+          Tu.tc "psm publishes data" psm_synchronization_transfers_data;
+          Tu.tc "join drains stores" join_drains_stores;
+          Tu.tc "functional mode hides races" functional_mode_hides_races;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(** Property-based tests (qcheck) on the toolchain's core invariants. *)
+
+let config = Xmtsim.Config.tiny
+
+(* compaction of a random array always reports the nonzero count, and the
+   cycle-mode result equals the functional-mode result *)
+let prop_compaction =
+  QCheck.Test.make ~count:15 ~name:"compaction counts nonzeros"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 5))
+    (fun l ->
+      let a = Array.of_list l in
+      let n = Array.length a in
+      let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+      let src = Core.Kernels.compaction ~n in
+      let fo, co, _ = Tu.both ~memmap ~config src in
+      let expected = string_of_int (Core.Reference.count_nonzero a) in
+      fo = expected && co = expected)
+
+let prop_reduce_psm =
+  QCheck.Test.make ~count:15 ~name:"psm reduction sums"
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range (-50) 50))
+    (fun l ->
+      let a = Array.of_list l in
+      let n = Array.length a in
+      let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+      let fo, co, _ = Tu.both ~memmap ~config (Core.Kernels.reduce_psm ~n) in
+      let expected = string_of_int (Core.Reference.sum a) in
+      fo = expected && co = expected)
+
+(* serial expression evaluation matches OCaml's semantics *)
+let prop_serial_arith =
+  QCheck.Test.make ~count:40 ~name:"serial arithmetic matches host"
+    QCheck.(triple (int_range (-1000) 1000) (int_range (-1000) 1000)
+              (int_range 1 100))
+    (fun (x, y, z) ->
+      let src =
+        Printf.sprintf
+          "int main() { int x = %d; int y = %d; int z = %d; print_int((x + y) \
+           * 3 - x / z + (y %% z)); return 0; }"
+          x y z
+      in
+      let expected = string_of_int (Isa.Value.wrap32 (((x + y) * 3) - (x / z) + (y mod z))) in
+      let fo, co, _ = Tu.both ~config src in
+      fo = expected && co = expected)
+
+let prop_bitwise =
+  QCheck.Test.make ~count:40 ~name:"bitwise ops match host"
+    QCheck.(pair (int_range 0 100000) (int_range 0 20))
+    (fun (x, s) ->
+      let src =
+        Printf.sprintf
+          "int main() { int x = %d; int s = %d; print_int(((x << 2) >> s) ^ (x \
+           & 255) | (x %% 7)); return 0; }"
+          x s
+      in
+      let expected =
+        string_of_int
+          (Isa.Value.wrap32 ((Isa.Value.wrap32 (x lsl 2) asr s) lxor (x land 255) lor (x mod 7)))
+      in
+      let fo, _, _ = Tu.both ~config src in
+      fo = expected)
+
+(* assembler round trip on random instruction sequences *)
+let arbitrary_instr =
+  let open Isa.Instr in
+  let r = QCheck.Gen.int_range 0 31 in
+  let g =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map3 (fun d a b -> Alu (Add, d, a, b)) r r r;
+        QCheck.Gen.map3 (fun d a b -> Alu (Sltu, d, a, b)) r r r;
+        QCheck.Gen.map3 (fun d a i -> Alui (Addi, d, a, i - 500))
+          r r (QCheck.Gen.int_range 0 1000);
+        QCheck.Gen.map2 (fun d i -> Li (d, i - 100000)) r (QCheck.Gen.int_range 0 200000);
+        QCheck.Gen.map3 (fun t o b -> Lw (t, o * 4, b)) r (QCheck.Gen.int_range 0 64) r;
+        QCheck.Gen.map3 (fun t o b -> Swnb (t, o * 4, b)) r (QCheck.Gen.int_range 0 64) r;
+        QCheck.Gen.map3 (fun d a b -> Fpu (Fmul, d, a, b)) r r r;
+        QCheck.Gen.map (fun d -> Brz (Bnez, d, "lbl")) r;
+        QCheck.Gen.map (fun d -> Ps (d, 3)) r;
+        QCheck.Gen.return Fence;
+        QCheck.Gen.return Join;
+      ]
+  in
+  QCheck.make ~print:Isa.Instr.to_string g
+
+let prop_asm_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"asm text roundtrip"
+    arbitrary_instr
+    (fun ins ->
+      let text = Isa.Instr.to_string ins in
+      Isa.Instr.to_string (Isa.Asm.parse_instr text) = text)
+
+(* value wrapping behaves like 32-bit two's complement *)
+let prop_wrap32 =
+  QCheck.Test.make ~count:500 ~name:"wrap32 is 32-bit two's complement"
+    QCheck.int (fun x ->
+      let w = Isa.Value.wrap32 x in
+      w >= -2147483648 && w <= 2147483647
+      && (x - w) mod 4294967296 = 0)
+
+let prop_wrap32_idempotent =
+  QCheck.Test.make ~count:500 ~name:"wrap32 idempotent" QCheck.int (fun x ->
+      Isa.Value.wrap32 (Isa.Value.wrap32 x) = Isa.Value.wrap32 x)
+
+(* the pretty-printer output re-typechecks for random small programs *)
+let arbitrary_source =
+  let g =
+    QCheck.Gen.(
+      let* n = int_range 1 20 in
+      let* k = int_range 1 5 in
+      return
+        (Printf.sprintf
+           {|
+int A[%d];
+int acc = 0;
+int main(void) {
+  int i;
+  for (i = 0; i < %d; i++) A[i] = i * %d;
+  spawn(0, %d) {
+    int v = A[$];
+    psm(v, acc);
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+           n n k (n - 1))
+      |> fun x -> x)
+  in
+  QCheck.make ~print:(fun s -> s) g
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"pretty output re-typechecks and agrees"
+    arbitrary_source (fun src ->
+      let p = Xmtc.Typecheck.program_of_source src in
+      let printed = Xmtc.Pretty.program_to_string p in
+      let r1 = Core.Toolchain.exec ~functional:true src in
+      let r2 = Core.Toolchain.exec ~functional:true printed in
+      r1.Core.Toolchain.output = r2.Core.Toolchain.output)
+
+(* random graphs: BFS kernel agrees with host reference *)
+let prop_bfs =
+  QCheck.Test.make ~count:8 ~name:"bfs agrees with reference"
+    QCheck.(pair (int_range 10 50) (int_range 1 3))
+    (fun (n, epv) ->
+      let g = Core.Workloads.random_graph ~chain:(n / 3) ~seed:(n + epv) ~n
+          ~edges_per_vertex:epv ()
+      in
+      let src = Core.Kernels.bfs ~n ~m:g.Core.Workloads.m ~src:0 in
+      let reached, total = Core.Reference.bfs_summary g 0 in
+      let r =
+        Core.Toolchain.exec ~memmap:(Core.Workloads.graph_memmap g) ~config src
+      in
+      r.Core.Toolchain.output = Printf.sprintf "%d %d" reached total)
+
+(* random straight-line+control programs behave identically at every
+   optimization level (the serial optimizer is semantics-preserving) *)
+let arbitrary_program =
+  let g =
+    QCheck.Gen.(
+      let* seed = int_range 1 100000 in
+      let* depth = int_range 1 4 in
+      let r = Desim.Rng.create ~seed in
+      (* build a random int expression over variables a,b,c avoiding
+         division by anything possibly zero *)
+      let rec expr d =
+        if d = 0 then
+          match Desim.Rng.int r 4 with
+          | 0 -> "a"
+          | 1 -> "b"
+          | 2 -> "c"
+          | _ -> string_of_int (Desim.Rng.int r 100 - 50)
+        else
+          let x = expr (d - 1) and y = expr (d - 1) in
+          match Desim.Rng.int r 8 with
+          | 0 -> Printf.sprintf "(%s + %s)" x y
+          | 1 -> Printf.sprintf "(%s - %s)" x y
+          | 2 -> Printf.sprintf "(%s * %s)" x y
+          | 3 -> Printf.sprintf "(%s & %s)" x y
+          | 4 -> Printf.sprintf "(%s | %s)" x y
+          | 5 -> Printf.sprintf "(%s ^ %s)" x y
+          | 6 -> Printf.sprintf "(%s << 1)" x
+          | _ -> Printf.sprintf "(%s >> 2)" x
+      in
+      let e1 = expr depth and e2 = expr depth and cond = expr (min 2 depth) in
+      return
+        (Printf.sprintf
+           {|
+int out = 0;
+int main(void) {
+  int a = 7;
+  int b = -13;
+  int c = 100;
+  int i;
+  for (i = 0; i < 5; i++) {
+    a = %s;
+    if ((%s) > 0) b = b + a; else b = b - 1;
+    c = c ^ (%s);
+  }
+  print_int(a + b * 3 + c);
+  return 0;
+}
+|}
+           e1 cond e2))
+  in
+  QCheck.make ~print:(fun s -> s) g
+
+let prop_opt_levels_agree =
+  QCheck.Test.make ~count:25 ~name:"O0 = O1 = O2 on random programs"
+    arbitrary_program (fun src ->
+      let out lvl =
+        let options =
+          { Compiler.Driver.default_options with Compiler.Driver.opt_level = lvl }
+        in
+        (Core.Toolchain.exec ~options ~config src).Core.Toolchain.output
+      in
+      let o0 = out 0 in
+      o0 = out 1 && o0 = out 2)
+
+(* clustering factors never change results *)
+let prop_clustering_invariant =
+  QCheck.Test.make ~count:10 ~name:"clustering preserves results"
+    QCheck.(pair (int_range 1 30) (int_range 1 8))
+    (fun (n, factor) ->
+      let a = Core.Workloads.random_array ~seed:n ~n ~bound:10 in
+      let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+      let options =
+        { Compiler.Driver.default_options with Compiler.Driver.cluster = factor }
+      in
+      let r =
+        Core.Toolchain.exec ~options ~memmap ~config (Core.Kernels.reduce_psm ~n)
+      in
+      r.Core.Toolchain.output = string_of_int (Core.Reference.sum a))
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "programs",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compaction;
+            prop_reduce_psm;
+            prop_serial_arith;
+            prop_bitwise;
+            prop_bfs;
+            prop_clustering_invariant;
+            prop_opt_levels_agree;
+            prop_pretty_roundtrip;
+          ] );
+      ( "isa",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_asm_roundtrip; prop_wrap32; prop_wrap32_idempotent ] );
+    ]

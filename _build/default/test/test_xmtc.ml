@@ -1,0 +1,241 @@
+(** Tests for the XMTC front end: lexer, parser, typechecker. *)
+
+let lex src = List.map fst (Xmtc.Lexer.tokenize src)
+
+let lexer_basic () =
+  let open Xmtc.Lexer in
+  Alcotest.(check int) "token count" 6 (List.length (lex "int x = 42 ;"));
+  (match lex "$" with
+  | [ DOLLAR; EOF ] -> ()
+  | _ -> Alcotest.fail "dollar");
+  (match lex "0x10" with
+  | [ INT 16; EOF ] -> ()
+  | _ -> Alcotest.fail "hex");
+  (match lex "1.5f" with
+  | [ FLOAT 1.5; EOF ] -> ()
+  | _ -> Alcotest.fail "float suffix");
+  (match lex "'a'" with
+  | [ CHAR 'a'; EOF ] -> ()
+  | _ -> Alcotest.fail "char");
+  match lex "a <<= b" with
+  | [ ID "a"; PUNCT "<<="; ID "b"; EOF ] -> ()
+  | _ -> Alcotest.fail "compound op"
+
+let lexer_comments () =
+  let open Xmtc.Lexer in
+  (match lex "x // comment\n y" with
+  | [ ID "x"; ID "y"; EOF ] -> ()
+  | _ -> Alcotest.fail "line comment");
+  match lex "x /* multi\nline */ y" with
+  | [ ID "x"; ID "y"; EOF ] -> ()
+  | _ -> Alcotest.fail "block comment"
+
+let lexer_errors () =
+  let bad src =
+    match Xmtc.Lexer.tokenize src with
+    | exception Xmtc.Lexer.Lex_error _ -> ()
+    | _ -> Alcotest.failf "expected lex error for %S" src
+  in
+  bad "\"unterminated";
+  bad "'ab'";
+  bad "`"
+
+(* ------------------------------------------------------------------ *)
+
+let parses src =
+  match Xmtc.Parser.parse src with
+  | _ -> ()
+  | exception Xmtc.Parser.Parse_error { line; msg } ->
+    Alcotest.failf "unexpected parse error at line %d: %s" line msg
+
+let parse_fails src =
+  match Xmtc.Parser.parse src with
+  | exception Xmtc.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.failf "expected parse error for %S" src
+
+let parser_accepts () =
+  parses "int x;";
+  parses "int x = 1, y = 2;";
+  parses "volatile int flag;";
+  parses "int A[10][2];" |> ignore;
+  parses "float f(float x) { return x * 2.0; }";
+  parses "int main(void) { return 0; }";
+  parses "void g() { ; }";
+  parses "int main() { int i; for (i = 0; i < 10; i++) ; return 0; }";
+  parses "int main() { do { } while (0); return 0; }";
+  parses "int main() { spawn(0, 9) { int x = $; } return 0; }";
+  parses "int main() { int *p; p = &*p; return 0; }";
+  parses "int main() { int x = 1 ? 2 : 3; return x; }";
+  parses "int main() { int x = (int)1.5; float y = (float)2; return 0; }"
+
+let parser_rejects () =
+  parse_fails "int;";
+  parse_fails "int main( { }";
+  parse_fails "int main() { return }";
+  parse_fails "int main() { spawn(0) {} }";
+  parse_fails "int main() { ps(x); }"
+
+let parser_precedence () =
+  let e = Xmtc.Parser.parse_expr "1 + 2 * 3" in
+  (match e.Xmtc.Ast.node with
+  | Xmtc.Ast.Ebinop (Xmtc.Types.Add, _, { node = Xmtc.Ast.Ebinop (Xmtc.Types.Mul, _, _); _ })
+    -> ()
+  | _ -> Alcotest.fail "mul binds tighter than add");
+  let e = Xmtc.Parser.parse_expr "a = b = c" in
+  match e.Xmtc.Ast.node with
+  | Xmtc.Ast.Eassign (_, { node = Xmtc.Ast.Eassign (_, _); _ }) -> ()
+  | _ -> Alcotest.fail "assignment is right associative"
+
+(* ------------------------------------------------------------------ *)
+
+let checks src =
+  match Xmtc.Typecheck.program_of_source src with
+  | _ -> ()
+  | exception Xmtc.Typecheck.Error { line; msg } ->
+    Alcotest.failf "unexpected type error at line %d: %s" line msg
+
+let check_fails src =
+  match Xmtc.Typecheck.program_of_source src with
+  | exception Xmtc.Typecheck.Error _ -> ()
+  | _ -> Alcotest.failf "expected type error for %S" src
+
+let typecheck_accepts () =
+  checks "int main(void) { return 0; }";
+  checks "int A[4]; int main() { A[0] = 1; return A[0]; }";
+  checks "float f; int main() { f = 1; return (int)f; }";
+  checks "int g(int x) { return x + 1; } int main() { return g(41); }";
+  checks "int main() { int *p = 0; return 0; }";
+  checks
+    "int base = 0; int main() { spawn(0, 3) { int inc = 1; ps(inc, base); } \
+     return base; }";
+  checks
+    "int y = 0; int main() { spawn(0, 3) { int v = 1; psm(v, y); } return y; }";
+  checks "int main() { spawn(0, 1) { spawn(0, 1) { int x = $; } } return 0; }";
+  checks "int main() { print_string(\"hello\"); return 0; }";
+  checks "int main() { int *p = malloc(16); p[0] = 1; return p[0]; }";
+  checks "float s(float x) { return sqrtf(x); } int main() { return 0; }"
+
+let typecheck_rejects () =
+  check_fails "int main() { return x; }";
+  check_fails "int main() { int x = 1; int x = 2; return 0; }";
+  check_fails "void main2() { }" (* no main *);
+  check_fails "int main() { return $; }";
+  check_fails "int main() { int i = 1; ps(i, i); return 0; }";
+  check_fails "int b; int main() { int i; psm(i, b); return 0; }";
+  check_fails "int f() { return 1; } int main() { spawn(0,1) { int x = f(); } return 0; }";
+  check_fails "int main() { spawn(0,1) { return; } return 0; }";
+  check_fails "int main() { spawn(0,1) { int A[4]; } return 0; }";
+  check_fails "int main() { spawn(0,1) { int x; int *p = &x; } return 0; }";
+  check_fails "int main() { spawn(0,1) { int *p = malloc(4); } return 0; }";
+  check_fails "int main() { break; return 0; }";
+  check_fails "int main() { float f = 1.0; if (f) return 1; return 0; }";
+  check_fails "int main() { int x = 1 + \"s\"; return 0; }";
+  check_fails "void v; int main() { return 0; }";
+  check_fails "int main() { 1 = 2; return 0; }";
+  check_fails "int main() { int x; x ++ ++; return 0; }";
+  check_fails
+    "int b = 0; int main() { spawn(0,1) { int i = 1; ps(i, b); int z = b; } \
+     return 0; }"
+    (* ps base unreadable from a virtual thread *)
+
+let typecheck_structs () =
+  checks
+    "struct p { int x; int y; }; struct p g; int main() { g.x = 1; return \
+     g.x + g.y; }";
+  checks
+    "struct n { int v; struct n *next; }; int main() { struct n a; a.next = \
+     (struct n *)0; return a.v; }";
+  checks
+    "struct p { int x; }; struct p A[4]; int main() { A[2].x = 5; return \
+     A[2].x; }";
+  checks
+    "struct q { int t[3]; int z; }; struct q g; int main() { g.t[1] = 7; \
+     return g.t[1] + g.z; }";
+  checks
+    "struct a { int x; }; struct b { struct a inner; int y; }; struct b g; \
+     int main() { g.inner.x = 2; return g.inner.x + g.y; }";
+  (* rejections *)
+  check_fails "struct p { int x; }; int main() { struct p a; struct p b; a = b; return 0; }";
+  check_fails "struct p { int x; }; int f(struct p v) { return v.x; } int main() { return 0; }";
+  check_fails "int main() { struct undefined u; return 0; }";
+  check_fails "struct r { struct r inner; }; int main() { return 0; }";
+  check_fails "struct p { int x; int x; }; int main() { return 0; }";
+  check_fails "struct p { int x; }; struct p { int y; }; int main() { return 0; }";
+  check_fails "struct p { int x; }; int main() { struct p g; return g.nope; }";
+  check_fails
+    "struct p { int x; }; int main() { spawn(0,1) { struct p local; } return 0; }";
+  check_fails "struct p { int x; }; int main() { int v = 1; return v.x; }"
+
+let typecheck_volatile_and_globals () =
+  checks "volatile int flag; int main() { flag = 1; return flag; }";
+  checks "int A[3] = {1, 2, 3}; int main() { return A[2]; }";
+  checks "float F[2] = {1.5, 2.5}; int main() { return (int)F[0]; }";
+  check_fails "int A[2] = {1, 2, 3}; int main() { return 0; }";
+  check_fails "int x = y; int y = 1; int main() { return 0; }"
+
+let typecheck_string_literals () =
+  let p = Xmtc.Typecheck.program_of_source
+      "int main() { print_string(\"ab\"); return 0; }"
+  in
+  let strings =
+    List.filter (fun ((v : Xmtc.Tast.var), _) ->
+        String.length v.vname >= 6 && String.sub v.vname 0 6 = "__str_")
+      p.Xmtc.Tast.globals
+  in
+  Alcotest.(check int) "one interned string" 1 (List.length strings);
+  match strings with
+  | [ (_, Xmtc.Tast.Cints codes) ] ->
+    Alcotest.(check (list int)) "codes" [ 97; 98; 0 ] codes
+  | _ -> Alcotest.fail "expected int init"
+
+let pretty_reparses () =
+  (* pretty output of the typed AST is valid XMTC again *)
+  let src =
+    {|
+int A[8];
+int base = 0;
+int helper(int x) { return x * 2 + 1; }
+int main(void) {
+  int i;
+  for (i = 0; i < 8; i++) A[i] = helper(i);
+  spawn(0, 7) {
+    int inc = 1;
+    if (A[$] > 4) { ps(inc, base); }
+  }
+  return base;
+}
+|}
+  in
+  let p = Xmtc.Typecheck.program_of_source src in
+  let printed = Xmtc.Pretty.program_to_string p in
+  match Xmtc.Typecheck.program_of_source printed with
+  | _ -> ()
+  | exception e ->
+    Alcotest.failf "pretty output did not re-typecheck: %s\n%s"
+      (Printexc.to_string e) printed
+
+let () =
+  Alcotest.run "xmtc"
+    [
+      ( "lexer",
+        [
+          Tu.tc "basic" lexer_basic;
+          Tu.tc "comments" lexer_comments;
+          Tu.tc "errors" lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Tu.tc "accepts" parser_accepts;
+          Tu.tc "rejects" parser_rejects;
+          Tu.tc "precedence" parser_precedence;
+        ] );
+      ( "typecheck",
+        [
+          Tu.tc "accepts" typecheck_accepts;
+          Tu.tc "rejects" typecheck_rejects;
+          Tu.tc "globals/volatile" typecheck_volatile_and_globals;
+          Tu.tc "structs" typecheck_structs;
+          Tu.tc "string literals" typecheck_string_literals;
+        ] );
+      ("pretty", [ Tu.tc "reparses" pretty_reparses ]);
+    ]

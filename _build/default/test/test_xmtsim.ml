@@ -1,0 +1,979 @@
+(** Tests for the cycle-accurate simulator and its components (§III). *)
+
+module M = Xmtsim.Machine
+module C = Xmtsim.Config
+
+(* ------------------------------------------------------------------ *)
+(* Tags *)
+
+let tags_basic () =
+  let t = Xmtsim.Tags.create ~lines:4 ~assoc:2 ~line_words:4 in
+  Tu.check_bool "cold miss" false (Xmtsim.Tags.lookup t 0x1000);
+  Xmtsim.Tags.install t 0x1000;
+  Tu.check_bool "hit" true (Xmtsim.Tags.lookup t 0x1004);
+  Tu.check_bool "other line misses" false (Xmtsim.Tags.lookup t 0x1010);
+  Xmtsim.Tags.invalidate_all t;
+  Tu.check_bool "invalidated" false (Xmtsim.Tags.lookup t 0x1000)
+
+let tags_lru_eviction () =
+  (* 2 lines, assoc 2 -> one set with two ways *)
+  let t = Xmtsim.Tags.create ~lines:2 ~assoc:2 ~line_words:1 in
+  Xmtsim.Tags.install t 0;
+  Xmtsim.Tags.install t 4;
+  ignore (Xmtsim.Tags.lookup t 0);
+  (* touch line 0 *)
+  Xmtsim.Tags.install t 8;
+  (* should evict line 4 (LRU) *)
+  Tu.check_bool "line 0 kept" true (Xmtsim.Tags.lookup t 0);
+  Tu.check_bool "line 4 evicted" false (Xmtsim.Tags.lookup t 4);
+  Tu.check_bool "line 8 present" true (Xmtsim.Tags.lookup t 8)
+
+let tags_zero_size () =
+  let t = Xmtsim.Tags.create ~lines:0 ~assoc:2 ~line_words:4 in
+  Xmtsim.Tags.install t 0x1000;
+  Tu.check_bool "never hits" false (Xmtsim.Tags.lookup t 0x1000);
+  Tu.check_bool "hits impossible" false (Xmtsim.Tags.hits_possible t)
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch buffer *)
+
+let pbuf_fill_and_hit () =
+  let b = Xmtsim.Prefetch_buffer.create ~size:2 ~policy:C.Fifo in
+  Tu.check_bool "start" true (Xmtsim.Prefetch_buffer.start b 100);
+  Tu.check_bool "no duplicate request" false (Xmtsim.Prefetch_buffer.start b 100);
+  (match Xmtsim.Prefetch_buffer.lookup b 100 with
+  | Xmtsim.Prefetch_buffer.In_flight -> ()
+  | _ -> Alcotest.fail "expected in-flight");
+  ignore (Xmtsim.Prefetch_buffer.fill b 100 (Isa.Value.int 7));
+  match Xmtsim.Prefetch_buffer.lookup b 100 with
+  | Xmtsim.Prefetch_buffer.Hit v -> Tu.check_int "value" 7 (Isa.Value.to_int v)
+  | _ -> Alcotest.fail "expected hit"
+
+let pbuf_fifo_eviction () =
+  let b = Xmtsim.Prefetch_buffer.create ~size:2 ~policy:C.Fifo in
+  ignore (Xmtsim.Prefetch_buffer.start b 1);
+  ignore (Xmtsim.Prefetch_buffer.start b 2);
+  ignore (Xmtsim.Prefetch_buffer.fill b 1 (Isa.Value.int 1));
+  ignore (Xmtsim.Prefetch_buffer.fill b 2 (Isa.Value.int 2));
+  (* touch 1 (FIFO ignores it) then insert 3 -> evicts 1 *)
+  ignore (Xmtsim.Prefetch_buffer.lookup b 1);
+  ignore (Xmtsim.Prefetch_buffer.start b 3);
+  Tu.check_bool "1 evicted (fifo)" true
+    (Xmtsim.Prefetch_buffer.lookup b 1 = Xmtsim.Prefetch_buffer.Miss);
+  Tu.check_int "evictions" 1 (Xmtsim.Prefetch_buffer.evictions b)
+
+let pbuf_lru_eviction () =
+  let b = Xmtsim.Prefetch_buffer.create ~size:2 ~policy:C.Lru in
+  ignore (Xmtsim.Prefetch_buffer.start b 1);
+  ignore (Xmtsim.Prefetch_buffer.start b 2);
+  ignore (Xmtsim.Prefetch_buffer.fill b 1 (Isa.Value.int 1));
+  ignore (Xmtsim.Prefetch_buffer.fill b 2 (Isa.Value.int 2));
+  ignore (Xmtsim.Prefetch_buffer.lookup b 1);
+  (* LRU protects 1 *)
+  ignore (Xmtsim.Prefetch_buffer.start b 3);
+  Tu.check_bool "2 evicted (lru)" true
+    (Xmtsim.Prefetch_buffer.lookup b 2 = Xmtsim.Prefetch_buffer.Miss);
+  Tu.check_bool "1 kept (lru)" true
+    (Xmtsim.Prefetch_buffer.lookup b 1 <> Xmtsim.Prefetch_buffer.Miss)
+
+let pbuf_waiter () =
+  let b = Xmtsim.Prefetch_buffer.create ~size:2 ~policy:C.Fifo in
+  ignore (Xmtsim.Prefetch_buffer.start b 8);
+  Xmtsim.Prefetch_buffer.wait_on b 8 (`I 5);
+  match Xmtsim.Prefetch_buffer.fill b 8 (Isa.Value.int 3) with
+  | Some (`I 5) -> ()
+  | _ -> Alcotest.fail "expected waiter"
+
+let pbuf_size_zero () =
+  let b = Xmtsim.Prefetch_buffer.create ~size:0 ~policy:C.Fifo in
+  Tu.check_bool "no buffering" false (Xmtsim.Prefetch_buffer.start b 1)
+
+(* ------------------------------------------------------------------ *)
+(* Mem *)
+
+let mem_image () =
+  let img =
+    Isa.Program.resolve (Isa.Asm.parse "main: halt\n.data\nA: .word 11, 22")
+  in
+  let m = Xmtsim.Mem.load img in
+  let base = Isa.Program.data_base_addr in
+  Tu.check_int "init" 22 (Isa.Value.to_int (Xmtsim.Mem.read m (base + 4)));
+  Xmtsim.Mem.write m (base + 8) (Isa.Value.int 7);
+  Tu.check_int "write/read" 7 (Isa.Value.to_int (Xmtsim.Mem.read m (base + 8)));
+  Tu.check_int "fetch_add old" 11 (Xmtsim.Mem.fetch_add m base 5);
+  Tu.check_int "fetch_add new" 16 (Isa.Value.to_int (Xmtsim.Mem.read m base))
+
+let mem_stack_region () =
+  let img = Isa.Program.resolve (Isa.Asm.parse "main: halt") in
+  let m = Xmtsim.Mem.load img in
+  let sp = Xmtsim.Mem.stack_top - 4 in
+  Xmtsim.Mem.write m sp (Isa.Value.int 99);
+  Tu.check_int "stack rw" 99 (Isa.Value.to_int (Xmtsim.Mem.read m sp))
+
+let mem_faults () =
+  let img = Isa.Program.resolve (Isa.Asm.parse "main: halt") in
+  let m = Xmtsim.Mem.load img in
+  (match Xmtsim.Mem.read m 3 with
+  | exception Xmtsim.Mem.Fault _ -> ()
+  | _ -> Alcotest.fail "expected unaligned fault");
+  match Xmtsim.Mem.read m 0 with
+  | exception Xmtsim.Mem.Fault _ -> ()
+  | _ -> Alcotest.fail "expected unmapped fault"
+
+(* ------------------------------------------------------------------ *)
+(* Machine on handwritten assembly *)
+
+let asm_arith () =
+  let r, _ =
+    Tu.run_asm
+      {|
+main:
+  li $t0, 6
+  li $t1, 7
+  mul $t2, $t0, $t1
+  addi $t2, $t2, -2
+  pint $t2
+  halt
+|}
+  in
+  Tu.check_string "6*7-2" "40" r.M.output
+
+let asm_float () =
+  let r, _ =
+    Tu.run_asm
+      {|
+main:
+  li.s $f1, 2.0
+  li.s $f2, 0.25
+  add.s $f3, $f1, $f2
+  sqrt.s $f4, $f3
+  pflt $f4
+  halt
+|}
+  in
+  Tu.check_string "sqrt(2.25)" "1.5" r.M.output
+
+let asm_branches () =
+  let r, _ =
+    Tu.run_asm
+      {|
+main:
+  li $t0, 0
+  li $t1, 0
+Lloop:
+  addi $t0, $t0, 1
+  add $t1, $t1, $t0
+  slti $t2, $t0, 10
+  bnez $t2, Lloop
+  pint $t1
+  halt
+|}
+  in
+  Tu.check_string "sum 1..10" "55" r.M.output
+
+let asm_memory () =
+  let r, _ =
+    Tu.run_asm
+      {|
+main:
+  la $t0, A
+  lw $t1, 0($t0)
+  lw $t2, 4($t0)
+  add $t3, $t1, $t2
+  sw $t3, 8($t0)
+  lw $t4, 8($t0)
+  pint $t4
+  halt
+  .data
+A: .word 30, 12, 0
+|}
+  in
+  Tu.check_string "load/store" "42" r.M.output
+
+let spawn_asm body =
+  Printf.sprintf
+    {|
+main:
+  li $t0, 0
+  li $t1, 7
+  spawn $t0, $t1
+Ldisp:
+  li $t2, 1
+  ps $t2, $g8
+  chkid $t2
+%s
+  j Ldisp
+  join
+  la $t0, A
+  li $t1, 0
+  li $t3, 0
+Lsum:
+  lw $t4, 0($t0)
+  add $t1, $t1, $t4
+  addi $t0, $t0, 4
+  addi $t3, $t3, 1
+  slti $t5, $t3, 8
+  bnez $t5, Lsum
+  pint $t1
+  halt
+  .data
+A: .space 32
+|}
+    body
+
+let asm_spawn_join () =
+  (* each virtual thread writes id+1 into A[id]; master sums after join *)
+  let r, m =
+    Tu.run_asm
+      (spawn_asm
+         {|
+  la $t3, A
+  sll $t4, $t2, 2
+  add $t3, $t3, $t4
+  addi $t5, $t2, 1
+  sw.nb $t5, 0($t3)
+|})
+  in
+  Tu.check_string "sum of ids+1" "36" r.M.output;
+  Tu.check_int "8 virtual threads" 8 (M.stats m).Xmtsim.Stats.virtual_threads;
+  Tu.check_int "one spawn" 1 (M.stats m).Xmtsim.Stats.spawns
+
+let asm_ps_distributes_ids () =
+  (* ps on a user base: each thread adds 1, master reads final count *)
+  let r, _ =
+    Tu.run_asm
+      {|
+main:
+  li $at, 5
+  mtg $g0, $at
+  li $t0, 0
+  li $t1, 9
+  spawn $t0, $t1
+Ld:
+  li $t2, 1
+  ps $t2, $g8
+  chkid $t2
+  li $t3, 1
+  ps $t3, $g0
+  j Ld
+  join
+  mfg $t4, $g0
+  pint $t4
+  halt
+|}
+  in
+  Tu.check_string "5 + 10 increments" "15" r.M.output
+
+let asm_ps_requires_unit_increment () =
+  let asm =
+    {|
+main:
+  li $t0, 0
+  li $t1, 1
+  spawn $t0, $t1
+Ld:
+  li $t2, 1
+  ps $t2, $g8
+  chkid $t2
+  li $t3, 2
+  ps $t3, $g0
+  j Ld
+  join
+  halt
+|}
+  in
+  match Tu.run_asm asm with
+  | exception M.Sim_error msg ->
+    Tu.check_bool "mentions 0 or 1" true
+      (let re = "0 or 1" in
+       let rec find i =
+         if i + String.length re > String.length msg then false
+         else if String.sub msg i (String.length re) = re then true
+         else find (i + 1)
+       in
+       find 0)
+  | _ -> Alcotest.fail "expected ps increment error"
+
+let asm_psm_atomicity () =
+  (* 8 threads psm +3 on one location; result must be exactly 24 *)
+  let r, m =
+    Tu.run_asm
+      {|
+main:
+  li $t0, 0
+  li $t1, 7
+  spawn $t0, $t1
+Ld:
+  li $t2, 1
+  ps $t2, $g8
+  chkid $t2
+  li $t3, 3
+  la $t4, X
+  psm $t3, 0($t4)
+  j Ld
+  join
+  la $t0, X
+  lw $t1, 0($t0)
+  pint $t1
+  halt
+  .data
+X: .word 0
+|}
+  in
+  Tu.check_string "atomic sum" "24" r.M.output;
+  Tu.check_int "psm count" 8 (M.stats m).Xmtsim.Stats.psm_ops
+
+let asm_region_violation () =
+  (* a branch out of the spawn region must trip the broadcast check *)
+  let asm =
+    {|
+main:
+  li $t0, 0
+  li $t1, 3
+  spawn $t0, $t1
+Ld:
+  li $t2, 1
+  ps $t2, $g8
+  chkid $t2
+  j Outside
+  j Ld
+  join
+  halt
+Outside:
+  j Ld
+|}
+  in
+  match Tu.run_asm asm with
+  | exception M.Sim_error _ -> ()
+  | _ -> Alcotest.fail "expected broadcast region violation"
+
+let asm_lwro_uses_rocache () =
+  let r, m =
+    Tu.run_asm
+      (spawn_asm
+         {|
+  la $t3, K
+  lw.ro $t4, 0($t3)
+  la $t5, A
+  sll $t6, $t2, 2
+  add $t5, $t5, $t6
+  sw.nb $t4, 0($t5)
+|}
+      ^ "\nK: .word 2\n")
+  in
+  Tu.check_string "8 * K" "16" r.M.output;
+  let s = M.stats m in
+  Tu.check_bool "rocache hits" true (s.Xmtsim.Stats.rocache_hits > 0)
+
+let functional_equals_cycle () =
+  let asm =
+    spawn_asm
+      {|
+  la $t3, A
+  sll $t4, $t2, 2
+  add $t3, $t3, $t4
+  mul $t5, $t2, $t2
+  sw.nb $t5, 0($t3)
+|}
+  in
+  let f = Tu.run_asm_functional asm in
+  let r, _ = Tu.run_asm asm in
+  Tu.check_string "same output" f.Xmtsim.Functional_mode.output r.M.output
+
+let functional_much_faster () =
+  (* functional mode executes the same instructions with no cycle model *)
+  let asm = spawn_asm {|
+  la $t3, A
+  sll $t4, $t2, 2
+  add $t3, $t3, $t4
+  sw.nb $t2, 0($t3)
+|} in
+  let f = Tu.run_asm_functional asm in
+  let r, m = Tu.run_asm asm in
+  (* the cycle model runs a terminating ps+chkid dispatch round on every
+     TCU, while the serializing functional mode runs exactly one *)
+  let tcus = Xmtsim.Config.num_tcus C.tiny in
+  Tu.check_bool "instruction counts close" true
+    (abs (f.Xmtsim.Functional_mode.instructions
+          - Xmtsim.Stats.total_instrs (M.stats m))
+     <= (3 * tcus) + 2);
+  Tu.check_bool "cycle mode took cycles" true (r.M.cycles > 50)
+
+(* ------------------------------------------------------------------ *)
+(* Timing behaviour *)
+
+let more_tcus_faster () =
+  let src = Core.Kernels.vecadd ~n:256 in
+  let compiled = Core.Toolchain.compile src in
+  let cycles cfg =
+    (Core.Toolchain.run_cycle ~config:cfg compiled).Core.Toolchain.cycles
+  in
+  let c4 = cycles C.tiny in
+  let c64 = cycles C.fpga64 in
+  Tu.check_bool
+    (Printf.sprintf "64 TCUs (%d) beat 4 TCUs (%d)" c64 c4)
+    true (c64 * 2 < c4)
+
+let dvfs_slows_execution () =
+  let src = Core.Kernels.vecadd ~n:64 in
+  let compiled = Core.Toolchain.compile src in
+  let run period =
+    let m = Core.Toolchain.machine ~config:C.tiny compiled in
+    List.iter (fun d -> M.set_period m d period) [ M.Clusters; M.Icn; M.Caches; M.Dram ];
+    (M.run m).M.cycles
+  in
+  let fast = run 1 and slow = run 4 in
+  Tu.check_bool (Printf.sprintf "period 4 (%d) slower than 1 (%d)" slow fast)
+    true (slow > fast * 2)
+
+let slow_dram_hurts_memory_kernel () =
+  let src = Core.Kernels.par_mem ~threads:16 ~iters:16 ~n:1024 in
+  let compiled = Core.Toolchain.compile src in
+  let cycles lat =
+    let cfg =
+      C.with_overrides C.fpga64 [ Printf.sprintf "dram_latency=%d" lat ]
+    in
+    (Core.Toolchain.run_cycle ~config:cfg compiled).Core.Toolchain.cycles
+  in
+  Tu.check_bool "dram 400 slower than 20" true (cycles 400 > cycles 20)
+
+let prefetch_buffers_help () =
+  let src = Core.Kernels.par_mem ~threads:16 ~iters:32 ~n:4096 in
+  let compiled = Core.Toolchain.compile src in
+  let cycles size =
+    let cfg =
+      C.with_overrides C.fpga64 [ Printf.sprintf "prefetch_buffer_size=%d" size ]
+    in
+    let r = Core.Toolchain.run_cycle ~config:cfg compiled in
+    r.Core.Toolchain.cycles
+  in
+  let without = cycles 0 and with8 = cycles 8 in
+  Tu.check_bool
+    (Printf.sprintf "prefetch (%d) beats none (%d)" with8 without)
+    true (with8 < without)
+
+let deterministic_across_runs () =
+  let src = Core.Kernels.compaction ~n:64 in
+  let a = Core.Workloads.sparse_array ~seed:5 ~n:64 ~density:50 in
+  let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let r1 = Core.Toolchain.run_cycle ~config:C.fpga64 compiled in
+  let r2 = Core.Toolchain.run_cycle ~config:C.fpga64 compiled in
+  Tu.check_int "same cycle count" r1.Core.Toolchain.cycles r2.Core.Toolchain.cycles;
+  Tu.check_string "same output" r1.Core.Toolchain.output r2.Core.Toolchain.output
+
+let max_cycles_budget () =
+  let img = Isa.Program.resolve (Isa.Asm.parse "main: j main") in
+  let m = M.create ~config:C.tiny img in
+  let r = M.run ~max_cycles:1000 m in
+  Tu.check_bool "not halted" false r.M.halted;
+  Tu.check_bool "stopped near budget" true (r.M.cycles <= 1001)
+
+(* ------------------------------------------------------------------ *)
+(* Plugins, traces, checkpoints *)
+
+let filter_plugin_hot_locations () =
+  let src = Core.Kernels.reduce_psm ~n:32 in
+  let compiled = Core.Toolchain.compile src in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  M.add_filter_plugin m (Xmtsim.Plugin.hot_locations ~top:3 ());
+  ignore (M.run m);
+  match M.filter_reports m with
+  | [ (name, report) ] ->
+    Tu.check_string "name" "hot-locations" name;
+    Tu.check_bool "has content" true (String.length report > 20)
+  | _ -> Alcotest.fail "expected one report"
+
+let activity_plugin_called () =
+  let src = Core.Kernels.vecadd ~n:64 in
+  let compiled = Core.Toolchain.compile src in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let samples = ref 0 in
+  M.add_activity_plugin m ~name:"probe" ~interval:50 (fun _ _ -> incr samples);
+  ignore (M.run m);
+  Tu.check_bool "sampled" true (!samples > 0)
+
+let trace_captures_instrs () =
+  let compiled = Core.Toolchain.compile "int main() { print_int(3); return 0; }" in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let buf = Buffer.create 256 in
+  Xmtsim.Trace.attach ~filter:{ Xmtsim.Trace.all with Xmtsim.Trace.limit = 10 } m
+    (Buffer.add_string buf);
+  ignore (M.run m);
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  Tu.check_bool "captured some lines" true (List.length lines > 3);
+  Tu.check_bool "mentions MTCU" true
+    (List.exists
+       (fun l -> String.length l > 10 && String.sub l 9 4 = "MTCU")
+       lines)
+
+let package_trace_stations () =
+  let asm = spawn_asm {|
+  la $t3, A
+  lw $t4, 0($t3)
+  sw.nb $t4, 0($t3)
+|} in
+  let img = Isa.Program.resolve (Isa.Asm.parse asm) in
+  let m = M.create ~config:C.tiny img in
+  let stages = ref [] in
+  M.on_package m (fun ev ->
+      if ev.M.pe_kind = "load" || ev.M.pe_stage = "dram-fill" then
+        stages := ev.M.pe_stage :: !stages);
+  ignore (M.run m);
+  let order = List.rev !stages in
+  (* the first load is a cold miss: inject -> arrive -> miss -> fill -> reply *)
+  let rec is_subseq needle hay =
+    match (needle, hay) with
+    | [], _ -> true
+    | _, [] -> false
+    | n :: ns, h :: hs -> if n = h then is_subseq ns hs else is_subseq needle hs
+  in
+  Tu.check_bool "stations in order" true
+    (is_subseq
+       [ "icn-inject"; "module-arrive"; "cache-miss"; "dram-fill"; "reply" ]
+       order)
+
+let checkpoint_resume_equivalence () =
+  (* run A: straight through; run B: checkpoint at start, restore into a
+     fresh machine, run: same output *)
+  let src = Core.Kernels.compaction ~n:32 in
+  let a = Core.Workloads.sparse_array ~seed:8 ~n:32 ~density:50 in
+  let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let m1 = Core.Toolchain.machine ~config:C.tiny compiled in
+  let snap = M.checkpoint m1 in
+  let r1 = M.run m1 in
+  let m2 = Core.Toolchain.machine ~config:C.tiny compiled in
+  M.restore m2 snap;
+  let r2 = M.run m2 in
+  Tu.check_string "same output" r1.M.output r2.M.output;
+  Tu.check_int "same cycles" r1.M.cycles r2.M.cycles
+
+let checkpoint_mid_run () =
+  (* §III-E: save at a point given ahead of time, resume later *)
+  let src = {|
+int A[128];
+int total = 0;
+int main(void) {
+  int r;
+  for (r = 0; r < 6; r++) {
+    spawn(0, 127) {
+      int v = A[$] + r;
+      psm(v, total);
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|} in
+  let compiled = Core.Toolchain.compile src in
+  let straight = Core.Toolchain.run_cycle ~config:C.tiny compiled in
+  let m1 = Core.Toolchain.machine ~config:C.tiny compiled in
+  ignore (M.run ~max_cycles:(straight.Core.Toolchain.cycles / 2) m1);
+  M.run_to_quiescent m1;
+  Tu.check_bool "not yet finished" false
+    (M.cycles m1 >= straight.Core.Toolchain.cycles);
+  let snap = M.checkpoint m1 in
+  let m2 = Core.Toolchain.machine ~config:C.tiny compiled in
+  M.restore m2 snap;
+  let r2 = M.run m2 in
+  Tu.check_bool "resumed run halts" true r2.M.halted;
+  Tu.check_string "same final output" straight.Core.Toolchain.output r2.M.output
+
+let checkpoint_file_roundtrip () =
+  let compiled = Core.Toolchain.compile "int main() { print_int(9); return 0; }" in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let snap = M.checkpoint m in
+  let path = Filename.temp_file "xmtsnap" ".bin" in
+  M.snapshot_to_file snap path;
+  let snap2 = M.snapshot_of_file path in
+  Sys.remove path;
+  let m2 = Core.Toolchain.machine ~config:C.tiny compiled in
+  M.restore m2 snap2;
+  Tu.check_string "ran from file snapshot" "9" (M.run m2).M.output
+
+(* ------------------------------------------------------------------ *)
+(* Power / thermal / floorplan *)
+
+let per_cluster_activity_attribution () =
+  (* a 4-thread spawn on fpga64 occupies only one cluster: its activity
+     counter and power must exceed the idle clusters' *)
+  let src = {|
+int B[4];
+int main(void) {
+  spawn(0, 3) {
+    int x = $;
+    int k;
+    for (k = 0; k < 200; k++) x = (x * 3 + 1) & 65535;
+    B[$] = x;
+  }
+  return 0;
+}
+|} in
+  let compiled = Core.Toolchain.compile src in
+  let m = Core.Toolchain.machine ~config:C.fpga64 compiled in
+  let p = Xmtsim.Power.create m in
+  let last = ref [||] in
+  M.add_activity_plugin m ~name:"probe" ~interval:200 (fun _ _ ->
+      last := Xmtsim.Power.sample p);
+  ignore (M.run m);
+  let act = M.cluster_activity m in
+  Tu.check_bool "cluster 0 did the work" true
+    (act.(0) > 100 && Array.for_all (fun c -> c <= act.(0)) act);
+  (* other clusters only ran the dispatch round (ps + failing chkid) *)
+  Tu.check_bool "work concentrated on cluster 0" true
+    (act.(0) > 5 * act.(Array.length act - 1));
+  if Array.length !last > 1 then
+    Tu.check_bool "busy cluster draws more power" true (!last.(0) > !last.(1))
+
+let power_sampling () =
+  let src = Core.Kernels.par_comp ~threads:16 ~iters:50 in
+  let compiled = Core.Toolchain.compile src in
+  let m = Core.Toolchain.machine ~config:C.fpga64 compiled in
+  let p = Xmtsim.Power.create m in
+  let totals = ref [] in
+  M.add_activity_plugin m ~name:"power" ~interval:100 (fun _ _ ->
+      ignore (Xmtsim.Power.sample p);
+      totals := Xmtsim.Power.total p :: !totals);
+  ignore (M.run m);
+  Tu.check_bool "sampled" true (!totals <> []);
+  List.iter (fun t -> Tu.check_bool "positive power" true (t > 0.0)) !totals
+
+let thermal_heats_and_cools () =
+  let names = Array.append (Array.init 4 (fun i -> Printf.sprintf "cluster%d" i))
+      [| "icn" |] in
+  let th = Xmtsim.Thermal.create ~grid_w:2 names in
+  let p = Xmtsim.Thermal.default in
+  let hot = [| 5.0; 0.0; 0.0; 0.0; 1.0 |] in
+  for _ = 1 to 100 do
+    Xmtsim.Thermal.step th ~dt:0.001 hot
+  done;
+  let temps = Array.copy (Xmtsim.Thermal.temperatures th) in
+  Tu.check_bool "hot cluster above ambient" true (temps.(0) > p.Xmtsim.Thermal.ambient);
+  Tu.check_bool "hot cluster hottest" true (temps.(0) > temps.(3));
+  (* lateral coupling warms the neighbour above the far corner *)
+  Tu.check_bool "neighbour coupling" true (temps.(1) > temps.(3));
+  (* cooling with zero power *)
+  for _ = 1 to 2000 do
+    Xmtsim.Thermal.step th ~dt:0.001 (Array.make 5 0.0)
+  done;
+  let cooled = Xmtsim.Thermal.temperatures th in
+  Tu.check_bool "cools toward ambient" true
+    (cooled.(0) < temps.(0) && cooled.(0) -. p.Xmtsim.Thermal.ambient < 1.0)
+
+let floorplan_renders () =
+  let v = Array.init 16 float_of_int in
+  let s = Xmtsim.Floorplan.render ~title:"test" ~grid_w:4 v in
+  Tu.check_bool "multi-line" true (List.length (String.split_on_char '\n' s) >= 5);
+  let s2 = Xmtsim.Floorplan.render_numeric ~grid_w:4 v in
+  Tu.check_bool "numeric" true (String.length s2 > 16)
+
+let profiler_detects_phases () =
+  let src = {|
+int A[2048];
+int B[2048];
+int main(void) {
+  spawn(0, 511) {
+    int x = A[$];
+    int k;
+    for (k = 0; k < 30; k++) x = (x * 3 + 1) & 65535;
+    B[$] = x;
+  }
+  spawn(0, 511) {
+    int k;
+    for (k = 0; k < 8; k++) {
+      B[($ * 4 + k * 53) & 2047] = A[($ * 4 + k * 97) & 2047];
+    }
+  }
+  return 0;
+}
+|} in
+  let compiled = Core.Toolchain.compile src in
+  let m = Core.Toolchain.machine ~config:C.fpga64 compiled in
+  let p = Xmtsim.Profiler.attach ~interval:500 m in
+  ignore (M.run m);
+  let rendered = Xmtsim.Plugin.render_profile p in
+  let has sub =
+    let rec find i =
+      if i + String.length sub > String.length rendered then false
+      else if String.sub rendered i (String.length sub) = sub then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  Tu.check_bool "sees a compute phase" true (has "compute-intensive");
+  Tu.check_bool "sees a memory phase" true (has "memory-intensive")
+
+let dvfs_from_activity_plugin () =
+  (* an activity plug-in throttles the cluster clock mid-run (§III-B) *)
+  let src = Core.Kernels.par_comp ~threads:8 ~iters:200 in
+  let compiled = Core.Toolchain.compile src in
+  let baseline =
+    (Core.Toolchain.run_cycle ~config:C.tiny compiled).Core.Toolchain.cycles
+  in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  M.add_activity_plugin m ~name:"throttle" ~interval:200 (fun m _ ->
+      M.set_period m M.Clusters 3);
+  let r = M.run m in
+  Tu.check_bool
+    (Printf.sprintf "throttled (%d) slower than baseline (%d)" r.M.cycles baseline)
+    true
+    (r.M.cycles > baseline + 100)
+
+(* ------------------------------------------------------------------ *)
+(* Functional-mode incremental interface + phase sampling (§III-F) *)
+
+let functional_advance_pauses_at_boundaries () =
+  let src = Core.Kernels.reduce_tree ~n:64 in
+  let compiled = Core.Toolchain.compile src in
+  let st = Xmtsim.Functional_mode.init compiled.Core.Toolchain.image in
+  let status = Xmtsim.Functional_mode.advance st ~budget:10 in
+  Tu.check_bool "paused" true (status = `Paused);
+  Tu.check_bool "made progress" true (Xmtsim.Functional_mode.instructions st >= 10);
+  (* run to completion *)
+  let rec drain () =
+    match Xmtsim.Functional_mode.advance st ~budget:1000 with
+    | `Halted -> ()
+    | `Paused -> drain ()
+  in
+  drain ();
+  Tu.check_bool "halted" true (Xmtsim.Functional_mode.halted st);
+  (* same output as the one-shot runner *)
+  let one = Xmtsim.Functional_mode.run compiled.Core.Toolchain.image in
+  Tu.check_string "same output" one.Xmtsim.Functional_mode.output
+    (Xmtsim.Functional_mode.output st)
+
+let functional_snapshot_handoff () =
+  (* fast-forward half the program functionally, hand the state to the
+     cycle machine, finish there: the final output must match *)
+  let a = Core.Workloads.random_array ~seed:3 ~n:64 ~bound:50 in
+  let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+  let compiled = Core.Toolchain.compile ~memmap (Core.Kernels.reduce_tree ~n:64) in
+  let img = compiled.Core.Toolchain.image in
+  let st = Xmtsim.Functional_mode.init img in
+  ignore (Xmtsim.Functional_mode.advance st ~budget:200);
+  Tu.check_bool "not yet halted" false (Xmtsim.Functional_mode.halted st);
+  let snap = Xmtsim.Functional_mode.snapshot st in
+  let m = M.create ~config:C.tiny img in
+  M.restore m snap;
+  let r = M.run m in
+  Tu.check_bool "halted on machine" true r.M.halted;
+  Tu.check_string "correct final output"
+    (string_of_int (Core.Reference.sum a))
+    r.M.output
+
+let phase_sampling_accuracy () =
+  let src = {|
+int A[2048];
+int B[2048];
+int main(void) {
+  int round;
+  for (round = 0; round < 12; round++) {
+    spawn(0, 511) {
+      int x = A[$] + round;
+      int k;
+      for (k = 0; k < 8; k++) x = (x * 3 + 1) & 65535;
+      B[$] = x;
+    }
+  }
+  print_int(B[0]);
+  return 0;
+}
+|} in
+  let compiled = Core.Toolchain.compile src in
+  let img = compiled.Core.Toolchain.image in
+  let full = Core.Toolchain.run_cycle ~config:C.fpga64 compiled in
+  let est =
+    Xmtsim.Phase_sampling.estimate ~config:C.fpga64 ~interval:8000 img
+  in
+  let err =
+    abs_float
+      (float_of_int est.Xmtsim.Phase_sampling.estimated_cycles
+      -. float_of_int full.Core.Toolchain.cycles)
+    /. float_of_int full.Core.Toolchain.cycles
+  in
+  Tu.check_bool
+    (Printf.sprintf "estimate %d within 25%% of %d"
+       est.Xmtsim.Phase_sampling.estimated_cycles full.Core.Toolchain.cycles)
+    true (err < 0.25);
+  Tu.check_bool "sampled a fraction of the instructions" true
+    (est.Xmtsim.Phase_sampling.sampled_instructions * 2
+    < est.Xmtsim.Phase_sampling.total_instructions);
+  Tu.check_bool "found repeated phases" true
+    (est.Xmtsim.Phase_sampling.phases < est.Xmtsim.Phase_sampling.intervals)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic timing verification: the stand-in for the paper's validation
+   against the 64-TCU FPGA prototype (§III).  Every latency parameter must
+   show up in end-to-end cycle counts exactly as configured. *)
+
+let vcfg = C.with_overrides C.tiny [ "icn_jitter=0" ]
+
+let vrun asm =
+  let img = Isa.Program.resolve (Isa.Asm.parse asm) in
+  let m = M.create ~config:vcfg img in
+  (M.run m).M.cycles
+
+let serial_prog n extra =
+  Printf.sprintf "main:\n%s%s  halt\n  .data\nA: .word 7\n"
+    (String.concat "" (List.init n (fun _ -> "  addi $t0, $t0, 1\n")))
+    extra
+
+let timing_alu_is_one_cycle () =
+  Tu.check_int "10 extra ALU ops cost 10 cycles" 10
+    (vrun (serial_prog 20 "") - vrun (serial_prog 10 ""))
+
+let timing_shared_fu_latencies () =
+  let base = vrun (serial_prog 10 "") in
+  Tu.check_int "mul costs mul_latency" vcfg.C.mul_latency
+    (vrun (serial_prog 10 "  mul $t1, $t0, $t0\n") - base);
+  Tu.check_int "div costs div_latency" vcfg.C.div_latency
+    (vrun (serial_prog 10 "  div $t1, $t0, $t0\n") - base);
+  Tu.check_int "fpu op costs fpu_latency" vcfg.C.fpu_latency
+    (vrun (serial_prog 10 "  add.s $f1, $f2, $f3\n") - base);
+  Tu.check_int "sqrt costs sqrt_latency" vcfg.C.sqrt_latency
+    (vrun (serial_prog 10 "  sqrt.s $f1, $f2\n") - base)
+
+let timing_master_cache () =
+  let base = vrun (serial_prog 10 "  la $t2, A\n") in
+  let miss = vrun (serial_prog 10 "  la $t2, A\n  lw $t3, 0($t2)\n") in
+  let hit = vrun (serial_prog 10 "  la $t2, A\n  lw $t3, 0($t2)\n  lw $t4, 0($t2)\n") in
+  Tu.check_int "cold miss = dram + hit latency"
+    (vcfg.C.dram_latency + vcfg.C.master_cache_hit_latency)
+    (miss - base);
+  Tu.check_int "hit = master_cache_hit_latency" vcfg.C.master_cache_hit_latency
+    (hit - miss)
+
+let spawn_one_thread extra =
+  Printf.sprintf
+    {|
+main:
+  li $t0, 0
+  li $t1, 0
+  spawn $t0, $t1
+Ld:
+  li $t2, 1
+  ps $t2, $g8
+  chkid $t2
+%s  j Ld
+  join
+  halt
+  .data
+A: .word 7
+|}
+    extra
+
+let timing_tcu_load_round_trip () =
+  let base = vrun (spawn_one_thread "") in
+  let one = vrun (spawn_one_thread "  la $t3, A\n  lw $t4, 0($t3)\n") in
+  let two =
+    vrun (spawn_one_thread "  la $t3, A\n  lw $t4, 0($t3)\n  lw $t5, 0($t3)\n")
+  in
+  (* round trip = send icn + deliver + [dram on miss] + module hit latency
+     + return icn + accept; the la adds its own cycle *)
+  Tu.check_int "cold load round trip"
+    ((2 * vcfg.C.icn_latency) + vcfg.C.dram_latency + vcfg.C.cache_hit_latency + 2 + 1)
+    (one - base);
+  Tu.check_int "warm load round trip"
+    ((2 * vcfg.C.icn_latency) + vcfg.C.cache_hit_latency + 2)
+    (two - one)
+
+let timing_dvfs_scales_linearly () =
+  (* doubling every clock period must exactly double pure-ALU runtime *)
+  let prog = serial_prog 64 "" in
+  let img = Isa.Program.resolve (Isa.Asm.parse prog) in
+  let run_with p =
+    let m = M.create ~config:vcfg img in
+    List.iter (fun d -> M.set_period m d p) [ M.Clusters; M.Icn; M.Caches; M.Dram ];
+    (M.run m).M.cycles
+  in
+  let c1 = run_with 1 and c2 = run_with 2 in
+  Tu.check_bool
+    (Printf.sprintf "period 2 doubles ALU-bound time (%d vs 2x%d)" c2 c1)
+    true
+    (abs (c2 - (2 * c1)) <= 2)
+
+let () =
+  Alcotest.run "xmtsim"
+    [
+      ( "tags",
+        [
+          Tu.tc "basic" tags_basic;
+          Tu.tc "lru eviction" tags_lru_eviction;
+          Tu.tc "zero size" tags_zero_size;
+        ] );
+      ( "prefetch buffer",
+        [
+          Tu.tc "fill and hit" pbuf_fill_and_hit;
+          Tu.tc "fifo eviction" pbuf_fifo_eviction;
+          Tu.tc "lru eviction" pbuf_lru_eviction;
+          Tu.tc "waiter" pbuf_waiter;
+          Tu.tc "size zero" pbuf_size_zero;
+        ] );
+      ( "mem",
+        [
+          Tu.tc "image load" mem_image;
+          Tu.tc "stack region" mem_stack_region;
+          Tu.tc "faults" mem_faults;
+        ] );
+      ( "machine/asm",
+        [
+          Tu.tc "arith" asm_arith;
+          Tu.tc "float" asm_float;
+          Tu.tc "branches" asm_branches;
+          Tu.tc "memory" asm_memory;
+          Tu.tc "spawn/join" asm_spawn_join;
+          Tu.tc "ps ids and bases" asm_ps_distributes_ids;
+          Tu.tc "ps unit increment check" asm_ps_requires_unit_increment;
+          Tu.tc "psm atomicity" asm_psm_atomicity;
+          Tu.tc "broadcast region violation" asm_region_violation;
+          Tu.tc "lw.ro read-only cache" asm_lwro_uses_rocache;
+          Tu.tc "functional equals cycle" functional_equals_cycle;
+          Tu.tc "functional counts instructions" functional_much_faster;
+        ] );
+      ( "timing",
+        [
+          Tu.tc "more TCUs faster" more_tcus_faster;
+          Tu.tc "dvfs slows" dvfs_slows_execution;
+          Tu.tc "slow dram hurts" slow_dram_hurts_memory_kernel;
+          Tu.tc "prefetch buffers help" prefetch_buffers_help;
+          Tu.tc "deterministic" deterministic_across_runs;
+          Tu.tc "cycle budget" max_cycles_budget;
+        ] );
+      ( "plugins",
+        [
+          Tu.tc "hot locations" filter_plugin_hot_locations;
+          Tu.tc "activity sampling" activity_plugin_called;
+          Tu.tc "trace" trace_captures_instrs;
+          Tu.tc "dvfs from plugin" dvfs_from_activity_plugin;
+          Tu.tc "execution profile phases" profiler_detects_phases;
+          Tu.tc "package trace stations" package_trace_stations;
+        ] );
+      ( "checkpoint",
+        [
+          Tu.tc "resume equivalence" checkpoint_resume_equivalence;
+          Tu.tc "file roundtrip" checkpoint_file_roundtrip;
+          Tu.tc "mid-run save/resume" checkpoint_mid_run;
+        ] );
+      ( "timing verification",
+        [
+          Tu.tc "ALU is one cycle" timing_alu_is_one_cycle;
+          Tu.tc "shared FU latencies" timing_shared_fu_latencies;
+          Tu.tc "master cache" timing_master_cache;
+          Tu.tc "TCU load round trip" timing_tcu_load_round_trip;
+          Tu.tc "DVFS scales linearly" timing_dvfs_scales_linearly;
+        ] );
+      ( "phase sampling",
+        [
+          Tu.tc "advance pauses at boundaries" functional_advance_pauses_at_boundaries;
+          Tu.tc "functional->cycle handoff" functional_snapshot_handoff;
+          Tu.tc "estimate accuracy" phase_sampling_accuracy;
+        ] );
+      ( "power/thermal",
+        [
+          Tu.tc "power sampling" power_sampling;
+          Tu.tc "per-cluster attribution" per_cluster_activity_attribution;
+          Tu.tc "thermal model" thermal_heats_and_cools;
+          Tu.tc "floorplan render" floorplan_renders;
+        ] );
+    ]
