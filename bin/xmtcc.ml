@@ -10,8 +10,19 @@ let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
 
+let timing_json pt =
+  Obs.Json.Obj
+    [
+      ("pass", Obs.Json.Str pt.Compiler.Driver.pt_pass);
+      ("wall_ms", Obs.Json.Float pt.Compiler.Driver.pt_ms);
+      ("size_before", Obs.Json.Int pt.Compiler.Driver.pt_size_before);
+      ("size_after", Obs.Json.Int pt.Compiler.Driver.pt_size_after);
+      ("unit", Obs.Json.Str pt.Compiler.Driver.pt_unit);
+    ]
+
 let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
-    no_layout no_postpass no_outline dump_outlined dump_stats =
+    no_layout no_postpass no_outline dump_outlined dump_stats timings
+    timings_json =
   let options =
     {
       Compiler.Driver.opt_level;
@@ -47,7 +58,22 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
         "wrote %s (%d instructions, %d basic blocks relocated by the post-pass)\n"
         dest
         (List.length (Isa.Program.instructions out.Compiler.Driver.program))
-        out.Compiler.Driver.relocated_blocks
+        out.Compiler.Driver.relocated_blocks;
+    if timings then begin
+      print_endline "/* === per-pass timings === */";
+      print_string (Compiler.Driver.timings_to_string out.Compiler.Driver.timings)
+    end;
+    match timings_json with
+    | None -> ()
+    | Some path ->
+      Obs.Json.write_file ~pretty:true path
+        (Obs.Json.Obj
+           [
+             ("schema", Obs.Json.Str "xmt.timings.v1");
+             ("input", Obs.Json.Str input);
+             ( "passes",
+               Obs.Json.List (List.map timing_json out.Compiler.Driver.timings) );
+           ])
 
 let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
 
@@ -82,6 +108,10 @@ let cmd =
           "Do not relocate misplaced spawn-region blocks (Fig. 9)."
       $ flag [ "no-outline" ] "Disable the outlining pre-pass (Fig. 8 hazard)."
       $ flag [ "dump-outlined" ] "Print the XMTC source after the pre-pass."
-      $ flag [ "stats" ] "Print compilation statistics.")
+      $ flag [ "stats" ] "Print compilation statistics."
+      $ flag [ "timings" ]
+          "Report per-pass wall-clock and IR-size deltas."
+      $ Arg.(value & opt (some string) None & info [ "timings-json" ] ~docv:"FILE"
+               ~doc:"Write the per-pass timings as JSON."))
 
 let () = exit (Cmd.eval cmd)

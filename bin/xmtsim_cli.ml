@@ -13,7 +13,7 @@ let read_file path =
 
 let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
-    checkpoint_out checkpoint_at checkpoint_in =
+    checkpoint_out checkpoint_at checkpoint_in stats_json trace_json =
   let config =
     match List.assoc_opt preset Xmtsim.Config.presets with
     | Some c -> (
@@ -43,12 +43,33 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     end
   in
   if functional then begin
+    let host_t0 = Unix.gettimeofday () in
     let r = Xmtsim.Functional_mode.run image in
+    let host_secs = Unix.gettimeofday () -. host_t0 in
     print_string r.Xmtsim.Functional_mode.output;
     if String.length r.Xmtsim.Functional_mode.output > 0 then print_newline ();
     if stats then
       Printf.printf "[functional] instructions: %d\n"
-        r.Xmtsim.Functional_mode.instructions
+        r.Xmtsim.Functional_mode.instructions;
+    (match stats_json with
+    | None -> ()
+    | Some path ->
+      (* functional mode has no cycle-level stats; emit the envelope with
+         what it does measure so downstream tooling sees a valid record *)
+      let reg = Obs.Metrics.create () in
+      Obs.Metrics.inc
+        ~by:r.Xmtsim.Functional_mode.instructions
+        (Obs.Metrics.counter reg ~help:"instructions executed"
+           ~labels:[ ("mode", "functional") ]
+           "sim.instructions");
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~help:"host wall-clock seconds" "host.wall_seconds")
+        host_secs;
+      Obs.Json.write_file ~pretty:true path (Obs.Metrics.to_json reg));
+    if trace_json <> None then
+      Printf.eprintf
+        "xmtsim: --trace-json records simulated activity; it needs the \
+         cycle-accurate mode (drop --functional)\n"
   end
   else begin
     let m = Xmtsim.Machine.create ~config image in
@@ -63,9 +84,21 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       Xmtsim.Trace.attach_packages ~limit:trace_limit m print_string;
     if hot then
       Xmtsim.Machine.add_filter_plugin m (Xmtsim.Plugin.hot_locations ~top:10 ());
+    let tracer =
+      match trace_json with
+      | None -> None
+      | Some _ ->
+        let tr = Obs.Tracer.create () in
+        Xmtsim.Machine.attach_tracer m tr;
+        Some tr
+    in
     let profiler =
       if profile_interval > 0 then
         Some (Xmtsim.Profiler.attach ~interval:profile_interval m)
+      else if tracer <> None then
+        (* the trace gets activity counter tracks even without an explicit
+           profile interval *)
+        Some (Xmtsim.Profiler.attach ~interval:1000 m)
       else None
     in
     let power =
@@ -90,6 +123,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       end
       else None
     in
+    let host_t0 = Unix.gettimeofday () in
     (* §III-E: save the simulation state at a point given ahead of time,
        then keep going; the run can be resumed later from the file *)
     (match (checkpoint_at, checkpoint_out) with
@@ -104,6 +138,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       exit 1
     | None, _ -> ());
     let r = Xmtsim.Machine.run ?max_cycles m in
+    let host_secs = Unix.gettimeofday () -. host_t0 in
     print_string r.Xmtsim.Machine.output;
     if String.length r.Xmtsim.Machine.output > 0 then print_newline ();
     if not r.Xmtsim.Machine.halted then
@@ -118,10 +153,76 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       print_string (Xmtsim.Stats.to_string (Xmtsim.Machine.stats m))
     end;
     (match profiler with
-    | Some p ->
+    | Some p when profile_interval > 0 ->
       print_endline "---- execution profile ----";
       print_string (Xmtsim.Plugin.render_profile p)
-    | None -> ());
+    | _ -> ());
+    (* -------- telemetry sinks (--stats-json / --trace-json) -------- *)
+    let events = Xmtsim.Machine.events_processed m in
+    let events_per_sec =
+      if host_secs > 0.0 then float_of_int events /. host_secs else 0.0
+    in
+    (match stats_json with
+    | None -> ()
+    | Some path ->
+      let reg = Obs.Metrics.create () in
+      Xmtsim.Stats.export (Xmtsim.Machine.stats m) reg;
+      (* host-side throughput *)
+      Obs.Metrics.set (Obs.Metrics.gauge reg "host.wall_seconds") host_secs;
+      Obs.Metrics.inc ~by:events (Obs.Metrics.counter reg "host.events_processed");
+      Obs.Metrics.set (Obs.Metrics.gauge reg "host.events_per_sec") events_per_sec;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg "host.sim_cycles_per_sec")
+        (if host_secs > 0.0 then
+           float_of_int r.Xmtsim.Machine.cycles /. host_secs
+         else 0.0);
+      (* spatial distributions *)
+      let act =
+        Obs.Metrics.histogram reg
+          ~buckets:[ 0.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
+          "sim.cluster.instructions"
+      in
+      Array.iter
+        (fun n -> Obs.Metrics.observe act (float_of_int n))
+        (Xmtsim.Machine.cluster_activity m);
+      (* power/thermal, when the sampling plug-in ran *)
+      (match power with
+      | Some (p, th) ->
+        Xmtsim.Power.export p reg;
+        Xmtsim.Thermal.export th reg
+      | None -> ());
+      Obs.Json.write_file ~pretty:true path (Obs.Metrics.to_json reg));
+    (match (trace_json, tracer) with
+    | Some path, Some tr ->
+      Xmtsim.Machine.flush_tracer m;
+      (* profile samples become a counter track *)
+      (match profiler with
+      | Some p ->
+        List.iter
+          (fun s ->
+            Obs.Tracer.counter tr ~ts:s.Xmtsim.Plugin.ps_cycle "activity"
+              [
+                ("compute", float_of_int s.Xmtsim.Plugin.ps_compute);
+                ("memory", float_of_int s.Xmtsim.Plugin.ps_memory);
+                ("memwait", float_of_int s.Xmtsim.Plugin.ps_memwait);
+              ])
+          (Xmtsim.Plugin.samples_in_order p)
+      | None -> ());
+      (* host wall-clock on its own process track *)
+      Obs.Tracer.name_process tr ~pid:2 "host (ts = microseconds)";
+      Obs.Tracer.name_thread tr ~pid:2 ~tid:1 "xmtsim_cli";
+      Obs.Tracer.complete tr ~pid:2 ~tid:1 ~ts:0
+        ~dur:(int_of_float (host_secs *. 1e6))
+        ~cat:"host"
+        ~args:
+          [
+            ("events_processed", Obs.Tracer.A_int events);
+            ("events_per_sec", Obs.Tracer.A_float events_per_sec);
+            ("sim_cycles", Obs.Tracer.A_int r.Xmtsim.Machine.cycles);
+          ]
+        "simulation-run";
+      Obs.Tracer.write_file tr path
+    | _ -> ());
     List.iter
       (fun (name, report) -> Printf.printf "---- plugin %s ----\n%s\n" name report)
       (Xmtsim.Machine.filter_reports m);
@@ -177,6 +278,12 @@ let cmd =
                ~doc:"Take the checkpoint at (the first quiescent point after) \
                      this cycle, then continue running.")
       $ Arg.(value & opt (some file) None & info [ "checkpoint-in" ] ~docv:"FILE"
-               ~doc:"Restore a checkpoint before the run."))
+               ~doc:"Restore a checkpoint before the run.")
+      $ Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+               ~doc:"Write all metrics (activity counters, cache hit rates, \
+                     host throughput) as JSON.")
+      $ Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
+               ~doc:"Write a Chrome trace-event JSON span trace (open in \
+                     Perfetto or chrome://tracing)."))
 
 let () = exit (Cmd.eval cmd)

@@ -23,12 +23,29 @@ type options = {
 
 val default_options : options
 
+(** Per-pass instrumentation ([xmtcc --timings]): wall-clock milliseconds
+    and the size of the representation before/after the pass.  [pt_unit]
+    names the size unit (source bytes, IR instructions, emitted
+    instructions); [pt_size_before < 0] means the pass changed
+    representations and has no comparable input size. *)
+type pass_timing = {
+  pt_pass : string;
+  pt_ms : float;
+  pt_size_before : int;
+  pt_size_after : int;
+  pt_unit : string;
+}
+
 type output = {
   program : Isa.Program.t;
   asm_text : string;
   relocated_blocks : int;  (** blocks the post-pass moved back (Fig. 9) *)
   outlined_source : string;  (** XMTC source after the pre-pass *)
+  timings : pass_timing list;  (** in pass order *)
 }
+
+(** Render [output.timings] as the [--timings] table. *)
+val timings_to_string : pass_timing list -> string
 
 exception Compile_error of string
 

@@ -8,6 +8,7 @@ type run = {
   output : string;
   cycles : int;
   instructions : int;
+  events : int;  (** desim events processed (0 in functional mode) *)
   stats : Xmtsim.Stats.t;
 }
 
@@ -21,6 +22,7 @@ let run_cycle ?config ?max_cycles compiled =
     output = r.Xmtsim.Machine.output;
     cycles = r.Xmtsim.Machine.cycles;
     instructions = Xmtsim.Stats.total_instrs stats;
+    events = Xmtsim.Machine.events_processed m;
     stats;
   }
 
@@ -30,6 +32,7 @@ let run_functional ?max_instructions compiled =
     output = r.Xmtsim.Functional_mode.output;
     cycles = 0;
     instructions = r.Xmtsim.Functional_mode.instructions;
+    events = 0;
     stats = r.Xmtsim.Functional_mode.stats;
   }
 

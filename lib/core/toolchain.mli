@@ -18,6 +18,7 @@ type run = {
   output : string;
   cycles : int;  (** 0 in functional mode *)
   instructions : int;
+  events : int;  (** desim events processed (0 in functional mode) *)
   stats : Xmtsim.Stats.t;
 }
 

@@ -1,0 +1,18 @@
+(** Obs — the unified telemetry layer.
+
+    Three pieces, used across the whole toolchain:
+
+    - {!Json}: dependency-free JSON values (emit + parse).
+    - {!Metrics}: a typed registry of counters/gauges/histograms with
+      labels.  The simulator's activity counters ({!Xmtsim.Stats}), the
+      power/thermal models and host-side throughput all export into it;
+      [xmtsim --stats-json] and the bench harness's [BENCH_*.json]
+      records are its serializations.
+    - {!Tracer}: span-based tracing in Chrome trace-event JSON
+      ([xmtsim --trace-json]), covering simulated activity (spawn/join
+      phases, per-TCU memory-wait spans, package hops) and host-side
+      activity (wall-clock per run) on separate process tracks. *)
+
+module Json = Json
+module Metrics = Metrics
+module Tracer = Tracer

@@ -40,6 +40,9 @@ type tcu = {
   mutable st : tcu_state;
   mutable pending : int;
   pbuf : Prefetch_buffer.t;
+  (* observability: span start times (simulated time; -1 = no open span) *)
+  mutable mw_since : int;  (* memory/fence wait *)
+  mutable run_since : int;  (* spawn-activation .. Tdone *)
 }
 
 type cluster = {
@@ -112,6 +115,7 @@ type t = {
   mutable filters : Plugin.filter list;
   mutable tracers : (tcu:int -> pc:int -> Isa.Instr.t -> time:int -> unit) list;
   mutable pkg_tracers : (package_event -> unit) list;
+  mutable otracer : Obs.Tracer.t option;  (* span tracer (Chrome trace JSON) *)
   mutable started : bool;
 }
 
@@ -176,6 +180,8 @@ let create ?(config = Config.fpga64) img =
                   pbuf =
                     Prefetch_buffer.create ~size:cfg.Config.prefetch_buffer_size
                       ~policy:cfg.Config.prefetch_policy;
+                  mw_since = -1;
+                  run_since = -1;
                 });
           mdu = Array.make (max 1 cfg.Config.mdus_per_cluster) 0;
           fpu = Array.make (max 1 cfg.Config.fpus_per_cluster) 0;
@@ -234,6 +240,7 @@ let create ?(config = Config.fpga64) img =
     filters = [];
     tracers = [];
     pkg_tracers = [];
+    otracer = None;
     started = false;
   }
 
@@ -253,6 +260,9 @@ let output t = Buffer.contents t.out_buf
 let cycles t = Desim.Scheduler.now t.sched
 let mem t = t.memory
 let globals t = t.globals
+
+(* host-side throughput: events processed by the desim scheduler *)
+let events_processed t = Desim.Scheduler.events_processed t.sched
 
 (* ------------------------------------------------------------------ *)
 (* Tracing / plugin fan-out *)
@@ -288,6 +298,28 @@ let emit_pkg t ~stage ~kind ~addr ~tcu ~m =
       }
     in
     List.iter (fun f -> f ev) tracers
+
+(* ------------------------------------------------------------------ *)
+(* Span tracer (Chrome trace-event JSON, §III-B/E as Perfetto tracks).
+   Track layout on the sim process: master TCU = tid 0, TCU i = tid i+1,
+   one extra "memory" track for unattributable package events. *)
+
+let trace_tid_of_tcu tcu = tcu + 1
+
+let trace_tid_memory t =
+  (t.cfg.Config.num_clusters * t.cfg.Config.tcus_per_cluster) + 1
+
+let close_memwait_span t tr (u : tcu) =
+  let now = Desim.Scheduler.now t.sched in
+  Obs.Tracer.complete tr ~ts:u.mw_since ~dur:(now - u.mw_since)
+    ~tid:(trace_tid_of_tcu u.tid) ~cat:"tcu" "memwait";
+  u.mw_since <- -1
+
+let close_run_span t tr (u : tcu) =
+  let now = Desim.Scheduler.now t.sched in
+  Obs.Tracer.complete tr ~ts:u.run_since ~dur:(now - u.run_since)
+    ~tid:(trace_tid_of_tcu u.tid) ~cat:"tcu" "tcu-run";
+  u.run_since <- -1
 
 (* ------------------------------------------------------------------ *)
 (* ICN transport: event-per-package with per-(cluster,module) jitter that
@@ -337,7 +369,11 @@ let maybe_join t =
         Tags.invalidate_all t.master_cache;
         Stats.count_instr t.stats ~master:true I.Join;
         t.master.F.pc <- join_idx + 1;
-        t.master_st <- Mrun)
+        t.master_st <- Mrun;
+        match t.otracer with
+        | Some tr ->
+          Obs.Tracer.end_span tr ~ts:(Desim.Scheduler.now t.sched) ~tid:0 ()
+        | None -> ())
   end
 
 (* ------------------------------------------------------------------ *)
@@ -576,6 +612,11 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       else begin
         u.st <- Tdone;
         t.done_count <- t.done_count + 1;
+        (match t.otracer with
+        | Some tr ->
+          if u.mw_since >= 0 then close_memwait_span t tr u;
+          if u.run_since >= 0 then close_run_span t tr u
+        | None -> ());
         maybe_join t
       end
     | F.Fence ->
@@ -590,6 +631,15 @@ let tcu_issue t (cl : cluster) (u : tcu) =
 (* Psm replies need the destination register; carry it in the request. *)
 
 let tcu_tick t (cl : cluster) (u : tcu) =
+  (* span tracking: open a memwait span on the first waiting tick, close
+     it on the first tick in any other state *)
+  (match t.otracer with
+  | None -> ()
+  | Some tr -> (
+    match u.st with
+    | Tmemwait | Tfence ->
+      if u.mw_since < 0 then u.mw_since <- Desim.Scheduler.now t.sched
+    | _ -> if u.mw_since >= 0 then close_memwait_span t tr u));
   match u.st with
   | Tidle | Tdone -> ()
   | Trun -> tcu_issue t cl u
@@ -708,6 +758,15 @@ let master_tick t =
           t.globals.(Isa.Reg.g_spawn) <- lo;
           t.done_count <- 0;
           t.spawn_active <- true;
+          let now = Desim.Scheduler.now t.sched in
+          (match t.otracer with
+          | Some tr ->
+            Obs.Tracer.begin_span tr ~ts:now ~tid:0 ~cat:"spawn"
+              ~args:
+                [ ("lo", Obs.Tracer.A_int lo); ("hi", Obs.Tracer.A_int hi);
+                  ("threads", Obs.Tracer.A_int (hi - lo + 1)) ]
+              "spawn"
+          | None -> ());
           Array.iter
             (fun cl ->
               Array.iter
@@ -715,6 +774,7 @@ let master_tick t =
                   F.copy_regs ~src:t.master ~dst:u.ctx;
                   u.ctx.F.pc <- spawn_idx + 1;
                   u.st <- Trun;
+                  if t.otracer <> None then u.run_since <- now;
                   Prefetch_buffer.clear u.pbuf)
                 cl.ctcus)
             t.clusters)
@@ -753,8 +813,66 @@ let add_filter_plugin t f = t.filters <- f :: t.filters
 let filter_reports t =
   List.rev_map (fun f -> (f.Plugin.f_name, f.Plugin.f_report ())) t.filters
 
-let on_instr t f = t.tracers <- f :: t.tracers
-let on_package t f = t.pkg_tracers <- f :: t.pkg_tracers
+(* Hooks return a detach thunk so finite-length consumers (e.g. a trace
+   with a line limit) can unhook themselves instead of being filtered on
+   every subsequent instruction.  Detaching mid-notification is safe: the
+   in-progress iteration walks the old (immutable) list. *)
+let add_instr_hook t f =
+  t.tracers <- f :: t.tracers;
+  fun () -> t.tracers <- List.filter (fun g -> g != f) t.tracers
+
+let add_package_hook t f =
+  t.pkg_tracers <- f :: t.pkg_tracers;
+  fun () -> t.pkg_tracers <- List.filter (fun g -> g != f) t.pkg_tracers
+
+let on_instr t f = ignore (add_instr_hook t f : unit -> unit)
+let on_package t f = ignore (add_package_hook t f : unit -> unit)
+
+(* ------------------------------------------------------------------ *)
+(* Span tracer attachment *)
+
+let attach_tracer t tr =
+  t.otracer <- Some tr;
+  Obs.Tracer.name_process tr ~pid:1 "xmtsim (ts = simulated time units)";
+  Obs.Tracer.name_thread tr ~pid:1 ~tid:0 "MTCU";
+  Array.iter
+    (fun cl ->
+      Array.iter
+        (fun u ->
+          Obs.Tracer.name_thread tr ~pid:1 ~tid:(trace_tid_of_tcu u.tid)
+            (Printf.sprintf "TCU %d" u.tid))
+        cl.ctcus)
+    t.clusters;
+  Obs.Tracer.name_thread tr ~pid:1 ~tid:(trace_tid_memory t) "memory";
+  (* package hops as instant events on the originating TCU's track *)
+  on_package t (fun ev ->
+      let tid =
+        if ev.pe_tcu >= 0 then trace_tid_of_tcu ev.pe_tcu else trace_tid_memory t
+      in
+      Obs.Tracer.instant tr ~ts:ev.pe_time ~tid ~cat:"pkg"
+        ~args:
+          [ ("kind", Obs.Tracer.A_str ev.pe_kind);
+            ("addr", Obs.Tracer.A_int ev.pe_addr);
+            ("module", Obs.Tracer.A_int ev.pe_module) ]
+        ev.pe_stage)
+
+(** Close any spans still open at the current simulated time (waiting
+    TCUs, an active spawn region).  Call once, after the last [run],
+    before serializing the trace. *)
+let flush_tracer t =
+  match t.otracer with
+  | None -> ()
+  | Some tr ->
+    Array.iter
+      (fun cl ->
+        Array.iter
+          (fun u ->
+            if u.mw_since >= 0 then close_memwait_span t tr u;
+            if u.run_since >= 0 then close_run_span t tr u)
+          cl.ctcus)
+      t.clusters;
+    if t.spawn_active then
+      Obs.Tracer.end_span tr ~ts:(Desim.Scheduler.now t.sched) ~tid:0 ()
 
 (* ------------------------------------------------------------------ *)
 

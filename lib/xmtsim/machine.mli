@@ -44,6 +44,10 @@ val module_queue_depths : t -> int array
 val cluster_activity : t -> int array
 val globals : t -> int array  (** the global PS register file *)
 
+(** Host-side throughput: events processed by the desim scheduler so far
+    (events/sec = this over wall-clock). *)
+val events_processed : t -> int
+
 (* -------- runtime control (activity plug-in interface, §III-B) -------- *)
 
 type domain = Clusters | Icn | Caches | Dram
@@ -62,6 +66,11 @@ val filter_reports : t -> (string * string) list
     [tcu] is [-1] for the Master TCU. *)
 val on_instr : t -> (tcu:int -> pc:int -> Isa.Instr.t -> time:int -> unit) -> unit
 
+(** Like {!on_instr} but returns a detach thunk; consumers with a line
+    limit unhook themselves so the hot loop stops paying for them. *)
+val add_instr_hook :
+  t -> (tcu:int -> pc:int -> Isa.Instr.t -> time:int -> unit) -> unit -> unit
+
 (** Cycle-accurate trace level (§III-E): one event per station a package
     passes through ("icn-inject", "module-arrive", "cache-hit"/"cache-miss",
     "dram-fill", "reply"). *)
@@ -75,6 +84,23 @@ type package_event = {
 }
 
 val on_package : t -> (package_event -> unit) -> unit
+
+(** Like {!on_package} but returns a detach thunk. *)
+val add_package_hook : t -> (package_event -> unit) -> unit -> unit
+
+(* -------- span tracing (Chrome trace-event JSON) -------- *)
+
+(** Attach a span tracer.  Simulated activity is emitted on process 1
+    (one thread per TCU, tid = TCU id + 1, the Master TCU on tid 0):
+    spawn/join phases as nested B/E spans, per-TCU memory-wait and
+    thread-run intervals as complete (X) spans, package hops as instant
+    events.  Timestamps are simulated time units. *)
+val attach_tracer : t -> Obs.Tracer.t -> unit
+
+(** Close spans still open (waiting TCUs, an active spawn) at the current
+    simulated time.  Call once after the final [run], before writing the
+    trace file. *)
+val flush_tracer : t -> unit
 
 (* -------- checkpoints (§III-E) -------- *)
 

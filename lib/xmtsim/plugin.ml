@@ -86,8 +86,28 @@ type profile_sample = {
 
 type profiler = { mutable samples : profile_sample list (* reversed *) }
 
+(** Samples are consed newest-first during the run; this accessor is the
+    {e single} place that restores chronological (oldest-first) order, so
+    the text renderer and the JSON export cannot disagree. *)
+let samples_in_order (p : profiler) = List.rev p.samples
+
+(** The execution profile as a JSON array of per-interval samples
+    (oldest first), for machine consumption of the §III-B profile. *)
+let profile_to_json (p : profiler) =
+  Obs.Json.List
+    (List.map
+       (fun s ->
+         Obs.Json.Obj
+           [
+             ("cycle", Obs.Json.Int s.ps_cycle);
+             ("compute", Obs.Json.Int s.ps_compute);
+             ("memory", Obs.Json.Int s.ps_memory);
+             ("memwait", Obs.Json.Int s.ps_memwait);
+           ])
+       (samples_in_order p))
+
 let render_profile (p : profiler) =
-  let samples = List.rev p.samples in
+  let samples = samples_in_order p in
   let b = Buffer.create 512 in
   Buffer.add_string b
     "cycle      compute     memory    memwait  phase\n";

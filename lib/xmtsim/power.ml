@@ -129,3 +129,14 @@ let sample t =
   out
 
 let total t = Array.fold_left ( +. ) 0.0 t.last_sample
+
+(** Export the last sample into a metrics registry: per-component watts
+    (labelled) plus the chip total. *)
+let export t reg =
+  Array.iteri
+    (fun i w ->
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~labels:[ ("component", t.names.(i)) ] "sim.power.watts")
+        w)
+    t.last_sample;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "sim.power.total_watts") (total t)

@@ -36,3 +36,7 @@ val sample : t -> float array
 
 (** Total chip power of the last sample (W). *)
 val total : t -> float
+
+(** Export the last sample into a metrics registry:
+    [sim.power.watts{component=...}] gauges plus [sim.power.total_watts]. *)
+val export : t -> Obs.Metrics.t -> unit

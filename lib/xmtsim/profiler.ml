@@ -2,7 +2,9 @@
 
     [attach m ~interval] registers an activity plug-in that samples the
     instruction-class and memory-wait counters every [interval] cycles;
-    render the collected timeline with {!Plugin.render_profile}. *)
+    render the collected timeline with {!Plugin.render_profile} or export
+    it with {!Plugin.profile_to_json}.  Samples are stored newest-first;
+    always read them through {!Plugin.samples_in_order}. *)
 
 let class_counts stats =
   let by = Stats.by_class stats in

@@ -91,6 +91,47 @@ let by_class t =
     (fun i c -> (Isa.Instr.fu_class_name c, t.instr_by_class.(i)))
     Isa.Instr.all_fu_classes
 
+(** Export every counter into a metrics registry (call once per fresh
+    registry; counters accumulate).  Metric names follow the [sim.*]
+    convention documented in the README's Observability section. *)
+let export t (reg : Obs.Metrics.t) =
+  let c ?labels name v = Obs.Metrics.inc ~by:v (Obs.Metrics.counter reg ?labels name) in
+  let g ?labels name v = Obs.Metrics.set (Obs.Metrics.gauge reg ?labels name) v in
+  c "sim.cycles" t.cycles;
+  c ~labels:[ ("unit", "master") ] "sim.instructions" t.master_instrs;
+  c ~labels:[ ("unit", "tcu") ] "sim.instructions" t.tcu_instrs;
+  List.iter
+    (fun (cls, v) -> c ~labels:[ ("class", cls) ] "sim.instructions_by_class" v)
+    (by_class t);
+  c "sim.spawns" t.spawns;
+  c "sim.virtual_threads" t.virtual_threads;
+  c "sim.tcu.busy_cycles" t.tcu_busy_cycles;
+  c "sim.tcu.memwait_cycles" t.tcu_memwait_cycles;
+  c "sim.tcu.fuwait_cycles" t.tcu_fuwait_cycles;
+  c "sim.tcu.pswait_cycles" t.tcu_pswait_cycles;
+  c "sim.icn.packets" t.icn_packets;
+  c "sim.icn.occupancy" t.icn_occupancy;
+  let cache name hits misses =
+    c ~labels:[ ("cache", name); ("outcome", "hit") ] "sim.cache.accesses" hits;
+    c ~labels:[ ("cache", name); ("outcome", "miss") ] "sim.cache.accesses" misses;
+    let total = hits + misses in
+    g ~labels:[ ("cache", name) ] "sim.cache.hit_rate"
+      (if total = 0 then 0.0 else float_of_int hits /. float_of_int total)
+  in
+  cache "shared" t.cache_hits t.cache_misses;
+  cache "ro" t.rocache_hits t.rocache_misses;
+  cache "master" t.master_cache_hits t.master_cache_misses;
+  c "sim.dram.reads" t.dram_reads;
+  c "sim.prefetch.issued" t.prefetch_issued;
+  c "sim.prefetch.hits" t.prefetch_hits;
+  c "sim.prefetch.misses" t.prefetch_misses;
+  c "sim.prefetch.late" t.prefetch_late;
+  c "sim.prefetch.evicted" t.prefetch_evicted;
+  c "sim.ps_ops" t.ps_ops;
+  c "sim.psm_ops" t.psm_ops;
+  c "sim.nb_stores" t.nb_stores;
+  c "sim.fences" t.fences
+
 let to_string t =
   let b = Buffer.create 512 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in

@@ -97,3 +97,14 @@ let step t ~dt p =
 let temperatures t = t.temps
 let max_temperature t = Array.fold_left max neg_infinity t.temps
 let component_names t = t.names
+
+(** Export the current temperature field into a metrics registry:
+    per-component kelvin (labelled) plus the hotspot. *)
+let export t reg =
+  Array.iteri
+    (fun i temp ->
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~labels:[ ("component", t.names.(i)) ] "sim.thermal.temp_k")
+        temp)
+    t.temps;
+  Obs.Metrics.set (Obs.Metrics.gauge reg "sim.thermal.max_temp_k") (max_temperature t)

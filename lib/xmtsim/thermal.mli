@@ -42,3 +42,7 @@ val step : t -> dt:float -> float array -> unit
 val temperatures : t -> float array
 val max_temperature : t -> float
 val component_names : t -> string array
+
+(** Export the temperature field into a metrics registry:
+    [sim.thermal.temp_k{component=...}] gauges plus [sim.thermal.max_temp_k]. *)
+val export : t -> Obs.Metrics.t -> unit

@@ -1,7 +1,11 @@
 (** Execution traces (paper §III-E): functional-level traces show the
     executed instructions; filters restrict to specific TCUs and/or
     instruction classes.  Attach with {!attach}; lines go to the given
-    sink (e.g. [Buffer.add_string buf] or [print_string]). *)
+    sink (e.g. [Buffer.add_string buf] or [print_string]).
+
+    When [filter.limit] is reached the hook detaches itself from the
+    machine, so a bounded trace costs nothing for the rest of a long
+    run. *)
 
 type filter = {
   tcus : int list option;  (** [None] = all; Master TCU is -1 *)
@@ -13,37 +17,41 @@ let all = { tcus = None; classes = None; limit = 0 }
 
 let attach ?(filter = all) machine sink =
   let count = ref 0 in
-  Machine.on_instr machine (fun ~tcu ~pc ins ~time ->
-      let keep =
-        (match filter.tcus with None -> true | Some l -> List.mem tcu l)
-        && (match filter.classes with
-           | None -> true
-           | Some l -> List.mem (Isa.Instr.fu_class_of ins) l)
-        && (filter.limit <= 0 || !count < filter.limit)
-      in
-      if keep then begin
-        incr count;
-        let who = if tcu < 0 then "MTCU" else Printf.sprintf "TCU%-4d" tcu in
-        sink
-          (Printf.sprintf "%8d %s pc=%-5d %s\n" time who pc (Isa.Instr.to_string ins))
-      end)
+  let detach = ref (fun () -> ()) in
+  detach :=
+    Machine.add_instr_hook machine (fun ~tcu ~pc ins ~time ->
+        let keep =
+          (match filter.tcus with None -> true | Some l -> List.mem tcu l)
+          && (match filter.classes with
+             | None -> true
+             | Some l -> List.mem (Isa.Instr.fu_class_of ins) l)
+        in
+        if keep then begin
+          incr count;
+          let who = if tcu < 0 then "MTCU" else Printf.sprintf "TCU%-4d" tcu in
+          sink
+            (Printf.sprintf "%8d %s pc=%-5d %s\n" time who pc (Isa.Instr.to_string ins));
+          if filter.limit > 0 && !count >= filter.limit then !detach ()
+        end)
 
 (** Attach the cycle-accurate (package-level) trace: one line per station
     an instruction/data package travels through (§III-E).  [addr] limits
     the trace to packages touching that address. *)
 let attach_packages ?addr ?(limit = 0) machine sink =
   let count = ref 0 in
-  Machine.on_package machine (fun ev ->
-      let keep =
-        (match addr with
-        | Some a -> ev.Machine.pe_addr = a || ev.Machine.pe_stage = "dram-fill"
-        | None -> true)
-        && (limit <= 0 || !count < limit)
-      in
-      if keep then begin
-        incr count;
-        sink
-          (Printf.sprintf "%8d %-13s %-9s addr=0x%-6x tcu=%-4d module=%d\n"
-             ev.Machine.pe_time ev.Machine.pe_stage ev.Machine.pe_kind
-             ev.Machine.pe_addr ev.Machine.pe_tcu ev.Machine.pe_module)
-      end)
+  let detach = ref (fun () -> ()) in
+  detach :=
+    Machine.add_package_hook machine (fun ev ->
+        let keep =
+          match addr with
+          | Some a -> ev.Machine.pe_addr = a || ev.Machine.pe_stage = "dram-fill"
+          | None -> true
+        in
+        if keep then begin
+          incr count;
+          sink
+            (Printf.sprintf "%8d %-13s %-9s addr=0x%-6x tcu=%-4d module=%d\n"
+               ev.Machine.pe_time ev.Machine.pe_stage ev.Machine.pe_kind
+               ev.Machine.pe_addr ev.Machine.pe_tcu ev.Machine.pe_module);
+          if limit > 0 && !count >= limit then !detach ()
+        end)

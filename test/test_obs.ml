@@ -1,0 +1,296 @@
+(** Tests for the Obs telemetry layer (metrics registry, Chrome-trace
+    tracer, JSON round-trip) and its wiring into the simulator. *)
+
+module J = Obs.Json
+module M = Obs.Metrics
+module T = Obs.Tracer
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Int 42);
+        ("b", J.List [ J.Str "x\"y\n"; J.Bool true; J.Null ]);
+        ("c", J.Float 2.5);
+        ("nested", J.Obj [ ("deep", J.List [ J.Int (-7) ]) ]);
+      ]
+  in
+  let s = J.to_string v in
+  Tu.check_bool "compact round-trips" true (J.of_string s = v);
+  let p = J.to_string ~pretty:true v in
+  Tu.check_bool "pretty round-trips" true (J.of_string p = v)
+
+let json_rejects_garbage () =
+  let bad s = match J.of_string s with exception J.Parse_error _ -> true | _ -> false in
+  Tu.check_bool "trailing" true (bad "{} x");
+  Tu.check_bool "unterminated" true (bad "\"abc");
+  Tu.check_bool "bare word" true (bad "flase")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let registry_counters_gauges () =
+  let reg = M.create () in
+  let c = M.counter reg "sim.cycles" in
+  M.inc ~by:10 c;
+  M.inc c;
+  Tu.check_int "counter read" 11 (Option.get (M.counter_value reg "sim.cycles"));
+  (* same name + labels = same instrument; different labels = distinct *)
+  let h = M.counter reg ~labels:[ ("outcome", "hit") ] "sim.cache.accesses" in
+  let m = M.counter reg ~labels:[ ("outcome", "miss") ] "sim.cache.accesses" in
+  M.inc ~by:3 h;
+  M.inc ~by:2 (M.counter reg ~labels:[ ("outcome", "hit") ] "sim.cache.accesses");
+  M.inc m;
+  Tu.check_int "labelled hit" 5
+    (Option.get (M.counter_value reg ~labels:[ ("outcome", "hit") ] "sim.cache.accesses"));
+  Tu.check_int "labelled miss" 1
+    (Option.get (M.counter_value reg ~labels:[ ("outcome", "miss") ] "sim.cache.accesses"));
+  M.set (M.gauge reg "host.events_per_sec") 123.5;
+  Tu.check_bool "gauge read" true
+    (M.gauge_value reg "host.events_per_sec" = Some 123.5);
+  (* kind mismatch is rejected *)
+  Tu.check_bool "kind clash raises" true
+    (match M.gauge reg "sim.cycles" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let registry_merge () =
+  let a = M.create () and b = M.create () in
+  M.inc ~by:5 (M.counter a "n");
+  M.inc ~by:7 (M.counter b "n");
+  M.set (M.gauge b "g") 2.0;
+  M.merge ~into:a b;
+  Tu.check_int "counters add" 12 (Option.get (M.counter_value a "n"));
+  Tu.check_bool "gauge copied" true (M.gauge_value a "g" = Some 2.0)
+
+let histogram_bucketing () =
+  let reg = M.create () in
+  let h = M.histogram reg ~buckets:[ 1.0; 2.0; 5.0 ] "lat" in
+  List.iter (M.observe h) [ 0.5; 1.0; 1.5; 2.0; 4.9; 5.0; 100.0 ];
+  (* counts per bucket: <=1 -> 2, <=2 -> 2, <=5 -> 2, overflow -> 1 *)
+  Tu.check_int "bucket <=1" 2 h.M.h_counts.(0);
+  Tu.check_int "bucket <=2" 2 h.M.h_counts.(1);
+  Tu.check_int "bucket <=5" 2 h.M.h_counts.(2);
+  Tu.check_int "overflow" 1 h.M.h_counts.(3);
+  Tu.check_int "count" 7 h.M.h_count;
+  (* merge adds bin counts *)
+  let reg2 = M.create () in
+  let h2 = M.histogram reg2 ~buckets:[ 1.0; 2.0; 5.0 ] "lat" in
+  M.observe h2 0.1;
+  M.merge ~into:reg2 reg;
+  Tu.check_int "merged bucket <=1" 3 h2.M.h_counts.(0);
+  Tu.check_int "merged count" 8 h2.M.h_count
+
+let registry_json () =
+  let reg = M.create () in
+  M.inc ~by:9 (M.counter reg ~labels:[ ("k", "v") ] "c");
+  M.set (M.gauge reg "g") 0.25;
+  M.observe (M.histogram reg ~buckets:[ 10.0 ] "h") 3.0;
+  let j = J.of_string (J.to_string (M.to_json reg)) in
+  Tu.check_bool "schema" true
+    (J.member "schema" j = Some (J.Str "xmt.metrics.v1"));
+  let metrics = Option.get (J.to_list (Option.get (J.member "metrics" j))) in
+  Tu.check_int "three metrics" 3 (List.length metrics);
+  let c = List.find (fun m -> J.member "name" m = Some (J.Str "c")) metrics in
+  Tu.check_bool "counter value" true (J.member "value" c = Some (J.Int 9));
+  Tu.check_bool "labels survive" true
+    (J.member "labels" c = Some (J.Obj [ ("k", J.Str "v") ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tracer: golden structural properties of the emitted trace *)
+
+let trace_events_of_string s =
+  match J.of_string s with
+  | J.List es -> es
+  | _ -> Alcotest.fail "trace is not a JSON array"
+
+let check_trace_invariants name events =
+  (* monotone ts over non-metadata events; B/E balanced per (pid,tid) *)
+  let prev = ref min_int in
+  let stacks = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let get k = Option.get (J.member k e) in
+      let ph = Option.get (J.to_str (get "ph")) in
+      if ph <> "M" then begin
+        let ts = Option.get (J.to_int (get "ts")) in
+        if ts < !prev then
+          Alcotest.failf "%s: ts not monotone (%d after %d)" name ts !prev;
+        prev := ts;
+        let key = (J.to_int (get "pid"), J.to_int (get "tid")) in
+        let depth = try Hashtbl.find stacks key with Not_found -> 0 in
+        if ph = "B" then Hashtbl.replace stacks key (depth + 1);
+        if ph = "E" then begin
+          if depth <= 0 then Alcotest.failf "%s: E without B" name;
+          Hashtbl.replace stacks key (depth - 1)
+        end
+      end)
+    events;
+  Hashtbl.iter
+    (fun _ d -> if d <> 0 then Alcotest.failf "%s: unclosed B span" name)
+    stacks
+
+let tracer_golden () =
+  let tr = T.create () in
+  T.name_process tr ~pid:1 "sim";
+  T.name_thread tr ~pid:1 ~tid:0 "main";
+  (* emitted out of ts order on purpose: to_json must sort *)
+  T.complete tr ~ts:50 ~dur:10 ~tid:1 ~cat:"tcu" "memwait";
+  T.begin_span tr ~ts:0 ~tid:0 ~args:[ ("n", T.A_int 3) ] "spawn";
+  T.instant tr ~ts:20 ~tid:1 "icn-inject";
+  T.counter tr ~ts:30 "activity" [ ("compute", 5.0); ("memory", 2.0) ];
+  T.end_span tr ~ts:100 ~tid:0 ();
+  Tu.check_int "length counts non-metadata" 5 (T.length tr);
+  let events = trace_events_of_string (T.to_string tr) in
+  Tu.check_int "all serialized" 7 (List.length events);
+  check_trace_invariants "golden" events;
+  (* metadata first, then ts order: B@0 i@20 C@30 X@50 E@100 *)
+  let phs =
+    List.filter_map (fun e -> J.to_str (Option.get (J.member "ph" e))) events
+  in
+  Tu.check_bool "phase order" true
+    (phs = [ "M"; "M"; "B"; "i"; "C"; "X"; "E" ])
+
+(* ------------------------------------------------------------------ *)
+(* Simulator wiring *)
+
+let src =
+  {|
+int A[32];
+int total = 0;
+int main(void) {
+  spawn(0, 31) {
+    int inc = A[$];
+    psm(inc, total);
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let stats_export_e2e () =
+  (* the same library code path xmtsim --stats-json serializes: export,
+     emit, parse back, compare with the text --stats report *)
+  let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 3) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let r = Core.Toolchain.run_cycle ~config:Xmtsim.Config.tiny compiled in
+  Tu.check_string "output" "96" r.Core.Toolchain.output;
+  let reg = M.create () in
+  Xmtsim.Stats.export r.Core.Toolchain.stats reg;
+  Tu.check_bool ">= 15 distinct metrics" true (List.length (M.distinct_names reg) >= 15);
+  let j = J.of_string (J.to_string (M.to_json reg)) in
+  let metrics = Option.get (J.to_list (Option.get (J.member "metrics" j))) in
+  let value_of name =
+    List.find_map
+      (fun m ->
+        if J.member "name" m = Some (J.Str name) then J.to_int (Option.get (J.member "value" m))
+        else None)
+      metrics
+  in
+  (* round-trip matches the machine and the text report's cycle count *)
+  Tu.check_int "sim.cycles round-trips" r.Core.Toolchain.cycles
+    (Option.get (value_of "sim.cycles"));
+  let text = Xmtsim.Stats.to_string r.Core.Toolchain.stats in
+  let expected_line = Printf.sprintf "cycles:            %d" r.Core.Toolchain.cycles in
+  Tu.check_bool "text --stats agrees" true
+    (List.exists
+       (fun l -> String.trim l = expected_line)
+       (String.split_on_char '\n' text));
+  Tu.check_bool "icn packets counted" true
+    (Option.get (value_of "sim.icn.packets") > 0)
+
+let machine_trace_e2e () =
+  let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 1) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let m = Core.Toolchain.machine ~config:Xmtsim.Config.tiny compiled in
+  let tr = T.create () in
+  Xmtsim.Machine.attach_tracer m tr;
+  let r = Xmtsim.Machine.run m in
+  Tu.check_bool "halted" true r.Xmtsim.Machine.halted;
+  Xmtsim.Machine.flush_tracer m;
+  let events = trace_events_of_string (T.to_string tr) in
+  check_trace_invariants "machine trace" events;
+  let phs = List.filter_map (fun e -> J.to_str (Option.get (J.member "ph" e))) events in
+  Tu.check_bool "has spawn B span" true (List.mem "B" phs);
+  Tu.check_bool "has X spans" true (List.mem "X" phs);
+  Tu.check_bool "has package instants" true (List.mem "i" phs)
+
+let profiler_order_and_json () =
+  let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 1) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let m = Core.Toolchain.machine ~config:Xmtsim.Config.tiny compiled in
+  let p = Xmtsim.Profiler.attach ~interval:50 m in
+  let _ = Xmtsim.Machine.run m in
+  let samples = Xmtsim.Plugin.samples_in_order p in
+  Tu.check_bool "has samples" true (List.length samples >= 2);
+  let cycles = List.map (fun s -> s.Xmtsim.Plugin.ps_cycle) samples in
+  Tu.check_bool "oldest-first" true (List.sort compare cycles = cycles);
+  (* JSON export agrees with the normalized order *)
+  match Xmtsim.Plugin.profile_to_json p with
+  | J.List objs ->
+    let jcycles =
+      List.map (fun o -> Option.get (J.to_int (Option.get (J.member "cycle" o)))) objs
+    in
+    Tu.check_bool "json same order" true (jcycles = cycles)
+  | _ -> Alcotest.fail "profile_to_json not a list"
+
+let trace_limit_detaches () =
+  let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 1) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let m = Core.Toolchain.machine ~config:Xmtsim.Config.tiny compiled in
+  let buf = Buffer.create 256 in
+  Xmtsim.Trace.attach
+    ~filter:{ Xmtsim.Trace.all with Xmtsim.Trace.limit = 5 }
+    m
+    (Buffer.add_string buf);
+  let _ = Xmtsim.Machine.run m in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  Tu.check_int "exactly limit lines" 5 (List.length lines)
+
+let compiler_timings () =
+  let out = Compiler.Driver.compile src in
+  let names = List.map (fun pt -> pt.Compiler.Driver.pt_pass) out.Compiler.Driver.timings in
+  List.iter
+    (fun expected ->
+      Tu.check_bool (expected ^ " timed") true (List.mem expected names))
+    [ "frontend"; "outline"; "lower"; "opt"; "regalloc"; "codegen"; "postpass" ];
+  List.iter
+    (fun pt ->
+      Tu.check_bool (pt.Compiler.Driver.pt_pass ^ " nonneg ms") true
+        (pt.Compiler.Driver.pt_ms >= 0.0);
+      Tu.check_bool (pt.Compiler.Driver.pt_pass ^ " sized") true
+        (pt.Compiler.Driver.pt_size_after > 0))
+    out.Compiler.Driver.timings;
+  (* the table renders one line per pass + header + total *)
+  let table = Compiler.Driver.timings_to_string out.Compiler.Driver.timings in
+  Tu.check_int "table lines" (List.length out.Compiler.Driver.timings + 2)
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' table)))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [ Tu.tc "roundtrip" json_roundtrip; Tu.tc "rejects garbage" json_rejects_garbage ] );
+      ( "metrics",
+        [
+          Tu.tc "counters/gauges" registry_counters_gauges;
+          Tu.tc "merge" registry_merge;
+          Tu.tc "histogram bucketing" histogram_bucketing;
+          Tu.tc "json export" registry_json;
+        ] );
+      ("tracer", [ Tu.tc "golden chrome-trace" tracer_golden ]);
+      ( "wiring",
+        [
+          Tu.tc "stats export e2e" stats_export_e2e;
+          Tu.tc "machine trace e2e" machine_trace_e2e;
+          Tu.tc "profiler order + json" profiler_order_and_json;
+          Tu.tc "trace limit detaches" trace_limit_detaches;
+          Tu.tc "compiler pass timings" compiler_timings;
+        ] );
+    ]
