@@ -1,0 +1,74 @@
+(** The bench regression gate (CI entry point).
+
+    Usage: [gate.exe BASELINE_DIR [FRESH_DIR]]
+
+    Loads every [BENCH_*.json] record from the two directories
+    (FRESH_DIR defaults to the current directory, where [bench/main.exe]
+    drops its records) and compares them with {!Obs.Bench_gate}:
+    simulated cycle counts are deterministic and held to a tight
+    tolerance, host events/sec only guards against collapse.  Exits
+    nonzero when the gate fails, so CI can block the merge.
+
+    Override tolerances with [XMT_GATE_CYCLES_TOL] / [XMT_GATE_RATE_TOL]
+    (fractions, e.g. 0.02). *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
+
+let load_records dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "gate: %s is not a directory\n" dir;
+    exit 2
+  end;
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.filter_map (fun f ->
+         let path = Filename.concat dir f in
+         match Obs.Json.of_string (read_file path) with
+         | j -> Some j
+         | exception Obs.Json.Parse_error msg ->
+           Printf.eprintf "gate: %s: %s\n" path msg;
+           exit 2)
+
+let env_tol name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some v when v >= 0.0 -> v
+    | _ ->
+      Printf.eprintf "gate: %s must be a non-negative fraction, got %S\n" name s;
+      exit 2)
+
+let () =
+  let baseline_dir, fresh_dir =
+    match Sys.argv with
+    | [| _; b |] -> (b, ".")
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+      Printf.eprintf "usage: %s BASELINE_DIR [FRESH_DIR]\n" Sys.argv.(0);
+      exit 2
+  in
+  let tolerance =
+    {
+      Obs.Bench_gate.cycles_tol =
+        env_tol "XMT_GATE_CYCLES_TOL"
+          Obs.Bench_gate.default_tolerance.Obs.Bench_gate.cycles_tol;
+      rate_tol =
+        env_tol "XMT_GATE_RATE_TOL"
+          Obs.Bench_gate.default_tolerance.Obs.Bench_gate.rate_tol;
+    }
+  in
+  let baseline = load_records baseline_dir in
+  let fresh = load_records fresh_dir in
+  if baseline = [] then begin
+    Printf.eprintf "gate: no BENCH_*.json records in baseline %s\n" baseline_dir;
+    exit 2
+  end;
+  let report = Obs.Bench_gate.compare_records ~tolerance ~baseline ~fresh () in
+  print_string (Obs.Bench_gate.render report);
+  exit (if report.Obs.Bench_gate.passed then 0 else 1)

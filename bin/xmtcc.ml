@@ -66,7 +66,7 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
     match timings_json with
     | None -> ()
     | Some path ->
-      Obs.Json.write_file ~pretty:true path
+      Obs.Json.write_path ~pretty:true path
         (Obs.Json.Obj
            [
              ("schema", Obs.Json.Str "xmt.timings.v1");
@@ -112,6 +112,6 @@ let cmd =
       $ flag [ "timings" ]
           "Report per-pass wall-clock and IR-size deltas."
       $ Arg.(value & opt (some string) None & info [ "timings-json" ] ~docv:"FILE"
-               ~doc:"Write the per-pass timings as JSON."))
+               ~doc:"Write the per-pass timings as JSON.  Use - for stdout."))
 
 let () = exit (Cmd.eval cmd)

@@ -13,7 +13,8 @@ let read_file path =
 
 let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
-    checkpoint_out checkpoint_at checkpoint_in stats_json trace_json =
+    checkpoint_out checkpoint_at checkpoint_in stats_json trace_json
+    timeseries_json governor governor_interval =
   let config =
     match List.assoc_opt preset Xmtsim.Config.presets with
     | Some c -> (
@@ -43,6 +44,18 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     end
   in
   if functional then begin
+    (* cycle-level sinks have nothing to record in the serializing
+       functional mode: fail fast instead of writing an empty file *)
+    let reject flag =
+      Printf.eprintf
+        "xmtsim: %s records simulated cycle-level activity; it needs the \
+         cycle-accurate mode (drop --functional)\n"
+        flag;
+      exit 2
+    in
+    if trace_json <> None then reject "--trace-json";
+    if timeseries_json <> None then reject "--timeseries-json";
+    if governor then reject "--governor";
     let host_t0 = Unix.gettimeofday () in
     let r = Xmtsim.Functional_mode.run image in
     let host_secs = Unix.gettimeofday () -. host_t0 in
@@ -65,11 +78,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       Obs.Metrics.set
         (Obs.Metrics.gauge reg ~help:"host wall-clock seconds" "host.wall_seconds")
         host_secs;
-      Obs.Json.write_file ~pretty:true path (Obs.Metrics.to_json reg));
-    if trace_json <> None then
-      Printf.eprintf
-        "xmtsim: --trace-json records simulated activity; it needs the \
-         cycle-accurate mode (drop --functional)\n"
+      Obs.Json.write_path ~pretty:true path (Obs.Metrics.to_json reg))
   end
   else begin
     let m = Xmtsim.Machine.create ~config image in
@@ -92,12 +101,22 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
         Xmtsim.Machine.attach_tracer m tr;
         Some tr
     in
+    let series =
+      match timeseries_json with
+      | None -> None
+      | Some _ -> Some (Obs.Timeseries.create ~window:4096 ())
+    in
+    let gov =
+      if governor then
+        Some (Xmtsim.Governor.attach ?series ~interval:governor_interval m)
+      else None
+    in
     let profiler =
       if profile_interval > 0 then
         Some (Xmtsim.Profiler.attach ~interval:profile_interval m)
-      else if tracer <> None then
-        (* the trace gets activity counter tracks even without an explicit
-           profile interval *)
+      else if tracer <> None || series <> None then
+        (* the trace and timeseries get activity counter tracks even
+           without an explicit profile interval *)
         Some (Xmtsim.Profiler.attach ~interval:1000 m)
       else None
     in
@@ -191,7 +210,16 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
         Xmtsim.Power.export p reg;
         Xmtsim.Thermal.export th reg
       | None -> ());
-      Obs.Json.write_file ~pretty:true path (Obs.Metrics.to_json reg));
+      (match gov with Some g -> Xmtsim.Governor.export g reg | None -> ());
+      let j =
+        (* the governor's decision log rides along as an extra top-level
+           section of the metrics envelope (schema allows it since v2) *)
+        match (Obs.Metrics.to_json reg, gov) with
+        | Obs.Json.Obj fields, Some g ->
+          Obs.Json.Obj (fields @ [ ("governor", Xmtsim.Governor.to_json g) ])
+        | j, _ -> j
+      in
+      Obs.Json.write_path ~pretty:true path j);
     (match (trace_json, tracer) with
     | Some path, Some tr ->
       Xmtsim.Machine.flush_tracer m;
@@ -221,7 +249,37 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
             ("sim_cycles", Obs.Tracer.A_int r.Xmtsim.Machine.cycles);
           ]
         "simulation-run";
-      Obs.Tracer.write_file tr path
+      Obs.Json.write_path path (Obs.Tracer.to_json tr)
+    | _ -> ());
+    (match (timeseries_json, series) with
+    | Some path, Some s ->
+      (* fold the execution profile into the timeseries so the window
+         has the machine-activity channels alongside the governor's *)
+      (match profiler with
+      | Some p ->
+        let chans =
+          List.map
+            (fun (name, help) -> Obs.Timeseries.channel s ~help name)
+            [
+              ("sim.profile.compute", "TCU compute instructions in window");
+              ("sim.profile.memory", "memory instructions in window");
+              ("sim.profile.memwait", "TCU-cycles stalled on memory in window");
+            ]
+        in
+        List.iter
+          (fun smp ->
+            let t = smp.Xmtsim.Plugin.ps_cycle in
+            List.iter2
+              (fun c v -> Obs.Timeseries.push c ~t (float_of_int v))
+              chans
+              [
+                smp.Xmtsim.Plugin.ps_compute;
+                smp.Xmtsim.Plugin.ps_memory;
+                smp.Xmtsim.Plugin.ps_memwait;
+              ])
+          (Xmtsim.Plugin.samples_in_order p)
+      | None -> ());
+      Obs.Json.write_path ~pretty:true path (Obs.Timeseries.to_json s)
     | _ -> ());
     List.iter
       (fun (name, report) -> Printf.printf "---- plugin %s ----\n%s\n" name report)
@@ -281,9 +339,24 @@ let cmd =
                ~doc:"Restore a checkpoint before the run.")
       $ Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
                ~doc:"Write all metrics (activity counters, cache hit rates, \
-                     host throughput) as JSON.")
+                     memory-request latency histograms, host throughput) as \
+                     JSON.  Use - for stdout.")
       $ Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
                ~doc:"Write a Chrome trace-event JSON span trace (open in \
-                     Perfetto or chrome://tracing)."))
+                     Perfetto or chrome://tracing).  Use - for stdout.  \
+                     Cycle-accurate mode only.")
+      $ Arg.(value & opt (some string) None & info [ "timeseries-json" ]
+               ~docv:"FILE"
+               ~doc:"Write the windowed telemetry timeseries (execution \
+                     profile and, with --governor, the governor channels) as \
+                     JSON.  Use - for stdout.  Cycle-accurate mode only.")
+      $ Arg.(value & flag & info [ "governor" ]
+               ~doc:"Enable the telemetry-driven DVFS governor: thresholds \
+                     on windowed ICN backlog and modeled temperature \
+                     throttle/restore the cluster and ICN clock domains; \
+                     decisions appear in --stats-json (governor section), \
+                     --trace-json and --timeseries-json.")
+      $ Arg.(value & opt int 2000 & info [ "governor-interval" ] ~docv:"CYCLES"
+               ~doc:"Governor sampling interval in cluster cycles."))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,127 @@
+(** Regression gate over [xmt.bench.v1] records.
+
+    The bench harness drops one [BENCH_<name>.json] record per
+    instrumented run; a committed baseline set plus this comparator turn
+    them into a CI gate.  Simulated [cycles] are deterministic per seed,
+    so they are held to a tight tolerance; host-throughput rates
+    ([events_per_sec]) vary with the machine, so they get a loose one and
+    only guard against collapse.
+
+    The logic is pure (records in, report out) so tests can drive it
+    without touching the filesystem; [bench/gate.exe] does the file IO. *)
+
+type tolerance = {
+  cycles_tol : float;  (** max allowed fractional cycle-count increase *)
+  rate_tol : float;  (** max allowed fractional events/sec decrease *)
+}
+
+(** 2% on deterministic cycle counts (an injected 10% regression trips
+    it with margin); 60% on host-dependent event rates. *)
+let default_tolerance = { cycles_tol = 0.02; rate_tol = 0.6 }
+
+type check = {
+  ck_bench : string;
+  ck_metric : string;
+  ck_baseline : float;
+  ck_fresh : float;
+  ck_delta_pct : float;  (** signed change, fresh vs baseline, percent *)
+  ck_ok : bool;
+}
+
+type report = {
+  checks : check list;
+  missing_in_fresh : string list;  (** baselined benches that did not run *)
+  new_in_fresh : string list;  (** fresh benches with no baseline yet *)
+  passed : bool;
+}
+
+let bench_name j =
+  match Json.member "bench" j with Some (Json.Str s) -> Some s | _ -> None
+
+let num_field k j = Option.bind (Json.member k j) Json.to_float
+
+let pct ~baseline ~fresh =
+  if baseline = 0.0 then 0.0 else (fresh -. baseline) /. baseline *. 100.0
+
+(* A metric where larger is worse (cycles): fail when fresh exceeds
+   baseline by more than tol. *)
+let check_upper ~tol ~bench ~metric ~baseline ~fresh =
+  {
+    ck_bench = bench;
+    ck_metric = metric;
+    ck_baseline = baseline;
+    ck_fresh = fresh;
+    ck_delta_pct = pct ~baseline ~fresh;
+    ck_ok = fresh <= baseline *. (1.0 +. tol);
+  }
+
+(* A metric where smaller is worse (events/sec): fail when fresh falls
+   below baseline by more than tol. *)
+let check_lower ~tol ~bench ~metric ~baseline ~fresh =
+  {
+    ck_bench = bench;
+    ck_metric = metric;
+    ck_baseline = baseline;
+    ck_fresh = fresh;
+    ck_delta_pct = pct ~baseline ~fresh;
+    ck_ok = fresh >= baseline *. (1.0 -. tol);
+  }
+
+(** Compare fresh records against baseline records (both [xmt.bench.v1]
+    objects).  Benches are matched by their ["bench"] field; a baselined
+    bench missing from [fresh] fails the gate (silent coverage loss),
+    a fresh bench with no baseline is reported but passes. *)
+let compare_records ?(tolerance = default_tolerance) ~baseline ~fresh () =
+  let index records =
+    List.filter_map (fun j -> Option.map (fun n -> (n, j)) (bench_name j)) records
+  in
+  let base_idx = index baseline and fresh_idx = index fresh in
+  let checks =
+    List.concat_map
+      (fun (name, bj) ->
+        match List.assoc_opt name fresh_idx with
+        | None -> []
+        | Some fj ->
+          let one mk metric tol =
+            match (num_field metric bj, num_field metric fj) with
+            | Some b, Some f ->
+              [ mk ~tol ~bench:name ~metric ~baseline:b ~fresh:f ]
+            | _ -> []
+          in
+          one check_upper "cycles" tolerance.cycles_tol
+          @ one check_lower "events_per_sec" tolerance.rate_tol)
+      base_idx
+  in
+  let missing_in_fresh =
+    List.filter_map
+      (fun (n, _) -> if List.mem_assoc n fresh_idx then None else Some n)
+      base_idx
+  in
+  let new_in_fresh =
+    List.filter_map
+      (fun (n, _) -> if List.mem_assoc n base_idx then None else Some n)
+      fresh_idx
+  in
+  {
+    checks;
+    missing_in_fresh;
+    new_in_fresh;
+    passed = missing_in_fresh = [] && List.for_all (fun c -> c.ck_ok) checks;
+  }
+
+let render r =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%-24s %-16s %14s %14s %8s  %s\n" "bench" "metric" "baseline" "fresh"
+    "delta" "verdict";
+  List.iter
+    (fun c ->
+      pf "%-24s %-16s %14.6g %14.6g %+7.1f%%  %s\n" c.ck_bench c.ck_metric
+        c.ck_baseline c.ck_fresh c.ck_delta_pct
+        (if c.ck_ok then "ok" else "REGRESSED"))
+    r.checks;
+  List.iter (fun n -> pf "MISSING: baselined bench %S produced no fresh record\n" n)
+    r.missing_in_fresh;
+  List.iter (fun n -> pf "note: bench %S has no baseline yet\n" n) r.new_in_fresh;
+  pf "gate: %s\n" (if r.passed then "PASS" else "FAIL");
+  Buffer.contents b

@@ -98,6 +98,15 @@ let write_file ?pretty path v =
       output_string oc (to_string ?pretty v);
       output_char oc '\n')
 
+(** Like {!write_file}, but path ["-"] writes to stdout — the convention
+    every [--*-json] CLI flag supports so runs can pipe into [jq]. *)
+let write_path ?pretty path v =
+  if path = "-" then begin
+    print_string (to_string ?pretty v);
+    print_newline ()
+  end
+  else write_file ?pretty path v
+
 (* ------------------------------------------------------------------ *)
 (* Parsing (strict enough for round-trip tests) *)
 

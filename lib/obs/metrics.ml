@@ -21,6 +21,8 @@ type histogram = {
   h_counts : int array;  (** length = buckets + 1 (overflow) *)
   mutable h_sum : float;
   mutable h_count : int;
+  mutable h_min : float;  (** +inf until the first observation *)
+  mutable h_max : float;  (** -inf until the first observation *)
 }
 
 type value =
@@ -77,6 +79,8 @@ let histogram t ?help ?labels ~buckets name =
         h_counts = Array.make (List.length buckets + 1) 0;
         h_sum = 0.0;
         h_count = 0;
+        h_min = infinity;
+        h_max = neg_infinity;
       }
   in
   match (register t ?help ?labels name mk).m_value with
@@ -100,7 +104,43 @@ let observe (h : histogram) v =
   done;
   h.h_counts.(!i) <- h.h_counts.(!i) + 1;
   h.h_sum <- h.h_sum +. v;
-  h.h_count <- h.h_count + 1
+  h.h_count <- h.h_count + 1;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+(** Estimated [q]-quantile (0 <= q <= 1) from the bucket counts, with
+    linear interpolation inside the containing bucket.  The first bucket
+    is bounded below by the observed minimum, the overflow bucket above by
+    the observed maximum, so estimates never leave the observed range.
+    Returns 0 for an empty histogram. *)
+let percentile (h : histogram) q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = q *. float_of_int h.h_count in
+    let nb = Array.length h.h_buckets in
+    let rec go i seen =
+      if i > nb then h.h_max
+      else
+        let c = h.h_counts.(i) in
+        if float_of_int (seen + c) >= rank || i = nb then begin
+          let lo =
+            if i = 0 then Float.max h.h_min neg_infinity
+            else h.h_buckets.(i - 1)
+          in
+          let hi = if i >= nb then h.h_max else Float.min h.h_buckets.(i) h.h_max in
+          let lo = Float.max lo h.h_min in
+          let hi = Float.max hi lo in
+          if c = 0 then hi
+          else
+            let frac = (rank -. float_of_int seen) /. float_of_int c in
+            let frac = Float.min 1.0 (Float.max 0.0 frac) in
+            lo +. ((hi -. lo) *. frac)
+        end
+        else go (i + 1) (seen + c)
+    in
+    go 0 0
+  end
 
 (* -------- reads -------- *)
 
@@ -140,7 +180,9 @@ let merge ~into:dst src =
         in
         Array.iteri (fun i c -> d.h_counts.(i) <- d.h_counts.(i) + c) h.h_counts;
         d.h_sum <- d.h_sum +. h.h_sum;
-        d.h_count <- d.h_count + h.h_count)
+        d.h_count <- d.h_count + h.h_count;
+        if h.h_min < d.h_min then d.h_min <- h.h_min;
+        if h.h_max > d.h_max then d.h_max <- h.h_max)
     (List.rev src.order)
 
 (* -------- JSON export -------- *)
@@ -160,18 +202,29 @@ let metric_to_json m =
     | Counter r -> [ ("value", Json.Int !r) ]
     | Gauge r -> [ ("value", Json.Float !r) ]
     | Histogram h ->
+      let finite_or_zero f = if Float.is_finite f then f else 0.0 in
       [
         ("buckets", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.h_buckets)));
         ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.h_counts)));
         ("sum", Json.Float h.h_sum);
         ("count", Json.Int h.h_count);
+        ("min", Json.Float (finite_or_zero h.h_min));
+        ("max", Json.Float (finite_or_zero h.h_max));
+        ("p50", Json.Float (percentile h 0.50));
+        ("p95", Json.Float (percentile h 0.95));
+        ("p99", Json.Float (percentile h 0.99));
       ]
   in
   Json.Obj (base @ labels @ help @ value)
 
+(* Histograms gained min/max/p50/p95/p99 fields (and the registry object
+   may carry extra top-level sections, e.g. "governor"), hence v2; see the
+   "Telemetry schemas" section of the README. *)
+let schema = "xmt.metrics.v2"
+
 let to_json t =
   Json.Obj
     [
-      ("schema", Json.Str "xmt.metrics.v1");
+      ("schema", Json.Str schema);
       ("metrics", Json.List (List.map metric_to_json (snapshot t)));
     ]

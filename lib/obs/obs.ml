@@ -11,8 +11,15 @@
     - {!Tracer}: span-based tracing in Chrome trace-event JSON
       ([xmtsim --trace-json]), covering simulated activity (spawn/join
       phases, per-TCU memory-wait spans, package hops) and host-side
-      activity (wall-clock per run) on separate process tracks. *)
+      activity (wall-clock per run) on separate process tracks.
+    - {!Timeseries}: fixed-window ring-buffer series with labeled
+      channels ([xmtsim --timeseries-json]) — the in-flight view that
+      activity plug-ins such as the DVFS governor consume during the run.
+    - {!Bench_gate}: the regression comparator over the bench harness's
+      [BENCH_*.json] records (driven by [bench/gate.exe] in CI). *)
 
 module Json = Json
 module Metrics = Metrics
 module Tracer = Tracer
+module Timeseries = Timeseries
+module Bench_gate = Bench_gate

@@ -1,0 +1,137 @@
+(** Windowed time-series telemetry: labeled channels of (time, value)
+    samples held in fixed-capacity ring buffers.
+
+    Where {!Metrics} answers "how much, in total, by the end of the run",
+    a timeseries answers "what was it doing around cycle N" while keeping
+    memory bounded: each channel retains only the most recent [window]
+    samples and counts what it dropped.  In-flight consumers (the DVFS
+    governor, activity plug-ins) read the retained window ({!mean},
+    {!last}, {!points}); [xmtsim --timeseries-json] serializes every
+    channel as an [xmt.timeseries.v1] record.
+
+    Channel names follow the {!Metrics} conventions ([sim.*] / [host.*],
+    labels discriminate instances of one quantity). *)
+
+type channel = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_help : string;
+  c_times : int array;
+  c_values : float array;
+  mutable c_next : int;  (** ring write position *)
+  mutable c_len : int;  (** live samples, <= window *)
+  mutable c_pushed : int;  (** total samples ever pushed *)
+}
+
+type t = {
+  window : int;
+  tbl : (string * (string * string) list, channel) Hashtbl.t;
+  mutable order : channel list;  (** registration order, reversed *)
+}
+
+let create ?(window = 1024) () =
+  if window <= 0 then invalid_arg "Timeseries.create: window must be positive";
+  { window; tbl = Hashtbl.create 16; order = [] }
+
+let window t = t.window
+
+let channel t ?(labels = []) ?(help = "") name =
+  let labels = List.sort compare labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        c_name = name;
+        c_labels = labels;
+        c_help = help;
+        c_times = Array.make t.window 0;
+        c_values = Array.make t.window 0.0;
+        c_next = 0;
+        c_len = 0;
+        c_pushed = 0;
+      }
+    in
+    Hashtbl.replace t.tbl key c;
+    t.order <- c :: t.order;
+    c
+
+let push c ~t v =
+  let n = Array.length c.c_times in
+  c.c_times.(c.c_next) <- t;
+  c.c_values.(c.c_next) <- v;
+  c.c_next <- (c.c_next + 1) mod n;
+  if c.c_len < n then c.c_len <- c.c_len + 1;
+  c.c_pushed <- c.c_pushed + 1
+
+let length c = c.c_len
+let pushed c = c.c_pushed
+let dropped c = c.c_pushed - c.c_len
+
+(** Retained samples, oldest first. *)
+let points c =
+  let n = Array.length c.c_times in
+  let start = (c.c_next - c.c_len + n) mod n in
+  List.init c.c_len (fun i ->
+      let j = (start + i) mod n in
+      (c.c_times.(j), c.c_values.(j)))
+
+let last c =
+  if c.c_len = 0 then None
+  else
+    let n = Array.length c.c_times in
+    let j = (c.c_next - 1 + n) mod n in
+    Some (c.c_times.(j), c.c_values.(j))
+
+(** Mean value over the retained window (0 when empty). *)
+let mean c =
+  if c.c_len = 0 then 0.0
+  else begin
+    let n = Array.length c.c_times in
+    let start = (c.c_next - c.c_len + n) mod n in
+    let sum = ref 0.0 in
+    for i = 0 to c.c_len - 1 do
+      sum := !sum +. c.c_values.((start + i) mod n)
+    done;
+    !sum /. float_of_int c.c_len
+  end
+
+let max_value c =
+  if c.c_len = 0 then 0.0
+  else
+    List.fold_left (fun acc (_, v) -> Float.max acc v) neg_infinity (points c)
+
+(** Channels sorted by (name, labels) for stable output. *)
+let channels t =
+  List.sort
+    (fun a b -> compare (a.c_name, a.c_labels) (b.c_name, b.c_labels))
+    t.order
+
+let channel_to_json c =
+  let labels =
+    match c.c_labels with
+    | [] -> []
+    | ls -> [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ls)) ]
+  in
+  let help = if c.c_help = "" then [] else [ ("help", Json.Str c.c_help) ] in
+  Json.Obj
+    ([ ("name", Json.Str c.c_name) ]
+    @ labels @ help
+    @ [
+        ("pushed", Json.Int c.c_pushed);
+        ("dropped", Json.Int (dropped c));
+        ( "points",
+          Json.List
+            (List.map
+               (fun (t, v) -> Json.List [ Json.Int t; Json.Float v ])
+               (points c)) );
+      ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "xmt.timeseries.v1");
+      ("window", Json.Int t.window);
+      ("series", Json.List (List.map channel_to_json (channels t)));
+    ]

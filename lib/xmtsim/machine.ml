@@ -15,14 +15,30 @@ type req =
   | Rstore of { cl : int; tcu : int; value : V.t; nb : bool }
   | Rpsm of { cl : int; tcu : int; inc : int; dst : int }
 
-type pkg = { addr : int; req : req }
+(* Lifecycle stamps for one request package (simulated time).  Written at
+   each station, read once at reply delivery to feed the per-(cluster,
+   module) latency histograms and (when a span tracer is attached) one
+   "mem-req" span per request. *)
+type lifecycle = {
+  mutable l_born : int;  (** enqueued into the cluster outbox *)
+  mutable l_icn_wait : int;  (** merge-contention delay (from icn_next_free) *)
+  mutable l_arrive : int;  (** dequeued into the cache module's input queue *)
+  mutable l_svc : int;  (** reply handed to the return ICN *)
+  mutable l_mod : int;  (** destination cache module *)
+  mutable l_hit : bool;
+}
 
-(* Replies travelling back module -> ICN -> cluster. *)
+type pkg = { addr : int; req : req; lc : lifecycle }
+
+(* Replies travelling back module -> ICN -> cluster; each carries its
+   request's lifecycle so delivery can close the loop. *)
 type reply =
   | Pload of { tcu : int; dst : dst; v : V.t; ro : bool; addr : int }
   | Ppref of { tcu : int; v : V.t; addr : int }
   | Pack of { tcu : int; nb : bool }
   | Ppsm of { tcu : int; dst : int; old : int }
+
+type reply_env = { rp : reply; r_lc : lifecycle }
 
 type tcu_state =
   | Tidle
@@ -51,7 +67,7 @@ type cluster = {
   mdu : int array;  (* busy-until times per shared unit *)
   fpu : int array;
   outbox : pkg Queue.t;
-  returns : reply Queue.t;
+  returns : reply_env Queue.t;
   rocache : Tags.t;
   mutable rr : int;
 }
@@ -206,6 +222,11 @@ let create ?(config = Config.fpga64) img =
   in
   let master = F.make_ctx () in
   master.F.pc <- img.Isa.Program.entry;
+  let stats = Stats.create () in
+  stats.Stats.req_lat <-
+    Some
+      (Stats.make_req_latency ~clusters:cfg.Config.num_clusters
+         ~modules:cfg.Config.num_cache_modules);
   {
     cfg;
     img;
@@ -216,7 +237,7 @@ let create ?(config = Config.fpga64) img =
     clk_dram = clk "dram" cfg.Config.dram_period;
     memory = Mem.load img;
     globals = Array.make Isa.Reg.num_globals 0;
-    stats = Stats.create ();
+    stats;
     out_buf = Buffer.create 256;
     clusters;
     modules;
@@ -309,6 +330,9 @@ let trace_tid_of_tcu tcu = tcu + 1
 let trace_tid_memory t =
   (t.cfg.Config.num_clusters * t.cfg.Config.tcus_per_cluster) + 1
 
+(* dedicated track for runtime-control (DVFS governor) decisions *)
+let trace_tid_governor t = trace_tid_memory t + 1
+
 let close_memwait_span t tr (u : tcu) =
   let now = Desim.Scheduler.now t.sched in
   Obs.Tracer.complete tr ~ts:u.mw_since ~dur:(now - u.mw_since)
@@ -326,6 +350,22 @@ let close_run_span t tr (u : tcu) =
    preserves same-source-same-destination FIFO ordering (memory model
    rule 1: static routing keeps per-pair order). *)
 
+(* Build a request package, stamping its birth (outbox-enqueue) time. *)
+let mk_pkg t addr req =
+  {
+    addr;
+    req;
+    lc =
+      {
+        l_born = Desim.Scheduler.now t.sched;
+        l_icn_wait = 0;
+        l_arrive = 0;
+        l_svc = 0;
+        l_mod = -1;
+        l_hit = false;
+      };
+  }
+
 let icn_send t ~cl pk =
   let m = hash_addr t.cfg pk.addr in
   let now = Desim.Scheduler.now t.sched in
@@ -337,21 +377,25 @@ let icn_send t ~cl pk =
   let arrival = max uncontended t.icn_next_free.(m).(side) in
   t.icn_next_free.(m).(side) <- arrival + 1;
   t.stats.Stats.icn_packets <- t.stats.Stats.icn_packets + 1;
+  pk.lc.l_mod <- m;
+  pk.lc.l_icn_wait <- arrival - uncontended;
   emit_pkg t ~stage:"icn-inject" ~kind:(pkg_kind pk.req) ~addr:pk.addr
     ~tcu:(pkg_tcu pk.req) ~m;
   Desim.Scheduler.schedule t.sched ~prio:Desim.Scheduler.prio_transfer
     ~delay:(arrival - now) (fun () ->
+      pk.lc.l_arrive <- Desim.Scheduler.now t.sched;
       emit_pkg t ~stage:"module-arrive" ~kind:(pkg_kind pk.req) ~addr:pk.addr
         ~tcu:(pkg_tcu pk.req) ~m;
       Queue.add pk t.modules.(m).inq)
 
-let icn_reply t ~mid ~cl rp =
+let icn_reply t ~mid ~cl renv =
   let delay =
     (t.cfg.Config.icn_latency * Desim.Clock.period t.clk_icn) + t.jitter.(cl).(mid)
   in
   t.stats.Stats.icn_packets <- t.stats.Stats.icn_packets + 1;
+  renv.r_lc.l_svc <- Desim.Scheduler.now t.sched;
   Desim.Scheduler.schedule t.sched ~prio:Desim.Scheduler.prio_transfer ~delay
-    (fun () -> Queue.add rp t.clusters.(cl).returns)
+    (fun () -> Queue.add renv t.clusters.(cl).returns)
 
 (* ------------------------------------------------------------------ *)
 (* Join logic *)
@@ -383,7 +427,7 @@ let service_pkg t (m : cache_module) pk =
   (* perform the functional memory effect now and produce the reply *)
   let reply rp ~extra_delay cl =
     Desim.Scheduler.schedule t.sched ~delay:extra_delay (fun () ->
-        icn_reply t ~mid:m.mid ~cl rp)
+        icn_reply t ~mid:m.mid ~cl { rp; r_lc = pk.lc })
   in
   let hit_lat = t.cfg.Config.cache_hit_latency * Desim.Clock.period t.clk_cache in
   match pk.req with
@@ -418,6 +462,7 @@ let module_tick t (m : cache_module) =
       let line = Tags.line_of m.tags pk.addr in
       if Tags.lookup m.tags pk.addr then begin
         t.stats.Stats.cache_hits <- t.stats.Stats.cache_hits + 1;
+        pk.lc.l_hit <- true;
         emit_pkg t ~stage:"cache-hit" ~kind:(pkg_kind pk.req) ~addr:pk.addr
           ~tcu:(pkg_tcu pk.req) ~m:m.mid;
         service_pkg t m pk
@@ -455,9 +500,42 @@ let reply_info = function
   | Pack { tcu; nb } -> ((if nb then "store-ack" else "store"), tcu, 0)
   | Ppsm { tcu; _ } -> ("psm", tcu, 0)
 
-let deliver_reply t (cl : cluster) rp =
+(* Close the request's lifecycle: feed the per-(cluster, module) latency
+   histograms and, when a span tracer is attached, emit one "mem-req"
+   span per request on the originating TCU's track covering its whole
+   outbox -> ICN -> module -> reply round trip. *)
+let observe_lifecycle t (cl : cluster) ~kind ~tcu ~addr (lc : lifecycle) =
+  let now = Desim.Scheduler.now t.sched in
+  (match t.stats.Stats.req_lat with
+  | None -> ()
+  | Some rl ->
+    let obs stage v =
+      Stats.observe_req rl stage ~cluster:cl.cid ~module_:lc.l_mod v
+    in
+    obs Stats.Licn_wait lc.l_icn_wait;
+    obs (if lc.l_hit then Stats.Lservice_hit else Stats.Lservice_miss)
+      (lc.l_svc - lc.l_arrive);
+    obs Stats.Lreply (now - lc.l_svc);
+    obs Stats.Ltotal (now - lc.l_born));
+  match t.otracer with
+  | None -> ()
+  | Some tr ->
+    let tid = if tcu >= 0 then trace_tid_of_tcu tcu else trace_tid_memory t in
+    Obs.Tracer.complete tr ~ts:lc.l_born ~dur:(now - lc.l_born) ~tid ~cat:"mem"
+      ~args:
+        [ ("kind", Obs.Tracer.A_str kind);
+          ("addr", Obs.Tracer.A_int addr);
+          ("module", Obs.Tracer.A_int lc.l_mod);
+          ("hit", Obs.Tracer.A_int (if lc.l_hit then 1 else 0));
+          ("icn_wait", Obs.Tracer.A_int lc.l_icn_wait);
+          ("service", Obs.Tracer.A_int (lc.l_svc - lc.l_arrive));
+          ("reply", Obs.Tracer.A_int (now - lc.l_svc)) ]
+      "mem-req"
+
+let deliver_reply t (cl : cluster) { rp; r_lc } =
   (let kind, tcu, addr = reply_info rp in
-   emit_pkg t ~stage:"reply" ~kind ~addr ~tcu ~m:(-1));
+   emit_pkg t ~stage:"reply" ~kind ~addr ~tcu ~m:(-1);
+   observe_lifecycle t cl ~kind ~tcu ~addr r_lc);
   match rp with
   | Pload { tcu; dst; v; ro; addr } ->
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
@@ -572,7 +650,7 @@ let tcu_issue t (cl : cluster) (u : tcu) =
         | Prefetch_buffer.Miss ->
           t.stats.Stats.prefetch_misses <- t.stats.Stats.prefetch_misses + 1;
           Queue.add
-            { addr; req = Rload { cl = cl.cid; tcu = u.tid; dst; ro } }
+            (mk_pkg t addr (Rload { cl = cl.cid; tcu = u.tid; dst; ro }))
             cl.outbox;
           u.st <- Tmemwait
       end
@@ -580,7 +658,7 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       (* rule 1 (same source, same destination order): the TCU's own store
          must not be shadowed by a stale prefetched value *)
       Prefetch_buffer.invalidate u.pbuf addr;
-      Queue.add { addr; req = Rstore { cl = cl.cid; tcu = u.tid; value; nb } } cl.outbox;
+      Queue.add (mk_pkg t addr (Rstore { cl = cl.cid; tcu = u.tid; value; nb })) cl.outbox;
       if nb then begin
         t.stats.Stats.nb_stores <- t.stats.Stats.nb_stores + 1;
         u.pending <- u.pending + 1;
@@ -588,12 +666,12 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       end
       else u.st <- Tmemwait
     | F.Psm { dst; addr; inc } ->
-      Queue.add { addr; req = Rpsm { cl = cl.cid; tcu = u.tid; inc; dst } } cl.outbox;
+      Queue.add (mk_pkg t addr (Rpsm { cl = cl.cid; tcu = u.tid; inc; dst })) cl.outbox;
       u.st <- Tmemwait
     | F.Prefetch { addr } ->
       t.stats.Stats.prefetch_issued <- t.stats.Stats.prefetch_issued + 1;
       if Prefetch_buffer.start u.pbuf addr then
-        Queue.add { addr; req = Rpref { cl = cl.cid; tcu = u.tid } } cl.outbox
+        Queue.add (mk_pkg t addr (Rpref { cl = cl.cid; tcu = u.tid })) cl.outbox
     | F.Ps { dst; g; inc } ->
       if inc <> 0 && inc <> 1 then
         fail "TCU %d: ps increment must be 0 or 1 (got %d)" u.tid inc;
@@ -831,6 +909,8 @@ let on_package t f = ignore (add_package_hook t f : unit -> unit)
 (* ------------------------------------------------------------------ *)
 (* Span tracer attachment *)
 
+let tracer t = t.otracer
+
 let attach_tracer t tr =
   t.otracer <- Some tr;
   Obs.Tracer.name_process tr ~pid:1 "xmtsim (ts = simulated time units)";
@@ -844,6 +924,7 @@ let attach_tracer t tr =
         cl.ctcus)
     t.clusters;
   Obs.Tracer.name_thread tr ~pid:1 ~tid:(trace_tid_memory t) "memory";
+  Obs.Tracer.name_thread tr ~pid:1 ~tid:(trace_tid_governor t) "governor";
   (* package hops as instant events on the originating TCU's track *)
   on_package t (fun ev ->
       let tid =
@@ -912,11 +993,19 @@ type snapshot = {
   s_pc : int;
   s_globals : int array;
   s_output : string;
+  (* telemetry state: restoring must keep post-restore histograms and
+     counters consistent with the pre-checkpoint run *)
+  s_stats : Stats.t;
+  s_icn_backlog : int array array;
+      (** icn_next_free relative to the checkpoint time (>= 0): residual
+          merge contention survives the save/restore boundary *)
+  s_cluster_instrs : int array;
 }
 
 let make_snapshot ~mem ~regs ~fregs ~pc ~globals ~output =
   { s_mem = mem; s_regs = regs; s_fregs = fregs; s_pc = pc; s_globals = globals;
-    s_output = output }
+    s_output = output; s_stats = Stats.create ();
+    s_icn_backlog = [||]; s_cluster_instrs = [||] }
 
 let quiescent t =
   (not t.spawn_active)
@@ -947,6 +1036,9 @@ let checkpoint t =
     s_pc = t.master.F.pc;
     s_globals = Array.copy t.globals;
     s_output = Buffer.contents t.out_buf;
+    s_stats = Stats.copy t.stats;
+    s_icn_backlog = icn_backlog t;
+    s_cluster_instrs = Array.copy t.cluster_instrs;
   }
 
 let restore t s =
@@ -960,7 +1052,31 @@ let restore t s =
   Buffer.add_string t.out_buf s.s_output;
   t.master_st <- Mrun;
   t.halted <- false;
-  Tags.invalidate_all t.master_cache
+  Tags.invalidate_all t.master_cache;
+  (* telemetry state: counters/histograms continue from the checkpoint;
+     residual ICN merge contention is re-anchored at the current time.
+     make_snapshot-produced snapshots (functional fast-forward) carry
+     empty arrays and leave the fresh machine's state as created. *)
+  Stats.blit ~src:s.s_stats ~dst:t.stats;
+  (match t.stats.Stats.req_lat with
+  | None ->
+    t.stats.Stats.req_lat <-
+      Some
+        (Stats.make_req_latency ~clusters:t.cfg.Config.num_clusters
+           ~modules:t.cfg.Config.num_cache_modules)
+  | Some _ -> ());
+  (let now = Desim.Scheduler.now t.sched in
+   Array.iteri
+     (fun m sides ->
+       Array.iteri
+         (fun side rel ->
+           if m < Array.length t.icn_next_free
+              && side < Array.length t.icn_next_free.(m)
+           then t.icn_next_free.(m).(side) <- now + rel)
+         sides)
+     s.s_icn_backlog);
+  Array.blit s.s_cluster_instrs 0 t.cluster_instrs 0
+    (min (Array.length s.s_cluster_instrs) (Array.length t.cluster_instrs))
 
 let snapshot_to_file s path =
   let oc = open_out_bin path in

@@ -94,8 +94,17 @@ val add_package_hook : t -> (package_event -> unit) -> unit -> unit
     (one thread per TCU, tid = TCU id + 1, the Master TCU on tid 0):
     spawn/join phases as nested B/E spans, per-TCU memory-wait and
     thread-run intervals as complete (X) spans, package hops as instant
-    events.  Timestamps are simulated time units. *)
+    events, and one "mem-req" span per completed memory request covering
+    its outbox -> ICN -> module -> reply round trip (with per-stage
+    durations in the span args).  Timestamps are simulated time units. *)
 val attach_tracer : t -> Obs.Tracer.t -> unit
+
+(** The attached span tracer, if any — activity plug-ins (e.g. the DVFS
+    governor) use it to make their decisions visible in the trace. *)
+val tracer : t -> Obs.Tracer.t option
+
+(** Trace thread id reserved for runtime-control (governor) events. *)
+val trace_tid_governor : t -> int
 
 (** Close spans still open (waiting TCUs, an active spawn) at the current
     simulated time.  Call once after the final [run], before writing the

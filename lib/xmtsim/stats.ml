@@ -6,6 +6,105 @@
     Both can be read during the run (through the activity plug-in
     interface) and are reported at the end of the simulation. *)
 
+(* ------------------------------------------------------------------ *)
+(* Memory-request lifecycle latencies (per (cluster, module) stage
+   histograms).  The machine stamps every package at issue, ICN
+   injection, module arrival, service completion and reply delivery;
+   the deltas land here.  Integer cycle buckets keep the hot path to a
+   couple of array writes per completed request. *)
+
+type lat_hist = {
+  lh_counts : int array;  (** per {!lat_bounds} bucket + overflow *)
+  mutable lh_sum : int;
+  mutable lh_count : int;
+  mutable lh_min : int;
+  mutable lh_max : int;
+}
+
+(** Upper bounds, in cycles, shared by every latency histogram. *)
+let lat_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
+
+type lat_stage = Licn_wait | Lservice_hit | Lservice_miss | Lreply | Ltotal
+
+let all_lat_stages = [ Licn_wait; Lservice_hit; Lservice_miss; Lreply; Ltotal ]
+
+let lat_stage_name = function
+  | Licn_wait -> "icn_wait"
+  | Lservice_hit -> "service_hit"
+  | Lservice_miss -> "service_miss"
+  | Lreply -> "reply"
+  | Ltotal -> "total"
+
+type req_latency = {
+  rl_clusters : int;
+  rl_modules : int;
+  (* one histogram per (stage, cluster, module); index cl * modules + m *)
+  rl_icn_wait : lat_hist array;
+  rl_service_hit : lat_hist array;
+  rl_service_miss : lat_hist array;
+  rl_reply : lat_hist array;
+  rl_total : lat_hist array;
+}
+
+let make_lat_hist () =
+  {
+    lh_counts = Array.make (Array.length lat_bounds + 1) 0;
+    lh_sum = 0;
+    lh_count = 0;
+    lh_min = max_int;
+    lh_max = min_int;
+  }
+
+let make_req_latency ~clusters ~modules =
+  let mk () = Array.init (clusters * modules) (fun _ -> make_lat_hist ()) in
+  {
+    rl_clusters = clusters;
+    rl_modules = modules;
+    rl_icn_wait = mk ();
+    rl_service_hit = mk ();
+    rl_service_miss = mk ();
+    rl_reply = mk ();
+    rl_total = mk ();
+  }
+
+let lat_stage_hists rl = function
+  | Licn_wait -> rl.rl_icn_wait
+  | Lservice_hit -> rl.rl_service_hit
+  | Lservice_miss -> rl.rl_service_miss
+  | Lreply -> rl.rl_reply
+  | Ltotal -> rl.rl_total
+
+let observe_lat (h : lat_hist) v =
+  let v = max 0 v in
+  let nb = Array.length lat_bounds in
+  let i = ref 0 in
+  while !i < nb && v > lat_bounds.(!i) do
+    incr i
+  done;
+  h.lh_counts.(!i) <- h.lh_counts.(!i) + 1;
+  h.lh_sum <- h.lh_sum + v;
+  h.lh_count <- h.lh_count + 1;
+  if v < h.lh_min then h.lh_min <- v;
+  if v > h.lh_max then h.lh_max <- v
+
+let observe_req rl stage ~cluster ~module_ v =
+  if cluster >= 0 && cluster < rl.rl_clusters && module_ >= 0
+     && module_ < rl.rl_modules
+  then observe_lat (lat_stage_hists rl stage).((cluster * rl.rl_modules) + module_) v
+
+let copy_lat_hist h =
+  { h with lh_counts = Array.copy h.lh_counts }
+
+let copy_req_latency rl =
+  {
+    rl with
+    rl_icn_wait = Array.map copy_lat_hist rl.rl_icn_wait;
+    rl_service_hit = Array.map copy_lat_hist rl.rl_service_hit;
+    rl_service_miss = Array.map copy_lat_hist rl.rl_service_miss;
+    rl_reply = Array.map copy_lat_hist rl.rl_reply;
+    rl_total = Array.map copy_lat_hist rl.rl_total;
+  }
+
 type t = {
   mutable cycles : int;  (** simulated cycles at program completion *)
   instr_by_class : int array;  (** indexed by Instr.fu_class order *)
@@ -37,6 +136,9 @@ type t = {
   mutable virtual_threads : int;
   mutable nb_stores : int;
   mutable fences : int;
+  mutable req_lat : req_latency option;
+      (** per-(cluster, module) request-lifecycle latency histograms; the
+          machine installs one sized to its configuration at creation *)
 }
 
 let fu_index c =
@@ -76,7 +178,52 @@ let create () =
     virtual_threads = 0;
     nb_stores = 0;
     fences = 0;
+    req_lat = None;
   }
+
+(** Deep copy — checkpoint payload. *)
+let copy t =
+  {
+    t with
+    instr_by_class = Array.copy t.instr_by_class;
+    req_lat = Option.map copy_req_latency t.req_lat;
+  }
+
+(** Overwrite [dst] in place with [src]'s counters (restore path: the
+    machine and any attached plug-in keep their reference to the same
+    record, so the copy must happen field-by-field, not by swapping the
+    record). *)
+let blit ~src ~dst =
+  Array.blit src.instr_by_class 0 dst.instr_by_class 0
+    (Array.length src.instr_by_class);
+  dst.cycles <- src.cycles;
+  dst.master_instrs <- src.master_instrs;
+  dst.tcu_instrs <- src.tcu_instrs;
+  dst.tcu_busy_cycles <- src.tcu_busy_cycles;
+  dst.tcu_memwait_cycles <- src.tcu_memwait_cycles;
+  dst.tcu_fuwait_cycles <- src.tcu_fuwait_cycles;
+  dst.tcu_pswait_cycles <- src.tcu_pswait_cycles;
+  dst.icn_packets <- src.icn_packets;
+  dst.icn_occupancy <- src.icn_occupancy;
+  dst.cache_hits <- src.cache_hits;
+  dst.cache_misses <- src.cache_misses;
+  dst.rocache_hits <- src.rocache_hits;
+  dst.rocache_misses <- src.rocache_misses;
+  dst.master_cache_hits <- src.master_cache_hits;
+  dst.master_cache_misses <- src.master_cache_misses;
+  dst.dram_reads <- src.dram_reads;
+  dst.prefetch_hits <- src.prefetch_hits;
+  dst.prefetch_misses <- src.prefetch_misses;
+  dst.prefetch_late <- src.prefetch_late;
+  dst.prefetch_issued <- src.prefetch_issued;
+  dst.prefetch_evicted <- src.prefetch_evicted;
+  dst.ps_ops <- src.ps_ops;
+  dst.psm_ops <- src.psm_ops;
+  dst.spawns <- src.spawns;
+  dst.virtual_threads <- src.virtual_threads;
+  dst.nb_stores <- src.nb_stores;
+  dst.fences <- src.fences;
+  dst.req_lat <- Option.map copy_req_latency src.req_lat
 
 let count_instr t ~master ins =
   t.instr_by_class.(fu_index (Isa.Instr.fu_class_of ins)) <-
@@ -94,7 +241,7 @@ let by_class t =
 (** Export every counter into a metrics registry (call once per fresh
     registry; counters accumulate).  Metric names follow the [sim.*]
     convention documented in the README's Observability section. *)
-let export t (reg : Obs.Metrics.t) =
+let rec export t (reg : Obs.Metrics.t) =
   let c ?labels name v = Obs.Metrics.inc ~by:v (Obs.Metrics.counter reg ?labels name) in
   let g ?labels name v = Obs.Metrics.set (Obs.Metrics.gauge reg ?labels name) v in
   c "sim.cycles" t.cycles;
@@ -130,7 +277,48 @@ let export t (reg : Obs.Metrics.t) =
   c "sim.ps_ops" t.ps_ops;
   c "sim.psm_ops" t.psm_ops;
   c "sim.nb_stores" t.nb_stores;
-  c "sim.fences" t.fences
+  c "sim.fences" t.fences;
+  export_req_lat t reg
+
+(* Memory-request lifecycle latencies as registry histograms:
+   [sim.mem.request_latency{stage, cluster, module}] for every populated
+   (cluster, module) pair plus a per-stage aggregate with only the
+   [stage] label.  Percentiles come out in the JSON export for free. *)
+and export_req_lat t reg =
+  match t.req_lat with
+  | None -> ()
+  | Some rl ->
+    let buckets = Array.to_list (Array.map float_of_int lat_bounds) in
+    let help = "memory-request latency in cycles, by lifecycle stage" in
+    let add (src : lat_hist) labels =
+      let dst =
+        Obs.Metrics.histogram reg ~help ~labels ~buckets "sim.mem.request_latency"
+      in
+      Array.iteri
+        (fun i n ->
+          dst.Obs.Metrics.h_counts.(i) <- dst.Obs.Metrics.h_counts.(i) + n)
+        src.lh_counts;
+      dst.Obs.Metrics.h_sum <- dst.Obs.Metrics.h_sum +. float_of_int src.lh_sum;
+      dst.Obs.Metrics.h_count <- dst.Obs.Metrics.h_count + src.lh_count;
+      let mn = float_of_int src.lh_min and mx = float_of_int src.lh_max in
+      if mn < dst.Obs.Metrics.h_min then dst.Obs.Metrics.h_min <- mn;
+      if mx > dst.Obs.Metrics.h_max then dst.Obs.Metrics.h_max <- mx
+    in
+    List.iter
+      (fun stage ->
+        let name = lat_stage_name stage in
+        let hists = lat_stage_hists rl stage in
+        Array.iteri
+          (fun idx h ->
+            if h.lh_count > 0 then begin
+              let cl = idx / rl.rl_modules and m = idx mod rl.rl_modules in
+              add h
+                [ ("stage", name); ("cluster", string_of_int cl);
+                  ("module", string_of_int m) ];
+              add h [ ("stage", name) ]
+            end)
+          hists)
+      all_lat_stages
 
 let to_string t =
   let b = Buffer.create 512 in
@@ -152,4 +340,15 @@ let to_string t =
     t.prefetch_hits t.prefetch_late t.prefetch_evicted;
   pf "ps/psm ops:        %d/%d\n" t.ps_ops t.psm_ops;
   pf "nb stores:         %d  fences: %d\n" t.nb_stores t.fences;
+  (match t.req_lat with
+  | None -> ()
+  | Some rl ->
+    let sum, cnt =
+      Array.fold_left
+        (fun (s, c) h -> (s + h.lh_sum, c + h.lh_count))
+        (0, 0) rl.rl_total
+    in
+    if cnt > 0 then
+      pf "mem round-trip:    %d requests, mean %.1f cycles\n" cnt
+        (float_of_int sum /. float_of_int cnt));
   Buffer.contents b

@@ -26,3 +26,4 @@ module Trace = Trace
 module Power = Power
 module Thermal = Thermal
 module Floorplan = Floorplan
+module Governor = Governor

@@ -1,0 +1,123 @@
+(** End-to-end tests of the installed CLI surfaces: flag validation and
+    the [-] (stdout) convention of the JSON sinks.  These spawn the real
+    executables, so they cover the argument wiring the library-level
+    tests cannot. *)
+
+module J = Obs.Json
+
+(* resolve the binaries relative to this test executable so the tests
+   work both under `dune runtest` (cwd = _build/default/test) and
+   `dune exec` (cwd = project root) *)
+let bin name =
+  Filename.concat (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name (Filename.concat "bin" name))
+
+let xmtsim = bin "xmtsim_cli.exe"
+let xmtcc = bin "xmtcc.exe"
+
+(* a program with no program output, so stdout can carry pure JSON *)
+let quiet_src = "int A[8]; int main(void) { spawn(0, 7) { A[$] = $; } return 0; }"
+
+let with_src f =
+  let path = Filename.temp_file "xmtcli" ".c" in
+  let oc = open_out path in
+  output_string oc quiet_src;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(** Run [argv], returning (exit code, stdout, stderr). *)
+let run_cmd args =
+  let out = Filename.temp_file "xmtcli" ".out"
+  and err = Filename.temp_file "xmtcli" ".err" in
+  let cmd =
+    Printf.sprintf "%s > %s 2> %s"
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let read p =
+    let ic = open_in p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic; Sys.remove p)
+      (fun () -> In_channel.input_all ic)
+  in
+  (code, read out, read err)
+
+let functional_trace_json_rejected () =
+  with_src (fun src ->
+      let code, _, err = run_cmd [ xmtsim; src; "--functional"; "--trace-json"; "t.json" ] in
+      Tu.check_int "nonzero exit" 2 code;
+      Tu.check_bool "explains the fix" true
+        (let has needle hay =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+           go 0
+         in
+         has "cycle-accurate" err && has "--functional" err);
+      Tu.check_bool "no file written" false (Sys.file_exists "t.json");
+      (* same contract for the other cycle-level sinks *)
+      let code, _, _ =
+        run_cmd [ xmtsim; src; "--functional"; "--timeseries-json"; "t.json" ]
+      in
+      Tu.check_int "timeseries rejected" 2 code;
+      let code, _, _ = run_cmd [ xmtsim; src; "--functional"; "--governor" ] in
+      Tu.check_int "governor rejected" 2 code)
+
+let stats_json_to_stdout () =
+  with_src (fun src ->
+      let code, out, _ = run_cmd [ xmtsim; src; "--stats-json"; "-"; "--governor" ] in
+      Tu.check_int "exit 0" 0 code;
+      let j = J.of_string out in
+      Tu.check_bool "schema v2" true
+        (J.member "schema" j = Some (J.Str "xmt.metrics.v2"));
+      Tu.check_bool "has metrics" true
+        (match J.member "metrics" j with Some (J.List (_ :: _)) -> true | _ -> false);
+      Tu.check_bool "governor section rides along" true
+        (match J.member "governor" j with
+        | Some (J.Obj fields) -> List.mem_assoc "decisions" fields
+        | _ -> false))
+
+let trace_and_timeseries_to_stdout () =
+  with_src (fun src ->
+      let code, out, _ = run_cmd [ xmtsim; src; "--trace-json"; "-" ] in
+      Tu.check_int "trace exit 0" 0 code;
+      Tu.check_bool "trace is a json array" true
+        (match J.of_string out with J.List (_ :: _) -> true | _ -> false);
+      let code, out, _ = run_cmd [ xmtsim; src; "--timeseries-json"; "-" ] in
+      Tu.check_int "timeseries exit 0" 0 code;
+      let j = J.of_string out in
+      Tu.check_bool "timeseries schema" true
+        (J.member "schema" j = Some (J.Str "xmt.timeseries.v1")))
+
+let timings_json_to_stdout () =
+  with_src (fun src ->
+      let code, out, _ = run_cmd [ xmtcc; src; "--timings-json"; "-" ] in
+      Tu.check_int "exit 0" 0 code;
+      let j = J.of_string out in
+      Tu.check_bool "timings schema" true
+        (J.member "schema" j = Some (J.Str "xmt.timings.v1")))
+
+let functional_stats_json_still_works () =
+  (* stats-json stays available in functional mode (envelope with the
+     functional counters), including to stdout *)
+  with_src (fun src ->
+      let code, out, _ =
+        run_cmd [ xmtsim; src; "--functional"; "--stats-json"; "-" ]
+      in
+      Tu.check_int "exit 0" 0 code;
+      let j = J.of_string out in
+      Tu.check_bool "schema v2" true
+        (J.member "schema" j = Some (J.Str "xmt.metrics.v2")))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "json sinks",
+        [
+          Tu.tc "functional rejects cycle-level sinks" functional_trace_json_rejected;
+          Tu.tc "stats-json to stdout (+governor)" stats_json_to_stdout;
+          Tu.tc "trace/timeseries to stdout" trace_and_timeseries_to_stdout;
+          Tu.tc "timings-json to stdout" timings_json_to_stdout;
+          Tu.tc "functional stats-json works" functional_stats_json_still_works;
+        ] );
+    ]

@@ -91,13 +91,141 @@ let registry_json () =
   M.observe (M.histogram reg ~buckets:[ 10.0 ] "h") 3.0;
   let j = J.of_string (J.to_string (M.to_json reg)) in
   Tu.check_bool "schema" true
-    (J.member "schema" j = Some (J.Str "xmt.metrics.v1"));
+    (J.member "schema" j = Some (J.Str "xmt.metrics.v2"));
   let metrics = Option.get (J.to_list (Option.get (J.member "metrics" j))) in
   Tu.check_int "three metrics" 3 (List.length metrics);
   let c = List.find (fun m -> J.member "name" m = Some (J.Str "c")) metrics in
   Tu.check_bool "counter value" true (J.member "value" c = Some (J.Int 9));
   Tu.check_bool "labels survive" true
-    (J.member "labels" c = Some (J.Obj [ ("k", J.Str "v") ]))
+    (J.member "labels" c = Some (J.Obj [ ("k", J.Str "v") ]));
+  (* v2: histograms carry min/max and percentile estimates *)
+  let h = List.find (fun m -> J.member "name" m = Some (J.Str "h")) metrics in
+  List.iter
+    (fun k ->
+      Tu.check_bool (k ^ " present") true (J.member k h = Some (J.Float 3.0)))
+    [ "min"; "max"; "p50"; "p95"; "p99" ]
+
+let histogram_percentiles () =
+  let reg = M.create () in
+  let h = M.histogram reg ~buckets:[ 1.0; 2.0; 5.0; 10.0 ] "lat" in
+  Tu.check_bool "empty -> 0" true (M.percentile h 0.95 = 0.0);
+  (* all mass on one value: every percentile is clamped to it *)
+  for _ = 1 to 10 do M.observe h 4.0 done;
+  List.iter
+    (fun q ->
+      Tu.check_bool (Printf.sprintf "p%.0f exact" (q *. 100.)) true
+        (M.percentile h q = 4.0))
+    [ 0.5; 0.95; 0.99 ];
+  (* spread mass: estimates are monotone and bounded by observed range *)
+  let h2 = M.histogram reg ~buckets:[ 1.0; 2.0; 5.0; 10.0 ] "lat2" in
+  List.iter (M.observe h2) [ 0.5; 0.5; 1.5; 1.5; 3.0; 4.0; 8.0; 9.0; 30.0 ];
+  let p50 = M.percentile h2 0.5
+  and p95 = M.percentile h2 0.95
+  and p99 = M.percentile h2 0.99 in
+  Tu.check_bool "monotone" true (p50 <= p95 && p95 <= p99);
+  Tu.check_bool "bounded below" true (p50 >= 0.5);
+  Tu.check_bool "bounded above by max" true (p99 <= 30.0);
+  Tu.check_bool "p50 in the middle buckets" true (p50 >= 1.0 && p50 <= 5.0);
+  (* overflow-bucket estimate clamps to the observed max, not infinity *)
+  Tu.check_bool "p99 reaches overflow" true (p99 > 9.0)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries ring buffers *)
+
+let timeseries_window () =
+  let ts = Obs.Timeseries.create ~window:4 () in
+  let c = Obs.Timeseries.channel ts ~help:"h" "x" in
+  for i = 1 to 10 do
+    Obs.Timeseries.push c ~t:(i * 100) (float_of_int i)
+  done;
+  Tu.check_int "length capped" 4 (Obs.Timeseries.length c);
+  Tu.check_int "pushed" 10 (Obs.Timeseries.pushed c);
+  Tu.check_int "dropped" 6 (Obs.Timeseries.dropped c);
+  Tu.check_bool "points oldest first" true
+    (Obs.Timeseries.points c = [ (700, 7.0); (800, 8.0); (900, 9.0); (1000, 10.0) ]);
+  Tu.check_bool "last" true (Obs.Timeseries.last c = Some (1000, 10.0));
+  Tu.check_bool "mean over window" true (Obs.Timeseries.mean c = 8.5);
+  Tu.check_bool "max over window" true (Obs.Timeseries.max_value c = 10.0);
+  (* re-registering the same (name, labels) returns the same channel *)
+  let c' = Obs.Timeseries.channel ts "x" in
+  Tu.check_int "same channel" 4 (Obs.Timeseries.length c');
+  let cl = Obs.Timeseries.channel ts ~labels:[ ("cl", "1") ] "x" in
+  Tu.check_int "labelled channel distinct" 0 (Obs.Timeseries.length cl)
+
+let timeseries_json () =
+  let ts = Obs.Timeseries.create ~window:8 () in
+  let c = Obs.Timeseries.channel ts ~labels:[ ("cl", "0") ] ~help:"temp" "t" in
+  Obs.Timeseries.push c ~t:5 1.5;
+  Obs.Timeseries.push c ~t:9 2.5;
+  let j = J.of_string (J.to_string (Obs.Timeseries.to_json ts)) in
+  Tu.check_bool "schema" true
+    (J.member "schema" j = Some (J.Str "xmt.timeseries.v1"));
+  Tu.check_bool "window" true (J.member "window" j = Some (J.Int 8));
+  match J.member "series" j with
+  | Some (J.List [ s ]) ->
+    Tu.check_bool "name" true (J.member "name" s = Some (J.Str "t"));
+    Tu.check_bool "labels" true
+      (J.member "labels" s = Some (J.Obj [ ("cl", J.Str "0") ]));
+    Tu.check_bool "points" true
+      (J.member "points" s
+      = Some
+          (J.List
+             [
+               J.List [ J.Int 5; J.Float 1.5 ]; J.List [ J.Int 9; J.Float 2.5 ];
+             ]))
+  | _ -> Alcotest.fail "expected one series"
+
+(* ------------------------------------------------------------------ *)
+(* Bench regression gate *)
+
+let bench_record ~name ~cycles ~rate =
+  J.Obj
+    [
+      ("schema", J.Str "xmt.bench.v1");
+      ("bench", J.Str name);
+      ("cycles", J.Int cycles);
+      ("events_per_sec", J.Float rate);
+    ]
+
+let gate_pass_and_fail () =
+  let baseline =
+    [ bench_record ~name:"a" ~cycles:10000 ~rate:1e6;
+      bench_record ~name:"b" ~cycles:20000 ~rate:2e6 ]
+  in
+  (* identical records pass *)
+  let r = Obs.Bench_gate.compare_records ~baseline ~fresh:baseline () in
+  Tu.check_bool "self passes" true r.Obs.Bench_gate.passed;
+  Tu.check_int "four checks" 4 (List.length r.Obs.Bench_gate.checks);
+  (* a >10% cycle regression on one bench fails the gate *)
+  let fresh =
+    [ bench_record ~name:"a" ~cycles:11200 ~rate:1e6;
+      bench_record ~name:"b" ~cycles:20000 ~rate:2e6 ]
+  in
+  let r = Obs.Bench_gate.compare_records ~baseline ~fresh () in
+  Tu.check_bool "regression fails" false r.Obs.Bench_gate.passed;
+  Tu.check_int "one failed check" 1
+    (List.length
+       (List.filter (fun c -> not c.Obs.Bench_gate.ck_ok) r.Obs.Bench_gate.checks));
+  Tu.check_bool "render says FAIL" true
+    (let s = Obs.Bench_gate.render r in
+     List.exists (fun l -> l = "gate: FAIL")
+       (String.split_on_char '\n' s));
+  (* small deterministic improvements and host-rate noise pass *)
+  let fresh =
+    [ bench_record ~name:"a" ~cycles:9900 ~rate:0.7e6;
+      bench_record ~name:"b" ~cycles:20100 ~rate:2.4e6 ]
+  in
+  Tu.check_bool "noise passes" true
+    (Obs.Bench_gate.compare_records ~baseline ~fresh ()).Obs.Bench_gate.passed
+
+let gate_missing_and_new () =
+  let baseline = [ bench_record ~name:"a" ~cycles:100 ~rate:1.0 ] in
+  let fresh = [ bench_record ~name:"b" ~cycles:100 ~rate:1.0 ] in
+  let r = Obs.Bench_gate.compare_records ~baseline ~fresh () in
+  (* silently dropping a baselined bench fails; a new bench is only noted *)
+  Tu.check_bool "missing fails" false r.Obs.Bench_gate.passed;
+  Tu.check_bool "missing listed" true (r.Obs.Bench_gate.missing_in_fresh = [ "a" ]);
+  Tu.check_bool "new listed" true (r.Obs.Bench_gate.new_in_fresh = [ "b" ])
 
 (* ------------------------------------------------------------------ *)
 (* Tracer: golden structural properties of the emitted trace *)
@@ -202,6 +330,65 @@ let stats_export_e2e () =
   Tu.check_bool "icn packets counted" true
     (Option.get (value_of "sim.icn.packets") > 0)
 
+let latency_histograms_e2e () =
+  (* the memory-request lifecycle shows up as per-(cluster, module)
+     latency histograms with percentile estimates in the v2 export *)
+  let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 3) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let r = Core.Toolchain.run_cycle ~config:Xmtsim.Config.tiny compiled in
+  let reg = M.create () in
+  Xmtsim.Stats.export r.Core.Toolchain.stats reg;
+  let j = J.of_string (J.to_string (M.to_json reg)) in
+  let metrics = Option.get (J.to_list (Option.get (J.member "metrics" j))) in
+  let lat =
+    List.filter
+      (fun m -> J.member "name" m = Some (J.Str "sim.mem.request_latency"))
+      metrics
+  in
+  Tu.check_bool "has latency histograms" true (lat <> []);
+  let labelled =
+    List.filter
+      (fun m ->
+        match J.member "labels" m with
+        | Some (J.Obj fields) ->
+          List.mem_assoc "cluster" fields && List.mem_assoc "module" fields
+        | _ -> false)
+      lat
+  in
+  Tu.check_bool "per-(cluster,module) series" true (labelled <> []);
+  (* every lifecycle stage has an aggregate series, and totals observed
+     requests with sane percentile fields *)
+  let stage_of m =
+    match J.member "labels" m with
+    | Some (J.Obj fields) -> (
+      match List.assoc_opt "stage" fields with Some (J.Str s) -> Some s | _ -> None)
+    | _ -> None
+  in
+  let stages = List.filter_map stage_of lat in
+  List.iter
+    (fun s -> Tu.check_bool ("stage " ^ s) true (List.mem s stages))
+    [ "icn_wait"; "service_hit"; "reply"; "total" ];
+  let total_agg =
+    List.find
+      (fun m ->
+        stage_of m = Some "total"
+        &&
+        match J.member "labels" m with
+        | Some (J.Obj fields) -> not (List.mem_assoc "cluster" fields)
+        | _ -> false)
+      lat
+  in
+  Tu.check_bool "total count > 0" true
+    (match J.member "count" total_agg with Some (J.Int n) -> n > 0 | _ -> false);
+  let num k =
+    Option.get (J.to_float (Option.get (J.member k total_agg)))
+  in
+  Tu.check_bool "round trips take cycles" true (num "max" >= 1.0);
+  Tu.check_bool "percentiles ordered" true
+    (num "p50" <= num "p95" && num "p95" <= num "p99");
+  Tu.check_bool "percentiles within range" true
+    (num "p50" >= num "min" && num "p99" <= num "max")
+
 let machine_trace_e2e () =
   let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 1) ] in
   let compiled = Core.Toolchain.compile ~memmap src in
@@ -282,12 +469,24 @@ let () =
           Tu.tc "counters/gauges" registry_counters_gauges;
           Tu.tc "merge" registry_merge;
           Tu.tc "histogram bucketing" histogram_bucketing;
+          Tu.tc "histogram percentiles" histogram_percentiles;
           Tu.tc "json export" registry_json;
+        ] );
+      ( "timeseries",
+        [
+          Tu.tc "ring window" timeseries_window;
+          Tu.tc "json export" timeseries_json;
+        ] );
+      ( "bench gate",
+        [
+          Tu.tc "pass/fail" gate_pass_and_fail;
+          Tu.tc "missing/new benches" gate_missing_and_new;
         ] );
       ("tracer", [ Tu.tc "golden chrome-trace" tracer_golden ]);
       ( "wiring",
         [
           Tu.tc "stats export e2e" stats_export_e2e;
+          Tu.tc "latency histograms e2e" latency_histograms_e2e;
           Tu.tc "machine trace e2e" machine_trace_e2e;
           Tu.tc "profiler order + json" profiler_order_and_json;
           Tu.tc "trace limit detaches" trace_limit_detaches;

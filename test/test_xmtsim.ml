@@ -592,6 +592,149 @@ let checkpoint_file_roundtrip () =
   M.restore m2 snap2;
   Tu.check_string "ran from file snapshot" "9" (M.run m2).M.output
 
+let stats_json stats =
+  let reg = Obs.Metrics.create () in
+  Xmtsim.Stats.export stats reg;
+  Obs.Json.to_string (Obs.Metrics.to_json reg)
+
+let checkpoint_preserves_telemetry () =
+  (* a mid-run checkpoint must carry the accumulated Stats (counters and
+     latency histograms) and the ICN contention state across the file
+     round trip, so a resumed run reports the same telemetry as a
+     straight one *)
+  let src = {|
+int A[128];
+int total = 0;
+int main(void) {
+  int r;
+  for (r = 0; r < 6; r++) {
+    spawn(0, 127) {
+      int v = A[$] + r;
+      psm(v, total);
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|} in
+  let compiled = Core.Toolchain.compile src in
+  let straight = Core.Toolchain.run_cycle ~config:C.tiny compiled in
+  let m1 = Core.Toolchain.machine ~config:C.tiny compiled in
+  ignore (M.run ~max_cycles:(straight.Core.Toolchain.cycles / 2) m1);
+  M.run_to_quiescent m1;
+  let path = Filename.temp_file "xmtsnap" ".bin" in
+  M.snapshot_to_file (M.checkpoint m1) path;
+  let snap = M.snapshot_of_file path in
+  Sys.remove path;
+  let m2 = Core.Toolchain.machine ~config:C.tiny compiled in
+  M.restore m2 snap;
+  (* restored telemetry is byte-identical: every Stats counter and every
+     latency histogram bucket survived the Marshal round trip *)
+  Tu.check_string "stats export equal after restore" (stats_json (M.stats m1))
+    (stats_json (M.stats m2));
+  Tu.check_bool "icn contention state equal" true
+    (M.icn_backlog m1 = M.icn_backlog m2);
+  Tu.check_bool "mem round-trips already observed" true
+    (let s = stats_json (M.stats m1) in
+     (* the mid-run stats contain populated latency histograms *)
+     let j = Obs.Json.of_string s in
+     match Obs.Json.member "metrics" j with
+     | Some (Obs.Json.List ms) ->
+       List.exists
+         (fun m ->
+           Obs.Json.member "name" m = Some (Obs.Json.Str "sim.mem.request_latency")
+           && (match Obs.Json.member "count" m with
+              | Some (Obs.Json.Int n) -> n > 0
+              | _ -> false))
+         ms
+     | _ -> false);
+  (* and the resumed run still completes with the right answer *)
+  let r2 = M.run m2 in
+  Tu.check_string "same final output" straight.Core.Toolchain.output r2.M.output;
+  (* a fresh machine finishing the back half accumulates strictly more
+     telemetry than the checkpoint had: the counters keep counting *)
+  Tu.check_bool "stats keep accumulating" true
+    (stats_json (M.stats m2) <> stats_json (M.stats m1))
+
+(* ------------------------------------------------------------------ *)
+(* DVFS governor *)
+
+let governor_throttles_and_logs () =
+  (* an impossible-to-satisfy thermal limit forces a throttle decision on
+     the first sample; the decision must show up in the decision log, the
+     clock period, the metrics export, the JSON and the span trace *)
+  let src = Core.Kernels.compaction ~n:32 in
+  let a = Core.Workloads.sparse_array ~seed:8 ~n:32 ~density:50 in
+  let memmap = Isa.Memmap.of_ints [ ("A", a) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let tr = Obs.Tracer.create () in
+  M.attach_tracer m tr;
+  let g = Xmtsim.Governor.attach ~temp_hi:1.0 ~interval:40 m in
+  let base = M.period m M.Clusters in
+  let r = M.run m in
+  Tu.check_bool "halted" true r.M.halted;
+  let ds = Xmtsim.Governor.decisions g in
+  Tu.check_bool "made decisions" true (ds <> []);
+  let d = List.hd ds in
+  Tu.check_string "reason" "thermal-high" d.Xmtsim.Governor.d_reason;
+  Tu.check_int "from base period" base d.Xmtsim.Governor.d_from;
+  Tu.check_int "throttled to 2" 2 d.Xmtsim.Governor.d_to;
+  Tu.check_int "clusters stay throttled" 2 (M.period m M.Clusters);
+  Tu.check_int "icn throttled too" 2 (M.period m M.Icn);
+  Tu.check_bool "sampled more than once" true (Xmtsim.Governor.samples g > 1);
+  (* timeseries channels carry the same story *)
+  let series = Xmtsim.Governor.timeseries g in
+  let per = Obs.Timeseries.channel series "sim.governor.cluster_period" in
+  Tu.check_bool "period channel recorded throttle" true
+    (Obs.Timeseries.max_value per = 2.0);
+  (* metrics export *)
+  let reg = Obs.Metrics.create () in
+  Xmtsim.Governor.export g reg;
+  Tu.check_bool "set_period counter" true
+    (Obs.Metrics.counter_value reg
+       ~labels:[ ("domain", "clusters"); ("reason", "thermal-high") ]
+       "sim.governor.set_period_total"
+    = Some 1);
+  (* JSON decision log *)
+  (match Obs.Json.member "decisions" (Xmtsim.Governor.to_json g) with
+  | Some (Obs.Json.List l) ->
+    Tu.check_int "json decisions" (List.length ds) (List.length l)
+  | _ -> Alcotest.fail "no decisions list in governor json");
+  (* trace: governor instants present on the governor thread *)
+  M.flush_tracer m;
+  match Obs.Json.of_string (Obs.Tracer.to_string tr) with
+  | Obs.Json.List events ->
+    let gov_events =
+      List.filter
+        (fun e ->
+          Obs.Json.member "name" e = Some (Obs.Json.Str "set_period")
+          && Obs.Json.member "cat" e = Some (Obs.Json.Str "governor"))
+        events
+    in
+    Tu.check_int "trace instants match decisions" (List.length ds)
+      (List.length gov_events);
+    List.iter
+      (fun e ->
+        Tu.check_bool "on governor tid" true
+          (Obs.Json.member "tid" e
+          = Some (Obs.Json.Int (M.trace_tid_governor m))))
+      gov_events
+  | _ -> Alcotest.fail "trace not a list"
+
+let governor_recovers () =
+  (* thresholds nothing can reach: the governor samples but leaves the
+     clocks alone — no spurious decisions on a healthy run *)
+  let compiled =
+    Core.Toolchain.compile "int main() { print_int(7); return 0; }"
+  in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let g = Xmtsim.Governor.attach ~temp_hi:1e9 ~icn_hi:1e9 ~interval:40 m in
+  let base = M.period m M.Clusters in
+  ignore (M.run m);
+  Tu.check_bool "no decisions" true (Xmtsim.Governor.decisions g = []);
+  Tu.check_int "period untouched" base (M.period m M.Clusters)
+
 (* ------------------------------------------------------------------ *)
 (* Power / thermal / floorplan *)
 
@@ -954,6 +1097,12 @@ let () =
           Tu.tc "resume equivalence" checkpoint_resume_equivalence;
           Tu.tc "file roundtrip" checkpoint_file_roundtrip;
           Tu.tc "mid-run save/resume" checkpoint_mid_run;
+          Tu.tc "telemetry survives restore" checkpoint_preserves_telemetry;
+        ] );
+      ( "governor",
+        [
+          Tu.tc "throttles and logs" governor_throttles_and_logs;
+          Tu.tc "quiet on healthy run" governor_recovers;
         ] );
       ( "timing verification",
         [
