@@ -15,6 +15,7 @@ let experiments =
     ("clustering", "§IV-C: thread-clustering sweep", Exp_clustering.run);
     ("latency", "§IV-C: latency-tolerance ablation", Exp_latency.run);
     ("thermal", "§III-F: power/thermal management", Exp_thermal.run);
+    ("serial", "§III-C: clock gating on a serial-heavy workload", Exp_serial.run);
     ("phases", "§III-F: phase sampling", Exp_phases.run);
     ("designspace", "§III: design-space sweeps", Exp_designspace.run);
   ]

@@ -7,10 +7,15 @@
 
     Clocks support the runtime-control features the paper exposes through
     activity plug-ins: the period can be changed on the fly (DVFS, taking
-    effect at the next tick) and the clock can be disabled/enabled (clock
-    gating).  A clock whose handlers all have nothing to do may be put to
-    [sleep] and [wake]d later; it resumes ticking one time unit after the
-    wake. *)
+    effect at the next tick) and the clock can be disabled/enabled.
+
+    {b Clock gating} (§III-C: the discrete-event engine skips work for
+    inactive components): a clock whose handlers all have nothing to do may
+    be put to [sleep] and [wake]d later.  A woken clock resumes {e on the
+    period grid} anchored at its last fired tick, so a gated-then-woken
+    domain ticks at exactly the simulated times an ungated run would have —
+    gating is invisible to cycle counts, stats and traces, and only reduces
+    the host-side event count. *)
 
 type t
 
@@ -24,11 +29,24 @@ val name : t -> string
 val period : t -> int
 
 (** Change the period; takes effect from the next tick.  Raises
-    [Invalid_argument] if not positive. *)
+    [Invalid_argument] if not positive.  On a {e sleeping} clock the new
+    period takes effect at the next woken tick: {!wake} computes the
+    resume grid from the last fired tick with the period current at wake
+    time.  The skipped-tick estimate for the span already slept is
+    accrued at the old period first, so a DVFS change on a gated domain
+    does not double-count. *)
 val set_period : t -> int -> unit
 
-(** Cycles elapsed on this clock. *)
+(** Cycles elapsed on this clock (fired ticks only; gated-away ticks are
+    not counted here — see {!skipped_ticks}). *)
 val cycles : t -> int
+
+(** Estimate of the ticks this clock never fired because it was asleep:
+    the grid points covered by completed sleep spans, plus the span still
+    open if the clock is currently sleeping.  [cycles + skipped_ticks]
+    approximates what [cycles] would be on an ungated run; the host-side
+    event reduction from gating is proportional to this number. *)
+val skipped_ticks : t -> int
 
 val on_tick : ?phase:int -> t -> handler -> unit
 
@@ -40,8 +58,25 @@ val disable : t -> unit
 val enable : t -> unit
 
 (** Stop scheduling ticks until [wake].  Unlike [disable], [wake] may be
-    called from any component (e.g. a package arriving at an idle cluster). *)
+    called from any component (e.g. a package arriving at an idle cluster).
+    Sleeping while a tick event is already scheduled does not leak a tick:
+    the pending event fires as a no-op (handlers do not run, [cycles] does
+    not advance) and, if the clock woke up in the meantime, serves as the
+    normally-scheduled next tick. *)
 val sleep : t -> unit
 
-val wake : t -> unit
+(** Resume ticking on the period grid anchored at the last fired tick
+    (the smallest grid point at least one period after it and >= now).
+
+    When the wake lands {e exactly} on a grid point, whether that tick
+    still fires depends on whether the equivalent ungated tick would have
+    popped before the currently-executing event.  By default this is
+    derived from {!Scheduler.current_prio}: a waker running after
+    [prio_tick] (e.g. a package transfer) means the instant's tick is
+    already lost and the clock resumes one period later.  Pass
+    [~tick_at_now] explicitly when the caller knows better — e.g. a tick
+    handler of another clock waking this one must compare how the two
+    clocks' tick events would have been ordered in an ungated run. *)
+val wake : ?tick_at_now:bool -> t -> unit
+
 val sleeping : t -> bool

@@ -24,6 +24,12 @@ val create : unit -> t
 (** Current simulated time. *)
 val now : t -> int
 
+(** Priority of the event currently (or most recently) being executed.
+    {!Clock.wake} uses this to decide whether the virtual tick at the
+    current instant would already have popped in an ungated run
+    (same-time events pop in ascending priority order). *)
+val current_prio : t -> int
+
 (** [schedule t ~delay ~prio f] schedules action [f] at [now t + delay].
     [delay] must be non-negative; [prio] defaults to [prio_tick]. *)
 val schedule : t -> ?prio:int -> delay:int -> (unit -> unit) -> unit
@@ -32,7 +38,17 @@ val schedule : t -> ?prio:int -> delay:int -> (unit -> unit) -> unit
 val schedule_at : t -> ?prio:int -> time:int -> (unit -> unit) -> unit
 
 (** Request termination: a stop event is scheduled at the given absolute
-    time (default: immediately, i.e. before any later-timed event). *)
+    time (default: immediately, i.e. before any later-timed event).
+
+    Raises [Invalid_argument] if [time] is in the past, consistently with
+    {!schedule_at} (an [invalid_arg], not a clamp, so a caller computing a
+    stale deadline fails loudly instead of stopping at a surprising time).
+
+    A stop event only terminates the run in progress when it fires: every
+    {!run} bumps an internal generation on return, and stop events from
+    earlier generations are drained as no-ops.  Without this, a budget
+    stop left unconsumed by an early [Halt] would silently truncate a
+    later run (e.g. a restore-then-run flow). *)
 val stop : t -> ?time:int -> unit -> unit
 
 type outcome =
@@ -40,7 +56,9 @@ type outcome =
   | Drained  (** the event list became empty *)
   | Budget  (** the [max_events] budget was exhausted *)
 
-(** Run the main loop.  Returns why the loop exited. *)
+(** Run the main loop.  Returns why the loop exited.  On return (for any
+    outcome) all currently-armed stop events are invalidated; see
+    {!stop}. *)
 val run : ?max_events:int -> t -> outcome
 
 (** Number of events processed so far (monotonic across [run] calls). *)

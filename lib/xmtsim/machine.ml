@@ -35,8 +35,8 @@ type pkg = { addr : int; req : req; lc : lifecycle }
 type reply =
   | Pload of { tcu : int; dst : dst; v : V.t; ro : bool; addr : int }
   | Ppref of { tcu : int; v : V.t; addr : int }
-  | Pack of { tcu : int; nb : bool }
-  | Ppsm of { tcu : int; dst : int; old : int }
+  | Pack of { tcu : int; nb : bool; addr : int }
+  | Ppsm of { tcu : int; dst : int; old : int; addr : int }
 
 type reply_env = { rp : reply; r_lc : lifecycle }
 
@@ -133,6 +133,12 @@ type t = {
   mutable pkg_tracers : (package_event -> unit) list;
   mutable otracer : Obs.Tracer.t option;  (* span tracer (Chrome trace JSON) *)
   mutable started : bool;
+  (* clock gating *)
+  mutable gating : bool;
+  mutable has_plugin : bool;
+      (* activity plug-ins sample on cluster ticks; cluster gating would
+         change their sampling times, so it is disabled when one attaches *)
+  mutable dram_fills : int;  (* DRAM line fills in flight *)
 }
 
 type result = { output : string; cycles : int; halted : bool }
@@ -263,6 +269,9 @@ let create ?(config = Config.fpga64) img =
     pkg_tracers = [];
     otracer = None;
     started = false;
+    gating = true;
+    has_plugin = false;
+    dram_fills = 0;
   }
 
 (* diagnostic: per-(module,side) send-side backlog in cycles *)
@@ -386,7 +395,11 @@ let icn_send t ~cl pk =
       pk.lc.l_arrive <- Desim.Scheduler.now t.sched;
       emit_pkg t ~stage:"module-arrive" ~kind:(pkg_kind pk.req) ~addr:pk.addr
         ~tcu:(pkg_tcu pk.req) ~m;
-      Queue.add pk t.modules.(m).inq)
+      Queue.add pk t.modules.(m).inq;
+      (* arrival runs at prio_transfer: the cache tick at this instant (if
+         any) already popped, so a sleeping cache domain resumes one period
+         later — exactly when an ungated cache would next see the package *)
+      Desim.Clock.wake t.clk_cache)
 
 let icn_reply t ~mid ~cl renv =
   let delay =
@@ -395,7 +408,9 @@ let icn_reply t ~mid ~cl renv =
   t.stats.Stats.icn_packets <- t.stats.Stats.icn_packets + 1;
   renv.r_lc.l_svc <- Desim.Scheduler.now t.sched;
   Desim.Scheduler.schedule t.sched ~prio:Desim.Scheduler.prio_transfer ~delay
-    (fun () -> Queue.add renv t.clusters.(cl).returns)
+    (fun () ->
+      Queue.add renv t.clusters.(cl).returns;
+      Desim.Clock.wake t.clk_cluster)
 
 (* ------------------------------------------------------------------ *)
 (* Join logic *)
@@ -414,6 +429,7 @@ let maybe_join t =
         Stats.count_instr t.stats ~master:true I.Join;
         t.master.F.pc <- join_idx + 1;
         t.master_st <- Mrun;
+        Desim.Clock.wake t.clk_cluster;
         match t.otracer with
         | Some tr ->
           Obs.Tracer.end_span tr ~ts:(Desim.Scheduler.now t.sched) ~tid:0 ()
@@ -439,11 +455,11 @@ let service_pkg t (m : cache_module) pk =
     reply (Ppref { tcu; v; addr = pk.addr }) ~extra_delay:hit_lat cl
   | Rstore { cl; tcu; value; nb } ->
     Mem.write t.memory pk.addr value;
-    reply (Pack { tcu; nb }) ~extra_delay:hit_lat cl
+    reply (Pack { tcu; nb; addr = pk.addr }) ~extra_delay:hit_lat cl
   | Rpsm { cl; tcu; inc; dst } ->
     let old = Mem.fetch_add t.memory pk.addr inc in
     t.stats.Stats.psm_ops <- t.stats.Stats.psm_ops + 1;
-    reply (Ppsm { tcu; dst; old }) ~extra_delay:hit_lat cl
+    reply (Ppsm { tcu; dst; old; addr = pk.addr }) ~extra_delay:hit_lat cl
 
 let dram_fill t (m : cache_module) line =
   Tags.install m.tags line;
@@ -475,7 +491,16 @@ let module_tick t (m : cache_module) =
         | Some entry -> entry.waiters <- pk :: entry.waiters
         | None ->
           Hashtbl.replace m.mshr line { waiters = [ pk ] };
-          Queue.add (m.mid, pk) t.dram_q
+          Queue.add (m.mid, pk) t.dram_q;
+          (* Called from a cache tick (prio_tick), so Clock.wake's default
+             tie-break cannot tell whether the ungated DRAM tick at this
+             instant already popped.  Same-time tick events pop in
+             insertion order: the slower clock inserted its event earlier;
+             equal periods preserve start order (cache before dram), so
+             the DRAM tick pops after us and still sees the package. *)
+          Desim.Clock.wake t.clk_dram
+            ~tick_at_now:
+              (Desim.Clock.period t.clk_dram <= Desim.Clock.period t.clk_cache)
       end
   done
 
@@ -488,7 +513,10 @@ let dram_tick t =
       let m = t.modules.(mid) in
       let line = Tags.line_of m.tags pk.addr in
       let delay = t.cfg.Config.dram_latency * Desim.Clock.period t.clk_dram in
-      Desim.Scheduler.schedule t.sched ~delay (fun () -> dram_fill t m line)
+      t.dram_fills <- t.dram_fills + 1;
+      Desim.Scheduler.schedule t.sched ~delay (fun () ->
+          t.dram_fills <- t.dram_fills - 1;
+          dram_fill t m line)
   done
 
 (* ------------------------------------------------------------------ *)
@@ -497,8 +525,8 @@ let dram_tick t =
 let reply_info = function
   | Pload { tcu; addr; _ } -> ("load", tcu, addr)
   | Ppref { tcu; addr; _ } -> ("pref", tcu, addr)
-  | Pack { tcu; nb } -> ((if nb then "store-ack" else "store"), tcu, 0)
-  | Ppsm { tcu; _ } -> ("psm", tcu, 0)
+  | Pack { tcu; nb; addr } -> ((if nb then "store-ack" else "store"), tcu, addr)
+  | Ppsm { tcu; addr; _ } -> ("psm", tcu, addr)
 
 (* Close the request's lifecycle: feed the per-(cluster, module) latency
    histograms and, when a span tracer is attached, emit one "mem-req"
@@ -549,7 +577,7 @@ let deliver_reply t (cl : cluster) { rp; r_lc } =
     | Some dst ->
       F.complete_load u.ctx dst v;
       if u.st = Tmemwait then u.st <- Trun)
-  | Pack { tcu; nb } ->
+  | Pack { tcu; nb; _ } ->
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     if nb then begin
       u.pending <- u.pending - 1;
@@ -558,7 +586,7 @@ let deliver_reply t (cl : cluster) { rp; r_lc } =
       maybe_join t
     end
     else if u.st = Tmemwait then u.st <- Trun (* blocking store ack *)
-  | Ppsm { tcu; dst; old } ->
+  | Ppsm { tcu; dst; old; _ } ->
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     if dst <> 0 then u.ctx.F.regs.(dst) <- old;
     if u.st = Tmemwait then u.st <- Trun
@@ -812,7 +840,8 @@ let master_tick t =
         Desim.Scheduler.schedule t.sched ~delay (fun () ->
             Tags.install t.master_cache addr;
             F.complete_load t.master dst (Mem.read t.memory addr);
-            if t.master_st = Mmemwait then t.master_st <- Mrun)
+            if t.master_st = Mmemwait then t.master_st <- Mrun;
+            Desim.Clock.wake t.clk_cluster)
       end
     | F.Store { addr; value; nb = _ } ->
       (* write-through master cache; write buffer absorbs the latency *)
@@ -855,7 +884,8 @@ let master_tick t =
                   if t.otracer <> None then u.run_since <- now;
                   Prefetch_buffer.clear u.pbuf)
                 cl.ctcus)
-            t.clusters)
+            t.clusters;
+          Desim.Clock.wake t.clk_cluster)
     | F.Join -> fail "master reached join without spawn (postpass should reject)"
     | F.Output s -> Buffer.add_string t.out_buf s
     | F.Halt ->
@@ -881,8 +911,61 @@ let clock_of t = function
 let set_period t d p = Desim.Clock.set_period (clock_of t d) p
 let period t d = Desim.Clock.period (clock_of t d)
 
+(* ------------------------------------------------------------------ *)
+(* Clock gating (paper §III-C: the event engine skips inactive parts).
+   Each domain sleeps when it provably has no work this tick and is woken
+   by the events that create work.  Clock.wake resumes on the period grid,
+   so gating never changes simulated times, stats or traces — only the
+   host-side event count. *)
+
+let set_gating t on =
+  if t.started then fail "set_gating must be called before the first run";
+  t.gating <- on
+
+let gating_enabled t = t.gating
+let domain_sleeping t d = Desim.Clock.sleeping (clock_of t d)
+
+let cluster_domain_idle t =
+  (not t.spawn_active)
+  && (match t.master_st with
+     | Mmemwait | Mspawnwait | Mhalted -> true  (* parked on a callback *)
+     | Mrun | Mstall _ -> false (* tick-driven *))
+  && Array.for_all
+       (fun cl -> Queue.is_empty cl.outbox && Queue.is_empty cl.returns)
+       t.clusters
+
+let cache_domain_idle t =
+  Queue.is_empty t.dram_q
+  && Array.for_all
+       (fun m -> Queue.is_empty m.inq && Hashtbl.length m.mshr = 0)
+       t.modules
+
+let dram_domain_idle t = Queue.is_empty t.dram_q && t.dram_fills = 0
+
+(* Per-domain gating effectiveness: fired ticks, the estimate of ticks
+   gated away, and the current period, as sim.clock.* metrics. *)
+let export_clocks t reg =
+  List.iter
+    (fun d ->
+      let c = clock_of t d in
+      let labels = [ ("domain", Desim.Clock.name c) ] in
+      Obs.Metrics.inc
+        ~by:(Desim.Clock.cycles c)
+        (Obs.Metrics.counter reg ~labels "sim.clock.ticks");
+      Obs.Metrics.inc
+        ~by:(Desim.Clock.skipped_ticks c)
+        (Obs.Metrics.counter reg ~labels "sim.clock.skipped_ticks");
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~labels "sim.clock.period")
+        (float_of_int (Desim.Clock.period c)))
+    [ Clusters; Icn; Caches; Dram ]
+
 let add_activity_plugin t ~name ~interval hook =
   ignore name;
+  (* plug-ins sample on cluster ticks: keep that clock free-running so
+     sampling times match an unplugged run of the same schedule *)
+  t.has_plugin <- true;
+  Desim.Clock.wake t.clk_cluster;
   Desim.Clock.on_tick ~phase:2 t.clk_cluster (fun cycle ->
       if cycle > 0 && cycle mod interval = 0 then hook t cycle)
 
@@ -966,10 +1049,23 @@ let start t =
     Desim.Clock.on_tick ~phase:0 t.clk_cache (fun _ ->
         Array.iter (module_tick t) t.modules);
     Desim.Clock.on_tick ~phase:0 t.clk_dram (fun _ -> dram_tick t);
+    (* gating checks run after every work phase of the tick (activity
+       plug-ins register at phase 2; cluster gating is disabled outright
+       while one is attached, see add_activity_plugin) *)
+    Desim.Clock.on_tick ~phase:100 t.clk_cluster (fun _ ->
+        if t.gating && (not t.has_plugin) && cluster_domain_idle t then
+          Desim.Clock.sleep t.clk_cluster);
+    Desim.Clock.on_tick ~phase:100 t.clk_cache (fun _ ->
+        if t.gating && cache_domain_idle t then Desim.Clock.sleep t.clk_cache);
+    Desim.Clock.on_tick ~phase:100 t.clk_dram (fun _ ->
+        if t.gating && dram_domain_idle t then Desim.Clock.sleep t.clk_dram);
     Desim.Clock.start t.clk_cluster;
     Desim.Clock.start t.clk_icn;
     Desim.Clock.start t.clk_cache;
-    Desim.Clock.start t.clk_dram
+    Desim.Clock.start t.clk_dram;
+    (* the ICN clock has no tick handlers — transfers are their own
+       scheduled events — so under gating it sleeps for the whole run *)
+    if t.gating then Desim.Clock.sleep t.clk_icn
   end
 
 let run ?max_cycles t =
@@ -1044,14 +1140,21 @@ let checkpoint t =
 let restore t s =
   if not (quiescent t) then fail "restore requires a quiescent machine";
   Mem.restore t.memory s.s_mem;
-  Array.blit s.s_regs 0 t.master.F.regs 0 32;
-  Array.blit s.s_fregs 0 t.master.F.fregs 0 32;
+  (* snapshots must survive register-file size changes: copy what fits *)
+  Array.blit s.s_regs 0 t.master.F.regs 0
+    (min (Array.length s.s_regs) (Array.length t.master.F.regs));
+  Array.blit s.s_fregs 0 t.master.F.fregs 0
+    (min (Array.length s.s_fregs) (Array.length t.master.F.fregs));
   t.master.F.pc <- s.s_pc;
   Array.blit s.s_globals 0 t.globals 0 (Array.length t.globals);
   Buffer.clear t.out_buf;
   Buffer.add_string t.out_buf s.s_output;
   t.master_st <- Mrun;
   t.halted <- false;
+  (* a gated machine may have parked the cluster clock (e.g. after the
+     halt that preceded this restore); Mrun needs it ticking again.  The
+     wake is grid-aligned, so the resume time matches an ungated run. *)
+  Desim.Clock.wake ~tick_at_now:true t.clk_cluster;
   Tags.invalidate_all t.master_cache;
   (* telemetry state: counters/histograms continue from the checkpoint;
      residual ICN merge contention is re-anchored at the current time.

@@ -55,6 +55,33 @@ type domain = Clusters | Icn | Caches | Dram
 val set_period : t -> domain -> int -> unit
 val period : t -> domain -> int
 
+(* -------- clock gating (§III-C) -------- *)
+
+(** Enable/disable clock gating (on by default).  When on, each clock
+    domain sleeps while it provably has no work (caches: all input queues,
+    MSHRs and the DRAM queue empty; DRAM: queue empty and no fill in
+    flight; clusters: no spawn active, outboxes/returns empty and the
+    master parked on a scheduled callback; ICN: always — transfers are
+    their own events) and is woken, on its period grid, by the events that
+    create work.  Gated and ungated runs produce bit-identical output,
+    cycle counts, stats and traces; only the host-side event count
+    ({!events_processed}) differs.  Must be called before the first
+    {!run}; raises {!Sim_error} afterwards. *)
+val set_gating : t -> bool -> unit
+
+val gating_enabled : t -> bool
+
+(** Is the domain's clock currently gated off?  The DVFS governor records
+    this on its decisions so a throttled-while-asleep domain is not
+    double-counted. *)
+val domain_sleeping : t -> domain -> bool
+
+(** Export per-domain clock activity into a metrics registry:
+    [sim.clock.ticks{domain}] and [sim.clock.skipped_ticks{domain}]
+    counters (fired ticks vs. the estimate of ticks gating skipped) and
+    the [sim.clock.period{domain}] gauge. *)
+val export_clocks : t -> Obs.Metrics.t -> unit
+
 (** [add_activity_plugin t ~name ~interval hook] — [hook t cycle] runs
     every [interval] cluster-clock cycles during the simulation. *)
 val add_activity_plugin : t -> name:string -> interval:int -> (t -> int -> unit) -> unit

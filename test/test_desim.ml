@@ -81,6 +81,31 @@ let scheduler_rejects_past () =
           D.Scheduler.schedule_at s ~time:5 (fun () -> ())));
   ignore (D.Scheduler.run s)
 
+let scheduler_stale_stop () =
+  (* Regression: a budget stop armed for one run must not leak into the
+     next.  Run 1 arms a stop at t=100 but terminates early (t=1, the
+     machine-halt pattern); pre-fix, the unconsumed t=100 stop stayed in
+     the heap and silently truncated run 2 before its t=149 event. *)
+  let s = D.Scheduler.create () in
+  D.Scheduler.stop s ~time:100 ();
+  D.Scheduler.schedule s ~delay:1 (fun () -> D.Scheduler.stop s ());
+  Tu.check_bool "run 1 stopped" true (D.Scheduler.run s = D.Scheduler.Stopped);
+  Tu.check_int "run 1 halt time" 1 (D.Scheduler.now s);
+  let ran = ref false in
+  D.Scheduler.schedule s ~delay:149 (fun () -> ran := true);
+  D.Scheduler.stop s ~time:200 ();
+  Tu.check_bool "run 2 stopped" true (D.Scheduler.run s = D.Scheduler.Stopped);
+  Tu.check_bool "event past the stale stop ran" true !ran;
+  Tu.check_int "run 2 reaches its own stop" 200 (D.Scheduler.now s)
+
+let scheduler_stop_rejects_past () =
+  let s = D.Scheduler.create () in
+  D.Scheduler.schedule s ~delay:10 (fun () ->
+      Alcotest.check_raises "past stop"
+        (Invalid_argument "Scheduler.stop: time 5 is in the past (now 10)")
+        (fun () -> D.Scheduler.stop s ~time:5 ()));
+  ignore (D.Scheduler.run s)
+
 let scheduler_nested_scheduling () =
   let s = D.Scheduler.create () in
   let log = ref [] in
@@ -171,6 +196,95 @@ let clock_sleep_wake () =
   ignore (D.Scheduler.run s);
   (* sleeping skips 6..10; wake at 11 -> next grid point 12 *)
   Alcotest.(check (list int)) "tick times" [ 0; 2; 4; 12; 14 ] (List.rev !times)
+
+let clock_wake_grid_tiebreak () =
+  (* Wake landing exactly on a grid point from transfer priority: the
+     grid tick at that instant already popped (as a no-op or not at all),
+     so the clock must resume one period later — matching an ungated run
+     where a package arriving at prio_transfer is seen on the NEXT tick. *)
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:2 in
+  let times = ref [] in
+  D.Clock.on_tick c (fun _ ->
+      times := D.Scheduler.now s :: !times;
+      if D.Scheduler.now s = 4 then D.Clock.sleep c);
+  D.Clock.start c;
+  D.Scheduler.schedule s ~prio:D.Scheduler.prio_transfer ~delay:8 (fun () ->
+      D.Clock.wake c);
+  D.Scheduler.stop s ~time:11 ();
+  ignore (D.Scheduler.run s);
+  Alcotest.(check (list int)) "tick times" [ 0; 2; 4; 10 ] (List.rev !times);
+  (* grid points 6 and 8 were gated away *)
+  Tu.check_int "skipped" 2 (D.Clock.skipped_ticks c)
+
+let clock_wake_grid_at_tick_prio () =
+  (* Same instant, but the waker runs at prio_tick (a scheduled callback,
+     e.g. a DRAM fill completing): in an ungated run the grid tick pops
+     after it, so the woken clock still ticks at the wake instant. *)
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:2 in
+  let times = ref [] in
+  D.Clock.on_tick c (fun _ ->
+      times := D.Scheduler.now s :: !times;
+      if D.Scheduler.now s = 4 then D.Clock.sleep c);
+  D.Clock.start c;
+  D.Scheduler.schedule s ~delay:8 (fun () -> D.Clock.wake c);
+  D.Scheduler.stop s ~time:11 ();
+  ignore (D.Scheduler.run s);
+  Alcotest.(check (list int)) "tick times" [ 0; 2; 4; 8; 10 ] (List.rev !times)
+
+let clock_sleep_pending_no_tick_leak () =
+  (* The tick at t=0 fires and schedules the t=2 tick; sleeping at t=1
+     must not let that pending event run handlers or count a cycle. *)
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:2 in
+  let times = ref [] in
+  D.Clock.on_tick c (fun _ -> times := D.Scheduler.now s :: !times);
+  D.Clock.start c;
+  D.Scheduler.schedule s ~prio:D.Scheduler.prio_transfer ~delay:1 (fun () ->
+      D.Clock.sleep c);
+  D.Scheduler.stop s ~time:10 ();
+  ignore (D.Scheduler.run s);
+  Alcotest.(check (list int)) "only t=0 ticked" [ 0 ] (List.rev !times);
+  Tu.check_int "cycles" 1 (D.Clock.cycles c)
+
+let clock_set_period_during_sleep () =
+  (* A DVFS change while gated takes effect at the next woken tick: the
+     resume grid is anchored at the last fired tick (t=4) with the new
+     period (3), so 4 + 2*3 = 10 is the first tick >= the t=9 wake.  The
+     skipped span before the change is accrued at the old period (the
+     single grid point at t=6), not recounted at the new rate. *)
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:2 in
+  let times = ref [] in
+  D.Clock.on_tick c (fun _ ->
+      times := D.Scheduler.now s :: !times;
+      if D.Scheduler.now s = 4 then D.Clock.sleep c);
+  D.Clock.start c;
+  D.Scheduler.schedule s ~delay:6 (fun () -> D.Clock.set_period c 3);
+  D.Scheduler.schedule s ~delay:9 (fun () -> D.Clock.wake c);
+  D.Scheduler.stop s ~time:14 ();
+  ignore (D.Scheduler.run s);
+  Alcotest.(check (list int)) "tick times" [ 0; 2; 4; 10; 13 ] (List.rev !times);
+  Tu.check_int "no double-count across the period change" 1
+    (D.Clock.skipped_ticks c)
+
+let clock_skipped_ticks_estimate () =
+  let s = D.Scheduler.create () in
+  let c = D.Clock.create s ~name:"clk" ~period:1 in
+  D.Clock.on_tick c (fun _ -> if D.Scheduler.now s = 2 then D.Clock.sleep c);
+  D.Clock.start c;
+  (* live estimate mid-sleep: grid points 3..6 never fired *)
+  D.Scheduler.schedule s ~prio:D.Scheduler.prio_transfer ~delay:6 (fun () ->
+      Tu.check_int "live estimate while asleep" 4 (D.Clock.skipped_ticks c));
+  D.Scheduler.schedule s ~delay:10 (fun () -> D.Clock.wake c);
+  D.Scheduler.stop s ~time:20 ();
+  ignore (D.Scheduler.run s);
+  (* slept over 3..9 (the wake instant ticks again), then ran 10..20 *)
+  Tu.check_int "fired" 14 (D.Clock.cycles c);
+  Tu.check_int "skipped" 7 (D.Clock.skipped_ticks c);
+  Tu.check_int "fired + skipped = ungated cycles" 21
+    (D.Clock.cycles c + D.Clock.skipped_ticks c)
 
 let clock_macro_actor_grouping () =
   (* one clock event drives many components per cycle (§III-D): event
@@ -296,6 +410,8 @@ let () =
           Tu.tc "stop event" scheduler_stop_event;
           Tu.tc "event budget" scheduler_budget;
           Tu.tc "rejects past" scheduler_rejects_past;
+          Tu.tc "stale stop is a no-op" scheduler_stale_stop;
+          Tu.tc "stop rejects past" scheduler_stop_rejects_past;
           Tu.tc "nested scheduling" scheduler_nested_scheduling;
         ] );
       ("actor", [ Tu.tc "notify" actor_notify ]);
@@ -306,6 +422,11 @@ let () =
           Tu.tc "dvfs" clock_dvfs;
           Tu.tc "gating" clock_gating;
           Tu.tc "sleep/wake" clock_sleep_wake;
+          Tu.tc "wake on grid (transfer prio)" clock_wake_grid_tiebreak;
+          Tu.tc "wake on grid (tick prio)" clock_wake_grid_at_tick_prio;
+          Tu.tc "sleep with pending tick" clock_sleep_pending_no_tick_leak;
+          Tu.tc "set_period during sleep" clock_set_period_during_sleep;
+          Tu.tc "skipped-tick estimate" clock_skipped_ticks_estimate;
           Tu.tc "macro-actor grouping" clock_macro_actor_grouping;
         ] );
       ( "port",

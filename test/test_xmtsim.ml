@@ -1036,6 +1036,126 @@ let timing_dvfs_scales_linearly () =
     true
     (abs (c2 - (2 * c1)) <= 2)
 
+(* ------------------------------------------------------------------ *)
+(* Clock gating (§III-C): sleeping idle domains must be invisible to
+   everything simulated — output, cycle counts, stats — and only reduce
+   the host-side event count. *)
+
+let gating_src =
+  {|
+int A[128];
+int total = 0;
+int main(void) {
+  int r;
+  int acc = 0;
+  for (r = 0; r < 4; r++) {
+    spawn(0, 127) {
+      int v = A[$] + r;
+      psm(v, total);
+    }
+  }
+  for (r = 0; r < 64; r++) {
+    acc = acc + A[(r * 97) % 128];
+  }
+  print_int(total + acc);
+  return 0;
+}
+|}
+
+let gating_bit_identical () =
+  let compiled = Core.Toolchain.compile gating_src in
+  let go gating =
+    let m = Core.Toolchain.machine ~config:C.tiny compiled in
+    M.set_gating m gating;
+    let r = M.run m in
+    (r, m)
+  in
+  let rg, mg = go true in
+  let ru, mu = go false in
+  Tu.check_bool "gating defaults on" true (M.gating_enabled mg);
+  Tu.check_string "same output" ru.M.output rg.M.output;
+  Tu.check_int "same cycles" ru.M.cycles rg.M.cycles;
+  let key m =
+    let s = M.stats m in
+    Xmtsim.Stats.
+      (s.cache_hits, s.cache_misses, s.icn_packets, s.dram_reads, s.psm_ops)
+  in
+  Tu.check_bool "same cache/ICN/DRAM counters" true (key mu = key mg);
+  Tu.check_bool "fewer host events when gated" true
+    (M.events_processed mg < M.events_processed mu)
+
+let gating_exports_clock_metrics () =
+  (* a serial memory-bound run parks every domain during DRAM stalls *)
+  let compiled = Core.Toolchain.compile (Core.Kernels.ser_mem ~iters:50 ~n:256) in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let r = M.run m in
+  Tu.check_bool "halted" true r.M.halted;
+  let reg = Obs.Metrics.create () in
+  M.export_clocks m reg;
+  let cnt name dom =
+    match Obs.Metrics.counter_value reg ~labels:[ ("domain", dom) ] name with
+    | Some v -> v
+    | None -> -1
+  in
+  Tu.check_bool "cluster ticks exported" true (cnt "sim.clock.ticks" "clusters" > 0);
+  Tu.check_bool "icn gated whole run" true (cnt "sim.clock.skipped_ticks" "icn" > 0);
+  Tu.check_bool "dram gated" true (cnt "sim.clock.skipped_ticks" "dram" > 0);
+  Tu.check_bool "caches gated" true (cnt "sim.clock.skipped_ticks" "caches" > 0)
+
+let restore_short_regfile_snapshot () =
+  (* snapshots from a smaller register file must restore (pre-fix: the
+     blits hardcoded length 32 and raised Invalid_argument) *)
+  let compiled =
+    Core.Toolchain.compile "int main() { print_int(7); return 0; }"
+  in
+  let img = compiled.Core.Toolchain.image in
+  let m = M.create ~config:C.tiny img in
+  let snap =
+    M.make_snapshot ~mem:(Xmtsim.Mem.load img) ~regs:(Array.make 8 0)
+      ~fregs:(Array.make 8 0.0) ~pc:img.Isa.Program.entry
+      ~globals:(Array.make Isa.Reg.num_globals 0) ~output:""
+  in
+  M.restore m snap;
+  Tu.check_string "runs after restore" "7" (M.run m).M.output
+
+let halt_restore_rerun () =
+  (* Regression for the stale budget-stop: run 1 arms a stop at 1.5x the
+     halt cycle; pre-fix that unconsumed stop survived the halt and
+     truncated the restored rerun.  Also exercises the restore path waking
+     a gated cluster clock after a halt parked every domain. *)
+  let compiled =
+    Core.Toolchain.compile
+      {|
+int A[64];
+int main(void) {
+  spawn(0, 63) { A[$] = $; }
+  print_int(A[5] + A[60]);
+  return 0;
+}
+|}
+  in
+  let straight = Core.Toolchain.run_cycle ~config:C.tiny compiled in
+  let c1 = straight.Core.Toolchain.cycles in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  let snap = M.checkpoint m in
+  let r1 = M.run ~max_cycles:(c1 + (c1 / 2)) m in
+  Tu.check_bool "first run halts" true r1.M.halted;
+  M.restore m snap;
+  let r2 = M.run ~max_cycles:(c1 * 3) m in
+  Tu.check_bool "restored rerun halts" true r2.M.halted;
+  Tu.check_string "restored rerun output" straight.Core.Toolchain.output
+    r2.M.output
+
+let gating_rejects_late_toggle () =
+  let compiled =
+    Core.Toolchain.compile "int main() { print_int(1); return 0; }"
+  in
+  let m = Core.Toolchain.machine ~config:C.tiny compiled in
+  ignore (M.run m);
+  Alcotest.check_raises "set_gating after start"
+    (M.Sim_error "set_gating must be called before the first run") (fun () ->
+      M.set_gating m false)
+
 let () =
   Alcotest.run "xmtsim"
     [
@@ -1103,6 +1223,14 @@ let () =
         [
           Tu.tc "throttles and logs" governor_throttles_and_logs;
           Tu.tc "quiet on healthy run" governor_recovers;
+        ] );
+      ( "clock gating",
+        [
+          Tu.tc "gated run is bit-identical" gating_bit_identical;
+          Tu.tc "sim.clock.* metrics" gating_exports_clock_metrics;
+          Tu.tc "short-regfile snapshot restores" restore_short_regfile_snapshot;
+          Tu.tc "halt/restore/rerun not truncated" halt_restore_rerun;
+          Tu.tc "set_gating after start rejected" gating_rejects_late_toggle;
         ] );
       ( "timing verification",
         [
