@@ -41,6 +41,27 @@ let bechamel_ns_per_run ?(quota = 3.0) ~name f =
 
 let compile ?options ?memmap src = Core.Toolchain.compile ?options ?memmap src
 
+(* -------- campaign plumbing -------- *)
+
+(** Worker-domain count for campaign-backed experiments, set by
+    [bench/main.exe --jobs N].  Results are byte-identical for any
+    value; only wall-clock changes. *)
+let jobs = ref 1
+
+(** Run [(name, job)] specs through the campaign engine at the
+    harness-wide [--jobs] width and return the runs in submission order.
+    Benches expect every job to succeed, so the first failure escalates
+    with its captured error. *)
+let run_jobs specs =
+  let results = Campaign.run ~jobs:!jobs specs in
+  Array.map
+    (fun r ->
+      match r.Campaign.r_outcome with
+      | Ok run -> run
+      | Error f ->
+        failwith (Printf.sprintf "%s: %s" r.Campaign.r_name f.Campaign.f_exn))
+    results
+
 let cycles_of ?(config = Xmtsim.Config.fpga64) compiled =
   (Core.Toolchain.run_cycle ~config compiled).Core.Toolchain.cycles
 

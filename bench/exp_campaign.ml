@@ -1,0 +1,70 @@
+(** Campaign-engine self-benchmark: the full §III design-space sweep
+    ({!Exp_designspace.all_specs}, 18 independent compile+simulate jobs)
+    run serially and then across worker domains.
+
+    Two claims are checked and recorded:
+    - determinism: the host-independent campaign reports of the serial
+      and parallel runs are byte-identical;
+    - throughput: the parallel run's wall clock (speedup is only
+      meaningful on a multi-core host; the record carries both times so
+      the gate can watch for collapse without asserting a ratio). *)
+
+open Bench_util
+
+let run () =
+  section "campaign engine: parallel design-space sweep (determinism + speedup)";
+  let specs = Exp_designspace.all_specs () in
+  let total = List.length specs in
+  let workers =
+    if !jobs > 1 then !jobs
+    else min 4 (max 2 (Domain.recommended_domain_count ()))
+  in
+  let campaign w =
+    let rs, secs = wall (fun () -> Campaign.run ~jobs:w specs) in
+    if Campaign.failed_count rs > 0 then
+      failwith "campaign bench: a sweep job failed";
+    (Obs.Json.to_string (Campaign.report_to_json ~host:false rs), rs, secs)
+  in
+  Printf.printf "%d jobs (par_mem sweep), serial then %d workers...\n%!" total
+    workers;
+  let serial_report, rs, serial_secs = campaign 1 in
+  let parallel_report, _, parallel_secs = campaign workers in
+  let identical = String.equal serial_report parallel_report in
+  let speedup = if parallel_secs > 0.0 then serial_secs /. parallel_secs else 0.0 in
+  Printf.printf "  serial:   %6.2f s\n  %d workers: %6.2f s  (%.2fx)\n%!"
+    serial_secs workers parallel_secs speedup;
+  Printf.printf "  reports byte-identical: %s\n%!"
+    (if identical then "[ok]" else "[MISMATCH]");
+  if not identical then failwith "campaign bench: serial/parallel reports differ";
+  let total_cycles =
+    Array.fold_left
+      (fun acc r ->
+        match r.Campaign.r_outcome with
+        | Ok run -> acc + run.Core.Toolchain.cycles
+        | Error _ -> acc)
+      0 rs
+  in
+  let total_events =
+    Array.fold_left
+      (fun acc r ->
+        match r.Campaign.r_outcome with
+        | Ok run -> acc + run.Core.Toolchain.events
+        | Error _ -> acc)
+      0 rs
+  in
+  emit_record ~name:"campaign"
+    [
+      ("jobs", Obs.Json.Int total);
+      ("workers", Obs.Json.Int workers);
+      (* deterministic: sum of simulated cycles across the sweep *)
+      ("cycles", Obs.Json.Int total_cycles);
+      ("serial_seconds", Obs.Json.Float serial_secs);
+      ("parallel_seconds", Obs.Json.Float parallel_secs);
+      ("speedup", Obs.Json.Float speedup);
+      ( "events_per_sec",
+        Obs.Json.Float
+          (if parallel_secs > 0.0 then
+             float_of_int total_events /. parallel_secs
+           else 0.0) );
+      ("deterministic", Obs.Json.Bool identical);
+    ]

@@ -3,32 +3,46 @@
     "The simulator allows users to change the parameters of the simulated
     architecture...  system architects can use it to explore a much
     greater design-space of shared memory many-cores."  Three single-knob
-    sweeps on a memory-intensive kernel.  Reproduction targets: longer
-    interconnect and slower DRAM hurt; more cache modules (more banking)
-    help a scatter/gather workload. *)
+    sweeps on a memory-intensive kernel, each fanned out through the
+    campaign engine ([--jobs N] parallelizes the sweep without changing a
+    single cycle count).  Reproduction targets: longer interconnect and
+    slower DRAM hurt; more cache modules (more banking) help a
+    scatter/gather workload. *)
 
 open Bench_util
 
 let kernel = Core.Kernels.par_mem ~threads:512 ~iters:24 ~n:32768
 
-let sweep name key values =
-  subsection name;
-  Printf.printf "%16s %12s\n" key "cycles";
-  let compiled = compile kernel in
-  List.iter
+(** The full sweep as campaign job specs — also the workload of the
+    [campaign] speedup/determinism experiment ({!Exp_campaign}). *)
+let sweeps =
+  [
+    ("interconnection network latency", "icn_latency", [ 2; 6; 12; 24; 48 ]);
+    ("DRAM latency", "dram_latency", [ 20; 60; 150; 400 ]);
+    ("DRAM bandwidth (requests/cycle)", "dram_bandwidth", [ 1; 2; 4; 8 ]);
+    ("shared cache modules (banking)", "num_cache_modules", [ 2; 4; 8; 16; 32 ]);
+  ]
+
+let specs_of_sweep (_, key, values) =
+  List.map
     (fun v ->
-      let cfg =
-        Xmtsim.Config.with_overrides Xmtsim.Config.fpga64
-          [ Printf.sprintf "%s=%d" key v ]
-      in
-      let r = Core.Toolchain.run_cycle ~config:cfg compiled in
-      Printf.printf "%16d %12s\n%!" v (commas r.Core.Toolchain.cycles))
+      let point = Printf.sprintf "%s=%d" key v in
+      let config = Xmtsim.Config.with_overrides Xmtsim.Config.fpga64 [ point ] in
+      (point, Core.Toolchain.job ~name:point ~config kernel))
     values
+
+let all_specs () = List.concat_map specs_of_sweep sweeps
 
 let run () =
   section
     "\xc2\xa7III: design-space sweeps (par_mem, 512 threads, fpga64 base config)";
-  sweep "interconnection network latency" "icn_latency" [ 2; 6; 12; 24; 48 ];
-  sweep "DRAM latency" "dram_latency" [ 20; 60; 150; 400 ];
-  sweep "DRAM bandwidth (requests/cycle)" "dram_bandwidth" [ 1; 2; 4; 8 ];
-  sweep "shared cache modules (banking)" "num_cache_modules" [ 2; 4; 8; 16; 32 ]
+  List.iter
+    (fun ((name, key, values) as sweep) ->
+      subsection name;
+      Printf.printf "%16s %12s\n" key "cycles";
+      let rs = run_jobs (specs_of_sweep sweep) in
+      List.iteri
+        (fun i v ->
+          Printf.printf "%16d %12s\n%!" v (commas rs.(i).Core.Toolchain.cycles))
+        values)
+    sweeps

@@ -18,13 +18,29 @@ let experiments =
     ("serial", "§III-C: clock gating on a serial-heavy workload", Exp_serial.run);
     ("phases", "§III-F: phase sampling", Exp_phases.run);
     ("designspace", "§III: design-space sweeps", Exp_designspace.run);
+    ( "campaign",
+      "campaign engine: parallel design-space sweep, determinism + speedup",
+      Exp_campaign.run );
   ]
 
 let () =
+  (* --jobs N fans campaign-backed experiments (designspace, speedups,
+     clustering, modes, campaign) out over N worker domains *)
+  let rec strip_jobs acc = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v >= 1 -> Bench_util.jobs := v
+      | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+        exit 1);
+      strip_jobs acc rest
+    | x :: rest -> strip_jobs (x :: acc) rest
+    | [] -> List.rev acc
+  in
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map (fun (n, _, _) -> n) experiments
+    match strip_jobs [] (List.tl (Array.to_list Sys.argv)) with
+    | _ :: _ as names -> names
+    | [] -> List.map (fun (n, _, _) -> n) experiments
   in
   let t0 = Unix.gettimeofday () in
   List.iter

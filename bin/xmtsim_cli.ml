@@ -11,10 +11,97 @@ let read_file path =
   let ic = open_in path in
   Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
 
+(* -------- campaign mode (--campaign FILE.json --jobs N) -------- *)
+
+let run_campaign_cmd ~file ~jobs ~retries ~export =
+  List.iter
+    (fun kind ->
+      if export kind <> None then begin
+        Printf.eprintf
+          "xmtsim: --export %s applies to single runs; the campaign report \
+           carries per-job stats instead\n"
+          kind;
+        exit 1
+      end)
+    [ "stats"; "trace"; "timeseries" ];
+  let specs =
+    try Campaign.load_file file with
+    | Campaign.Spec_error msg | Xmtsim.Config.Bad_config msg ->
+      Printf.eprintf "xmtsim: campaign %s: %s\n" file msg;
+      exit 1
+  in
+  let total = List.length specs in
+  let reg = Obs.Metrics.create () in
+  let results =
+    Campaign.run ~jobs ~retries ~metrics:reg
+      ~on_event:(Campaign.progress_printer ~total)
+      specs
+  in
+  let report_path = Option.value ~default:"campaign.json" (export "campaign") in
+  Obs.Json.write_path ~pretty:true report_path
+    (Campaign.report_to_json ~workers:jobs results);
+  (match export "campaign-det" with
+  | Some p ->
+    Obs.Json.write_path ~pretty:true p
+      (Campaign.report_to_json ~host:false results)
+  | None -> ());
+  let ok = Campaign.ok_count results and failed = Campaign.failed_count results in
+  let wall =
+    Option.value ~default:0.0 (Obs.Metrics.gauge_value reg "campaign.wall_seconds")
+  in
+  (* the human summary goes to stderr so stdout stays pure JSON when a
+     report is exported to "-" *)
+  Printf.eprintf "campaign: %d jobs, %d ok, %d failed, %.2fs wall (%d worker%s)\n"
+    total ok failed wall jobs
+    (if jobs = 1 then "" else "s");
+  if report_path <> "-" then Printf.eprintf "report written to %s\n" report_path;
+  exit (if failed > 0 then 1 else 0)
+
 let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
-    checkpoint_out checkpoint_at checkpoint_in stats_json trace_json
-    timeseries_json governor governor_interval no_clock_gating =
+    checkpoint_out checkpoint_at checkpoint_in stats_json_flag trace_json_flag
+    timeseries_json_flag governor governor_interval no_clock_gating exports
+    campaign_file jobs retries =
+  (* resolve the export sinks: --export KIND[=PATH] plus the deprecated
+     one-flag-per-sink aliases (kept so existing scripts still run) *)
+  let deprecated flag kind path =
+    match path with
+    | None -> []
+    | Some p ->
+      Printf.eprintf "xmtsim: warning: %s is deprecated; use --export %s=%s\n%!"
+        flag kind p;
+      [ (kind, p) ]
+  in
+  let exports =
+    exports
+    @ deprecated "--stats-json" "stats" stats_json_flag
+    @ deprecated "--trace-json" "trace" trace_json_flag
+    @ deprecated "--timeseries-json" "timeseries" timeseries_json_flag
+  in
+  let export kind =
+    List.fold_left (fun acc (k, p) -> if k = kind then Some p else acc) None
+      exports
+  in
+  (match campaign_file with
+  | Some file -> run_campaign_cmd ~file ~jobs ~retries ~export
+  | None -> ());
+  let input =
+    match input with
+    | Some i -> i
+    | None ->
+      Printf.eprintf "xmtsim: need an input FILE.{c,s} (or --campaign FILE.json)\n";
+      exit 1
+  in
+  let stats_json = export "stats" in
+  let trace_json = export "trace" in
+  let timeseries_json = export "timeseries" in
+  List.iter
+    (fun kind ->
+      if export kind <> None then begin
+        Printf.eprintf "xmtsim: --export %s needs --campaign\n" kind;
+        exit 1
+      end)
+    [ "campaign"; "campaign-det" ];
   let config =
     match List.assoc_opt preset Xmtsim.Config.presets with
     | Some c -> (
@@ -53,8 +140,8 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
         flag;
       exit 2
     in
-    if trace_json <> None then reject "--trace-json";
-    if timeseries_json <> None then reject "--timeseries-json";
+    if trace_json <> None then reject "--export trace";
+    if timeseries_json <> None then reject "--export timeseries";
     if governor then reject "--governor";
     let host_t0 = Unix.gettimeofday () in
     let r = Xmtsim.Functional_mode.run image in
@@ -298,7 +385,29 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     | _ -> ()
   end
 
-let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.{c,s}")
+let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.{c,s}")
+
+let export_conv =
+  let parse s =
+    let kind, path =
+      match String.index_opt s '=' with
+      | Some i ->
+        ( String.sub s 0 i,
+          Some (String.sub s (i + 1) (String.length s - i - 1)) )
+      | None -> (s, None)
+    in
+    match kind with
+    | "stats" | "trace" | "timeseries" | "campaign" | "campaign-det" ->
+      Ok (kind, Option.value ~default:(kind ^ ".json") path)
+    | other ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown export kind %S (stats|trace|timeseries|campaign|campaign-det)"
+             other))
+  in
+  let print ppf (k, p) = Format.fprintf ppf "%s=%s" k p in
+  Arg.conv (parse, print)
 
 let preset =
   Arg.(value & opt string "fpga64" & info [ "c"; "config" ] ~docv:"PRESET"
@@ -341,18 +450,12 @@ let cmd =
       $ Arg.(value & opt (some file) None & info [ "checkpoint-in" ] ~docv:"FILE"
                ~doc:"Restore a checkpoint before the run.")
       $ Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
-               ~doc:"Write all metrics (activity counters, cache hit rates, \
-                     memory-request latency histograms, host throughput) as \
-                     JSON.  Use - for stdout.")
+               ~doc:"Deprecated alias for --export stats=FILE.")
       $ Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
-               ~doc:"Write a Chrome trace-event JSON span trace (open in \
-                     Perfetto or chrome://tracing).  Use - for stdout.  \
-                     Cycle-accurate mode only.")
+               ~doc:"Deprecated alias for --export trace=FILE.")
       $ Arg.(value & opt (some string) None & info [ "timeseries-json" ]
                ~docv:"FILE"
-               ~doc:"Write the windowed telemetry timeseries (execution \
-                     profile and, with --governor, the governor channels) as \
-                     JSON.  Use - for stdout.  Cycle-accurate mode only.")
+               ~doc:"Deprecated alias for --export timeseries=FILE.")
       $ Arg.(value & flag & info [ "governor" ]
                ~doc:"Enable the telemetry-driven DVFS governor: thresholds \
                      on windowed ICN backlog and modeled temperature \
@@ -367,6 +470,30 @@ let cmd =
                      counts, output and stats are bit-identical either \
                      way — this flag only exists to measure the host-side \
                      event-count reduction (compare host.events_processed \
-                     in --stats-json)."))
+                     in --export stats).")
+      $ Arg.(value & opt_all export_conv [] & info [ "export" ]
+               ~docv:"KIND[=PATH]"
+               ~doc:"Write a JSON export (repeatable).  KIND is stats \
+                     (metrics: activity counters, cache hit rates, latency \
+                     histograms, host throughput), trace (Chrome \
+                     trace-event spans; cycle-accurate mode only), \
+                     timeseries (windowed telemetry; cycle-accurate mode \
+                     only), campaign (the xmt.campaign.v1 report; with \
+                     --campaign) or campaign-det (the report without \
+                     host-dependent fields — byte-identical across worker \
+                     counts, for determinism diffs).  PATH defaults to \
+                     KIND.json; use - for stdout.")
+      $ Arg.(value & opt (some file) None & info [ "campaign" ] ~docv:"FILE.json"
+               ~doc:"Run an xmt.campaign.v1 campaign: independent \
+                     compile+simulate jobs fanned out over --jobs worker \
+                     domains with per-job fault isolation and deterministic \
+                     result ordering.  Writes the campaign report (see \
+                     --export campaign) and exits nonzero if any job \
+                     failed.")
+      $ Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+               ~doc:"Worker domains for --campaign (1 = serial; results \
+                     are byte-identical for any value).")
+      $ Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+               ~doc:"Per-job retry budget for --campaign."))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,391 @@
+(** Parallel simulation-campaign engine — see campaign.mli.
+
+    The pool is hand-rolled on OCaml domains: a shared atomic cursor
+    hands out job indices, each worker loops compile+simulate until the
+    cursor runs off the end, and every result lands in its submission
+    slot — so ordering is deterministic whatever the completion order.
+    All cross-domain communication is the cursor, the per-slot writes
+    (published by [Domain.join]) and one mutex serializing progress
+    events and metric updates.  Jobs share no mutable state: each job
+    re-compiles its own source (the compiler's per-domain tables make
+    that safe) and builds a fresh machine seeded from the job record. *)
+
+type failure = { f_exn : string; f_backtrace : string }
+
+type job_result = {
+  r_index : int;
+  r_name : string;
+  r_job : Core.Toolchain.job;
+  r_attempts : int;
+  r_wall_seconds : float;
+  r_outcome : (Core.Toolchain.run, failure) result;
+}
+
+type event =
+  | Job_started of { index : int; name : string }
+  | Job_finished of { index : int; name : string; wall_seconds : float }
+  | Job_failed of {
+      index : int;
+      name : string;
+      attempts : int;
+      error : string;
+    }
+
+let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics specs =
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let results = Array.make n None in
+  let cursor = Atomic.make 0 in
+  let lock = Mutex.create () in
+  (* metric handles are created up front in the calling domain — the
+     registry hashtable is not safe to grow concurrently *)
+  let m_started, m_finished, m_failed, m_wall =
+    match metrics with
+    | None -> (None, None, None, None)
+    | Some reg ->
+      ( Some
+          (Obs.Metrics.counter reg ~help:"campaign jobs started"
+             "campaign.jobs.started"),
+        Some
+          (Obs.Metrics.counter reg ~help:"campaign jobs finished ok"
+             "campaign.jobs.finished"),
+        Some
+          (Obs.Metrics.counter reg ~help:"campaign jobs failed"
+             "campaign.jobs.failed"),
+        Some
+          (Obs.Metrics.gauge reg ~help:"campaign wall-clock seconds"
+             "campaign.wall_seconds") )
+  in
+  let bump c = Option.iter (fun c -> Obs.Metrics.inc c) c in
+  let notify counter ev =
+    Mutex.protect lock (fun () ->
+        bump counter;
+        Option.iter (fun f -> f ev) on_event)
+  in
+  let attempt_job job =
+    (* bounded retry: keep the last failure if every attempt raises *)
+    let rec go k =
+      match Core.Toolchain.run_job job with
+      | r -> (k, Ok r)
+      | exception e ->
+        let f =
+          {
+            f_exn = Printexc.to_string e;
+            f_backtrace = Printexc.get_backtrace ();
+          }
+        in
+        if k <= retries then go (k + 1) else (k, Error f)
+    in
+    go 1
+  in
+  let worker () =
+    Printexc.record_backtrace true;
+    let rec loop () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        let name, job = specs.(i) in
+        notify m_started (Job_started { index = i; name });
+        let t0 = Unix.gettimeofday () in
+        let attempts, outcome = attempt_job job in
+        let wall_seconds = Unix.gettimeofday () -. t0 in
+        results.(i) <-
+          Some
+            {
+              r_index = i;
+              r_name = name;
+              r_job = job;
+              r_attempts = attempts;
+              r_wall_seconds = wall_seconds;
+              r_outcome = outcome;
+            };
+        (match outcome with
+        | Ok _ ->
+          notify m_finished (Job_finished { index = i; name; wall_seconds })
+        | Error f ->
+          notify m_failed
+            (Job_failed { index = i; name; attempts; error = f.f_exn }));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let workers = max 1 (min jobs (max 1 n)) in
+  if workers = 1 then worker ()
+  else begin
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  Option.iter (fun g -> Obs.Metrics.set g (Unix.gettimeofday () -. t0)) m_wall;
+  Array.map
+    (function Some r -> r | None -> assert false (* every slot was filled *))
+    results
+
+let ok_count rs =
+  Array.fold_left
+    (fun acc r -> if Result.is_ok r.r_outcome then acc + 1 else acc)
+    0 rs
+
+let failed_count rs = Array.length rs - ok_count rs
+
+(* ------------------------------------------------------------------ *)
+(* The xmt.campaign.v1 report *)
+
+module J = Obs.Json
+
+let stats_json (s : Xmtsim.Stats.t) =
+  J.Obj
+    [
+      ("tcu_busy_cycles", J.Int s.Xmtsim.Stats.tcu_busy_cycles);
+      ("tcu_memwait_cycles", J.Int s.Xmtsim.Stats.tcu_memwait_cycles);
+      ("icn_packets", J.Int s.Xmtsim.Stats.icn_packets);
+      ("cache_hits", J.Int s.Xmtsim.Stats.cache_hits);
+      ("cache_misses", J.Int s.Xmtsim.Stats.cache_misses);
+      ("rocache_hits", J.Int s.Xmtsim.Stats.rocache_hits);
+      ("rocache_misses", J.Int s.Xmtsim.Stats.rocache_misses);
+      ("dram_reads", J.Int s.Xmtsim.Stats.dram_reads);
+      ("ps_ops", J.Int s.Xmtsim.Stats.ps_ops);
+      ("spawns", J.Int s.Xmtsim.Stats.spawns);
+      ("virtual_threads", J.Int s.Xmtsim.Stats.virtual_threads);
+    ]
+
+let result_json ~host r =
+  let base =
+    [
+      ("index", J.Int r.r_index);
+      ("name", J.Str r.r_name);
+      ("config", J.Str r.r_job.Core.Toolchain.config.Xmtsim.Config.name);
+      ( "mode",
+        J.Str (Core.Toolchain.mode_name r.r_job.Core.Toolchain.mode) );
+      ( "seed",
+        match r.r_job.Core.Toolchain.seed with
+        | Some s -> J.Int s
+        | None -> J.Int r.r_job.Core.Toolchain.config.Xmtsim.Config.seed );
+      ("attempts", J.Int r.r_attempts);
+    ]
+  in
+  let outcome =
+    match r.r_outcome with
+    | Ok run ->
+      [
+        ("status", J.Str "ok");
+        ("cycles", J.Int run.Core.Toolchain.cycles);
+        ("instructions", J.Int run.Core.Toolchain.instructions);
+        ("events", J.Int run.Core.Toolchain.events);
+        ("output", J.Str run.Core.Toolchain.output);
+        ("stats", stats_json run.Core.Toolchain.stats);
+      ]
+    | Error f ->
+      ("status", J.Str "failed")
+      :: ("error", J.Str f.f_exn)
+      ::
+      (if host then [ ("backtrace", J.Str f.f_backtrace) ] else [])
+  in
+  let host_fields =
+    if host then [ ("wall_seconds", J.Float r.r_wall_seconds) ] else []
+  in
+  J.Obj (base @ outcome @ host_fields)
+
+let report_to_json ?(host = true) ?workers rs =
+  let sum f =
+    Array.fold_left
+      (fun acc r ->
+        match r.r_outcome with Ok run -> acc + f run | Error _ -> acc)
+      0 rs
+  in
+  let wall = Array.fold_left (fun acc r -> acc +. r.r_wall_seconds) 0.0 rs in
+  let aggregate =
+    [
+      ("ok", J.Int (ok_count rs));
+      ("failed", J.Int (failed_count rs));
+      ("total_cycles", J.Int (sum (fun r -> r.Core.Toolchain.cycles)));
+      ( "total_instructions",
+        J.Int (sum (fun r -> r.Core.Toolchain.instructions)) );
+      ("total_events", J.Int (sum (fun r -> r.Core.Toolchain.events)));
+    ]
+    @
+    if host then
+      [
+        ("job_wall_seconds", J.Float wall);
+        ( "jobs_per_sec",
+          J.Float
+            (if wall > 0.0 then float_of_int (Array.length rs) /. wall
+             else 0.0) );
+      ]
+    else []
+  in
+  J.Obj
+    ([ ("schema", J.Str "xmt.campaign.v1"); ("jobs", J.Int (Array.length rs)) ]
+    @ (match workers with
+      | Some w when host -> [ ("workers", J.Int w) ]
+      | _ -> [])
+    @ [
+        ( "results",
+          J.List (Array.to_list (Array.map (result_json ~host) rs)) );
+        ("aggregate", J.Obj aggregate);
+      ])
+
+let progress_printer ~total =
+  let done_ = ref 0 in
+  fun ev ->
+    match ev with
+    | Job_started _ -> ()
+    | Job_finished { name; wall_seconds; _ } ->
+      incr done_;
+      Printf.eprintf "[%d/%d] %s ok (%.2fs)\n%!" !done_ total name wall_seconds
+    | Job_failed { name; attempts; error; _ } ->
+      incr done_;
+      Printf.eprintf "[%d/%d] %s FAILED after %d attempt%s: %s\n%!" !done_
+        total name attempts
+        (if attempts = 1 then "" else "s")
+        error
+
+(* ------------------------------------------------------------------ *)
+(* Campaign files (xmt.campaign.v1 input) *)
+
+exception Spec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Spec_error s)) fmt
+
+let opt_str name j =
+  match J.member name j with
+  | Some (J.Str s) -> Some s
+  | Some J.Null | None -> None
+  | Some _ -> fail "%S must be a string" name
+
+let opt_int name j =
+  match J.member name j with
+  | Some v -> (
+    match J.to_int v with
+    | Some i -> Some i
+    | None -> fail "%S must be an integer" name)
+  | None -> None
+
+let opt_bool name j =
+  match J.member name j with
+  | Some (J.Bool b) -> Some b
+  | Some _ -> fail "%S must be a boolean" name
+  | None -> None
+
+let str_list name j =
+  match J.member name j with
+  | Some (J.List xs) ->
+    List.map
+      (function J.Str s -> s | _ -> fail "%S must be a list of strings" name)
+      xs
+  | Some _ -> fail "%S must be a list of strings" name
+  | None -> []
+
+let read_file path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> In_channel.input_all ic)
+  | exception Sys_error msg -> fail "cannot read %s: %s" path msg
+
+(* job-level value with a campaign-level fallback *)
+let inherited get job defaults =
+  match get job with Some _ as v -> v | None -> get defaults
+
+let options_of_json defaults j =
+  let merged name =
+    match (J.member name j, defaults) with
+    | (Some _ as v), _ -> v
+    | None, Some d -> J.member name d
+    | None, None -> None
+  in
+  let o = J.Obj (List.filter_map (fun n -> Option.map (fun v -> (n, v)) (merged n))
+                   [ "opt_level"; "cluster"; "prefetch"; "prefetch_max_per_block";
+                     "nbstore"; "fences"; "layout_opt"; "postpass_fix"; "outline" ])
+  in
+  let d = Compiler.Driver.default_options in
+  let iv name default = Option.value ~default (opt_int name o) in
+  let bv name default = Option.value ~default (opt_bool name o) in
+  {
+    Compiler.Driver.opt_level = iv "opt_level" d.Compiler.Driver.opt_level;
+    prefetch = bv "prefetch" d.Compiler.Driver.prefetch;
+    prefetch_max_per_block =
+      iv "prefetch_max_per_block" d.Compiler.Driver.prefetch_max_per_block;
+    nbstore = bv "nbstore" d.Compiler.Driver.nbstore;
+    fences = bv "fences" d.Compiler.Driver.fences;
+    cluster = iv "cluster" d.Compiler.Driver.cluster;
+    layout_opt = bv "layout_opt" d.Compiler.Driver.layout_opt;
+    postpass_fix = bv "postpass_fix" d.Compiler.Driver.postpass_fix;
+    outline = bv "outline" d.Compiler.Driver.outline;
+  }
+
+let job_of_json ?(dir = Filename.current_dir_name) ~defaults ~index j =
+  let resolve p = if Filename.is_relative p then Filename.concat dir p else p in
+  let name =
+    match opt_str "name" j with
+    | Some n -> n
+    | None -> Printf.sprintf "job%d" index
+  in
+  let source =
+    match (opt_str "inline" j, inherited (opt_str "source") j defaults) with
+    | Some text, _ -> text
+    | None, Some path -> read_file (resolve path)
+    | None, None -> fail "job %S: needs \"source\" (path) or \"inline\" (text)" name
+  in
+  let preset =
+    match inherited (opt_str "preset") j defaults with
+    | Some p -> p
+    | None -> "fpga64"
+  in
+  let config =
+    match List.assoc_opt preset Xmtsim.Config.presets with
+    | Some c -> c
+    | None ->
+      fail "job %S: unknown preset %S (have: %s)" name preset
+        (String.concat ", " (List.map fst Xmtsim.Config.presets))
+  in
+  (* campaign-level overrides apply first, then the job's own *)
+  let config =
+    Xmtsim.Config.with_overrides config (str_list "set" defaults @ str_list "set" j)
+  in
+  let mode =
+    match inherited (opt_str "mode") j defaults with
+    | Some "cycle" | None -> Core.Toolchain.Cycle
+    | Some "functional" -> Core.Toolchain.Functional
+    | Some other -> fail "job %S: mode must be cycle|functional, got %S" name other
+  in
+  let memmap =
+    match inherited (opt_str "memmap") j defaults with
+    | Some p -> Isa.Memmap.parse_file (resolve p)
+    | None -> []
+  in
+  let options =
+    options_of_json (J.member "options" defaults) (Option.value ~default:(J.Obj []) (J.member "options" j))
+  in
+  let job =
+    Core.Toolchain.job ~name ~options ~memmap ~config ~mode
+      ?seed:(inherited (opt_int "seed") j defaults)
+      ?max_cycles:(inherited (opt_int "max_cycles") j defaults)
+      ?max_instructions:(inherited (opt_int "max_instructions") j defaults)
+      source
+  in
+  (* validate the sweep point now, not mid-campaign *)
+  (match mode with
+  | Core.Toolchain.Cycle -> ignore (Core.Toolchain.job_config job)
+  | Core.Toolchain.Functional -> ());
+  (name, job)
+
+let jobs_of_json ?dir j =
+  (match J.member "schema" j with
+  | Some (J.Str "xmt.campaign.v1") | None -> ()
+  | Some (J.Str other) -> fail "unsupported campaign schema %S" other
+  | Some _ -> fail "\"schema\" must be a string");
+  let defaults = Option.value ~default:(J.Obj []) (J.member "defaults" j) in
+  match J.member "jobs" j with
+  | Some (J.List (_ :: _ as jobs)) ->
+    List.mapi (fun index jj -> job_of_json ?dir ~defaults ~index jj) jobs
+  | Some (J.List []) -> fail "campaign has no jobs"
+  | _ -> fail "missing \"jobs\" list"
+
+let load_file path =
+  let text = read_file path in
+  match Obs.Json.of_string text with
+  | j -> jobs_of_json ~dir:(Filename.dirname path) j
+  | exception Obs.Json.Parse_error msg -> fail "%s: %s" path msg

@@ -1,0 +1,100 @@
+(** Parallel simulation-campaign engine.
+
+    The paper's evaluation (§V) is a campaign: dozens of independent
+    compile+simulate runs sweeping configurations, benchmarks and
+    compiler options.  Each {!Core.Toolchain.job} is self-contained, so
+    the outer loop is embarrassingly parallel; this engine fans jobs out
+    across a hand-rolled pool of OCaml domains while keeping every
+    simulated result bit-identical to a serial run:
+
+    - {b determinism}: results come back in submission order whatever
+      the completion order, and each job's RNG seed is part of the job,
+      so [run ~jobs:8] and [run ~jobs:1] agree byte-for-byte on every
+      simulated statistic;
+    - {b fault isolation}: a job that raises (compile error, inconsistent
+      config, simulator error) is captured — exception text, backtrace,
+      attempt count — in its result slot and retried up to [retries]
+      times; the other jobs are unaffected;
+    - {b observability}: progress counters land in an {!Obs.Metrics}
+      registry and an optional [on_event] callback (serialized, so it
+      may print) sees every start/finish/failure with per-job wall-clock.
+*)
+
+type failure = {
+  f_exn : string;  (** [Printexc.to_string] of the final exception *)
+  f_backtrace : string;  (** backtrace of the final attempt (host-specific) *)
+}
+
+type job_result = {
+  r_index : int;  (** position in the submitted list *)
+  r_name : string;
+  r_job : Core.Toolchain.job;
+  r_attempts : int;  (** 1 + retries actually used *)
+  r_wall_seconds : float;  (** host wall-clock of the final attempt *)
+  r_outcome : (Core.Toolchain.run, failure) result;
+}
+
+type event =
+  | Job_started of { index : int; name : string }
+  | Job_finished of { index : int; name : string; wall_seconds : float }
+  | Job_failed of {
+      index : int;
+      name : string;
+      attempts : int;
+      error : string;
+    }
+
+(** [run ~jobs specs] executes every [(name, job)] pair and returns the
+    results in submission order.
+
+    [jobs] is the worker-pool width (domains; default 1 = run everything
+    in the calling domain).  [retries] is the per-job retry budget on
+    failure (default 0).  [on_event] is called for every lifecycle event
+    under the pool lock, so callbacks may print or mutate shared state
+    without further synchronization.  [metrics] receives
+    [campaign.jobs.started] / [.finished] / [.failed] counters and the
+    [campaign.wall_seconds] gauge. *)
+val run :
+  ?jobs:int ->
+  ?retries:int ->
+  ?on_event:(event -> unit) ->
+  ?metrics:Obs.Metrics.t ->
+  (string * Core.Toolchain.job) list ->
+  job_result array
+
+val ok_count : job_result array -> int
+val failed_count : job_result array -> int
+
+(** The [xmt.campaign.v1] report: per-job stats plus an aggregate.
+    [host] (default true) includes host-dependent fields — per-job and
+    total wall-clock, throughput, worker count, backtraces.  With
+    [~host:false] the report depends only on simulated results, so a
+    parallel and a serial run of the same campaign render byte-identical
+    JSON — the determinism contract CI diffs. *)
+val report_to_json :
+  ?host:bool -> ?workers:int -> job_result array -> Obs.Json.t
+
+(** One-line progress printer for [on_event] (writes to [stderr]). *)
+val progress_printer : total:int -> event -> unit
+
+(** {1 Campaign files}
+
+    [xmt.campaign.v1] input: [{"schema": "xmt.campaign.v1", "jobs":
+    [{...}]}] where each job object takes ["name"], ["source"] (path) or
+    ["inline"] (XMTC text), ["preset"], ["set"] (override strings),
+    ["mode"] ("cycle"/"functional"), ["memmap"] (path), ["seed"],
+    ["max_cycles"], ["max_instructions"] and ["options"] (object with
+    [opt_level], [cluster], [prefetch], [nbstore], [fences], [outline]
+    booleans/ints).  A top-level ["defaults"] object provides fallbacks
+    for every job field. *)
+
+exception Spec_error of string
+
+(** Parse a campaign spec; source paths resolve relative to [dir]
+    (default the process working directory).  Raises {!Spec_error} on
+    malformed input and {!Xmtsim.Config.Bad_config} on an invalid
+    configuration. *)
+val jobs_of_json : ?dir:string -> Obs.Json.t -> (string * Core.Toolchain.job) list
+
+(** Load a campaign file; source paths resolve relative to the file. *)
+val load_file : string -> (string * Core.Toolchain.job) list

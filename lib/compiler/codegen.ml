@@ -330,6 +330,7 @@ let gen_start (prog : Ir.program) : P.item list =
   List.rev e.items
 
 let gen_program ?(layout_opt = true) (prog : Ir.program) funcs : P.t =
+  Layout.reset_labels ();
   let text =
     gen_start prog
     @ List.concat_map

@@ -16,11 +16,18 @@ type block = {
   idx : int;
 }
 
-let fresh_label =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Printf.sprintf "Lfall%d" !n
+(* Fall-through labels are program-global names, so the counter is
+   domain-local (no cross-domain races under parallel campaigns) and
+   {!reset_labels} rewinds it at the start of every program so the
+   emitted assembly is identical however many compiles ran before. *)
+let label_counter_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_labels () = Domain.DLS.get label_counter_key := 0
+
+let fresh_label () =
+  let n = Domain.DLS.get label_counter_key in
+  incr n;
+  Printf.sprintf "Lfall%d" !n
 
 (* Split items into blocks. *)
 let split items =

@@ -14,3 +14,9 @@
 (** Reorder the items of one function (first item must be its entry
     label). *)
 val run : Isa.Program.item list -> Isa.Program.item list
+
+(** Rewind this domain's fall-through label counter.  Called once per
+    program (from {!Codegen.gen_program}) so label numbering — and hence
+    the emitted assembly — does not depend on how many compiles this
+    domain ran before. *)
+val reset_labels : unit -> unit

@@ -36,9 +36,69 @@ let run_functional ?max_instructions compiled =
     stats = r.Xmtsim.Functional_mode.stats;
   }
 
+(* ------------------------------------------------------------------ *)
+(* The job-oriented surface: everything one compile+simulate needs,
+   reified as data.  The campaign engine, the benches and the CLI all
+   construct jobs; [exec] below is a thin wrapper over [run_job]. *)
+
+type mode = Cycle | Functional
+
+let mode_name = function Cycle -> "cycle" | Functional -> "functional"
+
+type job = {
+  job_name : string;
+  source : string;  (** XMTC source text *)
+  options : Compiler.Driver.options;
+  memmap : Isa.Memmap.t;
+  config : Xmtsim.Config.t;
+  mode : mode;
+  seed : int option;
+      (** deterministic per-job RNG seed; overrides [config.seed] *)
+  max_cycles : int option;  (** cycle-mode budget *)
+  max_instructions : int option;  (** functional-mode budget *)
+}
+
+let job ?(name = "") ?(options = Compiler.Driver.default_options)
+    ?(memmap = []) ?(config = Xmtsim.Config.fpga64) ?(mode = Cycle) ?seed
+    ?max_cycles ?max_instructions source =
+  {
+    job_name = name;
+    source;
+    options;
+    memmap;
+    config;
+    mode;
+    seed;
+    max_cycles;
+    max_instructions;
+  }
+
+(** The configuration a job actually simulates with: the per-job seed
+    folded in, then validated — an inconsistent sweep point fails here,
+    before the machine is built. *)
+let job_config j =
+  let c =
+    match j.seed with
+    | None -> j.config
+    | Some seed -> { j.config with Xmtsim.Config.seed }
+  in
+  Xmtsim.Config.checked c
+
+let run_job j =
+  match j.mode with
+  | Functional ->
+    let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
+    run_functional ?max_instructions:j.max_instructions compiled
+  | Cycle ->
+    let config = job_config j in
+    let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
+    run_cycle ~config ?max_cycles:j.max_cycles compiled
+
 let exec ?options ?memmap ?config ?(functional = false) src =
-  let compiled = compile ?options ?memmap src in
-  if functional then run_functional compiled else run_cycle ?config compiled
+  run_job
+    (job ?options ?memmap ?config
+       ~mode:(if functional then Functional else Cycle)
+       src)
 
 let machine ?config compiled = Xmtsim.Machine.create ?config compiled.image
 

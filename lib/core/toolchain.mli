@@ -29,7 +29,57 @@ val run_cycle :
 (** Run in the fast functional (serializing) mode. *)
 val run_functional : ?max_instructions:int -> compiled -> run
 
-(** Compile + run in one step. *)
+(** {1 The job-oriented surface}
+
+    A [job] reifies one compile+simulate as data: source, compiler
+    options, simulator configuration, mode, memory map and an optional
+    per-job RNG seed.  The campaign engine ({!Campaign}), the benches
+    and [xmtsim_cli] all construct jobs and hand them to {!run_job};
+    {!exec} is a thin wrapper kept for existing callers. *)
+
+type mode = Cycle | Functional
+
+val mode_name : mode -> string
+
+type job = {
+  job_name : string;
+  source : string;  (** XMTC source text *)
+  options : Compiler.Driver.options;
+  memmap : Isa.Memmap.t;
+  config : Xmtsim.Config.t;
+  mode : mode;
+  seed : int option;
+      (** deterministic per-job RNG seed; overrides [config.seed] *)
+  max_cycles : int option;  (** cycle-mode budget *)
+  max_instructions : int option;  (** functional-mode budget *)
+}
+
+(** Build a job; defaults: [name ""], [default_options], empty memmap,
+    {!Xmtsim.Config.fpga64}, [Cycle] mode, no seed override, no budget
+    overrides. *)
+val job :
+  ?name:string ->
+  ?options:Compiler.Driver.options ->
+  ?memmap:Isa.Memmap.t ->
+  ?config:Xmtsim.Config.t ->
+  ?mode:mode ->
+  ?seed:int ->
+  ?max_cycles:int ->
+  ?max_instructions:int ->
+  string ->
+  job
+
+(** The configuration the job simulates with: per-job [seed] folded in,
+    then validated.  Raises {!Xmtsim.Config.Bad_config} on an
+    inconsistent sweep point. *)
+val job_config : job -> Xmtsim.Config.t
+
+(** Compile and simulate one job.  Raises {!Compiler.Driver.Compile_error},
+    {!Xmtsim.Config.Bad_config} or {!Xmtsim.Machine.Sim_error} on failure
+    — the campaign engine captures these per job. *)
+val run_job : job -> run
+
+(** Compile + run in one step (thin wrapper over {!run_job}). *)
 val exec :
   ?options:Compiler.Driver.options ->
   ?memmap:Isa.Memmap.t ->

@@ -10,23 +10,32 @@ type ty =
   | Tstruct of string  (** by name; layout in {!struct_defs} *)
 
 (** Struct layouts, populated by the typechecker for the program being
-    compiled (the compiler is single-threaded and compiles one program at
-    a time; {!reset_structs} clears stale entries). *)
-let struct_defs : (string, (string * ty) list) Hashtbl.t = Hashtbl.create 16
+    compiled.  Each domain compiles one program at a time, so the tables
+    live in domain-local storage: parallel campaign workers (one compile
+    per domain) never observe each other's structs, and {!reset_structs}
+    clears stale entries at the start of every compile. *)
+type struct_tables = {
+  defs : (string, (string * ty) list) Hashtbl.t;
+  mutable order : string list;
+}
 
-let struct_order : string list ref = ref []
+let struct_tables_key =
+  Domain.DLS.new_key (fun () -> { defs = Hashtbl.create 16; order = [] })
+
+let struct_tables () = Domain.DLS.get struct_tables_key
 
 let reset_structs () =
-  Hashtbl.reset struct_defs;
-  struct_order := []
+  let t = struct_tables () in
+  Hashtbl.reset t.defs;
+  t.order <- []
 
 let define_struct name fields =
-  if not (Hashtbl.mem struct_defs name) then
-    struct_order := !struct_order @ [ name ];
-  Hashtbl.replace struct_defs name fields
+  let t = struct_tables () in
+  if not (Hashtbl.mem t.defs name) then t.order <- t.order @ [ name ];
+  Hashtbl.replace t.defs name fields
 
-let struct_fields name = Hashtbl.find_opt struct_defs name
-let defined_structs () = !struct_order
+let struct_fields name = Hashtbl.find_opt (struct_tables ()).defs name
+let defined_structs () = (struct_tables ()).order
 
 type unop = Neg | Bnot  (** -e, ~e *)
 

@@ -187,13 +187,124 @@ let with_override (c : t) key value =
   | "max_cycles" -> { c with max_cycles = iv () }
   | other -> raise (Bad_config ("unknown configuration key " ^ other))
 
-(** Apply a list of "key=value" strings. *)
+(* ------------------------------------------------------------------ *)
+(* Validation: reject machines the simulator cannot build or that would
+   crash mid-run (zero-sized topologies, zero-way caches, stopped
+   clocks).  Sweep generators go through {!make} / [with_*] /
+   {!with_overrides}, so a bad point fails at construction, before any
+   campaign job is spawned. *)
+
+let validate c =
+  let problems = ref [] in
+  let need ok msg = if not ok then problems := msg :: !problems in
+  let pos name v = need (v >= 1) (name ^ " must be >= 1") in
+  let nonneg name v = need (v >= 0) (name ^ " must be >= 0") in
+  pos "num_clusters" c.num_clusters;
+  pos "tcus_per_cluster" c.tcus_per_cluster;
+  pos "mdus_per_cluster" c.mdus_per_cluster;
+  pos "fpus_per_cluster" c.fpus_per_cluster;
+  pos "mul_latency" c.mul_latency;
+  pos "div_latency" c.div_latency;
+  pos "fpu_latency" c.fpu_latency;
+  pos "sqrt_latency" c.sqrt_latency;
+  nonneg "prefetch_buffer_size" c.prefetch_buffer_size;
+  pos "rocache_lines" c.rocache_lines;
+  pos "rocache_hit_latency" c.rocache_hit_latency;
+  pos "icn_latency" c.icn_latency;
+  nonneg "icn_jitter" c.icn_jitter;
+  pos "cluster_inject_width" c.cluster_inject_width;
+  pos "cluster_return_width" c.cluster_return_width;
+  pos "num_cache_modules" c.num_cache_modules;
+  pos "cache_lines" c.cache_lines;
+  pos "cache_assoc" c.cache_assoc;
+  pos "cache_line_words" c.cache_line_words;
+  pos "cache_hit_latency" c.cache_hit_latency;
+  pos "cache_ports" c.cache_ports;
+  pos "dram_latency" c.dram_latency;
+  pos "dram_bandwidth" c.dram_bandwidth;
+  pos "master_cache_lines" c.master_cache_lines;
+  pos "master_cache_hit_latency" c.master_cache_hit_latency;
+  pos "ps_latency" c.ps_latency;
+  nonneg "spawn_overhead" c.spawn_overhead;
+  nonneg "join_overhead" c.join_overhead;
+  pos "cluster_period" c.cluster_period;
+  pos "icn_period" c.icn_period;
+  pos "cache_period" c.cache_period;
+  pos "dram_period" c.dram_period;
+  pos "max_cycles" c.max_cycles;
+  match List.rev !problems with
+  | [] -> Ok c
+  | ps -> Error (Printf.sprintf "config %s: %s" c.name (String.concat "; " ps))
+
+let checked c =
+  match validate c with Ok c -> c | Error msg -> raise (Bad_config msg)
+
+(** Validated smart constructor: every field defaults from [base]
+    (default {!fpga64}); the result is checked before it escapes. *)
+let make ?(base = fpga64) ?name ?num_clusters ?tcus_per_cluster
+    ?mdus_per_cluster ?fpus_per_cluster ?prefetch_buffer_size ?prefetch_policy
+    ?rocache_lines ?icn_latency ?icn_jitter ?num_cache_modules ?cache_lines
+    ?cache_assoc ?cache_line_words ?cache_hit_latency ?cache_ports
+    ?dram_latency ?dram_bandwidth ?master_cache_lines ?ps_latency
+    ?spawn_overhead ?join_overhead ?cluster_period ?icn_period ?cache_period
+    ?dram_period ?seed ?max_cycles () =
+  let v default = Option.value ~default in
+  checked
+    {
+      base with
+      name = v base.name name;
+      num_clusters = v base.num_clusters num_clusters;
+      tcus_per_cluster = v base.tcus_per_cluster tcus_per_cluster;
+      mdus_per_cluster = v base.mdus_per_cluster mdus_per_cluster;
+      fpus_per_cluster = v base.fpus_per_cluster fpus_per_cluster;
+      prefetch_buffer_size = v base.prefetch_buffer_size prefetch_buffer_size;
+      prefetch_policy = v base.prefetch_policy prefetch_policy;
+      rocache_lines = v base.rocache_lines rocache_lines;
+      icn_latency = v base.icn_latency icn_latency;
+      icn_jitter = v base.icn_jitter icn_jitter;
+      num_cache_modules = v base.num_cache_modules num_cache_modules;
+      cache_lines = v base.cache_lines cache_lines;
+      cache_assoc = v base.cache_assoc cache_assoc;
+      cache_line_words = v base.cache_line_words cache_line_words;
+      cache_hit_latency = v base.cache_hit_latency cache_hit_latency;
+      cache_ports = v base.cache_ports cache_ports;
+      dram_latency = v base.dram_latency dram_latency;
+      dram_bandwidth = v base.dram_bandwidth dram_bandwidth;
+      master_cache_lines = v base.master_cache_lines master_cache_lines;
+      ps_latency = v base.ps_latency ps_latency;
+      spawn_overhead = v base.spawn_overhead spawn_overhead;
+      join_overhead = v base.join_overhead join_overhead;
+      cluster_period = v base.cluster_period cluster_period;
+      icn_period = v base.icn_period icn_period;
+      cache_period = v base.cache_period cache_period;
+      dram_period = v base.dram_period dram_period;
+      seed = v base.seed seed;
+      max_cycles = v base.max_cycles max_cycles;
+    }
+
+let with_name c name = { c with name }
+let with_seed c seed = { c with seed }
+let with_max_cycles c max_cycles = checked { c with max_cycles }
+
+let with_topology ?num_clusters ?tcus_per_cluster ?num_cache_modules c =
+  make ~base:c ?num_clusters ?tcus_per_cluster ?num_cache_modules ()
+
+let with_memory ?cache_lines ?cache_assoc ?dram_latency ?dram_bandwidth c =
+  make ~base:c ?cache_lines ?cache_assoc ?dram_latency ?dram_bandwidth ()
+
+let with_periods ?cluster ?icn ?cache ?dram c =
+  make ~base:c ?cluster_period:cluster ?icn_period:icn ?cache_period:cache
+    ?dram_period:dram ()
+
+(** Apply a list of "key=value" strings; the final configuration is
+    validated, so a sweep generator cannot emit a crashing machine. *)
 let with_overrides c kvs =
-  List.fold_left
-    (fun c kv ->
-      match String.index_opt kv '=' with
-      | Some i ->
-        with_override c (String.sub kv 0 i)
-          (String.sub kv (i + 1) (String.length kv - i - 1))
-      | None -> raise (Bad_config ("expected key=value, got " ^ kv)))
-    c kvs
+  checked
+    (List.fold_left
+       (fun c kv ->
+         match String.index_opt kv '=' with
+         | Some i ->
+           with_override c (String.sub kv 0 i)
+             (String.sub kv (i + 1) (String.length kv - i - 1))
+         | None -> raise (Bad_config ("expected key=value, got " ^ kv)))
+       c kvs)

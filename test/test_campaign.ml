@@ -1,0 +1,242 @@
+(** Campaign engine: parallel-vs-serial determinism, fault isolation,
+    retry accounting, the job-oriented Toolchain API and the validated
+    Config constructors it rides on. *)
+
+module C = Xmtsim.Config
+module T = Core.Toolchain
+
+let tiny_job ?mode ?seed n =
+  let name = Printf.sprintf "vecadd-%d" n in
+  (name, T.job ~name ?mode ?seed ~config:C.tiny (Core.Kernels.vecadd ~n))
+
+(* ---- determinism: serial and 2-domain runs are byte-identical ---- *)
+
+let det_specs () =
+  (* 9 jobs over distinct sizes/seeds/modes: enough to interleave *)
+  List.concat
+    [
+      List.map (fun n -> tiny_job n) [ 16; 24; 32; 48 ];
+      List.map (fun n -> tiny_job ~seed:(n * 7) n) [ 20; 28 ];
+      List.map (fun n -> tiny_job ~mode:T.Functional n) [ 16; 40 ];
+      [ tiny_job 64 ];
+    ]
+
+let report rs = Obs.Json.to_string (Campaign.report_to_json ~host:false rs)
+
+let parallel_matches_serial () =
+  let specs = det_specs () in
+  let serial = Campaign.run ~jobs:1 specs in
+  let parallel = Campaign.run ~jobs:2 specs in
+  Tu.check_int "all ok (serial)" (List.length specs) (Campaign.ok_count serial);
+  Tu.check_int "all ok (parallel)" (List.length specs)
+    (Campaign.ok_count parallel);
+  Tu.check_string "reports byte-identical" (report serial) (report parallel)
+
+let order_is_submission_order () =
+  let specs = det_specs () in
+  let rs = Campaign.run ~jobs:3 specs in
+  List.iteri
+    (fun i (name, _) ->
+      Tu.check_int "index" i rs.(i).Campaign.r_index;
+      Tu.check_string "name" name rs.(i).Campaign.r_name)
+    specs
+
+(* ---- fault isolation ---- *)
+
+let failures_are_isolated () =
+  let good n = tiny_job n in
+  let specs =
+    [
+      good 16;
+      (* compile error: undeclared identifier *)
+      ("bad-source", T.job ~name:"bad-source" ~config:C.tiny "int main() { return undeclared_thing; }");
+      good 24;
+      (* cycle budget exhausted mid-simulation *)
+      ( "starved",
+        T.job ~name:"starved" ~config:C.tiny ~max_cycles:10
+          (Core.Kernels.vecadd ~n:64) );
+      good 32;
+    ]
+  in
+  let rs = Campaign.run ~jobs:2 specs in
+  Tu.check_int "ok count" 3 (Campaign.ok_count rs);
+  Tu.check_int "failed count" 2 (Campaign.failed_count rs);
+  (match rs.(1).Campaign.r_outcome with
+  | Error f -> Tu.check_bool "error text nonempty" true (f.Campaign.f_exn <> "")
+  | Ok _ -> Alcotest.fail "bad-source unexpectedly succeeded");
+  (match rs.(3).Campaign.r_outcome with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "starved job unexpectedly succeeded");
+  (* neighbours of the failures are intact *)
+  List.iter
+    (fun i ->
+      match rs.(i).Campaign.r_outcome with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "job %d poisoned: %s" i f.Campaign.f_exn)
+    [ 0; 2; 4 ]
+
+let failed_jobs_are_retried () =
+  let specs =
+    [
+      ("boom", T.job ~name:"boom" ~config:C.tiny "not even c");
+      tiny_job 16;
+    ]
+  in
+  let rs = Campaign.run ~jobs:1 ~retries:2 specs in
+  Tu.check_int "failed attempts = 1 + retries" 3 rs.(0).Campaign.r_attempts;
+  Tu.check_int "success takes one attempt" 1 rs.(1).Campaign.r_attempts
+
+let events_cover_every_job () =
+  let started = ref 0 and finished = ref 0 and failed = ref 0 in
+  let on_event = function
+    | Campaign.Job_started _ -> incr started
+    | Campaign.Job_finished _ -> incr finished
+    | Campaign.Job_failed _ -> incr failed
+  in
+  let specs =
+    [ tiny_job 16; ("bad", T.job ~name:"bad" ~config:C.tiny "}{"); tiny_job 24 ]
+  in
+  let reg = Obs.Metrics.create () in
+  let rs = Campaign.run ~jobs:2 ~on_event ~metrics:reg specs in
+  Tu.check_int "started events" 3 !started;
+  Tu.check_int "finished events" 2 !finished;
+  Tu.check_int "failed events" 1 !failed;
+  Tu.check_int "ok" 2 (Campaign.ok_count rs);
+  Tu.check_bool "wall gauge set" true
+    (Option.value ~default:0.0
+       (Obs.Metrics.gauge_value reg "campaign.wall_seconds")
+    > 0.0)
+
+(* ---- the job-oriented Toolchain API ---- *)
+
+let run_job_matches_wrappers () =
+  let src = Core.Kernels.vecadd ~n:32 in
+  let via_job =
+    T.run_job (T.job ~name:"j" ~config:C.tiny src)
+  in
+  let via_exec = T.exec ~config:C.tiny src in
+  Tu.check_string "output" via_exec.T.output via_job.T.output;
+  Tu.check_int "cycles" via_exec.T.cycles via_job.T.cycles;
+  let f_job = T.run_job (T.job ~mode:T.Functional src) in
+  let f_exec = T.exec ~functional:true src in
+  Tu.check_string "functional output" f_exec.T.output f_job.T.output
+
+let job_seed_overrides_config () =
+  let j = T.job ~config:C.tiny ~seed:12345 (Core.Kernels.vecadd ~n:16) in
+  Tu.check_int "seed folded into config" 12345 (T.job_config j).C.seed
+
+(* ---- validated Config constructors ---- *)
+
+let bad_configs_are_rejected () =
+  let rejects name f =
+    match f () with
+    | exception C.Bad_config _ -> ()
+    | _ -> Alcotest.failf "%s: Bad_config expected" name
+  in
+  rejects "override num_clusters=0" (fun () ->
+      C.with_overrides C.tiny [ "num_clusters=0" ]);
+  rejects "make dram_latency=-1" (fun () -> C.make ~dram_latency:(-1) ());
+  rejects "make num_cache_modules=0" (fun () -> C.make ~num_cache_modules:0 ());
+  rejects "with_topology tcus=0" (fun () ->
+      C.with_topology C.tiny ~num_clusters:2 ~tcus_per_cluster:0)
+
+let validate_lists_problems () =
+  match C.validate { C.tiny with C.num_clusters = 0; C.dram_latency = -5 } with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error msg ->
+    let has sub =
+      let n = String.length msg and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+      go 0
+    in
+    Tu.check_bool "mentions num_clusters" true (has "num_clusters");
+    Tu.check_bool "mentions dram_latency" true (has "dram_latency")
+
+let make_builds_valid_machines () =
+  let c = C.make ~name:"custom" ~num_clusters:2 ~tcus_per_cluster:4 ~seed:9 () in
+  Tu.check_string "name" "custom" c.C.name;
+  Tu.check_int "tcus" 8 (C.num_tcus c);
+  Tu.check_int "seed" 9 c.C.seed;
+  (* base defaults come from fpga64 *)
+  Tu.check_int "inherited dram_latency" C.fpga64.C.dram_latency c.C.dram_latency
+
+(* ---- campaign spec files ---- *)
+
+let spec_parsing () =
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "xmt.campaign.v1");
+        ( "defaults",
+          Obs.Json.Obj
+            [ ("preset", Obs.Json.Str "tiny"); ("seed", Obs.Json.Int 7) ] );
+        ( "jobs",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str "a");
+                  ("inline", Obs.Json.Str (Core.Kernels.vecadd ~n:16));
+                ];
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str "b");
+                  ("inline", Obs.Json.Str (Core.Kernels.vecadd ~n:24));
+                  ("mode", Obs.Json.Str "functional");
+                  ("seed", Obs.Json.Int 3);
+                  ("set", Obs.Json.List [ Obs.Json.Str "dram_latency=9" ]);
+                ];
+            ] );
+      ]
+  in
+  let specs = Campaign.jobs_of_json json in
+  Tu.check_int "two jobs" 2 (List.length specs);
+  let _, a = List.nth specs 0 and _, b = List.nth specs 1 in
+  Tu.check_string "preset default applies" "tiny" (T.job_config a).C.name;
+  Tu.check_int "default seed" 7 (T.job_config a).C.seed;
+  Tu.check_string "mode" "functional" (T.mode_name b.T.mode);
+  let rs = Campaign.run ~jobs:2 specs in
+  Tu.check_int "spec campaign runs" 2 (Campaign.ok_count rs)
+
+let spec_errors () =
+  let rejects json =
+    match Campaign.jobs_of_json json with
+    | exception Campaign.Spec_error _ -> ()
+    | _ -> Alcotest.fail "Spec_error expected"
+  in
+  rejects (Obs.Json.Obj [ ("schema", Obs.Json.Str "nope") ]);
+  rejects
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.Str "xmt.campaign.v1");
+         ("jobs", Obs.Json.List [ Obs.Json.Obj [ ("name", Obs.Json.Str "x") ] ]);
+       ])
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "determinism",
+        [
+          Tu.tc "parallel report matches serial" parallel_matches_serial;
+          Tu.tc "submission order preserved" order_is_submission_order;
+        ] );
+      ( "fault isolation",
+        [
+          Tu.tc "failures isolated" failures_are_isolated;
+          Tu.tc "retry accounting" failed_jobs_are_retried;
+          Tu.tc "events and metrics" events_cover_every_job;
+        ] );
+      ( "job api",
+        [
+          Tu.tc "run_job matches wrappers" run_job_matches_wrappers;
+          Tu.tc "job seed overrides config" job_seed_overrides_config;
+        ] );
+      ( "config validation",
+        [
+          Tu.tc "bad configs rejected" bad_configs_are_rejected;
+          Tu.tc "validate lists problems" validate_lists_problems;
+          Tu.tc "make builds valid machines" make_builds_valid_machines;
+        ] );
+      ( "spec files",
+        [ Tu.tc "parsing" spec_parsing; Tu.tc "errors" spec_errors ] );
+    ]

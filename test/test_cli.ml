@@ -43,6 +43,11 @@ let run_cmd args =
   in
   (code, read out, read err)
 
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let functional_trace_json_rejected () =
   with_src (fun src ->
       let code, _, err = run_cmd [ xmtsim; src; "--functional"; "--trace-json"; "t.json" ] in
@@ -109,6 +114,94 @@ let functional_stats_json_still_works () =
       Tu.check_bool "schema v2" true
         (J.member "schema" j = Some (J.Str "xmt.metrics.v2")))
 
+let export_flag_to_stdout () =
+  with_src (fun src ->
+      let code, out, err = run_cmd [ xmtsim; src; "--export"; "stats=-" ] in
+      Tu.check_int "exit 0" 0 code;
+      Tu.check_bool "no deprecation warning" false (contains "deprecated" err);
+      let j = J.of_string out in
+      Tu.check_bool "schema v2" true
+        (J.member "schema" j = Some (J.Str "xmt.metrics.v2")))
+
+let deprecated_alias_warns () =
+  with_src (fun src ->
+      let code, out, err = run_cmd [ xmtsim; src; "--stats-json"; "-" ] in
+      Tu.check_int "alias still works" 0 code;
+      Tu.check_bool "warns on stderr" true
+        (contains "deprecated" err && contains "--export stats" err);
+      Tu.check_bool "payload unchanged" true
+        (J.member "schema" (J.of_string out) = Some (J.Str "xmt.metrics.v2")))
+
+let with_campaign_file f =
+  let path = Filename.temp_file "xmtcli" ".json" in
+  let spec =
+    J.Obj
+      [
+        ("schema", J.Str "xmt.campaign.v1");
+        ("defaults", J.Obj [ ("preset", J.Str "tiny") ]);
+        ( "jobs",
+          J.List
+            (List.map
+               (fun (name, seed) ->
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("inline", J.Str quiet_src);
+                     ("seed", J.Int seed);
+                   ])
+               [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ]) );
+      ]
+  in
+  J.write_file path spec;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let campaign_runs_and_is_deterministic () =
+  with_campaign_file (fun spec ->
+      let run jobs =
+        run_cmd
+          [ xmtsim; "--campaign"; spec; "--jobs"; jobs;
+            "--export"; "campaign-det=-" ]
+      in
+      let code1, out1, _ = run "1" in
+      let code2, out2, _ = run "2" in
+      Tu.check_int "serial exit 0" 0 code1;
+      Tu.check_int "parallel exit 0" 0 code2;
+      Tu.check_string "byte-identical reports" out1 out2;
+      let j = J.of_string out1 in
+      Tu.check_bool "campaign schema" true
+        (J.member "schema" j = Some (J.Str "xmt.campaign.v1"));
+      Tu.check_bool "four jobs" true (J.member "jobs" j = Some (J.Int 4));
+      Tu.check_bool "four results" true
+        (match J.member "results" j with
+        | Some (J.List l) -> List.length l = 4
+        | _ -> false))
+
+let campaign_failure_sets_exit_code () =
+  let path = Filename.temp_file "xmtcli" ".json" in
+  J.write_file path
+    (J.Obj
+       [
+         ("schema", J.Str "xmt.campaign.v1");
+         ( "jobs",
+           J.List
+             [
+               J.Obj
+                 [ ("name", J.Str "ok"); ("inline", J.Str quiet_src);
+                   ("preset", J.Str "tiny") ];
+               J.Obj
+                 [ ("name", J.Str "broken"); ("inline", J.Str "syntax error {");
+                   ("preset", J.Str "tiny") ];
+             ] );
+       ]);
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, _, err =
+        run_cmd [ xmtsim; "--campaign"; path; "--export"; "campaign=-" ]
+      in
+      Tu.check_int "failure propagates to exit code" 1 code;
+      Tu.check_bool "summary names the failure" true (contains "broken" err))
+
 let () =
   Alcotest.run "cli"
     [
@@ -119,5 +212,15 @@ let () =
           Tu.tc "trace/timeseries to stdout" trace_and_timeseries_to_stdout;
           Tu.tc "timings-json to stdout" timings_json_to_stdout;
           Tu.tc "functional stats-json works" functional_stats_json_still_works;
+        ] );
+      ( "export",
+        [
+          Tu.tc "--export stats=- to stdout" export_flag_to_stdout;
+          Tu.tc "deprecated alias warns" deprecated_alias_warns;
+        ] );
+      ( "campaign",
+        [
+          Tu.tc "runs + parallel determinism" campaign_runs_and_is_deterministic;
+          Tu.tc "failure sets exit code" campaign_failure_sets_exit_code;
         ] );
     ]
