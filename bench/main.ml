@@ -21,6 +21,9 @@ let experiments =
     ( "campaign",
       "campaign engine: parallel design-space sweep, determinism + speedup",
       Exp_campaign.run );
+    ( "racecheck",
+      "race checker: shadow-memory detector overhead and non-perturbation",
+      Exp_racecheck.run );
   ]
 
 let () =

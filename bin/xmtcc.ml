@@ -22,7 +22,7 @@ let timing_json pt =
 
 let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
     no_layout no_postpass no_outline dump_outlined dump_stats timings
-    timings_json =
+    timings_json racecheck =
   let options =
     {
       Compiler.Driver.opt_level;
@@ -63,7 +63,7 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
       print_endline "/* === per-pass timings === */";
       print_string (Compiler.Driver.timings_to_string out.Compiler.Driver.timings)
     end;
-    match timings_json with
+    (match timings_json with
     | None -> ()
     | Some path ->
       Obs.Json.write_path ~pretty:true path
@@ -73,7 +73,24 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
              ("input", Obs.Json.Str input);
              ( "passes",
                Obs.Json.List (List.map timing_json out.Compiler.Driver.timings) );
-           ])
+           ]));
+    match racecheck with
+    | None -> ()
+    | Some level when level <> "warn" && level <> "error" ->
+      Printf.eprintf "xmtcc: --racecheck takes warn or error, got %s\n" level;
+      exit 1
+    | Some level ->
+      let findings = Racecheck.analyze out in
+      List.iter
+        (fun f -> Printf.eprintf "%s: %s\n" input (Racecheck.Diag.render f))
+        findings;
+      let errors = Racecheck.Diag.error_count findings in
+      if errors > 0 then
+        Printf.eprintf "xmtcc: %d race/memory-model error%s in %s\n" errors
+          (if errors = 1 then "" else "s")
+          input;
+      (* =warn demotes everything to diagnostics; default/=error gates *)
+      if errors > 0 && level <> "warn" then exit 2
 
 let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c")
 
@@ -112,6 +129,16 @@ let cmd =
       $ flag [ "timings" ]
           "Report per-pass wall-clock and IR-size deltas."
       $ Arg.(value & opt (some string) None & info [ "timings-json" ] ~docv:"FILE"
-               ~doc:"Write the per-pass timings as JSON.  Use - for stdout."))
+               ~doc:"Write the per-pass timings as JSON.  Use - for stdout.")
+      $ Arg.(
+          value
+          & opt ~vopt:(Some "error") (some string) None
+          & info [ "racecheck" ] ~docv:"LEVEL"
+              ~doc:
+                "Run the static race & memory-model checker over the compiled \
+                 program (spawn-block conflict analysis plus Fig. 7 fence \
+                 placement).  Findings go to stderr; with LEVEL $(b,error) \
+                 (the default) error findings exit with status 2, with \
+                 $(b,warn) they are diagnostics only."))
 
 let () = exit (Cmd.eval cmd)

@@ -23,7 +23,7 @@ let run_campaign_cmd ~file ~jobs ~retries ~export =
           kind;
         exit 1
       end)
-    [ "stats"; "trace"; "timeseries" ];
+    [ "stats"; "trace"; "timeseries"; "races" ];
   let specs =
     try Campaign.load_file file with
     | Campaign.Spec_error msg | Xmtsim.Config.Bad_config msg ->
@@ -60,8 +60,8 @@ let run_campaign_cmd ~file ~jobs ~retries ~export =
 let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
     checkpoint_out checkpoint_at checkpoint_in stats_json_flag trace_json_flag
-    timeseries_json_flag governor governor_interval no_clock_gating exports
-    campaign_file jobs retries =
+    timeseries_json_flag governor governor_interval no_clock_gating racecheck
+    exports campaign_file jobs retries =
   (* resolve the export sinks: --export KIND[=PATH] plus the deprecated
      one-flag-per-sink aliases (kept so existing scripts still run) *)
   let deprecated flag kind path =
@@ -95,6 +95,8 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
   let stats_json = export "stats" in
   let trace_json = export "trace" in
   let timeseries_json = export "timeseries" in
+  let races_json = export "races" in
+  let racecheck = racecheck || races_json <> None in
   List.iter
     (fun kind ->
       if export kind <> None then begin
@@ -119,16 +121,28 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     | None -> []
     | Some p -> Isa.Memmap.parse_file p
   in
-  let image =
+  (* keep the driver output alongside the image: the static race layer
+     analyzes the typed AST + final IR, which assembly inputs don't have *)
+  let driver_out, image =
     if Filename.check_suffix input ".s" || Filename.check_suffix input ".asm"
-    then Isa.Program.resolve ~extra_data:memmap (Isa.Asm.parse_file input)
+    then (None, Isa.Program.resolve ~extra_data:memmap (Isa.Asm.parse_file input))
     else begin
       match Compiler.Driver.compile_to_image ~memmap (read_file input) with
       | exception Compiler.Driver.Compile_error msg ->
         Printf.eprintf "xmtcc: %s\n" msg;
         exit 1
-      | _, img -> img
+      | out, img -> (Some out, img)
     end
+  in
+  let static_findings () =
+    match driver_out with
+    | Some out -> Racecheck.analyze out
+    | None -> []
+  in
+  let print_findings findings =
+    List.iter
+      (fun f -> Printf.eprintf "%s: %s\n" input (Racecheck.Diag.render f))
+      findings
   in
   if functional then begin
     (* cycle-level sinks have nothing to record in the serializing
@@ -165,11 +179,36 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       Obs.Metrics.set
         (Obs.Metrics.gauge reg ~help:"host wall-clock seconds" "host.wall_seconds")
         host_secs;
-      Obs.Json.write_path ~pretty:true path (Obs.Metrics.to_json reg))
+      Obs.Json.write_path ~pretty:true path (Obs.Metrics.to_json reg));
+    if racecheck then begin
+      (* the shadow-memory layer needs the cycle-accurate machine; the
+         functional mode still gets the static analysis when the input
+         was XMTC source *)
+      match driver_out with
+      | None ->
+        Printf.eprintf
+          "xmtsim: --racecheck on assembly input needs the cycle-accurate \
+           mode (the static layer analyzes XMTC source)\n";
+        exit 2
+      | Some _ ->
+        let findings = static_findings () in
+        print_findings findings;
+        Printf.eprintf
+          "racecheck: %d static finding(s); dynamic detection needs the \
+           cycle-accurate mode (drop --functional)\n"
+          (List.length findings);
+        (match races_json with
+        | Some path ->
+          Obs.Json.write_path ~pretty:true path (Racecheck.report findings)
+        | None -> ())
+    end
   end
   else begin
     let m = Xmtsim.Machine.create ~config image in
     if no_clock_gating then Xmtsim.Machine.set_gating m false;
+    let racedet =
+      if racecheck then Some (Xmtsim.Machine.attach_racecheck m) else None
+    in
     (match checkpoint_in with
     | Some p -> Xmtsim.Machine.restore m (Xmtsim.Machine.snapshot_of_file p)
     | None -> ());
@@ -371,6 +410,23 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       | None -> ());
       Obs.Json.write_path ~pretty:true path (Obs.Timeseries.to_json s)
     | _ -> ());
+    (match racedet with
+    | None -> ()
+    | Some rd ->
+      let findings = static_findings () in
+      print_findings findings;
+      let nraces = Xmtsim.Racedetect.race_count rd in
+      Printf.eprintf
+        "racecheck: %d static finding(s), %d dynamic race(s) (%d shadow \
+         event(s) over %d spawn epoch(s))\n"
+        (List.length findings) nraces
+        (Xmtsim.Racedetect.events rd)
+        (Xmtsim.Racedetect.epochs rd);
+      (match races_json with
+      | Some path ->
+        Obs.Json.write_path ~pretty:true path
+          (Racecheck.report ~dynamic:(Xmtsim.Racedetect.to_json rd) findings)
+      | None -> ()));
     List.iter
       (fun (name, report) -> Printf.printf "---- plugin %s ----\n%s\n" name report)
       (Xmtsim.Machine.filter_reports m);
@@ -397,13 +453,14 @@ let export_conv =
       | None -> (s, None)
     in
     match kind with
-    | "stats" | "trace" | "timeseries" | "campaign" | "campaign-det" ->
+    | "stats" | "trace" | "timeseries" | "races" | "campaign" | "campaign-det" ->
       Ok (kind, Option.value ~default:(kind ^ ".json") path)
     | other ->
       Error
         (`Msg
           (Printf.sprintf
-             "unknown export kind %S (stats|trace|timeseries|campaign|campaign-det)"
+             "unknown export kind %S \
+              (stats|trace|timeseries|races|campaign|campaign-det)"
              other))
   in
   let print ppf (k, p) = Format.fprintf ppf "%s=%s" k p in
@@ -471,6 +528,12 @@ let cmd =
                      way — this flag only exists to measure the host-side \
                      event-count reduction (compare host.events_processed \
                      in --export stats).")
+      $ Arg.(value & flag & info [ "racecheck" ]
+               ~doc:"Attach the race & memory-model checker: the static \
+                     spawn-block analysis (XMTC inputs) plus the dynamic \
+                     shadow-memory race detector (cycle-accurate mode).  \
+                     Findings go to stderr; add --export races=FILE for \
+                     the xmt.races.v1 JSON report.")
       $ Arg.(value & opt_all export_conv [] & info [ "export" ]
                ~docv:"KIND[=PATH]"
                ~doc:"Write a JSON export (repeatable).  KIND is stats \

@@ -176,6 +176,9 @@ let result_json ~host r =
         ("output", J.Str run.Core.Toolchain.output);
         ("stats", stats_json run.Core.Toolchain.stats);
       ]
+      @ (match run.Core.Toolchain.races with
+        | Some j -> [ ("races", j) ]
+        | None -> [])
     | Error f ->
       ("status", J.Str "failed")
       :: ("error", J.Str f.f_exn)
@@ -364,6 +367,7 @@ let job_of_json ?(dir = Filename.current_dir_name) ~defaults ~index j =
       ?seed:(inherited (opt_int "seed") j defaults)
       ?max_cycles:(inherited (opt_int "max_cycles") j defaults)
       ?max_instructions:(inherited (opt_int "max_instructions") j defaults)
+      ?racecheck:(inherited (opt_bool "racecheck") j defaults)
       source
   in
   (* validate the sweep point now, not mid-campaign *)

@@ -83,10 +83,12 @@ val progress_printer : total:int -> event -> unit
     [{...}]}] where each job object takes ["name"], ["source"] (path) or
     ["inline"] (XMTC text), ["preset"], ["set"] (override strings),
     ["mode"] ("cycle"/"functional"), ["memmap"] (path), ["seed"],
-    ["max_cycles"], ["max_instructions"] and ["options"] (object with
-    [opt_level], [cluster], [prefetch], [nbstore], [fences], [outline]
-    booleans/ints).  A top-level ["defaults"] object provides fallbacks
-    for every job field. *)
+    ["max_cycles"], ["max_instructions"], ["racecheck"] (bool: attach
+    the race checker; the job's result gains a ["races"] member with the
+    [xmt.races.v1] report) and ["options"] (object with [opt_level],
+    [cluster], [prefetch], [nbstore], [fences], [outline] booleans/ints).
+    A top-level ["defaults"] object provides fallbacks for every job
+    field. *)
 
 exception Spec_error of string
 

@@ -43,6 +43,8 @@ type output = {
   relocated_blocks : int;
   outlined_source : string;
   timings : pass_timing list;  (** in pass order *)
+  typed : Xmtc.Tast.program;  (** typed AST after the pre-pass *)
+  ir : Ir.program;  (** final IR, after every core pass *)
 }
 
 exception Compile_error of string
@@ -136,7 +138,7 @@ let compile ?(options = default_options) src : output =
       in
       let asm_text = Isa.Asm.print program in
       { program; asm_text; relocated_blocks; outlined_source;
-        timings = List.rev !timings })
+        timings = List.rev !timings; typed = tprog; ir })
 
 let timings_to_string timings =
   let b = Buffer.create 256 in

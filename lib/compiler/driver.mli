@@ -42,6 +42,12 @@ type output = {
   relocated_blocks : int;  (** blocks the post-pass moved back (Fig. 9) *)
   outlined_source : string;  (** XMTC source after the pre-pass *)
   timings : pass_timing list;  (** in pass order *)
+  typed : Xmtc.Tast.program;
+      (** typed AST after the pre-pass (clustered, outlined) — the
+          representation the static race checker ({!Racecheck}) walks *)
+  ir : Ir.program;
+      (** final IR after every core pass, fences and non-blocking stores
+          included — what the fence checker diffs against *)
 }
 
 (** Render [output.timings] as the [--timings] table. *)

@@ -450,6 +450,48 @@ int main(void) {
 |}
     (threads - 1) writer_delay reader delay reader hammer_iters
 
+(** Pair-based publication kernel (race checker's flip program): even
+    threads store to [data] and publish through [flag] with psm; odd
+    threads psm-read their pair's flag and, when set, check the data.
+    The fence before the publishing psm drains the non-blocking store, so
+    a normal compile is race-free and always prints 0.  Compiled with
+    [fences = false] the store can land after the flag publication, which
+    the dynamic race detector reports as a read-write race on [data]
+    (and [bad] may go nonzero).  [data[pair]] is $-dependent but not
+    thread-affine, so the static layer cannot prove disjointness and
+    only warns — the fence flip is observable purely in the dynamic
+    layer, separating the two in tests.  [n] must be even. *)
+let publication ~n =
+  spf
+    {|
+int data[%d];
+int flag[%d];
+int bad = 0;
+
+int main(void) {
+  spawn(0, %d) {
+    int pair = $ / 2;
+    if ($ %% 2 == 0) {
+      int one = 1;
+      data[pair] = 42;
+      psm(one, flag[pair]);
+    } else {
+      int seen = 0;
+      psm(seen, flag[pair]);
+      if (seen >= 1) {
+        if (data[pair] != 42) {
+          int e = 1;
+          psm(e, bad);
+        }
+      }
+    }
+  }
+  print_int(bad);
+  return 0;
+}
+|}
+    (n / 2) (n / 2) (n - 1)
+
 (** Fig. 8 illegal-dataflow witness: [found] is written in the spawn block
     and read after it; [counter] must be incremented exactly once. *)
 let fig8_found ~n =

@@ -10,10 +10,18 @@ type run = {
   instructions : int;
   events : int;  (** desim events processed (0 in functional mode) *)
   stats : Xmtsim.Stats.t;
+  races : Obs.Json.t option;
+      (** [xmt.races.v1] report when the run was race-checked *)
 }
 
-let run_cycle ?config ?max_cycles compiled =
+(* Static findings + (for cycle runs) the dynamic detector's output,
+   assembled into one xmt.races.v1 report. *)
+let races_report ?dynamic compiled =
+  Racecheck.report ?dynamic (Racecheck.analyze compiled.cc)
+
+let run_cycle ?config ?(racecheck = false) ?max_cycles compiled =
   let m = Xmtsim.Machine.create ?config compiled.image in
+  let rd = if racecheck then Some (Xmtsim.Machine.attach_racecheck m) else None in
   let r = Xmtsim.Machine.run ?max_cycles m in
   if not r.Xmtsim.Machine.halted then
     raise (Xmtsim.Machine.Sim_error "cycle budget exhausted before halt");
@@ -24,9 +32,14 @@ let run_cycle ?config ?max_cycles compiled =
     instructions = Xmtsim.Stats.total_instrs stats;
     events = Xmtsim.Machine.events_processed m;
     stats;
+    races =
+      Option.map
+        (fun rd ->
+          races_report ~dynamic:(Xmtsim.Racedetect.to_json rd) compiled)
+        rd;
   }
 
-let run_functional ?max_instructions compiled =
+let run_functional ?(racecheck = false) ?max_instructions compiled =
   let r = Xmtsim.Functional_mode.run ?max_instructions compiled.image in
   {
     output = r.Xmtsim.Functional_mode.output;
@@ -34,6 +47,8 @@ let run_functional ?max_instructions compiled =
     instructions = r.Xmtsim.Functional_mode.instructions;
     events = 0;
     stats = r.Xmtsim.Functional_mode.stats;
+    (* no cycle machine to observe: static layer only *)
+    races = (if racecheck then Some (races_report compiled) else None);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -56,11 +71,12 @@ type job = {
       (** deterministic per-job RNG seed; overrides [config.seed] *)
   max_cycles : int option;  (** cycle-mode budget *)
   max_instructions : int option;  (** functional-mode budget *)
+  racecheck : bool;  (** attach the race checker; report in [run.races] *)
 }
 
 let job ?(name = "") ?(options = Compiler.Driver.default_options)
     ?(memmap = []) ?(config = Xmtsim.Config.fpga64) ?(mode = Cycle) ?seed
-    ?max_cycles ?max_instructions source =
+    ?max_cycles ?max_instructions ?(racecheck = false) source =
   {
     job_name = name;
     source;
@@ -71,6 +87,7 @@ let job ?(name = "") ?(options = Compiler.Driver.default_options)
     seed;
     max_cycles;
     max_instructions;
+    racecheck;
   }
 
 (** The configuration a job actually simulates with: the per-job seed
@@ -88,11 +105,12 @@ let run_job j =
   match j.mode with
   | Functional ->
     let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
-    run_functional ?max_instructions:j.max_instructions compiled
+    run_functional ~racecheck:j.racecheck ?max_instructions:j.max_instructions
+      compiled
   | Cycle ->
     let config = job_config j in
     let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
-    run_cycle ~config ?max_cycles:j.max_cycles compiled
+    run_cycle ~config ~racecheck:j.racecheck ?max_cycles:j.max_cycles compiled
 
 let exec ?options ?memmap ?config ?(functional = false) src =
   run_job

@@ -20,14 +20,25 @@ type run = {
   instructions : int;
   events : int;  (** desim events processed (0 in functional mode) *)
   stats : Xmtsim.Stats.t;
+  races : Obs.Json.t option;
+      (** [xmt.races.v1] report when the run was race-checked: static
+          findings ({!Racecheck}) plus, for cycle runs, the dynamic
+          shadow-memory detector's races ({!Xmtsim.Racedetect}) *)
 }
 
-(** Run on the cycle-accurate simulator. *)
+(** Run on the cycle-accurate simulator.  [racecheck] attaches the
+    dynamic race detector and fills [run.races] with the combined
+    static+dynamic [xmt.races.v1] report. *)
 val run_cycle :
-  ?config:Xmtsim.Config.t -> ?max_cycles:int -> compiled -> run
+  ?config:Xmtsim.Config.t ->
+  ?racecheck:bool ->
+  ?max_cycles:int ->
+  compiled ->
+  run
 
-(** Run in the fast functional (serializing) mode. *)
-val run_functional : ?max_instructions:int -> compiled -> run
+(** Run in the fast functional (serializing) mode.  With [racecheck]
+    the report carries the static layer only (no machine to observe). *)
+val run_functional : ?racecheck:bool -> ?max_instructions:int -> compiled -> run
 
 (** {1 The job-oriented surface}
 
@@ -52,11 +63,12 @@ type job = {
       (** deterministic per-job RNG seed; overrides [config.seed] *)
   max_cycles : int option;  (** cycle-mode budget *)
   max_instructions : int option;  (** functional-mode budget *)
+  racecheck : bool;  (** attach the race checker; report in [run.races] *)
 }
 
 (** Build a job; defaults: [name ""], [default_options], empty memmap,
     {!Xmtsim.Config.fpga64}, [Cycle] mode, no seed override, no budget
-    overrides. *)
+    overrides, race checking off. *)
 val job :
   ?name:string ->
   ?options:Compiler.Driver.options ->
@@ -66,6 +78,7 @@ val job :
   ?seed:int ->
   ?max_cycles:int ->
   ?max_instructions:int ->
+  ?racecheck:bool ->
   string ->
   job
 

@@ -1,0 +1,85 @@
+(** Fence-placement checker (the static layer's memory-model half).
+
+    Re-derives the paper's Fig. 7 placement rule — inside a parallel
+    region every [ps]/[psm] must be preceded by a fence that drains the
+    thread's pending non-blocking stores — and diffs it against what
+    {!Compiler.Memfence} actually emitted into the final IR.  Running it
+    over [Driver.output.ir] (after every core pass) also catches later
+    passes accidentally separating a fence from its prefix-sum.
+
+    Findings:
+    - [missing-fence]: a [ps]/[psm] inside the parallel region with no
+      fence covering it.  Severity [Error] when a non-blocking store is
+      outstanding (unfenced since the region start or the last fence) —
+      the prefix-sum can overtake the store, the Fig. 7 violation;
+      [Warning] otherwise (rule deviation that cannot reorder anything
+      yet).
+    - [redundant-fence]: a fence outside any parallel region, or one
+      whose drain is never used by a following prefix-sum (back-to-back
+      fences, or a fence left dangling at the join). *)
+
+open Compiler
+
+let check_func (fn : Ir.func) : Diag.finding list =
+  let findings = ref [] in
+  let add severity code message =
+    findings :=
+      { Diag.severity; code; func = fn.Ir.name; line = -1; vars = [];
+        message }
+      :: !findings
+  in
+  let in_par = ref false in
+  let pending_fence = ref false in  (* fence emitted, no ps consumed it yet *)
+  let unfenced_nb = ref false in  (* NB store issued since the last fence *)
+  let idx = ref (-1) in
+  List.iter
+    (fun i ->
+      incr idx;
+      match i with
+      | Ir.Ispawn _ ->
+        in_par := true;
+        pending_fence := false;
+        unfenced_nb := false
+      | Ir.Ijoin ->
+        if !pending_fence then
+          add Diag.Warning "redundant-fence"
+            (Printf.sprintf
+               "fence before instruction %d is not followed by a prefix-sum"
+               !idx);
+        in_par := false;
+        pending_fence := false
+      | Ir.Ifence ->
+        if not !in_par then
+          add Diag.Warning "redundant-fence"
+            (Printf.sprintf
+               "fence at instruction %d outside any parallel region (nothing \
+                to order)"
+               !idx)
+        else if !pending_fence then
+          add Diag.Warning "redundant-fence"
+            (Printf.sprintf
+               "back-to-back fence at instruction %d (previous drain unused)"
+               !idx);
+        pending_fence := true;
+        unfenced_nb := false
+      | Ir.Ist (Ir.St_nb, _, _, _) ->
+        unfenced_nb := true;
+        pending_fence := false
+      | Ir.Ips _ | Ir.Ipsm _ ->
+        if !in_par && not !pending_fence then
+          add
+            (if !unfenced_nb then Diag.Error else Diag.Warning)
+            "missing-fence"
+            (Printf.sprintf
+               "prefix-sum at instruction %d runs with%s; a fence must drain \
+                pending stores first (Fig. 7)"
+               !idx
+               (if !unfenced_nb then " a non-blocking store outstanding"
+                else "out a preceding fence"));
+        pending_fence := false
+      | _ -> ())
+    fn.Ir.body;
+  !findings
+
+let check_program (ir : Ir.program) : Diag.finding list =
+  Diag.sort (List.concat_map check_func ir.Ir.funcs)

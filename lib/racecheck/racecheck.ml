@@ -1,0 +1,42 @@
+(** Race & memory-model checker: static layer entry point.
+
+    Two cooperating layers check a compiled program against the XMT
+    memory model (paper §IV-A):
+
+    - the {e static} layer — {!Static} over the typed AST (conflicting
+      spawn-block accesses, broadcast-write hazards) and {!Fencecheck}
+      over the final IR (Fig. 7 fence placement) — lives here;
+    - the {e dynamic} layer — a shadow-memory race detector attached to
+      the cycle simulator — lives in {!Xmtsim.Racedetect} (this library
+      cannot depend on the simulator; the toolchain combines both).
+
+    Reports use the [xmt.races.v1] schema:
+    {v
+    { "schema": "xmt.races.v1",
+      "static":  [ {severity, code, func, line, vars, message}... ],
+      "dynamic": {races, epochs, events} | null }
+    v} *)
+
+module Diag = Diag
+module Static = Static
+module Fencecheck = Fencecheck
+
+(** All static findings for a compile: spawn-block analysis over the
+    typed AST plus fence-placement diff over the final IR.  Sorted and
+    deduplicated (deterministic). *)
+let analyze (out : Compiler.Driver.output) : Diag.finding list =
+  Diag.sort
+    (Static.check_program out.Compiler.Driver.typed
+    @ Fencecheck.check_program out.Compiler.Driver.ir)
+
+(** Assemble an [xmt.races.v1] report.  [dynamic] is the detector's
+    {!Xmtsim.Racedetect.to_json} output when a simulation ran with the
+    detector attached; omitted (null) for compile-only checks. *)
+let report ?dynamic (findings : Diag.finding list) : Obs.Json.t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "xmt.races.v1");
+      ("static", Diag.list_to_json findings);
+      ( "dynamic",
+        match dynamic with Some j -> j | None -> Obs.Json.Null );
+    ]

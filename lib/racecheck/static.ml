@@ -1,0 +1,494 @@
+(** Static spawn-block race analysis (the checker's first layer).
+
+    Walks every outlined spawn block of the typed AST (the post-pre-pass
+    representation kept in [Driver.output.typed]) and flags:
+
+    - conflicting shared-memory accesses by different virtual threads that
+      are not mediated by [ps]/[psm] — write-write and read-write pairs on
+      locations whose index does not separate threads;
+    - writes to master-broadcast values (serial locals/params reaching the
+      spawn block by broadcast): the Fig. 8 illegal-dataflow hazard.
+
+    The analysis is deliberately address-free: each access is a (base
+    variable, index class) pair.  Indices affine in [$] are compared
+    exactly; indices that depend on [$] in a way the analysis cannot
+    resolve are {e assumed disjoint} (each thread in its own partition) —
+    a documented false-negative source; indices derived from a [ps]/[psm]
+    result are considered mediated.  Accesses through pointers that do not
+    resolve to a named array or an outlined by-ref parameter are skipped:
+    there is no alias analysis.
+
+    Mediation uses a bracketing heuristic: a conflicting pair is accepted
+    when one access is followed by a prefix-sum (release) and the other is
+    preceded by one (acquire) in the block's program order — the Fig. 7
+    publication idiom.  [$ == k] guards pin accesses to a single thread;
+    equal guards cannot conflict. *)
+
+open Xmtc
+
+type iclass =
+  | Iconst of int  (** fixed byte offset: every thread, same address *)
+  | Itid of int * int  (** [a*$ + b] bytes, [a <> 0] *)
+  | Itid_other  (** depends on [$] non-affinely: assumed disjoint *)
+  | Ips_derived  (** index uses a ps/psm result: mediated by construction *)
+  | Ivar  (** thread-independent but unknown: possible overlap *)
+
+type kind = Read | Write
+
+type access = {
+  a_base : Tast.var;
+  a_index : iclass;
+  a_kind : kind;
+  a_pos : int;  (** pre-order position inside the spawn block *)
+  a_guard : int option;  (** Some k: only executed when [$ == k] *)
+}
+
+type ctx = {
+  mutable pos : int;
+  mutable accs : access list;
+  mutable syncs : int list;  (** pre-order positions of ps/psm statements *)
+  mutable ps_vars : (int, unit) Hashtbl.t;  (** vids holding ps/psm results *)
+  mutable bcast : (int, Tast.var * bool ref * bool ref) Hashtbl.t;
+      (** broadcast var -> (var, read?, written?) *)
+}
+
+let fresh_ctx () =
+  { pos = 0; accs = []; syncs = []; ps_vars = Hashtbl.create 8;
+    bcast = Hashtbl.create 8 }
+
+let next_pos ctx =
+  ctx.pos <- ctx.pos + 1;
+  ctx.pos
+
+(* ------------------------------------------------------------------ *)
+(* Expression shape helpers *)
+
+let rec exists_node p (e : Tast.expr) =
+  p e.Tast.enode
+  ||
+  match e.Tast.enode with
+  | Tast.Eint _ | Tast.Eflt _ | Tast.Evar _ | Tast.Etid -> false
+  | Tast.Eunop (_, a)
+  | Tast.Elognot a
+  | Tast.Ederef a
+  | Tast.Eaddr a
+  | Tast.Ecast (_, a)
+  | Tast.Eincdec (_, _, a) ->
+    exists_node p a
+  | Tast.Ebinop (_, a, b)
+  | Tast.Eland (a, b)
+  | Tast.Elor (a, b)
+  | Tast.Eassign (a, b)
+  | Tast.Eopassign (_, a, b) ->
+    exists_node p a || exists_node p b
+  | Tast.Ecall (_, args) -> List.exists (exists_node p) args
+  | Tast.Econd (a, b, c) ->
+    exists_node p a || exists_node p b || exists_node p c
+
+let mentions_tid e = exists_node (function Tast.Etid -> true | _ -> false) e
+
+let mentions_ps_var ctx e =
+  exists_node
+    (function
+      | Tast.Evar v -> Hashtbl.mem ctx.ps_vars v.Tast.vid
+      | _ -> false)
+    e
+
+(* [e] as [a*$ + b] (in bytes, indices arrive pre-scaled). *)
+let rec affine_of (e : Tast.expr) =
+  match e.Tast.enode with
+  | Tast.Eint c -> Some (0, c)
+  | Tast.Etid -> Some (1, 0)
+  | Tast.Ecast (_, x) -> affine_of x
+  | Tast.Eunop (Types.Neg, x) -> (
+    match affine_of x with Some (a, b) -> Some (-a, -b) | None -> None)
+  | Tast.Ebinop (Types.Add, x, y) -> (
+    match (affine_of x, affine_of y) with
+    | Some (ax, bx), Some (ay, by) -> Some (ax + ay, bx + by)
+    | _ -> None)
+  | Tast.Ebinop (Types.Sub, x, y) -> (
+    match (affine_of x, affine_of y) with
+    | Some (ax, bx), Some (ay, by) -> Some (ax - ay, bx - by)
+    | _ -> None)
+  | Tast.Ebinop (Types.Mul, x, y) -> (
+    match (affine_of x, affine_of y) with
+    | Some (0, c), Some (a, b) | Some (a, b), Some (0, c) ->
+      Some (c * a, c * b)
+    | _ -> None)
+  | _ -> None
+
+let classify ctx offs =
+  (* [offs] are signed byte-offset terms; the total index is their sum *)
+  let affine =
+    List.fold_left
+      (fun acc (sign, e) ->
+        match (acc, affine_of e) with
+        | Some (a, b), Some (a', b') -> Some (a + (sign * a'), b + (sign * b'))
+        | _ -> None)
+      (Some (0, 0)) offs
+  in
+  match affine with
+  | Some (0, b) -> Iconst b
+  | Some (a, b) -> Itid (a, b)
+  | None ->
+    let es = List.map snd offs in
+    if List.exists (mentions_ps_var ctx) es then Ips_derived
+    else if List.exists mentions_tid es then Itid_other
+    else Ivar
+
+(* Resolve a pointer-valued address expression to (base var, offset
+   terms).  Pointer arithmetic is pre-scaled, pointer operand on the
+   left (see Typecheck).  [None] = unresolvable (no alias analysis). *)
+let rec base_offsets (e : Tast.expr) offs =
+  match e.Tast.enode with
+  | Tast.Evar v -> Some (v, offs)
+  | Tast.Ecast (_, x) -> base_offsets x offs
+  | Tast.Ebinop (Types.Add, p, off) when p.Tast.ety <> Types.Tint ->
+    base_offsets p ((1, off) :: offs)
+  | Tast.Ebinop (Types.Sub, p, off) when p.Tast.ety <> Types.Tint ->
+    base_offsets p ((-1, off) :: offs)
+  | Tast.Eaddr lv -> (
+    match lv.Tast.enode with Tast.Evar v -> Some (v, offs) | _ -> None)
+  | _ -> None
+
+(* Is the pointee behind this base variable a shared location we track? *)
+let shared_base (v : Tast.var) =
+  (not v.Tast.vthread_local)
+  && (not v.Tast.vps_base)
+  &&
+  match v.Tast.vty with
+  | Types.Tarr _ -> true  (* named array (global or broadcast) *)
+  | Types.Tptr _ -> v.Tast.vkind = Tast.Kparam  (* outlined by-ref capture *)
+  | _ -> false
+
+let scalar_shared (v : Tast.var) =
+  v.Tast.vkind = Tast.Kglobal
+  && (not v.Tast.vps_base)
+  && match v.Tast.vty with Types.Tint | Types.Tfloat -> true | _ -> false
+
+let broadcast_var (v : Tast.var) =
+  (match v.Tast.vkind with Tast.Klocal | Tast.Kparam -> true | Tast.Kglobal -> false)
+  && (not v.Tast.vthread_local)
+  && match v.Tast.vty with Types.Tint | Types.Tfloat -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Access collection *)
+
+let record ctx v index kind guard =
+  ctx.accs <-
+    { a_base = v; a_index = index; a_kind = kind; a_pos = next_pos ctx;
+      a_guard = guard }
+    :: ctx.accs
+
+let note_bcast ctx v kind =
+  let _, r, w =
+    match Hashtbl.find_opt ctx.bcast v.Tast.vid with
+    | Some entry -> entry
+    | None ->
+      let entry = (v, ref false, ref false) in
+      Hashtbl.replace ctx.bcast v.Tast.vid entry;
+      entry
+  in
+  match kind with Read -> r := true | Write -> w := true
+
+let scalar_access ctx guard v kind =
+  if scalar_shared v then record ctx v (Iconst 0) kind guard
+  else if broadcast_var v then note_bcast ctx v kind
+
+let rec rd ctx guard (e : Tast.expr) =
+  match e.Tast.enode with
+  | Tast.Eint _ | Tast.Eflt _ | Tast.Etid -> ()
+  | Tast.Evar v -> scalar_access ctx guard v Read
+  | Tast.Eunop (_, a) | Tast.Elognot a | Tast.Ecast (_, a) -> rd ctx guard a
+  | Tast.Eaddr a -> addr_only ctx guard a
+  | Tast.Ebinop (_, a, b) | Tast.Eland (a, b) | Tast.Elor (a, b) ->
+    rd ctx guard a;
+    rd ctx guard b
+  | Tast.Eassign (lhs, rhs) ->
+    lvalue ctx guard lhs ~write:true ~read:false;
+    rd ctx guard rhs
+  | Tast.Eopassign (_, lhs, rhs) ->
+    lvalue ctx guard lhs ~write:true ~read:true;
+    rd ctx guard rhs
+  | Tast.Eincdec (_, _, lhs) -> lvalue ctx guard lhs ~write:true ~read:true
+  | Tast.Ecall (_, args) -> List.iter (rd ctx guard) args
+  | Tast.Ederef a -> deref ctx guard a ~write:false ~read:true
+  | Tast.Econd (a, b, c) ->
+    rd ctx guard a;
+    rd ctx guard b;
+    rd ctx guard c
+
+and lvalue ctx guard (lhs : Tast.expr) ~write ~read =
+  match lhs.Tast.enode with
+  | Tast.Evar v ->
+    if read then scalar_access ctx guard v Read;
+    if write then scalar_access ctx guard v Write
+  | Tast.Ederef a -> deref ctx guard a ~write ~read
+  | Tast.Ecast (_, x) -> lvalue ctx guard x ~write ~read
+  | _ -> rd ctx guard lhs
+
+and deref ctx guard (addr : Tast.expr) ~write ~read =
+  (match base_offsets addr [] with
+  | Some (v, offs) when shared_base v ->
+    let index = classify ctx offs in
+    if read then record ctx v index Read guard;
+    if write then record ctx v index Write guard
+  | _ -> () (* unresolvable pointer: no alias analysis (documented) *));
+  (* index expressions are evaluated regardless: collect their reads *)
+  index_reads ctx guard addr
+
+and index_reads ctx guard (e : Tast.expr) =
+  match e.Tast.enode with
+  | Tast.Evar _ -> ()  (* the base itself: an address, not a memory access *)
+  | Tast.Ecast (_, x) | Tast.Eaddr x -> index_reads ctx guard x
+  | Tast.Ebinop ((Types.Add | Types.Sub), p, off) when p.Tast.ety <> Types.Tint ->
+    index_reads ctx guard p;
+    rd ctx guard off
+  | _ -> rd ctx guard e
+
+and addr_only ctx guard (a : Tast.expr) =
+  match a.Tast.enode with
+  | Tast.Evar _ -> ()
+  | Tast.Ederef p -> index_reads ctx guard p
+  | Tast.Ecast (_, x) -> addr_only ctx guard x
+  | _ -> rd ctx guard a
+
+(* [$ == k] (either operand order) pins the branch to thread [k]. *)
+let tid_eq_guard (c : Tast.expr) =
+  match c.Tast.enode with
+  | Tast.Ebinop (Types.Eq, a, b) -> (
+    match (a.Tast.enode, b.Tast.enode) with
+    | Tast.Etid, Tast.Eint k | Tast.Eint k, Tast.Etid -> Some k
+    | _ -> None)
+  | _ -> None
+
+let sync ctx = ctx.syncs <- next_pos ctx :: ctx.syncs
+
+let rec stmt ctx guard (s : Tast.stmt) =
+  match s with
+  | Tast.Sskip | Tast.Sbreak | Tast.Scontinue -> ()
+  | Tast.Sexpr e -> rd ctx guard e
+  | Tast.Sdecl (_, init) -> Option.iter (rd ctx guard) init
+  | Tast.Sblock ss -> List.iter (stmt ctx guard) ss
+  | Tast.Sif (c, a, b) ->
+    rd ctx guard c;
+    let ga = match tid_eq_guard c with Some _ as g -> g | None -> guard in
+    stmt ctx ga a;
+    stmt ctx guard b
+  | Tast.Swhile (c, b) ->
+    rd ctx guard c;
+    stmt ctx guard b
+  | Tast.Sdowhile (b, c) ->
+    stmt ctx guard b;
+    rd ctx guard c
+  | Tast.Sfor (i, c, p, b) ->
+    stmt ctx guard i;
+    Option.iter (rd ctx guard) c;
+    stmt ctx guard p;
+    stmt ctx guard b
+  | Tast.Sreturn e -> Option.iter (rd ctx guard) e
+  | Tast.Sspawn _ -> ()  (* nested spawns are serialized: no new threads *)
+  | Tast.Sps (v, _) ->
+    sync ctx;
+    Hashtbl.replace ctx.ps_vars v.Tast.vid ()
+  | Tast.Spsm (v, addr) ->
+    sync ctx;
+    Hashtbl.replace ctx.ps_vars v.Tast.vid ();
+    (* the psm word itself is mediated by definition; its index is not *)
+    index_reads ctx guard addr
+
+(* Propagate ps-derived values one assignment deep: [x = f(ps_var)] makes
+   [x] ps-derived for subsequent indexing (e.g. [B[inc]] in compaction
+   uses [inc] directly, but [slot = inc + k] idioms appear too). *)
+let propagate_ps_vars ctx body =
+  let rec prop s =
+    match s with
+    | Tast.Sexpr e -> prop_expr e
+    | Tast.Sdecl (v, Some init) ->
+      if mentions_ps_var ctx init then Hashtbl.replace ctx.ps_vars v.Tast.vid ()
+    | Tast.Sblock ss -> List.iter prop ss
+    | Tast.Sif (_, a, b) ->
+      prop a;
+      prop b
+    | Tast.Swhile (_, b) | Tast.Sdowhile (b, _) -> prop b
+    | Tast.Sfor (i, _, p, b) ->
+      prop i;
+      prop p;
+      prop b
+    | _ -> ()
+  and prop_expr e =
+    match e.Tast.enode with
+    | Tast.Eassign ({ Tast.enode = Tast.Evar v; _ }, rhs) ->
+      if mentions_ps_var ctx rhs then Hashtbl.replace ctx.ps_vars v.Tast.vid ()
+    | _ -> ()
+  in
+  prop body
+
+(* ------------------------------------------------------------------ *)
+(* Conflict detection *)
+
+let kinds_code a b =
+  match (a, b) with
+  | Write, Write -> "unmediated-write-write"
+  | _ -> "unmediated-read-write"
+
+(* Can these two index classes land on the same address for two
+   DIFFERENT threads?  Returns the severity of the conflict, or None. *)
+let overlap (x : access) (y : access) =
+  match (x.a_index, y.a_index) with
+  | (Ips_derived | Itid_other), _ | _, (Ips_derived | Itid_other) -> None
+  | Iconst c1, Iconst c2 -> if c1 = c2 then Some Diag.Error else None
+  | Iconst c, Itid (a, b) | Itid (a, b), Iconst c ->
+    if a <> 0 && (c - b) mod a = 0 then begin
+      let t0 = (c - b) / a in
+      if t0 < 0 then None
+      else
+        (* the fixed access conflicts with thread t0's affine access;
+           if the fixed access is pinned to that same thread, it's local *)
+        let fixed_guard =
+          match x.a_index with Iconst _ -> x.a_guard | _ -> y.a_guard
+        in
+        if fixed_guard = Some t0 then None else Some Diag.Error
+    end
+    else None
+  | Itid (a1, b1), Itid (a2, b2) ->
+    if a1 = a2 then
+      if b1 <> b2 && (b1 - b2) mod a1 = 0 then Some Diag.Error else None
+    else Some Diag.Warning  (* different strides: possible overlap *)
+  | Ivar, _ | _, Ivar -> Some Diag.Warning
+
+let index_desc = function
+  | Iconst b -> Printf.sprintf "byte offset %d" b
+  | Itid (a, b) -> Printf.sprintf "byte offset %d*$%+d" a b
+  | Itid_other -> "a $-dependent index"
+  | Ips_derived -> "a ps-derived index"
+  | Ivar -> "a thread-independent index"
+
+let spawn_findings ~fname ~line (ctx : ctx) =
+  let syncs = ctx.syncs in
+  let rel_after a = List.exists (fun s -> s > a.a_pos) syncs in
+  let acq_before a = List.exists (fun s -> s < a.a_pos) syncs in
+  let mediated x y =
+    (rel_after x && acq_before y) || (rel_after y && acq_before x)
+  in
+  let findings = ref [] in
+  let add severity code base x y =
+    findings :=
+      {
+        Diag.severity;
+        code;
+        func = fname;
+        line;
+        vars = [ base.Tast.vname ];
+        message =
+          Printf.sprintf
+            "different virtual threads can %s %s at %s without an \
+             intervening fence or prefix-sum"
+            (match (x.a_kind, y.a_kind) with
+            | Write, Write -> "both write"
+            | _ -> "read and write")
+            base.Tast.vname (index_desc x.a_index);
+      }
+      :: !findings
+  in
+  let accs = Array.of_list (List.rev ctx.accs) in
+  let n = Array.length accs in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let x = accs.(i) and y = accs.(j) in
+      if
+        x.a_base.Tast.vid = y.a_base.Tast.vid
+        && (x.a_kind = Write || y.a_kind = Write)
+      then
+        if i = j then begin
+          (* the same statement, executed by every (unpinned) thread *)
+          if x.a_kind = Write && x.a_guard = None && not (mediated x x) then
+            match x.a_index with
+            | Iconst _ -> add Diag.Error (kinds_code Write Write) x.a_base x x
+            | Ivar -> add Diag.Warning (kinds_code Write Write) x.a_base x x
+            | Itid _ | Itid_other | Ips_derived -> ()
+        end
+        else if
+          (* equal [$ == k] guards: both accesses on the same thread *)
+          not
+            (match (x.a_guard, y.a_guard) with
+            | Some gx, Some gy -> gx = gy
+            | _ -> false)
+        then
+          match overlap x y with
+          | Some sev when not (mediated x y) ->
+            add sev (kinds_code x.a_kind y.a_kind) x.a_base x y
+          | _ -> ()
+    done
+  done;
+  let bcast =
+    Hashtbl.fold
+      (fun _ (v, r, w) acc ->
+        if !w then
+          {
+            Diag.severity = Diag.Error;
+            code = "broadcast-write";
+            func = fname;
+            line;
+            vars = [ v.Tast.vname ];
+            message =
+              Printf.sprintf
+                "spawn block writes master-broadcast value %s%s; the store \
+                 lands in a per-thread copy and is lost at join (Fig. 8 \
+                 illegal dataflow — compile with outlining)"
+                v.Tast.vname
+                (if !r then " (and reads it back)" else "");
+          }
+          :: acc
+        else acc)
+      ctx.bcast []
+  in
+  !findings @ bcast
+
+(* ------------------------------------------------------------------ *)
+
+(** Analyze every top-level spawn block of [prog].  Works on the typed
+    AST after the pre-pass, so both outlined ([__outl_sp_k]) and inline
+    (compiled with [outline = false]) spawn blocks are covered. *)
+let check_program (prog : Tast.program) : Diag.finding list =
+  let findings = ref [] in
+  List.iter
+    (fun (fn : Tast.func) ->
+      Tast.iter_spawns
+        (fun sp ->
+          if not sp.Tast.sp_nested then begin
+            let ctx = fresh_ctx () in
+            (* pre-scan: ps-result vars feed index classification *)
+            Tast.iter_spawns
+              (fun _ -> ())
+              sp.Tast.sp_body (* no-op, keeps shape parallel *);
+            let seed_ps s =
+              match s with
+              | Tast.Sps (v, _) | Tast.Spsm (v, _) ->
+                Hashtbl.replace ctx.ps_vars v.Tast.vid ()
+              | _ -> ()
+            in
+            let rec scan s =
+              seed_ps s;
+              match s with
+              | Tast.Sblock ss -> List.iter scan ss
+              | Tast.Sif (_, a, b) ->
+                scan a;
+                scan b
+              | Tast.Swhile (_, b) | Tast.Sdowhile (b, _) -> scan b
+              | Tast.Sfor (i, _, p, b) ->
+                scan i;
+                scan p;
+                scan b
+              | _ -> ()
+            in
+            scan sp.Tast.sp_body;
+            propagate_ps_vars ctx sp.Tast.sp_body;
+            stmt ctx None sp.Tast.sp_body;
+            findings :=
+              spawn_findings ~fname:fn.Tast.fname ~line:sp.Tast.sp_pos ctx
+              @ !findings
+          end)
+        fn.Tast.fbody)
+    prog.Tast.funcs;
+  Diag.sort !findings

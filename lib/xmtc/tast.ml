@@ -88,6 +88,7 @@ and spawn = {
   mutable sp_body : stmt;
   sp_id : int;  (** unique spawn-site id, names the outlined function *)
   mutable sp_nested : bool;  (** lexically inside another spawn: serialized *)
+  sp_pos : int;  (** source line of the [spawn] keyword (diagnostics) *)
 }
 
 type const_init = Cints of int list | Cflts of float list | Czeros

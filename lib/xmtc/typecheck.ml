@@ -521,7 +521,9 @@ let rec check_stmt env (s : Ast.stmt) : Tast.stmt =
     env.in_spawn <- env.in_spawn - 1;
     let sp_id = env.next_spawn in
     env.next_spawn <- env.next_spawn + 1;
-    Tast.Sspawn { sp_lo = lo; sp_hi = hi; sp_body = body; sp_id; sp_nested = nested }
+    Tast.Sspawn
+      { sp_lo = lo; sp_hi = hi; sp_body = body; sp_id; sp_nested = nested;
+        sp_pos = line }
   | Ast.Sps (vname, bname) ->
     if env.in_spawn = 0 then err line "ps may only appear inside a spawn block";
     let v = lookup env line vname in

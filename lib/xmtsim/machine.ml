@@ -8,12 +8,14 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
 
 type dst = [ `I of int | `F of int ]
 
-(* Requests travelling cluster -> ICN -> cache module ("packages"). *)
+(* Requests travelling cluster -> ICN -> cache module ("packages").
+   Each carries the pc of the issuing instruction so every memory-touching
+   event exposes (address, tcu, pc) to plugins and the race detector. *)
 type req =
-  | Rload of { cl : int; tcu : int; dst : dst; ro : bool }
-  | Rpref of { cl : int; tcu : int }
-  | Rstore of { cl : int; tcu : int; value : V.t; nb : bool }
-  | Rpsm of { cl : int; tcu : int; inc : int; dst : int }
+  | Rload of { cl : int; tcu : int; dst : dst; ro : bool; pc : int }
+  | Rpref of { cl : int; tcu : int; pc : int }
+  | Rstore of { cl : int; tcu : int; value : V.t; nb : bool; pc : int }
+  | Rpsm of { cl : int; tcu : int; inc : int; dst : int; pc : int }
 
 (* Lifecycle stamps for one request package (simulated time).  Written at
    each station, read once at reply delivery to feed the per-(cluster,
@@ -33,10 +35,10 @@ type pkg = { addr : int; req : req; lc : lifecycle }
 (* Replies travelling back module -> ICN -> cluster; each carries its
    request's lifecycle so delivery can close the loop. *)
 type reply =
-  | Pload of { tcu : int; dst : dst; v : V.t; ro : bool; addr : int }
-  | Ppref of { tcu : int; v : V.t; addr : int }
-  | Pack of { tcu : int; nb : bool; addr : int }
-  | Ppsm of { tcu : int; dst : int; old : int; addr : int }
+  | Pload of { tcu : int; dst : dst; v : V.t; ro : bool; addr : int; pc : int }
+  | Ppref of { tcu : int; v : V.t; addr : int; pc : int }
+  | Pack of { tcu : int; nb : bool; addr : int; pc : int }
+  | Ppsm of { tcu : int; dst : int; old : int; addr : int; pc : int }
 
 type reply_env = { rp : reply; r_lc : lifecycle }
 
@@ -80,6 +82,7 @@ type package_event = {
   pe_kind : string;
   pe_addr : int;
   pe_tcu : int;
+  pe_pc : int;  (** issuing instruction; -1 for unattributable (DRAM fill) *)
   pe_module : int;
 }
 
@@ -139,6 +142,7 @@ type t = {
       (* activity plug-ins sample on cluster ticks; cluster gating would
          change their sampling times, so it is disabled when one attaches *)
   mutable dram_fills : int;  (* DRAM line fills in flight *)
+  mutable racedet : Racedetect.t option;  (* shadow-memory race detector *)
 }
 
 type result = { output : string; cycles : int; halted : bool }
@@ -272,6 +276,7 @@ let create ?(config = Config.fpga64) img =
     gating = true;
     has_plugin = false;
     dram_fills = 0;
+    racedet = None;
   }
 
 (* diagnostic: per-(module,side) send-side backlog in cycles *)
@@ -313,7 +318,10 @@ let pkg_tcu = function
   | Rload { tcu; _ } | Rpref { tcu; _ } | Rstore { tcu; _ } | Rpsm { tcu; _ } ->
     tcu
 
-let emit_pkg t ~stage ~kind ~addr ~tcu ~m =
+let pkg_pc = function
+  | Rload { pc; _ } | Rpref { pc; _ } | Rstore { pc; _ } | Rpsm { pc; _ } -> pc
+
+let emit_pkg t ~stage ~kind ~addr ~tcu ~pc ~m =
   match t.pkg_tracers with
   | [] -> ()
   | tracers ->
@@ -324,10 +332,34 @@ let emit_pkg t ~stage ~kind ~addr ~tcu ~m =
         pe_kind = kind;
         pe_addr = addr;
         pe_tcu = tcu;
+        pe_pc = pc;
         pe_module = m;
       }
     in
     List.iter (fun f -> f ev) tracers
+
+(* Race-detector hooks: one option check when detached (zero overhead). *)
+let rd_read t ~tcu ~pc ~addr =
+  match t.racedet with
+  | None -> ()
+  | Some rd ->
+    Racedetect.on_read rd ~tcu ~pc ~addr ~time:(Desim.Scheduler.now t.sched)
+
+let rd_write t ~tcu ~pc ~addr =
+  match t.racedet with
+  | None -> ()
+  | Some rd ->
+    Racedetect.on_write rd ~tcu ~pc ~addr ~time:(Desim.Scheduler.now t.sched)
+
+let rd_sync t ~tcu =
+  match t.racedet with
+  | None -> ()
+  | Some rd -> Racedetect.on_sync rd ~tcu
+
+let rd_release t ~tcu =
+  match t.racedet with
+  | None -> ()
+  | Some rd -> Racedetect.on_release rd ~tcu
 
 (* ------------------------------------------------------------------ *)
 (* Span tracer (Chrome trace-event JSON, §III-B/E as Perfetto tracks).
@@ -389,12 +421,12 @@ let icn_send t ~cl pk =
   pk.lc.l_mod <- m;
   pk.lc.l_icn_wait <- arrival - uncontended;
   emit_pkg t ~stage:"icn-inject" ~kind:(pkg_kind pk.req) ~addr:pk.addr
-    ~tcu:(pkg_tcu pk.req) ~m;
+    ~tcu:(pkg_tcu pk.req) ~pc:(pkg_pc pk.req) ~m;
   Desim.Scheduler.schedule t.sched ~prio:Desim.Scheduler.prio_transfer
     ~delay:(arrival - now) (fun () ->
       pk.lc.l_arrive <- Desim.Scheduler.now t.sched;
       emit_pkg t ~stage:"module-arrive" ~kind:(pkg_kind pk.req) ~addr:pk.addr
-        ~tcu:(pkg_tcu pk.req) ~m;
+        ~tcu:(pkg_tcu pk.req) ~pc:(pkg_pc pk.req) ~m;
       Queue.add pk t.modules.(m).inq;
       (* arrival runs at prio_transfer: the cache tick at this instant (if
          any) already popped, so a sleeping cache domain resumes one period
@@ -447,23 +479,28 @@ let service_pkg t (m : cache_module) pk =
   in
   let hit_lat = t.cfg.Config.cache_hit_latency * Desim.Clock.period t.clk_cache in
   match pk.req with
-  | Rload { cl; tcu; dst; ro } ->
+  | Rload { cl; tcu; dst; ro; pc } ->
     let v = Mem.read t.memory pk.addr in
-    reply (Pload { tcu; dst; v; ro; addr = pk.addr }) ~extra_delay:hit_lat cl
-  | Rpref { cl; tcu } ->
+    rd_read t ~tcu ~pc ~addr:pk.addr;
+    reply (Pload { tcu; dst; v; ro; addr = pk.addr; pc }) ~extra_delay:hit_lat cl
+  | Rpref { cl; tcu; pc } ->
     let v = Mem.read t.memory pk.addr in
-    reply (Ppref { tcu; v; addr = pk.addr }) ~extra_delay:hit_lat cl
-  | Rstore { cl; tcu; value; nb } ->
+    rd_read t ~tcu ~pc ~addr:pk.addr;
+    reply (Ppref { tcu; v; addr = pk.addr; pc }) ~extra_delay:hit_lat cl
+  | Rstore { cl; tcu; value; nb; pc } ->
     Mem.write t.memory pk.addr value;
-    reply (Pack { tcu; nb; addr = pk.addr }) ~extra_delay:hit_lat cl
-  | Rpsm { cl; tcu; inc; dst } ->
+    rd_write t ~tcu ~pc ~addr:pk.addr;
+    reply (Pack { tcu; nb; addr = pk.addr; pc }) ~extra_delay:hit_lat cl
+  | Rpsm { cl; tcu; inc; dst; pc } ->
     let old = Mem.fetch_add t.memory pk.addr inc in
     t.stats.Stats.psm_ops <- t.stats.Stats.psm_ops + 1;
-    reply (Ppsm { tcu; dst; old; addr = pk.addr }) ~extra_delay:hit_lat cl
+    (* the psm word itself is the ordering primitive, not a plain access *)
+    rd_sync t ~tcu;
+    reply (Ppsm { tcu; dst; old; addr = pk.addr; pc }) ~extra_delay:hit_lat cl
 
 let dram_fill t (m : cache_module) line =
   Tags.install m.tags line;
-  emit_pkg t ~stage:"dram-fill" ~kind:"line" ~addr:line ~tcu:(-1) ~m:m.mid;
+  emit_pkg t ~stage:"dram-fill" ~kind:"line" ~addr:line ~tcu:(-1) ~pc:(-1) ~m:m.mid;
   match Hashtbl.find_opt m.mshr line with
   | None -> ()
   | Some entry ->
@@ -480,13 +517,13 @@ let module_tick t (m : cache_module) =
         t.stats.Stats.cache_hits <- t.stats.Stats.cache_hits + 1;
         pk.lc.l_hit <- true;
         emit_pkg t ~stage:"cache-hit" ~kind:(pkg_kind pk.req) ~addr:pk.addr
-          ~tcu:(pkg_tcu pk.req) ~m:m.mid;
+          ~tcu:(pkg_tcu pk.req) ~pc:(pkg_pc pk.req) ~m:m.mid;
         service_pkg t m pk
       end
       else begin
         t.stats.Stats.cache_misses <- t.stats.Stats.cache_misses + 1;
         emit_pkg t ~stage:"cache-miss" ~kind:(pkg_kind pk.req) ~addr:pk.addr
-          ~tcu:(pkg_tcu pk.req) ~m:m.mid;
+          ~tcu:(pkg_tcu pk.req) ~pc:(pkg_pc pk.req) ~m:m.mid;
         match Hashtbl.find_opt m.mshr line with
         | Some entry -> entry.waiters <- pk :: entry.waiters
         | None ->
@@ -523,10 +560,11 @@ let dram_tick t =
 (* TCU execution *)
 
 let reply_info = function
-  | Pload { tcu; addr; _ } -> ("load", tcu, addr)
-  | Ppref { tcu; addr; _ } -> ("pref", tcu, addr)
-  | Pack { tcu; nb; addr } -> ((if nb then "store-ack" else "store"), tcu, addr)
-  | Ppsm { tcu; addr; _ } -> ("psm", tcu, addr)
+  | Pload { tcu; addr; pc; _ } -> ("load", tcu, addr, pc)
+  | Ppref { tcu; addr; pc; _ } -> ("pref", tcu, addr, pc)
+  | Pack { tcu; nb; addr; pc } ->
+    ((if nb then "store-ack" else "store"), tcu, addr, pc)
+  | Ppsm { tcu; addr; pc; _ } -> ("psm", tcu, addr, pc)
 
 (* Close the request's lifecycle: feed the per-(cluster, module) latency
    histograms and, when a span tracer is attached, emit one "mem-req"
@@ -561,16 +599,16 @@ let observe_lifecycle t (cl : cluster) ~kind ~tcu ~addr (lc : lifecycle) =
       "mem-req"
 
 let deliver_reply t (cl : cluster) { rp; r_lc } =
-  (let kind, tcu, addr = reply_info rp in
-   emit_pkg t ~stage:"reply" ~kind ~addr ~tcu ~m:(-1);
+  (let kind, tcu, addr, pc = reply_info rp in
+   emit_pkg t ~stage:"reply" ~kind ~addr ~tcu ~pc ~m:(-1);
    observe_lifecycle t cl ~kind ~tcu ~addr r_lc);
   match rp with
-  | Pload { tcu; dst; v; ro; addr } ->
+  | Pload { tcu; dst; v; ro; addr; _ } ->
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     if ro then Tags.install cl.rocache addr;
     F.complete_load u.ctx dst v;
     if u.st = Tmemwait then u.st <- Trun
-  | Ppref { tcu; v; addr } -> (
+  | Ppref { tcu; v; addr; _ } -> (
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     match Prefetch_buffer.fill u.pbuf addr v with
     | None -> ()
@@ -582,7 +620,10 @@ let deliver_reply t (cl : cluster) { rp; r_lc } =
     if nb then begin
       u.pending <- u.pending - 1;
       t.pending_total <- t.pending_total - 1;
-      if u.st = Tfence && u.pending = 0 then u.st <- Trun;
+      if u.st = Tfence && u.pending = 0 then begin
+        u.st <- Trun;
+        rd_release t ~tcu:u.tid (* fence completes: stores drained *)
+      end;
       maybe_join t
     end
     else if u.st = Tmemwait then u.st <- Trun (* blocking store ack *)
@@ -661,6 +702,7 @@ let tcu_issue t (cl : cluster) (u : tcu) =
     | F.Load { dst; addr; ro } ->
       if ro && Tags.lookup cl.rocache addr then begin
         t.stats.Stats.rocache_hits <- t.stats.Stats.rocache_hits + 1;
+        rd_read t ~tcu:u.tid ~pc ~addr;
         F.complete_load u.ctx dst (Mem.read t.memory addr);
         if t.cfg.Config.rocache_hit_latency > 1 then
           u.st <- Tfuwait (t.cfg.Config.rocache_hit_latency - 1)
@@ -678,7 +720,7 @@ let tcu_issue t (cl : cluster) (u : tcu) =
         | Prefetch_buffer.Miss ->
           t.stats.Stats.prefetch_misses <- t.stats.Stats.prefetch_misses + 1;
           Queue.add
-            (mk_pkg t addr (Rload { cl = cl.cid; tcu = u.tid; dst; ro }))
+            (mk_pkg t addr (Rload { cl = cl.cid; tcu = u.tid; dst; ro; pc }))
             cl.outbox;
           u.st <- Tmemwait
       end
@@ -686,7 +728,9 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       (* rule 1 (same source, same destination order): the TCU's own store
          must not be shadowed by a stale prefetched value *)
       Prefetch_buffer.invalidate u.pbuf addr;
-      Queue.add (mk_pkg t addr (Rstore { cl = cl.cid; tcu = u.tid; value; nb })) cl.outbox;
+      Queue.add
+        (mk_pkg t addr (Rstore { cl = cl.cid; tcu = u.tid; value; nb; pc }))
+        cl.outbox;
       if nb then begin
         t.stats.Stats.nb_stores <- t.stats.Stats.nb_stores + 1;
         u.pending <- u.pending + 1;
@@ -694,12 +738,14 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       end
       else u.st <- Tmemwait
     | F.Psm { dst; addr; inc } ->
-      Queue.add (mk_pkg t addr (Rpsm { cl = cl.cid; tcu = u.tid; inc; dst })) cl.outbox;
+      Queue.add
+        (mk_pkg t addr (Rpsm { cl = cl.cid; tcu = u.tid; inc; dst; pc }))
+        cl.outbox;
       u.st <- Tmemwait
     | F.Prefetch { addr } ->
       t.stats.Stats.prefetch_issued <- t.stats.Stats.prefetch_issued + 1;
       if Prefetch_buffer.start u.pbuf addr then
-        Queue.add (mk_pkg t addr (Rpref { cl = cl.cid; tcu = u.tid })) cl.outbox
+        Queue.add (mk_pkg t addr (Rpref { cl = cl.cid; tcu = u.tid; pc })) cl.outbox
     | F.Ps { dst; g; inc } ->
       if inc <> 0 && inc <> 1 then
         fail "TCU %d: ps increment must be 0 or 1 (got %d)" u.tid inc;
@@ -709,6 +755,7 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       Desim.Scheduler.schedule t.sched ~delay (fun () ->
           let old = t.globals.(g) in
           t.globals.(g) <- old + inc;
+          rd_sync t ~tcu:u.tid;
           if dst <> 0 then u.ctx.F.regs.(dst) <- old;
           if u.st = Tpswait then u.st <- Trun)
     | F.Chkid { id } ->
@@ -728,6 +775,7 @@ let tcu_issue t (cl : cluster) (u : tcu) =
     | F.Fence ->
       t.stats.Stats.fences <- t.stats.Stats.fences + 1;
       if u.pending > 0 then u.st <- Tfence
+      else rd_release t ~tcu:u.tid (* nothing pending: completes at once *)
     | F.Output s -> Buffer.add_string t.out_buf s
     | F.Spawn _ -> fail "TCU %d executed spawn (nested spawns are serialized)" u.tid
     | F.Join -> fail "TCU %d reached the join instruction" u.tid
@@ -756,7 +804,10 @@ let tcu_tick t (cl : cluster) (u : tcu) =
   | Tpswait -> t.stats.Stats.tcu_pswait_cycles <- t.stats.Stats.tcu_pswait_cycles + 1
   | Tfence ->
     t.stats.Stats.tcu_memwait_cycles <- t.stats.Stats.tcu_memwait_cycles + 1;
-    if u.pending = 0 then u.st <- Trun
+    if u.pending = 0 then begin
+      u.st <- Trun;
+      rd_release t ~tcu:u.tid
+    end
 
 let cluster_tick t (cl : cluster) =
   if t.spawn_active || (not (Queue.is_empty cl.returns)) || not (Queue.is_empty cl.outbox)
@@ -865,6 +916,9 @@ let master_tick t =
           t.globals.(Isa.Reg.g_spawn) <- lo;
           t.done_count <- 0;
           t.spawn_active <- true;
+          (match t.racedet with
+          | Some rd -> Racedetect.on_spawn rd
+          | None -> ());
           let now = Desim.Scheduler.now t.sched in
           (match t.otracer with
           | Some tr ->
@@ -988,6 +1042,22 @@ let add_package_hook t f =
 
 let on_instr t f = ignore (add_instr_hook t f : unit -> unit)
 let on_package t f = ignore (add_package_hook t f : unit -> unit)
+
+(* ------------------------------------------------------------------ *)
+(* Race detector attachment (dynamic layer of the race checker).  The
+   detector observes accesses at service time and syncs at completion
+   time; when detached every hook is a single option check. *)
+
+let attach_racecheck t =
+  match t.racedet with
+  | Some rd -> rd
+  | None ->
+    let rd = Racedetect.create () in
+    t.racedet <- Some rd;
+    rd
+
+let detach_racecheck t = t.racedet <- None
+let racecheck t = t.racedet
 
 (* ------------------------------------------------------------------ *)
 (* Span tracer attachment *)

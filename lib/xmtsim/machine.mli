@@ -107,6 +107,9 @@ type package_event = {
   pe_kind : string;
   pe_addr : int;
   pe_tcu : int;  (** -1 when not attributable (e.g. a line fill) *)
+  pe_pc : int;
+      (** pc of the issuing instruction, so every memory-touching event
+          carries (address, tcu, pc); -1 when not attributable *)
   pe_module : int;  (** -1 for reply deliveries *)
 }
 
@@ -114,6 +117,22 @@ val on_package : t -> (package_event -> unit) -> unit
 
 (** Like {!on_package} but returns a detach thunk. *)
 val add_package_hook : t -> (package_event -> unit) -> unit -> unit
+
+(* -------- dynamic race detection -------- *)
+
+(** Attach a shadow-memory race detector ({!Racedetect}); idempotent —
+    returns the already-attached detector if there is one.  The machine
+    feeds it every shared-memory access at service time (load, prefetch,
+    store, with (address, tcu, pc)) plus acquire/release events at
+    [ps]/[psm] and fence completions.  When no detector is attached the
+    hooks cost one option check ([--racecheck] off = measured-zero
+    overhead, see [bench/exp_racecheck]). *)
+val attach_racecheck : t -> Racedetect.t
+
+val detach_racecheck : t -> unit
+
+(** The attached detector, if any. *)
+val racecheck : t -> Racedetect.t option
 
 (* -------- span tracing (Chrome trace-event JSON) -------- *)
 

@@ -1,0 +1,59 @@
+(** Dynamic shadow-memory race detector.
+
+    Records per-address last-writer / latest-read-per-TCU origins and
+    per-TCU acquire/release sequences ([ps]/[psm] completions acquire and
+    release; fence completions release).  Two same-address accesses from
+    different TCUs, at least one a write, are a race unless separated by
+    a release of the earlier TCU followed by an acquire of the later TCU
+    before its access (the Fig. 7 publication discipline).
+
+    Attach with {!Machine.attach_racecheck}; a machine without a
+    detector pays no overhead.  Reports are deterministic: simulated
+    quantities only, sorted and deduplicated on
+    (address, kind, pc, pc). *)
+
+type t
+
+type race = {
+  r_addr : int;
+  r_kind : string;  (** ["write-write"] or ["read-write"] *)
+  r_epoch : int;  (** spawn epoch (1-based) the race was detected in *)
+  r_tcu_a : int;
+  r_pc_a : int;  (** earlier access *)
+  r_tcu_b : int;
+  r_pc_b : int;  (** later access *)
+  r_time : int;  (** simulated time of first detection *)
+  mutable r_count : int;  (** occurrences of this (addr, kind, pcs) pair *)
+}
+
+val create : unit -> t
+
+(** New spawn region: bump the epoch and clear the shadow memory. *)
+val on_spawn : t -> unit
+
+(** Memory access at service time. *)
+val on_read : t -> tcu:int -> pc:int -> addr:int -> time:int -> unit
+
+val on_write : t -> tcu:int -> pc:int -> addr:int -> time:int -> unit
+
+(** [ps]/[psm] completion: acquire + release for the issuing TCU. *)
+val on_sync : t -> tcu:int -> unit
+
+val on_acquire : t -> tcu:int -> unit
+
+(** Fence completion (pending non-blocking stores drained). *)
+val on_release : t -> tcu:int -> unit
+
+(** Detected races, sorted on (address, kind, pc_a, pc_b). *)
+val races : t -> race list
+
+val race_count : t -> int
+
+(** Accesses observed. *)
+val events : t -> int
+
+val epochs : t -> int
+
+(** The [dynamic] member of an [xmt.races.v1] report:
+    [{races, epochs, events}]. *)
+val to_json : t -> Obs.Json.t

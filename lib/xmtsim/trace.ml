@@ -50,8 +50,10 @@ let attach_packages ?addr ?(limit = 0) machine sink =
         if keep then begin
           incr count;
           sink
-            (Printf.sprintf "%8d %-13s %-9s addr=0x%-6x tcu=%-4d module=%d\n"
+            (Printf.sprintf
+               "%8d %-13s %-9s addr=0x%-6x tcu=%-4d pc=%-5d module=%d\n"
                ev.Machine.pe_time ev.Machine.pe_stage ev.Machine.pe_kind
-               ev.Machine.pe_addr ev.Machine.pe_tcu ev.Machine.pe_module);
+               ev.Machine.pe_addr ev.Machine.pe_tcu ev.Machine.pe_pc
+               ev.Machine.pe_module);
           if limit > 0 && !count >= limit then !detach ()
         end)

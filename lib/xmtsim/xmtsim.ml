@@ -18,6 +18,7 @@ module Stats = Stats
 module Tags = Tags
 module Prefetch_buffer = Prefetch_buffer
 module Plugin = Plugin
+module Racedetect = Racedetect
 module Profiler = Profiler
 module Machine = Machine
 module Functional_mode = Functional_mode
