@@ -24,6 +24,9 @@ let experiments =
     ( "racecheck",
       "race checker: shadow-memory detector overhead and non-perturbation",
       Exp_racecheck.run );
+    ( "profile",
+      "cycle-accounting profiler: host overhead, non-perturbation, exactness",
+      Exp_profile.run );
   ]
 
 let () =

@@ -22,7 +22,7 @@ let timing_json pt =
 
 let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
     no_layout no_postpass no_outline dump_outlined dump_stats timings
-    timings_json racecheck =
+    timings_json racecheck debug_info =
   let options =
     {
       Compiler.Driver.opt_level;
@@ -51,7 +51,12 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
       | None -> Filename.remove_extension input ^ ".s"
     in
     let oc = open_out dest in
-    output_string oc out.Compiler.Driver.asm_text;
+    (* -g keeps the .loc source markers in the listing so the simulator's
+       profiler can attribute cycles to source lines; without it the
+       output is the plain listing *)
+    output_string oc
+      (if debug_info then Isa.Asm.print out.Compiler.Driver.program
+       else out.Compiler.Driver.asm_text);
     close_out oc;
     if dump_stats then
       Printf.printf
@@ -139,6 +144,10 @@ let cmd =
                  program (spawn-block conflict analysis plus Fig. 7 fence \
                  placement).  Findings go to stderr; with LEVEL $(b,error) \
                  (the default) error findings exit with status 2, with \
-                 $(b,warn) they are diagnostics only."))
+                 $(b,warn) they are diagnostics only.")
+      $ flag [ "g"; "debug-info" ]
+          "Keep .loc source-line markers in the emitted assembly so the \
+           simulator's profiler ($(b,xmtsim --profile)) can attribute \
+           cycles to source lines and functions.")
 
 let () = exit (Cmd.eval cmd)

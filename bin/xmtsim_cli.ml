@@ -30,6 +30,15 @@ let run_campaign_cmd ~file ~jobs ~retries ~export =
       Printf.eprintf "xmtsim: campaign %s: %s\n" file msg;
       exit 1
   in
+  (* --export profile at campaign level profiles every cycle-mode job and
+     writes the merged CPI stack *)
+  let specs =
+    if export "profile" = None then specs
+    else
+      List.map
+        (fun (name, j) -> (name, { j with Core.Toolchain.profile = true }))
+        specs
+  in
   let total = List.length specs in
   let reg = Obs.Metrics.create () in
   let results =
@@ -44,6 +53,14 @@ let run_campaign_cmd ~file ~jobs ~retries ~export =
   | Some p ->
     Obs.Json.write_path ~pretty:true p
       (Campaign.report_to_json ~host:false results)
+  | None -> ());
+  (match export "profile" with
+  | Some p -> (
+    match Campaign.merged_profile_json results with
+    | Some j -> Obs.Json.write_path ~pretty:true p j
+    | None ->
+      Printf.eprintf
+        "xmtsim: no job produced a profile (cycle-mode jobs only)\n")
   | None -> ());
   let ok = Campaign.ok_count results and failed = Campaign.failed_count results in
   let wall =
@@ -61,7 +78,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
     checkpoint_out checkpoint_at checkpoint_in stats_json_flag trace_json_flag
     timeseries_json_flag governor governor_interval no_clock_gating racecheck
-    exports campaign_file jobs retries =
+    cpi_profile exports campaign_file jobs retries =
   (* resolve the export sinks: --export KIND[=PATH] plus the deprecated
      one-flag-per-sink aliases (kept so existing scripts still run) *)
   let deprecated flag kind path =
@@ -97,6 +114,8 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
   let timeseries_json = export "timeseries" in
   let races_json = export "races" in
   let racecheck = racecheck || races_json <> None in
+  let profile_json = export "profile" in
+  let profile_requested = cpi_profile || profile_json <> None in
   List.iter
     (fun kind ->
       if export kind <> None then begin
@@ -156,6 +175,8 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     in
     if trace_json <> None then reject "--export trace";
     if timeseries_json <> None then reject "--export timeseries";
+    if profile_json <> None then reject "--export profile";
+    if cpi_profile then reject "--profile";
     if governor then reject "--governor";
     let host_t0 = Unix.gettimeofday () in
     let r = Xmtsim.Functional_mode.run image in
@@ -209,6 +230,8 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     let racedet =
       if racecheck then Some (Xmtsim.Machine.attach_racecheck m) else None
     in
+    if profile_requested then
+      ignore (Xmtsim.Machine.attach_profile m : Xmtsim.Profile.t);
     (match checkpoint_in with
     | Some p -> Xmtsim.Machine.restore m (Xmtsim.Machine.snapshot_of_file p)
     | None -> ());
@@ -303,6 +326,21 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       print_endline "---- execution profile ----";
       print_string (Xmtsim.Plugin.render_profile p)
     | _ -> ());
+    (* the CPI stacks are reported only when asked for — the profiler may
+       also be attached as the interval profiler's event source *)
+    (if profile_requested then
+       match Xmtsim.Machine.profile_report m with
+       | Some rp ->
+         if cpi_profile then begin
+           print_endline "---- CPI stacks ----";
+           print_string (Xmtsim.Profile.render rp);
+           print_string (Xmtsim.Profile.render_flame rp)
+         end;
+         (match profile_json with
+         | Some path ->
+           Obs.Json.write_path ~pretty:true path (Xmtsim.Profile.to_json rp)
+         | None -> ())
+       | None -> ());
     (* -------- telemetry sinks (--stats-json / --trace-json) -------- *)
     let events = Xmtsim.Machine.events_processed m in
     let events_per_sec =
@@ -453,14 +491,15 @@ let export_conv =
       | None -> (s, None)
     in
     match kind with
-    | "stats" | "trace" | "timeseries" | "races" | "campaign" | "campaign-det" ->
+    | "stats" | "trace" | "timeseries" | "races" | "profile" | "campaign"
+    | "campaign-det" ->
       Ok (kind, Option.value ~default:(kind ^ ".json") path)
     | other ->
       Error
         (`Msg
           (Printf.sprintf
              "unknown export kind %S \
-              (stats|trace|timeseries|races|campaign|campaign-det)"
+              (stats|trace|timeseries|races|profile|campaign|campaign-det)"
              other))
   in
   let print ppf (k, p) = Format.fprintf ppf "%s=%s" k p in
@@ -534,6 +573,18 @@ let cmd =
                      shadow-memory race detector (cycle-accurate mode).  \
                      Findings go to stderr; add --export races=FILE for \
                      the xmt.races.v1 JSON report.")
+      $ Arg.(value & flag & info [ "profile" ]
+               ~doc:"Attach the cycle-accounting profiler and print per-TCU \
+                     CPI stacks: every TCU cycle attributed to one bucket \
+                     (compute, spawn/join, ICN, cache hit, DRAM, \
+                     prefetch-covered, fence/ps), idle by subtraction, so \
+                     the stack sums exactly to the run's TCU-cycles.  XMTC \
+                     inputs (and assembly from $(b,xmtcc -g)) also get \
+                     per-source-line hot-spot tables and a flame-style \
+                     view.  The profiler is passive: cycles, stats and \
+                     traces are bit-identical with or without it.  Add \
+                     --export profile=FILE for the xmt.profile.v1 JSON \
+                     report.")
       $ Arg.(value & opt_all export_conv [] & info [ "export" ]
                ~docv:"KIND[=PATH]"
                ~doc:"Write a JSON export (repeatable).  KIND is stats \
@@ -541,8 +592,11 @@ let cmd =
                      histograms, host throughput), trace (Chrome \
                      trace-event spans; cycle-accurate mode only), \
                      timeseries (windowed telemetry; cycle-accurate mode \
-                     only), campaign (the xmt.campaign.v1 report; with \
-                     --campaign) or campaign-det (the report without \
+                     only), profile (the xmt.profile.v1 CPI-stack report; \
+                     cycle-accurate mode, or with --campaign the merged \
+                     campaign-level stack), campaign (the xmt.campaign.v1 \
+                     report; with --campaign) or campaign-det (the report \
+                     without \
                      host-dependent fields — byte-identical across worker \
                      counts, for determinism diffs).  PATH defaults to \
                      KIND.json; use - for stdout.")

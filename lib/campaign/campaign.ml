@@ -179,6 +179,9 @@ let result_json ~host r =
       @ (match run.Core.Toolchain.races with
         | Some j -> [ ("races", j) ]
         | None -> [])
+      @ (match run.Core.Toolchain.profile with
+        | Some j -> [ ("profile", j) ]
+        | None -> [])
     | Error f ->
       ("status", J.Str "failed")
       :: ("error", J.Str f.f_exn)
@@ -189,6 +192,76 @@ let result_json ~host r =
     if host then [ ("wall_seconds", J.Float r.r_wall_seconds) ] else []
   in
   J.Obj (base @ outcome @ host_fields)
+
+(* Merge the per-job xmt.profile.v1 reports into one campaign-level CPI
+   stack: bucket cycles of the aggregate rows summed across jobs, plus a
+   merged per-function attribution.  Works on the JSON (the run records
+   cross domains as plain data), so a job whose profile is missing or
+   malformed simply contributes nothing. *)
+let merged_profile_json rs =
+  let profiles =
+    Array.to_list rs
+    |> List.filter_map (fun r ->
+           match r.r_outcome with
+           | Ok run -> run.Core.Toolchain.profile
+           | Error _ -> None)
+  in
+  match profiles with
+  | [] -> None
+  | _ ->
+    let buckets = Hashtbl.create 8 in
+    let funcs = Hashtbl.create 16 in
+    let total = ref 0 in
+    let add tbl k n =
+      Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    in
+    List.iter
+      (fun p ->
+        (match J.member "total_ticks" p with
+        | Some v -> total := !total + Option.value ~default:0 (J.to_int v)
+        | None -> ());
+        (match J.member "aggregate" p with
+        | Some (J.Obj fields) ->
+          List.iter
+            (fun (name, v) ->
+              match J.to_int v with
+              | Some n -> add buckets name n
+              | None -> ())
+            fields
+        | _ -> ());
+        match J.member "attribution" p with
+        | Some attr -> (
+          match J.member "by_func" attr with
+          | Some (J.List fns) ->
+            List.iter
+              (fun fj ->
+                match (J.member "func" fj, J.member "cycles" fj) with
+                | Some (J.Str fn), Some c ->
+                  add funcs fn (Option.value ~default:0 (J.to_int c))
+                | _ -> ())
+              fns
+          | _ -> ())
+        | None -> ())
+      profiles;
+    let sorted tbl =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (ka, va) (kb, vb) -> compare (vb, ka) (va, kb))
+    in
+    Some
+      (J.Obj
+         [
+           ("schema", J.Str "xmt.profile.v1");
+           ("merged_jobs", J.Int (List.length profiles));
+           ("total_ticks", J.Int !total);
+           ( "aggregate",
+             J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (sorted buckets)) );
+           ( "by_func",
+             J.List
+               (List.map
+                  (fun (fn, c) ->
+                    J.Obj [ ("func", J.Str fn); ("cycles", J.Int c) ])
+                  (sorted funcs)) );
+         ])
 
 let report_to_json ?(host = true) ?workers rs =
   let sum f =
@@ -227,7 +300,11 @@ let report_to_json ?(host = true) ?workers rs =
         ( "results",
           J.List (Array.to_list (Array.map (result_json ~host) rs)) );
         ("aggregate", J.Obj aggregate);
-      ])
+      ]
+    @
+    match merged_profile_json rs with
+    | Some p -> [ ("profile", p) ]
+    | None -> [])
 
 let progress_printer ~total =
   let done_ = ref 0 in
@@ -368,6 +445,7 @@ let job_of_json ?(dir = Filename.current_dir_name) ~defaults ~index j =
       ?max_cycles:(inherited (opt_int "max_cycles") j defaults)
       ?max_instructions:(inherited (opt_int "max_instructions") j defaults)
       ?racecheck:(inherited (opt_bool "racecheck") j defaults)
+      ?profile:(inherited (opt_bool "profile") j defaults)
       source
   in
   (* validate the sweep point now, not mid-campaign *)

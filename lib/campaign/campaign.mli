@@ -74,6 +74,12 @@ val failed_count : job_result array -> int
 val report_to_json :
   ?host:bool -> ?workers:int -> job_result array -> Obs.Json.t
 
+(** Merge the per-job [xmt.profile.v1] reports of the profiled jobs into
+    one campaign-level CPI stack (aggregate bucket cycles and per-function
+    attribution summed across jobs).  [None] when no job was profiled.
+    Also embedded in {!report_to_json} under ["profile"]. *)
+val merged_profile_json : job_result array -> Obs.Json.t option
+
 (** One-line progress printer for [on_event] (writes to [stderr]). *)
 val progress_printer : total:int -> event -> unit
 

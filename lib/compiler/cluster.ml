@@ -47,7 +47,7 @@ let rec subst_tid_stmt id (s : T.stmt) : T.stmt =
   let rs = subst_tid_stmt id in
   let re = subst_tid id in
   match s with
-  | T.Sskip | T.Sbreak | T.Scontinue | T.Sps _ -> s
+  | T.Sskip | T.Sbreak | T.Scontinue | T.Sps _ | T.Sloc _ -> s
   | T.Sexpr e -> T.Sexpr (re e)
   | T.Sdecl (v, init) -> T.Sdecl (v, Option.map re init)
   | T.Sblock ss -> T.Sblock (List.map rs ss)
@@ -113,7 +113,7 @@ let rec replace ctx ~factor s =
   | T.Sfor (i, c, p, b) ->
     T.Sfor (replace ctx ~factor i, c, replace ctx ~factor p, replace ctx ~factor b)
   | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue
-  | T.Sps _ | T.Spsm _ ->
+  | T.Sps _ | T.Spsm _ | T.Sloc _ ->
     s
 
 let run ~factor (p : T.program) : T.program =

@@ -225,8 +225,9 @@ let gen_call e dst name args =
   | Ir.Dint r -> ins e (I.Alu (I.Add, r, Isa.Reg.v0, Isa.Reg.zero))
   | Ir.Dflt r -> ins e (I.Fpu1 (I.Fmov, r, 0))
 
-let gen_instr e ret_label i =
+let gen_instr e ~fn_name ret_label i =
   match i with
+  | Ir.Iloc line -> emit e (P.Loc { line; fn = fn_name })
   | Ir.Ilabel l -> label e l
   | Ir.Imov (d, Ir.Oimm k) -> ins e (I.Li (d, k))
   | Ir.Imov (d, Ir.Oreg s) -> ins e (I.Alu (I.Add, d, s, Isa.Reg.zero))
@@ -307,9 +308,12 @@ let gen_func (fn : Ir.func) (ra : Regalloc.result) : P.item list =
   let e = { items = [] } in
   let ret_label = "Lret_" ^ fn.Ir.name in
   label e fn.Ir.name;
+  (* prologue code belongs to the function but no concrete line *)
+  emit e (P.Loc { line = 0; fn = fn.Ir.name });
   gen_prologue e fn ra;
-  List.iter (gen_instr e ret_label) fn.Ir.body;
+  List.iter (gen_instr e ~fn_name:fn.Ir.name ret_label) fn.Ir.body;
   label e ret_label;
+  emit e (P.Loc { line = 0; fn = fn.Ir.name });
   gen_epilogue e fn ra;
   List.rev e.items
 
@@ -318,6 +322,7 @@ let gen_func (fn : Ir.func) (ra : Regalloc.result) : P.item list =
 let gen_start (prog : Ir.program) : P.item list =
   let e = { items = [] } in
   label e "__start";
+  emit e (P.Loc { line = 0; fn = "__start" });
   ins e (I.Li (Isa.Reg.sp, stack_top));
   ins e (I.Alu (I.Add, Isa.Reg.fp, Isa.Reg.sp, Isa.Reg.zero));
   List.iter

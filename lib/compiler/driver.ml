@@ -136,7 +136,11 @@ let compile ?(options = default_options) src : output =
             if options.postpass_fix then Postpass.verify program;
             (program, relocated_blocks))
       in
-      let asm_text = Isa.Asm.print program in
+      (* [program] keeps the .loc debug markers (they feed the image's
+         source map); [asm_text] is the user-facing listing and stays
+         loc-free so default output is unchanged — [xmtcc -g] prints the
+         debug-bearing form from [program] instead *)
+      let asm_text = Isa.Asm.print (Isa.Program.strip_locs program) in
       { program; asm_text; relocated_blocks; outlined_source;
         timings = List.rev !timings; typed = tprog; ir })
 

@@ -62,6 +62,9 @@ type instr =
   | Imtg of Isa.Reg.g * operand
   | Ifence
   | Isys of sys_op * arg
+  | Iloc of int
+      (** debug marker: following instructions come from this source line.
+          Emits no code; transparent to every optimization. *)
 
 type func = {
   name : string;
@@ -104,7 +107,7 @@ let ops_uses ops =
   List.filter_map (function Oreg r -> Some r | Oimm _ -> None) ops
 
 let defs_uses = function
-  | Ilabel _ | Ijmp _ | Ifence -> ([], [], [], [])
+  | Ilabel _ | Ijmp _ | Ifence | Iloc _ -> ([], [], [], [])
   | Imov (d, s) -> ([ d ], ops_uses [ s ], [], [])
   | Ibin (_, d, a, b) -> ([ d ], ops_uses [ a; b ], [], [])
   | Iset (_, d, a, b) -> ([ d ], ops_uses [ a; b ], [], [])
@@ -160,6 +163,9 @@ let has_side_effect = function
   | Imov _ | Ibin _ | Iset _ | Ifbin _ | Ifun _ | Ifli _ | Ifcmp _ | Icvt_i2f _
   | Icvt_f2i _ | Ila _ | Ild _ | Ifld _ | Imfg _ ->
     false
+  (* Debug markers carry no defs, so DCE keeps them; listed as effectful
+     for clarity. *)
+  | Iloc _ -> true
 
 (* Loads are pure w.r.t. DCE only outside parallel/volatile concerns; we
    treat them as removable when the destination is dead, which is safe
@@ -231,6 +237,7 @@ let to_string i =
       | Isa.Instr.Print_char -> "pchr"
       | Isa.Instr.Print_str -> "pstr")
       (match a with Aint op -> o op | Aflt r -> f r)
+  | Iloc line -> sp "  .loc %d" line
 
 let func_to_string fn =
   String.concat "\n" ((fn.name ^ ":") :: List.map to_string fn.body)

@@ -9,7 +9,9 @@ type term =
 
 type block = {
   mutable labels : string list;
-  mutable body : I.t list;  (** without a trailing unconditional jump *)
+  mutable body : P.item list;
+      (** Ins and Loc items, without a trailing unconditional jump — Loc
+          debug markers travel with their block through reordering *)
   mutable term : term;
   mutable fall : int;  (** original fallthrough successor index, or -1 *)
   mutable cold : bool;
@@ -55,20 +57,31 @@ let split items =
     (fun item ->
       match item with
       | P.Comment _ -> ()
+      | P.Loc _ -> body := item :: !body
       | P.Label l ->
+        (* trailing debug markers describe the instructions that follow the
+           label, so they move into the new block instead of being flushed
+           with (and possibly reordered along with) the previous one *)
+        let rec pop acc = function
+          | (P.Loc _ as x) :: rest -> pop (x :: acc) rest
+          | rest -> (acc, rest)
+        in
+        let pending, rest = pop [] !body in
+        body := rest;
         if !body <> [] then flush Tfall;
-        labels := l :: !labels
+        labels := l :: !labels;
+        body := List.rev_append pending !body
       | P.Ins i -> (
         match i with
         | I.J l ->
           flush (Tjump l)
         | I.Jr _ | I.Halt ->
-          body := i :: !body;
+          body := item :: !body;
           flush Texit
         | I.Br _ | I.Brz _ ->
-          body := i :: !body;
+          body := item :: !body;
           flush (Tcond (Option.get (I.target i)))
-        | _ -> body := i :: !body))
+        | _ -> body := item :: !body))
     items;
   if !body <> [] || !labels <> [] then flush Tfall;
   let arr = Array.of_list (List.rev !blocks) in
@@ -98,7 +111,9 @@ let run items =
       let is_root b =
         b.idx = 0
         || List.exists
-             (function I.Join | I.Spawn _ | I.Chkid _ -> true | _ -> false)
+             (function
+               | P.Ins (I.Join | I.Spawn _ | I.Chkid _) -> true
+               | _ -> false)
              b.body
       in
       let reach = Array.make nb false in
@@ -215,7 +230,7 @@ let run items =
         (fun i ->
           let b = blocks.(i) in
           List.iter (fun l -> emit (P.Label l)) b.labels;
-          List.iter (fun ins -> emit (P.Ins ins)) b.body;
+          List.iter emit b.body;
           match trailing.(i) with Some j -> emit (P.Ins j) | None -> ())
         order;
       List.rev !out

@@ -571,6 +571,7 @@ and lower_builtin c b (args : T.expr list) : rv =
 let rec lower_stmt c (s : T.stmt) : unit =
   match s with
   | T.Sskip -> ()
+  | T.Sloc line -> emit c (Ir.Iloc line)
   | T.Sexpr e -> ignore (lower_expr c e)
   | T.Sdecl (v, init) ->
     let slot =

@@ -223,7 +223,7 @@ let local_pass ~cse instrs =
         emit (Ir.Ifcmp (r, d, a, b))
       | Ir.Ichkid r -> emit (Ir.Ichkid (subst_reg st r))
       | Ir.Ifbin _ | Ir.Ifun _ | Ir.Ifli _ | Ir.Ijmp _ | Ir.Iret _ | Ir.Ijoin
-      | Ir.Ifence | Ir.Isys _ ->
+      | Ir.Ifence | Ir.Isys _ | Ir.Iloc _ ->
         emit i)
     instrs;
   List.rev !out
@@ -266,12 +266,22 @@ let dce (fn : Ir.func) =
     end
   done
 
-(* Remove self-moves and jumps to the immediately-following label. *)
+(* Remove self-moves and jumps to the immediately-following label.  Debug
+   markers are position-transparent: a jump to the next label still folds
+   when only [Iloc]s sit in between. *)
 let peephole instrs =
+  let rec next_real = function
+    | Ir.Iloc _ :: rest -> next_real rest
+    | other -> other
+  in
   let rec go = function
     | [] -> []
     | Ir.Imov (d, Ir.Oreg s) :: rest when d = s -> go rest
-    | Ir.Ijmp l :: (Ir.Ilabel l' :: _ as rest) when l = l' -> go rest
+    | Ir.Ijmp l :: rest
+      when (match next_real rest with
+           | Ir.Ilabel l' :: _ -> l = l'
+           | _ -> false) ->
+      go rest
     | i :: rest -> i :: go rest
   in
   go instrs

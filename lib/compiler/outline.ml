@@ -30,7 +30,7 @@ let rec map_expr f (e : T.expr) : T.expr =
 let rec map_stmt_exprs f (s : T.stmt) : T.stmt =
   let rs = map_stmt_exprs f in
   match s with
-  | T.Sskip | T.Sbreak | T.Scontinue -> s
+  | T.Sskip | T.Sbreak | T.Scontinue | T.Sloc _ -> s
   | T.Sexpr e -> T.Sexpr (map_expr f e)
   | T.Sdecl (v, init) -> T.Sdecl (v, Option.map (map_expr f) init)
   | T.Sblock ss -> T.Sblock (List.map rs ss)
@@ -68,7 +68,7 @@ let rec declared_vars acc = function
   | T.Sfor (i, _, p, b) -> declared_vars (declared_vars (declared_vars acc i) p) b
   | T.Sspawn sp -> declared_vars acc sp.T.sp_body
   | T.Sskip | T.Sexpr _ | T.Sreturn _ | T.Sbreak | T.Scontinue | T.Sps _
-  | T.Spsm _ ->
+  | T.Spsm _ | T.Sloc _ ->
     acc
 
 (* All variables used in a statement (including ps/psm operands). *)
@@ -85,7 +85,9 @@ let used_vars s =
     | T.Swhile (_, b) | T.Sdowhile (b, _) -> extra acc b
     | T.Sfor (i, _, p, b) -> extra (extra (extra acc i) p) b
     | T.Sspawn sp -> extra acc sp.T.sp_body
-    | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue -> acc
+    | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue
+    | T.Sloc _ ->
+      acc
   in
   extra from_exprs s
 
@@ -124,7 +126,9 @@ let written_vars s =
     | T.Swhile (_, b) | T.Sdowhile (b, _) -> extra acc b
     | T.Sfor (i, _, p, b) -> extra (extra (extra acc i) p) b
     | T.Sspawn sp -> extra acc sp.T.sp_body
-    | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue -> acc
+    | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue
+    | T.Sloc _ ->
+      acc
   in
   extra from_exprs s
 
@@ -289,7 +293,7 @@ let rec replace_spawns ctx s =
   | T.Sfor (i, c, p, b) ->
     T.Sfor (replace_spawns ctx i, c, replace_spawns ctx p, replace_spawns ctx b)
   | T.Sskip | T.Sexpr _ | T.Sdecl _ | T.Sreturn _ | T.Sbreak | T.Scontinue
-  | T.Sps _ | T.Spsm _ ->
+  | T.Sps _ | T.Spsm _ | T.Sloc _ ->
     s
 
 let max_vid (p : T.program) =

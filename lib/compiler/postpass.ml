@@ -34,7 +34,7 @@ let labels_in (items : P.item array) lo hi =
   for i = lo to hi do
     match items.(i) with
     | P.Label l -> Hashtbl.replace set l ()
-    | P.Ins _ | P.Comment _ -> ()
+    | P.Ins _ | P.Comment _ | P.Loc _ -> ()
   done;
   set
 
@@ -102,7 +102,7 @@ let fix_one (items : P.item array) =
             else
               match items.(i) with
               | P.Ins ins -> Some ins
-              | P.Label _ | P.Comment _ -> prev_ins (i - 1)
+              | P.Label _ | P.Comment _ | P.Loc _ -> prev_ins (i - 1)
           in
           let falls_into_join =
             match prev_ins (j - 1) with
@@ -172,7 +172,7 @@ let verify (p : P.t) =
                the block would not be broadcast (Fig. 9)"
               l i s j
           | Some _ | None -> ())
-        | P.Label _ | P.Comment _ -> ()
+        | P.Label _ | P.Comment _ | P.Loc _ -> ()
       done)
     regs
 

@@ -82,6 +82,14 @@ let run ?(min_gap = 2) ?(max_per_block = 8) (fn : Ir.func) =
   let flush_block block_instrs =
     let arr = Array.of_list block_instrs in
     let m = Array.length arr in
+    (* effective position = count of real (non-debug-marker) instructions
+       before each slot, so interleaved [Iloc]s cannot change gap
+       arithmetic and thus prefetch placement *)
+    let eff = Array.make (m + 1) 0 in
+    for j = 0 to m - 1 do
+      eff.(j + 1) <-
+        (eff.(j) + match snd arr.(j) with Ir.Iloc _ -> 0 | _ -> 1)
+    done;
     (* def position of each vreg within the block *)
     let defpos = Hashtbl.create 16 in
     Array.iteri
@@ -135,7 +143,8 @@ let run ?(min_gap = 2) ?(max_per_block = 8) (fn : Ir.func) =
             | Some _ -> j
             | None -> 0
           in
-          if j - dp >= min_gap && not (Hashtbl.mem seen (base, off)) then begin
+          if eff.(j) - eff.(dp) >= min_gap && not (Hashtbl.mem seen (base, off))
+          then begin
             Hashtbl.replace seen (base, off) ();
             incr count;
             inserts := (dp, Ir.Ipref (base, off)) :: !inserts

@@ -286,7 +286,7 @@ let rewrite (fn : Ir.func) iassign fassign =
     let mo = function Ir.Oreg r -> Ir.Oreg (mi r) | Ir.Oimm k -> Ir.Oimm k in
     let ins' =
       match ins with
-      | Ir.Ilabel _ | Ir.Ijmp _ | Ir.Ijoin | Ir.Ifence -> ins
+      | Ir.Ilabel _ | Ir.Ijmp _ | Ir.Ijoin | Ir.Ifence | Ir.Iloc _ -> ins
       | Ir.Imov (d, s) -> let s = mo s in Ir.Imov (mi d, s)
       | Ir.Ibin (op, d, a, b) ->
         let a = mo a and b = mo b in

@@ -12,6 +12,8 @@ type run = {
   stats : Xmtsim.Stats.t;
   races : Obs.Json.t option;
       (** [xmt.races.v1] report when the run was race-checked *)
+  profile : Obs.Json.t option;
+      (** [xmt.profile.v1] CPI-stack report when the run was profiled *)
 }
 
 (* Static findings + (for cycle runs) the dynamic detector's output,
@@ -19,9 +21,11 @@ type run = {
 let races_report ?dynamic compiled =
   Racecheck.report ?dynamic (Racecheck.analyze compiled.cc)
 
-let run_cycle ?config ?(racecheck = false) ?max_cycles compiled =
+let run_cycle ?config ?(racecheck = false) ?(profile = false) ?max_cycles
+    compiled =
   let m = Xmtsim.Machine.create ?config compiled.image in
   let rd = if racecheck then Some (Xmtsim.Machine.attach_racecheck m) else None in
+  if profile then ignore (Xmtsim.Machine.attach_profile m : Xmtsim.Profile.t);
   let r = Xmtsim.Machine.run ?max_cycles m in
   if not r.Xmtsim.Machine.halted then
     raise (Xmtsim.Machine.Sim_error "cycle budget exhausted before halt");
@@ -37,6 +41,7 @@ let run_cycle ?config ?(racecheck = false) ?max_cycles compiled =
         (fun rd ->
           races_report ~dynamic:(Xmtsim.Racedetect.to_json rd) compiled)
         rd;
+    profile = Option.map Xmtsim.Profile.to_json (Xmtsim.Machine.profile_report m);
   }
 
 let run_functional ?(racecheck = false) ?max_instructions compiled =
@@ -49,6 +54,7 @@ let run_functional ?(racecheck = false) ?max_instructions compiled =
     stats = r.Xmtsim.Functional_mode.stats;
     (* no cycle machine to observe: static layer only *)
     races = (if racecheck then Some (races_report compiled) else None);
+    profile = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -72,11 +78,14 @@ type job = {
   max_cycles : int option;  (** cycle-mode budget *)
   max_instructions : int option;  (** functional-mode budget *)
   racecheck : bool;  (** attach the race checker; report in [run.races] *)
+  profile : bool;
+      (** attach the cycle-accounting profiler; report in [run.profile] *)
 }
 
 let job ?(name = "") ?(options = Compiler.Driver.default_options)
     ?(memmap = []) ?(config = Xmtsim.Config.fpga64) ?(mode = Cycle) ?seed
-    ?max_cycles ?max_instructions ?(racecheck = false) source =
+    ?max_cycles ?max_instructions ?(racecheck = false) ?(profile = false)
+    source =
   {
     job_name = name;
     source;
@@ -88,6 +97,7 @@ let job ?(name = "") ?(options = Compiler.Driver.default_options)
     max_cycles;
     max_instructions;
     racecheck;
+    profile;
   }
 
 (** The configuration a job actually simulates with: the per-job seed
@@ -110,7 +120,8 @@ let run_job j =
   | Cycle ->
     let config = job_config j in
     let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
-    run_cycle ~config ~racecheck:j.racecheck ?max_cycles:j.max_cycles compiled
+    run_cycle ~config ~racecheck:j.racecheck ~profile:j.profile
+      ?max_cycles:j.max_cycles compiled
 
 let exec ?options ?memmap ?config ?(functional = false) src =
   run_job

@@ -24,14 +24,21 @@ type run = {
       (** [xmt.races.v1] report when the run was race-checked: static
           findings ({!Racecheck}) plus, for cycle runs, the dynamic
           shadow-memory detector's races ({!Xmtsim.Racedetect}) *)
+  profile : Obs.Json.t option;
+      (** [xmt.profile.v1] CPI-stack report ({!Xmtsim.Profile}) when the
+          run was profiled (cycle mode only) *)
 }
 
 (** Run on the cycle-accurate simulator.  [racecheck] attaches the
     dynamic race detector and fills [run.races] with the combined
-    static+dynamic [xmt.races.v1] report. *)
+    static+dynamic [xmt.races.v1] report.  [profile] attaches the
+    cycle-accounting profiler and fills [run.profile] with the
+    [xmt.profile.v1] CPI-stack report; the profiler is passive, so the
+    run's cycles, output and stats are unchanged. *)
 val run_cycle :
   ?config:Xmtsim.Config.t ->
   ?racecheck:bool ->
+  ?profile:bool ->
   ?max_cycles:int ->
   compiled ->
   run
@@ -64,11 +71,14 @@ type job = {
   max_cycles : int option;  (** cycle-mode budget *)
   max_instructions : int option;  (** functional-mode budget *)
   racecheck : bool;  (** attach the race checker; report in [run.races] *)
+  profile : bool;
+      (** attach the cycle-accounting profiler; report in [run.profile]
+          (cycle mode only) *)
 }
 
 (** Build a job; defaults: [name ""], [default_options], empty memmap,
     {!Xmtsim.Config.fpga64}, [Cycle] mode, no seed override, no budget
-    overrides, race checking off. *)
+    overrides, race checking off, profiling off. *)
 val job :
   ?name:string ->
   ?options:Compiler.Driver.options ->
@@ -79,6 +89,7 @@ val job :
   ?max_cycles:int ->
   ?max_instructions:int ->
   ?racecheck:bool ->
+  ?profile:bool ->
   string ->
   job
 

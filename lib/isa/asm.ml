@@ -307,6 +307,12 @@ let parse src =
           section := Data;
           consume rest
         | Word ".globl" :: _ -> () (* accepted and ignored *)
+        | Word ".loc" :: rest -> (
+          match (!section, rest) with
+          | Text, [ Int line; Word fn ] ->
+            text := Program.Loc { line; fn } :: !text
+          | Text, _ -> fail lineno ".loc: expected line number and function"
+          | Data, _ -> fail lineno ".loc in data section")
         | Word w :: Colon :: rest -> (
           match !section with
           | Text ->
@@ -342,7 +348,9 @@ let print (p : Program.t) =
       match item with
       | Program.Label l -> Buffer.add_string buf (l ^ ":\n")
       | Program.Ins i -> Buffer.add_string buf ("\t" ^ Instr.to_string i ^ "\n")
-      | Program.Comment c -> Buffer.add_string buf ("\t# " ^ c ^ "\n"))
+      | Program.Comment c -> Buffer.add_string buf ("\t# " ^ c ^ "\n")
+      | Program.Loc { line; fn } ->
+        Buffer.add_string buf (Printf.sprintf "\t.loc %d %s\n" line fn))
     p.text;
   if p.data <> [] then begin
     Buffer.add_string buf "\t.data\n";

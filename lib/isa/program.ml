@@ -1,4 +1,8 @@
-type item = Label of string | Ins of Instr.t | Comment of string
+type item =
+  | Label of string
+  | Ins of Instr.t
+  | Comment of string
+  | Loc of { line : int; fn : string }
 
 type data_payload =
   | Words of int list
@@ -17,9 +21,12 @@ let payload_words = function
   | Space n -> n
   | Asciiz s -> String.length s + 1
 
+let strip_locs t =
+  { t with text = List.filter (function Loc _ -> false | _ -> true) t.text }
+
 let instructions t =
   List.filter_map
-    (function Ins i -> Some i | Label _ | Comment _ -> None)
+    (function Ins i -> Some i | Label _ | Comment _ | Loc _ -> None)
     t.text
 
 type image = {
@@ -30,6 +37,7 @@ type image = {
   data_words : Value.t array;
   data_base : int;
   entry : int;
+  locs : (int * string) option array;
 }
 
 let data_base_addr = 0x1000
@@ -59,7 +67,7 @@ let resolve ?(extra_data = []) t =
           Hashtbl.replace code_labels l idx;
           idx
         | Ins _ -> idx + 1
-        | Comment _ -> idx)
+        | Comment _ | Loc _ -> idx)
       0 t.text
   in
   (* Data layout. *)
@@ -103,12 +111,19 @@ let resolve ?(extra_data = []) t =
   (* Pass 2: flatten instructions, resolve targets. *)
   let instrs = Array.make (max n_instrs 1) Instr.Halt in
   let targets = Array.make (max n_instrs 1) (-1) in
+  (* Debug map: a [Loc] directive sets the source position of every
+     following instruction until the next one.  Line 0 marks compiler-
+     generated code (prologues, the [__start] runtime). *)
+  let locs = Array.make (max n_instrs 1) None in
+  let cur_loc = ref None in
   let idx = ref 0 in
   List.iter
     (function
       | Label _ | Comment _ -> ()
+      | Loc { line; fn } -> cur_loc := Some (line, fn)
       | Ins i ->
         instrs.(!idx) <- i;
+        locs.(!idx) <- !cur_loc;
         (match i with
         | Instr.La (_, l) -> (
           match Hashtbl.find_opt data_addr l with
@@ -133,7 +148,8 @@ let resolve ?(extra_data = []) t =
     | None -> (
       match Hashtbl.find_opt code_labels "main" with Some i -> i | None -> 0)
   in
-  { instrs; targets; code_labels; data_addr; data_words; data_base = data_base_addr; entry }
+  { instrs; targets; code_labels; data_addr; data_words;
+    data_base = data_base_addr; entry; locs }
 
 let address_of img name =
   match Hashtbl.find_opt img.data_addr name with

@@ -6,7 +6,13 @@
     branch targets and data-label addresses pre-resolved, and the initial
     memory contents (the "memory map" role of paper Fig. 3). *)
 
-type item = Label of string | Ins of Instr.t | Comment of string
+type item =
+  | Label of string
+  | Ins of Instr.t
+  | Comment of string
+  | Loc of { line : int; fn : string }
+      (** debug marker: following instructions come from source [line] in
+          function [fn]; line 0 = compiler-generated code *)
 
 type data_payload =
   | Words of int list
@@ -25,6 +31,10 @@ val payload_words : data_payload -> int
 (** Instructions only, labels dropped. *)
 val instructions : t -> Instr.t list
 
+(** The same program without [Loc] debug markers (for assembly output
+    when debug info is not wanted; resolving the result loses the map). *)
+val strip_locs : t -> t
+
 type image = {
   instrs : Instr.t array;
   targets : int array;
@@ -35,6 +45,9 @@ type image = {
   data_words : Value.t array;  (** initial data segment, word-indexed *)
   data_base : int;  (** byte address where the data segment starts *)
   entry : int;  (** instruction index of [__start], else [main], else 0 *)
+  locs : (int * string) option array;
+      (** per-instruction debug map: (source line, function name) from the
+          nearest preceding [Loc] item, or [None] before the first one *)
 }
 
 (** Base byte address of the data segment in every image. *)

@@ -266,7 +266,7 @@ let sync ctx = ctx.syncs <- next_pos ctx :: ctx.syncs
 
 let rec stmt ctx guard (s : Tast.stmt) =
   match s with
-  | Tast.Sskip | Tast.Sbreak | Tast.Scontinue -> ()
+  | Tast.Sskip | Tast.Sbreak | Tast.Scontinue | Tast.Sloc _ -> ()
   | Tast.Sexpr e -> rd ctx guard e
   | Tast.Sdecl (_, init) -> Option.iter (rd ctx guard) init
   | Tast.Sblock ss -> List.iter (stmt ctx guard) ss

@@ -122,6 +122,7 @@ let rec expr_to_string (e : Tast.expr) =
 let rec stmt_lines indent (st : Tast.stmt) : string list =
   let pad = String.make indent ' ' in
   match st with
+  | Tast.Sloc _ -> []  (* debug markers are invisible in printed source *)
   | Tast.Sskip -> [ pad ^ ";" ]
   | Tast.Sexpr e -> [ pad ^ expr_to_string e ^ ";" ]
   | Tast.Sdecl (v, init) ->

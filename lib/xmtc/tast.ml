@@ -81,6 +81,10 @@ type stmt =
   | Sspawn of spawn
   | Sps of var * var  (** ps(local, base): local gets old base, base += local *)
   | Spsm of var * expr  (** psm(local, addr): same, on a memory word *)
+  | Sloc of int
+      (** debug marker: subsequent statements come from this source line.
+          Inserted by the typechecker, transparent to every transformation,
+          and invisible to the pretty-printer. *)
 
 and spawn = {
   sp_lo : expr;
@@ -121,7 +125,9 @@ let rec iter_spawns f = function
     iter_spawns f i;
     iter_spawns f p;
     iter_spawns f b
-  | Sskip | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Sps _ | Spsm _ -> ()
+  | Sskip | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Sps _ | Spsm _
+  | Sloc _ ->
+    ()
 
 (** Map over statements bottom-up. *)
 let rec map_stmt f s =
@@ -136,7 +142,8 @@ let rec map_stmt f s =
       sp.sp_body <- map_stmt f sp.sp_body;
       Sspawn sp
     | Sskip | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Sps _ | Spsm _
-      -> s
+    | Sloc _ ->
+      s
   in
   f s'
 
@@ -158,7 +165,7 @@ let rec fold_exprs f acc s =
   | Sreturn (Some e) -> fe acc e
   | Sreturn None -> acc
   | Sspawn sp -> fold_exprs fe (fe (fe acc sp.sp_lo) sp.sp_hi) sp.sp_body
-  | Sps _ -> acc
+  | Sps _ | Sloc _ -> acc
   | Spsm (_, e) -> fe acc e
 
 (** Fold [f] over every variable occurrence in an expression. *)

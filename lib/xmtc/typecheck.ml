@@ -461,7 +461,15 @@ let rec check_stmt env (s : Ast.stmt) : Tast.stmt =
     Tast.Sblock (List.map one ds)
   | Ast.Sblock ss ->
     push_scope env;
-    let out = List.map (check_stmt env) ss in
+    (* Interleave debug line markers: each statement of a block is preceded
+       by its source line, which the compiler threads through to the image
+       debug map.  Markers are emitted unconditionally so that debug output
+       can never change code generation. *)
+    let out =
+      List.concat_map
+        (fun (s : Ast.stmt) -> [ Tast.Sloc s.spos; check_stmt env s ])
+        ss
+    in
     pop_scope env;
     Tast.Sblock out
   | Ast.Sif (c, a, b) ->

@@ -143,6 +143,7 @@ type t = {
          change their sampling times, so it is disabled when one attaches *)
   mutable dram_fills : int;  (* DRAM line fills in flight *)
   mutable racedet : Racedetect.t option;  (* shadow-memory race detector *)
+  mutable profile : Profile.t option;  (* CPI-stack cycle accounting *)
 }
 
 type result = { output : string; cycles : int; halted : bool }
@@ -277,6 +278,7 @@ let create ?(config = Config.fpga64) img =
     has_plugin = false;
     dram_fills = 0;
     racedet = None;
+    profile = None;
   }
 
 (* diagnostic: per-(module,side) send-side backlog in cycles *)
@@ -360,6 +362,32 @@ let rd_release t ~tcu =
   match t.racedet with
   | None -> ()
   | Some rd -> Racedetect.on_release rd ~tcu
+
+(* Profiler hooks: one option check when detached.  The profiler is a
+   passive observer — it never schedules events, wakes clocks or touches
+   machine state, so attaching it cannot perturb cycles, stats or
+   traces.  [prof_flush_mem] closes a TCU's memory-wait episode at reply
+   delivery, translating the request's lifecycle stamps into the
+   ICN / cache-hit / DRAM components (or the whole wait into the
+   prefetch-covered bucket when an in-flight prefetch completed it). *)
+let prof_flush_mem t (u : tcu) (lc : lifecycle) ~pref =
+  match t.profile with
+  | None -> ()
+  | Some p ->
+    if pref then
+      Profile.flush_memwait p ~tcu:u.tid ~icn:0 ~cache_hit:0 ~dram:0 ~pref:true
+    else begin
+      let now = Desim.Scheduler.now t.sched in
+      let hit_lat = t.cfg.Config.cache_hit_latency * Desim.Clock.period t.clk_cache in
+      let icn = (lc.l_arrive - lc.l_born) + (now - lc.l_svc) in
+      let svc = lc.l_svc - lc.l_arrive in
+      let cache_hit = if lc.l_hit then svc else min hit_lat svc in
+      let dram = svc - cache_hit in
+      Profile.flush_memwait p ~tcu:u.tid ~icn ~cache_hit ~dram ~pref:false
+    end
+
+let prof_master_stall t b =
+  match t.profile with Some p -> Profile.master_stall_kind p b | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Span tracer (Chrome trace-event JSON, §III-B/E as Perfetto tracks).
@@ -454,6 +482,9 @@ let maybe_join t =
     t.spawn_active <- false;
     Array.iter (fun cl -> Array.iter (fun u -> u.st <- Tidle) cl.ctcus) t.clusters;
     let _, join_idx = t.spawn_region in
+    (match t.profile with
+    | Some p -> Profile.master_join p ~pc:join_idx ~ticks:t.cfg.Config.join_overhead
+    | None -> ());
     let delay = t.cfg.Config.join_overhead * Desim.Clock.period t.clk_cluster in
     Desim.Scheduler.schedule t.sched ~delay (fun () ->
         (* master cache may hold lines the TCUs overwrote *)
@@ -607,14 +638,20 @@ let deliver_reply t (cl : cluster) { rp; r_lc } =
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     if ro then Tags.install cl.rocache addr;
     F.complete_load u.ctx dst v;
-    if u.st = Tmemwait then u.st <- Trun
+    if u.st = Tmemwait then begin
+      prof_flush_mem t u r_lc ~pref:false;
+      u.st <- Trun
+    end
   | Ppref { tcu; v; addr; _ } -> (
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     match Prefetch_buffer.fill u.pbuf addr v with
     | None -> ()
     | Some dst ->
       F.complete_load u.ctx dst v;
-      if u.st = Tmemwait then u.st <- Trun)
+      if u.st = Tmemwait then begin
+        prof_flush_mem t u r_lc ~pref:true;
+        u.st <- Trun
+      end)
   | Pack { tcu; nb; _ } ->
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     if nb then begin
@@ -626,11 +663,18 @@ let deliver_reply t (cl : cluster) { rp; r_lc } =
       end;
       maybe_join t
     end
-    else if u.st = Tmemwait then u.st <- Trun (* blocking store ack *)
+    else if u.st = Tmemwait then begin
+      (* blocking store ack *)
+      prof_flush_mem t u r_lc ~pref:false;
+      u.st <- Trun
+    end
   | Ppsm { tcu; dst; old; _ } ->
     let u = cl.ctcus.(tcu mod t.cfg.Config.tcus_per_cluster) in
     if dst <> 0 then u.ctx.F.regs.(dst) <- old;
-    if u.st = Tmemwait then u.st <- Trun
+    if u.st = Tmemwait then begin
+      prof_flush_mem t u r_lc ~pref:false;
+      u.st <- Trun
+    end
 
 (* issue one TCU instruction; returns unit.  Assumes u.st = Trun. *)
 let tcu_issue t (cl : cluster) (u : tcu) =
@@ -682,7 +726,10 @@ let tcu_issue t (cl : cluster) (u : tcu) =
   match granted with
   | None ->
     (* shared unit busy: stall, retry next cycle *)
-    t.stats.Stats.tcu_fuwait_cycles <- t.stats.Stats.tcu_fuwait_cycles + 1
+    t.stats.Stats.tcu_fuwait_cycles <- t.stats.Stats.tcu_fuwait_cycles + 1;
+    (match t.profile with
+    | Some p -> Profile.tcu_stall p ~tcu:u.tid ~pc
+    | None -> ())
   | Some fu_lat -> (
     let read_str a = Mem.read_string t.memory a in
     let res = F.issue t.img u.ctx ~read_str in
@@ -697,6 +744,11 @@ let tcu_issue t (cl : cluster) (u : tcu) =
       | _ -> None
     in
     notify_instr t ~tcu:u.tid ~pc ins ~addr:addr_of;
+    (match t.profile with
+    | Some p ->
+      Profile.tcu_issue p ~tcu:u.tid ~pc
+        ~mem:(match addr_of with Some _ -> true | None -> false)
+    | None -> ());
     match res with
     | F.Done -> if fu_lat > 1 then u.st <- Tfuwait (fu_lat - 1)
     | F.Load { dst; addr; ro } ->
@@ -799,11 +851,26 @@ let tcu_tick t (cl : cluster) (u : tcu) =
   | Trun -> tcu_issue t cl u
   | Tfuwait n ->
     t.stats.Stats.tcu_busy_cycles <- t.stats.Stats.tcu_busy_cycles + 1;
+    (match t.profile with
+    | Some p -> Profile.tcu_wait p ~tcu:u.tid Profile.Compute
+    | None -> ());
     u.st <- (if n <= 1 then Trun else Tfuwait (n - 1))
-  | Tmemwait -> t.stats.Stats.tcu_memwait_cycles <- t.stats.Stats.tcu_memwait_cycles + 1
-  | Tpswait -> t.stats.Stats.tcu_pswait_cycles <- t.stats.Stats.tcu_pswait_cycles + 1
+  | Tmemwait ->
+    t.stats.Stats.tcu_memwait_cycles <- t.stats.Stats.tcu_memwait_cycles + 1;
+    (* open-episode tick: direct field bump, this is the hottest hook *)
+    (match t.profile with
+    | Some p -> p.Profile.mw_ticks.(u.tid) <- p.Profile.mw_ticks.(u.tid) + 1
+    | None -> ())
+  | Tpswait ->
+    t.stats.Stats.tcu_pswait_cycles <- t.stats.Stats.tcu_pswait_cycles + 1;
+    (match t.profile with
+    | Some p -> Profile.tcu_wait p ~tcu:u.tid Profile.Fence_ps
+    | None -> ())
   | Tfence ->
     t.stats.Stats.tcu_memwait_cycles <- t.stats.Stats.tcu_memwait_cycles + 1;
+    (match t.profile with
+    | Some p -> Profile.tcu_wait p ~tcu:u.tid Profile.Fence_ps
+    | None -> ());
     if u.pending = 0 then begin
       u.st <- Trun;
       rd_release t ~tcu:u.tid
@@ -840,7 +907,9 @@ let cluster_tick t (cl : cluster) =
 let master_tick t =
   match t.master_st with
   | Mhalted | Mmemwait | Mspawnwait -> ()
-  | Mstall n -> t.master_st <- (if n <= 1 then Mrun else Mstall (n - 1))
+  | Mstall n ->
+    (match t.profile with Some p -> Profile.master_wait p | None -> ());
+    t.master_st <- (if n <= 1 then Mrun else Mstall (n - 1))
   | Mrun -> (
     let pc = t.master.F.pc in
     let ins = t.img.Isa.Program.instrs.(pc) in
@@ -854,6 +923,11 @@ let master_tick t =
       | _ -> None
     in
     notify_instr t ~tcu:(-1) ~pc ins ~addr:addr_of;
+    (match t.profile with
+    | Some p ->
+      Profile.master_issue p ~pc
+        ~mem:(match addr_of with Some _ -> true | None -> false)
+    | None -> ());
     match res with
     | F.Done -> (
       (* multi-cycle master ALU ops *)
@@ -864,21 +938,29 @@ let master_tick t =
           | I.Mdu (I.Mul, _, _, _) -> t.cfg.Config.mul_latency
           | _ -> t.cfg.Config.div_latency
         in
-        if lat > 1 then t.master_st <- Mstall (lat - 1)
+        if lat > 1 then begin
+          prof_master_stall t Profile.Compute;
+          t.master_st <- Mstall (lat - 1)
+        end
       | I.FU_FPU ->
         let lat =
           match ins with
           | I.Fpu1 (I.Fsqrt, _, _) -> t.cfg.Config.sqrt_latency
           | _ -> t.cfg.Config.fpu_latency
         in
-        if lat > 1 then t.master_st <- Mstall (lat - 1)
+        if lat > 1 then begin
+          prof_master_stall t Profile.Compute;
+          t.master_st <- Mstall (lat - 1)
+        end
       | _ -> ())
     | F.Load { dst; addr; ro = _ } ->
       if Tags.lookup t.master_cache addr then begin
         t.stats.Stats.master_cache_hits <- t.stats.Stats.master_cache_hits + 1;
         F.complete_load t.master dst (Mem.read t.memory addr);
-        if t.cfg.Config.master_cache_hit_latency > 1 then
+        if t.cfg.Config.master_cache_hit_latency > 1 then begin
+          prof_master_stall t Profile.Cache_hit;
           t.master_st <- Mstall (t.cfg.Config.master_cache_hit_latency - 1)
+        end
       end
       else begin
         t.stats.Stats.master_cache_misses <- t.stats.Stats.master_cache_misses + 1;
@@ -888,9 +970,19 @@ let master_tick t =
           + t.cfg.Config.master_cache_hit_latency
         in
         t.stats.Stats.dram_reads <- t.stats.Stats.dram_reads + 1;
+        let t_miss = Desim.Scheduler.now t.sched in
         Desim.Scheduler.schedule t.sched ~delay (fun () ->
             Tags.install t.master_cache addr;
             F.complete_load t.master dst (Mem.read t.memory addr);
+            (match t.profile with
+            | Some p ->
+              (* the master was parked the whole window; charge it as
+                 DRAM wait, in cluster-grid ticks *)
+              Profile.master_mem p
+                ~ticks:
+                  ((Desim.Scheduler.now t.sched - t_miss)
+                  / max 1 (Desim.Clock.period t.clk_cluster))
+            | None -> ());
             if t.master_st = Mmemwait then t.master_st <- Mrun;
             Desim.Clock.wake t.clk_cluster)
       end
@@ -909,6 +1001,9 @@ let master_tick t =
         | None -> fail "spawn at %d has no join" spawn_idx
       in
       t.master_st <- Mspawnwait;
+      (match t.profile with
+      | Some p -> Profile.master_spawn p ~pc ~ticks:t.cfg.Config.spawn_overhead
+      | None -> ());
       let delay = t.cfg.Config.spawn_overhead * Desim.Clock.period t.clk_cluster in
       Desim.Scheduler.schedule t.sched ~delay (fun () ->
           t.spawn_region <- (spawn_idx, join_idx);
@@ -1058,6 +1153,42 @@ let attach_racecheck t =
 
 let detach_racecheck t = t.racedet <- None
 let racecheck t = t.racedet
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-accounting profiler attachment.  Purely passive: the profiler
+   observes state transitions the machine makes anyway, so attaching it
+   never perturbs cycles, stats or traces (unlike activity plugins it
+   does not disable clock gating). *)
+
+let attach_profile t =
+  match t.profile with
+  | Some p -> p
+  | None ->
+    let base_ticks =
+      Desim.Clock.cycles t.clk_cluster + Desim.Clock.skipped_ticks t.clk_cluster
+    in
+    let p =
+      Profile.create ~n_tcus:(total_tcus t)
+        ~tcus_per_cluster:t.cfg.Config.tcus_per_cluster
+        ~n_instrs:(Array.length t.img.Isa.Program.instrs)
+        ~base_ticks
+    in
+    t.profile <- Some p;
+    p
+
+let detach_profile t = t.profile <- None
+let profile t = t.profile
+
+let profile_report t =
+  Option.map
+    (fun p ->
+      let total_ticks =
+        Desim.Clock.cycles t.clk_cluster
+        + Desim.Clock.skipped_ticks t.clk_cluster
+        - Profile.base_ticks p
+      in
+      Profile.report p ~total_ticks ~locs:t.img.Isa.Program.locs)
+    t.profile
 
 (* ------------------------------------------------------------------ *)
 (* Span tracer attachment *)

@@ -134,6 +134,29 @@ val detach_racecheck : t -> unit
 (** The attached detector, if any. *)
 val racecheck : t -> Racedetect.t option
 
+(* -------- cycle-accounting profiler (CPI stacks) -------- *)
+
+(** Attach (or return the already-attached) cycle-accounting profiler.
+    From this point on every TCU and master cycle is attributed to one
+    CPI-stack bucket (compute, spawn/join, ICN, cache hit, DRAM,
+    prefetch-covered, fence/ps) and to the PC that caused it.  The
+    profiler is purely passive — it observes state transitions the
+    machine makes anyway — so attaching it never changes cycles, stats
+    or traces (enforced by [test_profile] and a CI determinism step). *)
+val attach_profile : t -> Profile.t
+
+val detach_profile : t -> unit
+
+(** The attached profiler, if any. *)
+val profile : t -> Profile.t option
+
+(** Fold the raw per-cycle accounting into a report: per-TCU /
+    per-cluster / aggregate CPI stacks over the ticks elapsed since
+    attachment, joined with the image's source map ([xmtcc -g]) for
+    per-line and per-function attribution.  [None] if no profiler is
+    attached. *)
+val profile_report : t -> Profile.report option
+
 (* -------- span tracing (Chrome trace-event JSON) -------- *)
 
 (** Attach a span tracer.  Simulated activity is emitted on process 1

@@ -79,9 +79,9 @@ let class_histogram () =
 
 type profile_sample = {
   ps_cycle : int;
-  ps_compute : int;  (** ALU+SFT+BR+MDU+FPU instructions in the window *)
-  ps_memory : int;  (** MEM instructions in the window *)
-  ps_memwait : int;  (** TCU memory-wait cycles in the window *)
+  ps_compute : int;  (** compute-attributed cycles (issues + FU stalls) in the window *)
+  ps_memory : int;  (** memory operations issued in the window *)
+  ps_memwait : int;  (** memory-wait cycles (ICN/cache/DRAM buckets) in the window *)
 }
 
 type profiler = { mutable samples : profile_sample list (* reversed *) }

@@ -1,25 +1,28 @@
 (** Built-in execution-profile activity plug-in (§III-B).
 
     [attach m ~interval] registers an activity plug-in that samples the
-    instruction-class and memory-wait counters every [interval] cycles;
-    render the collected timeline with {!Plugin.render_profile} or export
-    it with {!Plugin.profile_to_json}.  Samples are stored newest-first;
-    always read them through {!Plugin.samples_in_order}. *)
+    cycle-accounting profiler ({!Machine.attach_profile}) every
+    [interval] cycles; render the collected timeline with
+    {!Plugin.render_profile} or export it with {!Plugin.profile_to_json}.
+    Samples are stored newest-first; always read them through
+    {!Plugin.samples_in_order}.
 
-let class_counts stats =
-  let by = Stats.by_class stats in
-  let get n = try List.assoc n by with Not_found -> 0 in
-  let compute = get "ALU" + get "SFT" + get "BR" + get "MDU" + get "FPU" in
-  let memory = get "MEM" in
-  (compute, memory)
+    The per-cycle accounting that feeds the CPI stacks
+    ([xmtsim --profile]) is the single event source; this plug-in is
+    merely a windowed view over it, so the timeline and the CPI stacks
+    can never disagree about where the cycles went. *)
 
 let attach ?(interval = 1000) m =
   let p = { Plugin.samples = [] } in
-  let stats = Machine.stats m in
+  let prof = Machine.attach_profile m in
   let last_c = ref 0 and last_m = ref 0 and last_w = ref 0 in
-  Machine.add_activity_plugin m ~name:"profiler" ~interval (fun m cycle ->
-      let c, mem = class_counts (Machine.stats m) in
-      let w = stats.Stats.tcu_memwait_cycles in
+  Machine.add_activity_plugin m ~name:"profiler" ~interval (fun _ cycle ->
+      (* compute_cycles counts one cycle per issue (plus FU stalls), so
+         subtracting the memory issues leaves the compute-attributed
+         share, matching the old instruction-class split *)
+      let c = Profile.compute_cycles prof - Profile.mem_ops prof in
+      let mem = Profile.mem_ops prof in
+      let w = Profile.memwait_cycles prof in
       p.Plugin.samples <-
         {
           Plugin.ps_cycle = cycle;

@@ -19,6 +19,7 @@ module Tags = Tags
 module Prefetch_buffer = Prefetch_buffer
 module Plugin = Plugin
 module Racedetect = Racedetect
+module Profile = Profile
 module Profiler = Profiler
 module Machine = Machine
 module Functional_mode = Functional_mode

@@ -23,6 +23,21 @@ let json_roundtrip () =
   let p = J.to_string ~pretty:true v in
   Tu.check_bool "pretty round-trips" true (J.of_string p = v)
 
+let json_string_escaping () =
+  let enc s = J.to_string (J.Str s) in
+  Tu.check_string "quote" "\"x\\\"y\"" (enc "x\"y");
+  Tu.check_string "backslash" "\"a\\\\b\"" (enc "a\\b");
+  Tu.check_string "newline" "\"a\\nb\"" (enc "a\nb");
+  Tu.check_string "cr+tab" "\"\\r\\t\"" (enc "\r\t");
+  Tu.check_string "control chars" "\"\\u0001\\u001f\"" (enc "\x01\x1f");
+  let tricky = "a\"b\\c\nd\re\tf\x01g\x1fh" in
+  Tu.check_bool "tricky round-trips" true (J.of_string (enc tricky) = J.Str tricky);
+  (* object keys go through the same escaper *)
+  let o = J.Obj [ ("k\"\n", J.Int 1) ] in
+  Tu.check_bool "key round-trips" true (J.of_string (J.to_string o) = o);
+  Tu.check_bool "pretty key round-trips" true
+    (J.of_string (J.to_string ~pretty:true o) = o)
+
 let json_rejects_garbage () =
   let bad s = match J.of_string s with exception J.Parse_error _ -> true | _ -> false in
   Tu.check_bool "trailing" true (bad "{} x");
@@ -128,6 +143,39 @@ let histogram_percentiles () =
   Tu.check_bool "p50 in the middle buckets" true (p50 >= 1.0 && p50 <= 5.0);
   (* overflow-bucket estimate clamps to the observed max, not infinity *)
   Tu.check_bool "p99 reaches overflow" true (p99 > 9.0)
+
+let histogram_edges () =
+  let reg = M.create () in
+  (* empty histogram: every percentile is 0, and the JSON export degrades
+     the infinite min/max sentinels to 0 instead of emitting non-JSON *)
+  let h = M.histogram reg ~buckets:[ 1.0; 10.0 ] "lat" in
+  List.iter
+    (fun q ->
+      Tu.check_bool (Printf.sprintf "empty p%.0f" (q *. 100.)) true
+        (M.percentile h q = 0.0))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (match J.member "metrics" (M.to_json reg) with
+  | Some (J.List [ m ]) ->
+    Tu.check_bool "empty min exports 0" true (J.member "min" m = Some (J.Float 0.0));
+    Tu.check_bool "empty max exports 0" true (J.member "max" m = Some (J.Float 0.0));
+    Tu.check_bool "empty count" true (J.member "count" m = Some (J.Int 0))
+  | _ -> Alcotest.fail "expected one metric");
+  (* single sample: min = max = sample, every percentile collapses to it *)
+  M.observe h 5.0;
+  Tu.check_bool "single min" true (h.M.h_min = 5.0);
+  Tu.check_bool "single max" true (h.M.h_max = 5.0);
+  List.iter
+    (fun q ->
+      Tu.check_bool (Printf.sprintf "single p%.0f" (q *. 100.)) true
+        (M.percentile h q = 5.0))
+    [ 0.5; 0.95; 0.99 ];
+  (* single sample in the overflow bucket: still clamped to the sample *)
+  let h2 = M.histogram reg ~buckets:[ 1.0 ] "lat2" in
+  M.observe h2 100.0;
+  Tu.check_bool "overflow single p50" true (M.percentile h2 0.5 = 100.0);
+  (* out-of-range q is clamped, not an error *)
+  Tu.check_bool "q below 0" true (M.percentile h (-1.0) = 5.0);
+  Tu.check_bool "q above 1" true (M.percentile h 2.0 = 5.0)
 
 (* ------------------------------------------------------------------ *)
 (* Timeseries ring buffers *)
@@ -463,13 +511,18 @@ let () =
   Alcotest.run "obs"
     [
       ( "json",
-        [ Tu.tc "roundtrip" json_roundtrip; Tu.tc "rejects garbage" json_rejects_garbage ] );
+        [
+          Tu.tc "roundtrip" json_roundtrip;
+          Tu.tc "string escaping" json_string_escaping;
+          Tu.tc "rejects garbage" json_rejects_garbage;
+        ] );
       ( "metrics",
         [
           Tu.tc "counters/gauges" registry_counters_gauges;
           Tu.tc "merge" registry_merge;
           Tu.tc "histogram bucketing" histogram_bucketing;
           Tu.tc "histogram percentiles" histogram_percentiles;
+          Tu.tc "histogram edge cases" histogram_edges;
           Tu.tc "json export" registry_json;
         ] );
       ( "timeseries",
