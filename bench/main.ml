@@ -27,6 +27,9 @@ let experiments =
     ( "profile",
       "cycle-accounting profiler: host overhead, non-perturbation, exactness",
       Exp_profile.run );
+    ( "stream",
+      "live telemetry streaming: overhead and non-perturbation",
+      Exp_stream.run );
   ]
 
 let () =

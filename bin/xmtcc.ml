@@ -22,7 +22,16 @@ let timing_json pt =
 
 let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
     no_layout no_postpass no_outline dump_outlined dump_stats timings
-    timings_json racecheck debug_info =
+    timings_json racecheck debug_info stream_sink =
+  let stream =
+    Option.map
+      (fun sink -> Obs.Stream.create (Obs.Stream.sink_of_path sink))
+      stream_sink
+  in
+  let semit typ fields =
+    Option.iter (fun s -> Obs.Stream.emit s ~typ fields) stream
+  in
+  semit "compile.start" [ ("input", Obs.Json.Str input) ];
   let options =
     {
       Compiler.Driver.opt_level;
@@ -38,6 +47,9 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
   in
   match Compiler.Driver.compile ~options (read_file input) with
   | exception Compiler.Driver.Compile_error msg ->
+    semit "compile.failed" [ ("input", Obs.Json.Str input);
+                             ("error", Obs.Json.Str msg) ];
+    Option.iter Obs.Stream.close stream;
     Printf.eprintf "xmtcc: %s\n" msg;
     exit 1
   | out ->
@@ -79,6 +91,32 @@ let compile_cmd input output opt_level no_prefetch no_nbstore no_fences cluster
              ( "passes",
                Obs.Json.List (List.map timing_json out.Compiler.Driver.timings) );
            ]));
+    (match stream with
+    | None -> ()
+    | Some s ->
+      List.iter
+        (fun pt ->
+          Obs.Stream.emit s ~typ:"pass.done"
+            [
+              ("pass", Obs.Json.Str pt.Compiler.Driver.pt_pass);
+              ("wall_ms", Obs.Json.Float pt.Compiler.Driver.pt_ms);
+              ("size_before", Obs.Json.Int pt.Compiler.Driver.pt_size_before);
+              ("size_after", Obs.Json.Int pt.Compiler.Driver.pt_size_after);
+              ("unit", Obs.Json.Str pt.Compiler.Driver.pt_unit);
+            ])
+        out.Compiler.Driver.timings;
+      Obs.Stream.emit s ~typ:"compile.done"
+        [
+          ("input", Obs.Json.Str input);
+          ("output", Obs.Json.Str dest);
+          ( "instructions",
+            Obs.Json.Int
+              (List.length
+                 (Isa.Program.instructions out.Compiler.Driver.program)) );
+          ( "relocated_blocks",
+            Obs.Json.Int out.Compiler.Driver.relocated_blocks );
+        ];
+      Obs.Stream.close s);
     match racecheck with
     | None -> ()
     | Some level when level <> "warn" && level <> "error" ->
@@ -148,6 +186,12 @@ let cmd =
       $ flag [ "g"; "debug-info" ]
           "Keep .loc source-line markers in the emitted assembly so the \
            simulator's profiler ($(b,xmtsim --profile)) can attribute \
-           cycles to source lines and functions.")
+           cycles to source lines and functions."
+      $ Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"SINK"
+               ~doc:"Stream xmt.events.v1 compile lifecycle records as \
+                     NDJSON to SINK (a path, - for stdout, or fd:N): \
+                     compile.start, one pass.done per compiler pass \
+                     (wall-clock and IR-size delta) and a compile.done \
+                     (or compile.failed) summary."))
 
 let () = exit (Cmd.eval cmd)

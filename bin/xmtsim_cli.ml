@@ -13,7 +13,7 @@ let read_file path =
 
 (* -------- campaign mode (--campaign FILE.json --jobs N) -------- *)
 
-let run_campaign_cmd ~file ~jobs ~retries ~export =
+let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
   List.iter
     (fun kind ->
       if export kind <> None then begin
@@ -41,11 +41,24 @@ let run_campaign_cmd ~file ~jobs ~retries ~export =
   in
   let total = List.length specs in
   let reg = Obs.Metrics.create () in
+  let stream =
+    Option.map
+      (fun sink -> Obs.Stream.create (Obs.Stream.sink_of_path sink))
+      stream_sink
+  in
   let results =
-    Campaign.run ~jobs ~retries ~metrics:reg
+    Campaign.run ~jobs ~retries ~metrics:reg ?stream
       ~on_event:(Campaign.progress_printer ~total)
       specs
   in
+  (match stream with
+  | Some s ->
+    let dropped = Obs.Stream.dropped s in
+    Obs.Stream.close s;
+    if dropped > 0 then
+      Printf.eprintf "xmtsim: stream: %d record(s) dropped (queue full)\n"
+        dropped
+  | None -> ());
   let report_path = Option.value ~default:"campaign.json" (export "campaign") in
   Obs.Json.write_path ~pretty:true report_path
     (Campaign.report_to_json ~workers:jobs results);
@@ -78,7 +91,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
     checkpoint_out checkpoint_at checkpoint_in stats_json_flag trace_json_flag
     timeseries_json_flag governor governor_interval no_clock_gating racecheck
-    cpi_profile exports campaign_file jobs retries =
+    cpi_profile exports campaign_file jobs retries stream_sink heartbeat_cycles =
   (* resolve the export sinks: --export KIND[=PATH] plus the deprecated
      one-flag-per-sink aliases (kept so existing scripts still run) *)
   let deprecated flag kind path =
@@ -100,7 +113,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       exports
   in
   (match campaign_file with
-  | Some file -> run_campaign_cmd ~file ~jobs ~retries ~export
+  | Some file -> run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink
   | None -> ());
   let input =
     match input with
@@ -178,6 +191,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     if profile_json <> None then reject "--export profile";
     if cpi_profile then reject "--profile";
     if governor then reject "--governor";
+    if stream_sink <> None then reject "--stream";
     let host_t0 = Unix.gettimeofday () in
     let r = Xmtsim.Functional_mode.run image in
     let host_secs = Unix.gettimeofday () -. host_t0 in
@@ -232,6 +246,14 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     in
     if profile_requested then
       ignore (Xmtsim.Machine.attach_profile m : Xmtsim.Profile.t);
+    let stream =
+      match stream_sink with
+      | None -> None
+      | Some sink ->
+        let s = Obs.Stream.create (Obs.Stream.sink_of_path sink) in
+        Xmtsim.Machine.attach_stream ~heartbeat_cycles m s;
+        Some s
+    in
     (match checkpoint_in with
     | Some p -> Xmtsim.Machine.restore m (Xmtsim.Machine.snapshot_of_file p)
     | None -> ());
@@ -357,6 +379,17 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       Obs.Metrics.set (Obs.Metrics.gauge reg "host.wall_seconds") host_secs;
       Obs.Metrics.inc ~by:events (Obs.Metrics.counter reg "host.events_processed");
       Obs.Metrics.set (Obs.Metrics.gauge reg "host.events_per_sec") events_per_sec;
+      (* live-stream accounting, so a dropped-records overflow is visible
+         in the exported stats and not only on stderr *)
+      (match stream with
+      | Some s ->
+        Obs.Metrics.inc ~by:(Obs.Stream.emitted s)
+          (Obs.Metrics.counter reg ~help:"telemetry records emitted"
+             "host.stream.emitted");
+        Obs.Metrics.inc ~by:(Obs.Stream.dropped s)
+          (Obs.Metrics.counter reg ~help:"telemetry records dropped (queue full)"
+             "host.stream.dropped")
+      | None -> ());
       Obs.Metrics.set
         (Obs.Metrics.gauge reg "host.sim_cycles_per_sec")
         (if host_secs > 0.0 then
@@ -465,6 +498,14 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
         Obs.Json.write_path ~pretty:true path
           (Racecheck.report ~dynamic:(Xmtsim.Racedetect.to_json rd) findings)
       | None -> ()));
+    (match stream with
+    | Some s ->
+      let dropped = Obs.Stream.dropped s in
+      Obs.Stream.close s;
+      if dropped > 0 then
+        Printf.eprintf "xmtsim: stream: %d record(s) dropped (queue full)\n"
+          dropped
+    | None -> ());
     List.iter
       (fun (name, report) -> Printf.printf "---- plugin %s ----\n%s\n" name report)
       (Xmtsim.Machine.filter_reports m);
@@ -611,6 +652,20 @@ let cmd =
                ~doc:"Worker domains for --campaign (1 = serial; results \
                      are byte-identical for any value).")
       $ Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
-               ~doc:"Per-job retry budget for --campaign."))
+               ~doc:"Per-job retry budget for --campaign.")
+      $ Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"SINK"
+               ~doc:"Stream live xmt.events.v1 telemetry as NDJSON to SINK \
+                     (a path, - for stdout, or fd:N for an inherited file \
+                     descriptor).  Single runs emit run.start, periodic \
+                     sim.heartbeat records (see --heartbeat-cycles), \
+                     window.close rollups and a run.done summary; \
+                     --campaign streams job lifecycle and \
+                     campaign.progress/ETA records instead.  The producer \
+                     never blocks the simulator: on overflow records are \
+                     dropped and counted (host.stream.dropped in --export \
+                     stats).  Cycle-accurate mode only.")
+      $ Arg.(value & opt int 10_000 & info [ "heartbeat-cycles" ] ~docv:"N"
+               ~doc:"Cluster-cycle interval between sim.heartbeat records \
+                     on --stream."))
 
 let () = exit (Cmd.eval cmd)

@@ -31,12 +31,95 @@ type event =
       error : string;
     }
 
-let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics specs =
+module J = Obs.Json
+
+let stats_json (s : Xmtsim.Stats.t) =
+  J.Obj
+    [
+      ("tcu_busy_cycles", J.Int s.Xmtsim.Stats.tcu_busy_cycles);
+      ("tcu_memwait_cycles", J.Int s.Xmtsim.Stats.tcu_memwait_cycles);
+      ("icn_packets", J.Int s.Xmtsim.Stats.icn_packets);
+      ("cache_hits", J.Int s.Xmtsim.Stats.cache_hits);
+      ("cache_misses", J.Int s.Xmtsim.Stats.cache_misses);
+      ("rocache_hits", J.Int s.Xmtsim.Stats.rocache_hits);
+      ("rocache_misses", J.Int s.Xmtsim.Stats.rocache_misses);
+      ("dram_reads", J.Int s.Xmtsim.Stats.dram_reads);
+      ("ps_ops", J.Int s.Xmtsim.Stats.ps_ops);
+      ("spawns", J.Int s.Xmtsim.Stats.spawns);
+      ("virtual_threads", J.Int s.Xmtsim.Stats.virtual_threads);
+    ]
+
+(* The stream-facing per-job records.  Every one carries the job's
+   submission index and a per-job monotonic sequence number [jseq]
+   (0 = start, 1 = done), so a parallel run's interleaved stream sorts
+   into the same canonical order as a serial run's
+   ({!Obs.Stream.canonicalize}).  Host-dependent fields (wall-clock) are
+   the ones canonicalization strips. *)
+let job_start_fields ~index ~name =
+  [ ("job", J.Int index); ("jseq", J.Int 0); ("name", J.Str name) ]
+
+let job_done_fields ~index ~name ~(job : Core.Toolchain.job) ~attempts
+    ~wall_seconds outcome =
+  [
+    ("job", J.Int index);
+    ("jseq", J.Int 1);
+    ("name", J.Str name);
+    ("config", J.Str job.Core.Toolchain.config.Xmtsim.Config.name);
+    ("mode", J.Str (Core.Toolchain.mode_name job.Core.Toolchain.mode));
+    ("attempts", J.Int attempts);
+  ]
+  @ (match outcome with
+    | Ok run ->
+      [
+        ("status", J.Str "ok");
+        ("cycles", J.Int run.Core.Toolchain.cycles);
+        ("instructions", J.Int run.Core.Toolchain.instructions);
+        ("events", J.Int run.Core.Toolchain.events);
+        ("output", J.Str run.Core.Toolchain.output);
+        ("stats", stats_json run.Core.Toolchain.stats);
+      ]
+    | Error f -> [ ("status", J.Str "failed"); ("error", J.Str f.f_exn) ])
+  @ [ ("wall_seconds", J.Float wall_seconds) ]
+
+let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics ?stream specs =
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let results = Array.make n None in
   let cursor = Atomic.make 0 in
   let lock = Mutex.create () in
+  let workers = max 1 (min jobs (max 1 n)) in
+  let t0 = Unix.gettimeofday () in
+  (* progress state — mutated under [lock] only *)
+  let started = ref 0 and completed = ref 0 in
+  let ok = ref 0 and failed = ref 0 in
+  let semit typ fields =
+    match stream with
+    | Some s -> Obs.Stream.emit s ~typ fields
+    | None -> ()
+  in
+  (* completed/total, worker occupancy, and an ETA from the running
+     throughput estimate — emitted after every job completion *)
+  let stream_progress () =
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let rate =
+      if elapsed > 0.0 then float_of_int !completed /. elapsed else 0.0
+    in
+    let eta =
+      if rate > 0.0 then float_of_int (n - !completed) /. rate else 0.0
+    in
+    semit "campaign.progress"
+      [
+        ("completed", J.Int !completed);
+        ("total", J.Int n);
+        ("ok", J.Int !ok);
+        ("failed", J.Int !failed);
+        ("running", J.Int (!started - !completed));
+        ("workers", J.Int workers);
+        ("elapsed_seconds", J.Float elapsed);
+        ("jobs_per_sec", J.Float rate);
+        ("eta_seconds", J.Float eta);
+      ]
+  in
   (* metric handles are created up front in the calling domain — the
      registry hashtable is not safe to grow concurrently *)
   let m_started, m_finished, m_failed, m_wall =
@@ -57,9 +140,13 @@ let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics specs =
              "campaign.wall_seconds") )
   in
   let bump c = Option.iter (fun c -> Obs.Metrics.inc c) c in
-  let notify counter ev =
+  (* [also] runs under the same lock as the metric bump and the user
+     callback: the lock is the stream's single consumer, serializing
+     every worker domain's emissions *)
+  let notify ?(also = fun () -> ()) counter ev =
     Mutex.protect lock (fun () ->
         bump counter;
+        also ();
         Option.iter (fun f -> f ev) on_event)
   in
   let attempt_job job =
@@ -84,7 +171,11 @@ let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics specs =
       let i = Atomic.fetch_and_add cursor 1 in
       if i < n then begin
         let name, job = specs.(i) in
-        notify m_started (Job_started { index = i; name });
+        notify m_started
+          (Job_started { index = i; name })
+          ~also:(fun () ->
+            incr started;
+            semit "job.start" (job_start_fields ~index:i ~name));
         let t0 = Unix.gettimeofday () in
         let attempts, outcome = attempt_job job in
         let wall_seconds = Unix.gettimeofday () -. t0 in
@@ -98,26 +189,45 @@ let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics specs =
               r_wall_seconds = wall_seconds;
               r_outcome = outcome;
             };
+        let stream_done result_kind =
+          incr completed;
+          (match result_kind with `Ok -> incr ok | `Failed -> incr failed);
+          semit "job.done"
+            (job_done_fields ~index:i ~name ~job ~attempts ~wall_seconds
+               outcome);
+          stream_progress ()
+        in
         (match outcome with
         | Ok _ ->
-          notify m_finished (Job_finished { index = i; name; wall_seconds })
+          notify m_finished
+            (Job_finished { index = i; name; wall_seconds })
+            ~also:(fun () -> stream_done `Ok)
         | Error f ->
           notify m_failed
-            (Job_failed { index = i; name; attempts; error = f.f_exn }));
+            (Job_failed { index = i; name; attempts; error = f.f_exn })
+            ~also:(fun () -> stream_done `Failed));
         loop ()
       end
     in
     loop ()
   in
-  let t0 = Unix.gettimeofday () in
-  let workers = max 1 (min jobs (max 1 n)) in
+  semit "campaign.start" [ ("jobs", J.Int n); ("workers", J.Int workers) ];
   if workers = 1 then worker ()
   else begin
     let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join domains
   end;
-  Option.iter (fun g -> Obs.Metrics.set g (Unix.gettimeofday () -. t0)) m_wall;
+  let wall = Unix.gettimeofday () -. t0 in
+  Option.iter (fun g -> Obs.Metrics.set g wall) m_wall;
+  semit "campaign.done"
+    [
+      ("jobs", J.Int n);
+      ("ok", J.Int !ok);
+      ("failed", J.Int !failed);
+      ("workers", J.Int workers);
+      ("wall_seconds", J.Float wall);
+    ];
   Array.map
     (function Some r -> r | None -> assert false (* every slot was filled *))
     results
@@ -131,24 +241,6 @@ let failed_count rs = Array.length rs - ok_count rs
 
 (* ------------------------------------------------------------------ *)
 (* The xmt.campaign.v1 report *)
-
-module J = Obs.Json
-
-let stats_json (s : Xmtsim.Stats.t) =
-  J.Obj
-    [
-      ("tcu_busy_cycles", J.Int s.Xmtsim.Stats.tcu_busy_cycles);
-      ("tcu_memwait_cycles", J.Int s.Xmtsim.Stats.tcu_memwait_cycles);
-      ("icn_packets", J.Int s.Xmtsim.Stats.icn_packets);
-      ("cache_hits", J.Int s.Xmtsim.Stats.cache_hits);
-      ("cache_misses", J.Int s.Xmtsim.Stats.cache_misses);
-      ("rocache_hits", J.Int s.Xmtsim.Stats.rocache_hits);
-      ("rocache_misses", J.Int s.Xmtsim.Stats.rocache_misses);
-      ("dram_reads", J.Int s.Xmtsim.Stats.dram_reads);
-      ("ps_ops", J.Int s.Xmtsim.Stats.ps_ops);
-      ("spawns", J.Int s.Xmtsim.Stats.spawns);
-      ("virtual_threads", J.Int s.Xmtsim.Stats.virtual_threads);
-    ]
 
 let result_json ~host r =
   let base =

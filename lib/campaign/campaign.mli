@@ -53,12 +53,27 @@ type event =
     under the pool lock, so callbacks may print or mutate shared state
     without further synchronization.  [metrics] receives
     [campaign.jobs.started] / [.finished] / [.failed] counters and the
-    [campaign.wall_seconds] gauge. *)
+    [campaign.wall_seconds] gauge.
+
+    [stream] multiplexes the campaign onto a live [xmt.events.v1]
+    telemetry stream ({!Obs.Stream}): a [campaign.start] record, one
+    [job.start] and one [job.done] (status, attempts, cycles,
+    instructions and simulated stats, or the failure text) per job, a
+    [campaign.progress] record after every completion (completed/total,
+    ok/failed, running worker occupancy, jobs/sec throughput and the ETA
+    it implies) and a final [campaign.done] summary.  All emissions
+    happen under the pool lock — the stream has exactly one consumer
+    however many domains run jobs — and each job's records carry
+    [("job", index)] plus a per-job sequence number [jseq], so
+    {!Obs.Stream.canonicalize} renders serial and parallel streams of
+    the same campaign byte-identical (the determinism contract CI
+    diffs). *)
 val run :
   ?jobs:int ->
   ?retries:int ->
   ?on_event:(event -> unit) ->
   ?metrics:Obs.Metrics.t ->
+  ?stream:Obs.Stream.t ->
   (string * Core.Toolchain.job) list ->
   job_result array
 

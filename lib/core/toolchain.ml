@@ -21,11 +21,14 @@ type run = {
 let races_report ?dynamic compiled =
   Racecheck.report ?dynamic (Racecheck.analyze compiled.cc)
 
-let run_cycle ?config ?(racecheck = false) ?(profile = false) ?max_cycles
-    compiled =
+let run_cycle ?config ?(racecheck = false) ?(profile = false) ?stream
+    ?heartbeat_cycles ?max_cycles compiled =
   let m = Xmtsim.Machine.create ?config compiled.image in
   let rd = if racecheck then Some (Xmtsim.Machine.attach_racecheck m) else None in
   if profile then ignore (Xmtsim.Machine.attach_profile m : Xmtsim.Profile.t);
+  (match stream with
+  | Some s -> Xmtsim.Machine.attach_stream ?heartbeat_cycles m s
+  | None -> ());
   let r = Xmtsim.Machine.run ?max_cycles m in
   if not r.Xmtsim.Machine.halted then
     raise (Xmtsim.Machine.Sim_error "cycle budget exhausted before halt");
@@ -111,7 +114,7 @@ let job_config j =
   in
   Xmtsim.Config.checked c
 
-let run_job j =
+let run_job ?stream ?heartbeat_cycles j =
   match j.mode with
   | Functional ->
     let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
@@ -120,11 +123,11 @@ let run_job j =
   | Cycle ->
     let config = job_config j in
     let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
-    run_cycle ~config ~racecheck:j.racecheck ~profile:j.profile
-      ?max_cycles:j.max_cycles compiled
+    run_cycle ~config ~racecheck:j.racecheck ~profile:j.profile ?stream
+      ?heartbeat_cycles ?max_cycles:j.max_cycles compiled
 
-let exec ?options ?memmap ?config ?(functional = false) src =
-  run_job
+let exec ?options ?memmap ?config ?stream ?(functional = false) src =
+  run_job ?stream
     (job ?options ?memmap ?config
        ~mode:(if functional then Functional else Cycle)
        src)

@@ -34,11 +34,18 @@ type run = {
     static+dynamic [xmt.races.v1] report.  [profile] attaches the
     cycle-accounting profiler and fills [run.profile] with the
     [xmt.profile.v1] CPI-stack report; the profiler is passive, so the
-    run's cycles, output and stats are unchanged. *)
+    run's cycles, output and stats are unchanged.  [stream] attaches a
+    live [xmt.events.v1] telemetry stream ({!Xmtsim.Machine.attach_stream}):
+    a [run.start] record, [sim.heartbeat]s every [heartbeat_cycles]
+    cluster cycles, [window.close] rollups and a [run.done] summary —
+    also passive, bit-identical results including the host event
+    count. *)
 val run_cycle :
   ?config:Xmtsim.Config.t ->
   ?racecheck:bool ->
   ?profile:bool ->
+  ?stream:Obs.Stream.t ->
+  ?heartbeat_cycles:int ->
   ?max_cycles:int ->
   compiled ->
   run
@@ -100,14 +107,17 @@ val job_config : job -> Xmtsim.Config.t
 
 (** Compile and simulate one job.  Raises {!Compiler.Driver.Compile_error},
     {!Xmtsim.Config.Bad_config} or {!Xmtsim.Machine.Sim_error} on failure
-    — the campaign engine captures these per job. *)
-val run_job : job -> run
+    — the campaign engine captures these per job.  [stream] attaches a
+    live telemetry stream to cycle-mode runs (functional runs have no
+    cycle clock to sample and ignore it). *)
+val run_job : ?stream:Obs.Stream.t -> ?heartbeat_cycles:int -> job -> run
 
 (** Compile + run in one step (thin wrapper over {!run_job}). *)
 val exec :
   ?options:Compiler.Driver.options ->
   ?memmap:Isa.Memmap.t ->
   ?config:Xmtsim.Config.t ->
+  ?stream:Obs.Stream.t ->
   ?functional:bool ->
   string ->
   run

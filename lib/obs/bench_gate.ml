@@ -25,6 +25,9 @@ type check = {
   ck_baseline : float;
   ck_fresh : float;
   ck_delta_pct : float;  (** signed change, fresh vs baseline, percent *)
+  ck_allowed_pct : float;
+      (** signed bound the delta was held to: [+tol%] for larger-is-worse
+          metrics (cycles), [-tol%] for smaller-is-worse (events/sec) *)
   ck_ok : bool;
 }
 
@@ -52,6 +55,7 @@ let check_upper ~tol ~bench ~metric ~baseline ~fresh =
     ck_baseline = baseline;
     ck_fresh = fresh;
     ck_delta_pct = pct ~baseline ~fresh;
+    ck_allowed_pct = tol *. 100.0;
     ck_ok = fresh <= baseline *. (1.0 +. tol);
   }
 
@@ -64,6 +68,7 @@ let check_lower ~tol ~bench ~metric ~baseline ~fresh =
     ck_baseline = baseline;
     ck_fresh = fresh;
     ck_delta_pct = pct ~baseline ~fresh;
+    ck_allowed_pct = -.tol *. 100.0;
     ck_ok = fresh >= baseline *. (1.0 -. tol);
   }
 
@@ -123,5 +128,21 @@ let render r =
   List.iter (fun n -> pf "MISSING: baselined bench %S produced no fresh record\n" n)
     r.missing_in_fresh;
   List.iter (fun n -> pf "note: bench %S has no baseline yet\n" n) r.new_in_fresh;
+  (* spell out every regression so a failure needs no manual baseline
+     diffing: the offending metric, both values, the delta and the bound
+     it was held to *)
+  (match List.filter (fun c -> not c.ck_ok) r.checks with
+  | [] -> ()
+  | bad ->
+    pf "\n%d regression%s:\n" (List.length bad)
+      (if List.length bad = 1 then "" else "s");
+    List.iter
+      (fun c ->
+        pf
+          "  REGRESSED: %s / %s: baseline %.6g, observed %.6g (%+.1f%%), \
+           allowed %+.1f%%\n"
+          c.ck_bench c.ck_metric c.ck_baseline c.ck_fresh c.ck_delta_pct
+          c.ck_allowed_pct)
+      bad);
   pf "gate: %s\n" (if r.passed then "PASS" else "FAIL");
   Buffer.contents b

@@ -90,13 +90,22 @@ let to_string ?pretty v =
   to_buffer ?pretty b v;
   Buffer.contents b
 
+(* Write-to-temp-then-rename: a crashed or interrupted run never leaves
+   a truncated, unparsable report at [path].  The temp file lives in the
+   target directory so the rename stays on one filesystem (atomic). *)
 let write_file ?pretty path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string ?pretty v);
-      output_char oc '\n')
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string ?pretty v);
+         output_char oc '\n')
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (** Like {!write_file}, but path ["-"] writes to stdout — the convention
     every [--*-json] CLI flag supports so runs can pipe into [jq]. *)

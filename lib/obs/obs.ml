@@ -16,10 +16,16 @@
       channels ([xmtsim --timeseries-json]) — the in-flight view that
       activity plug-ins such as the DVFS governor consume during the run.
     - {!Bench_gate}: the regression comparator over the bench harness's
-      [BENCH_*.json] records (driven by [bench/gate.exe] in CI). *)
+      [BENCH_*.json] records (driven by [bench/gate.exe] in CI).
+    - {!Stream}: the live side of the layer — a push-based, bounded-queue
+      event bus emitting [xmt.events.v1] NDJSON records (run/job
+      lifecycle, simulator heartbeats, campaign progress/ETA, windowed
+      rollups) so long runs and campaigns are observable while they
+      execute ([xmtsim --stream]). *)
 
 module Json = Json
 module Metrics = Metrics
 module Tracer = Tracer
 module Timeseries = Timeseries
 module Bench_gate = Bench_gate
+module Stream = Stream

@@ -157,6 +157,28 @@ val profile : t -> Profile.t option
     attached. *)
 val profile_report : t -> Profile.report option
 
+(* -------- live telemetry streaming (xmt.events.v1) -------- *)
+
+(** Attach an {!Obs.Stream} and emit a [sim.heartbeat] record every
+    [heartbeat_cycles] cluster cycles (default 10000): grid cycle, host
+    events/sec over the window, currently gated domain count and the
+    window's memory-wait fraction, plus a [run.start] record now, a
+    [run.done] summary when the machine halts, and [window.close]
+    rollups every 16 heartbeats.  The producer is passive — it samples
+    counters the run maintains anyway from the cluster clock's existing
+    tick events, never waking a clock or scheduling an event — so a
+    streamed run is bit-identical to an unstreamed one, {e including}
+    the host-side event count (unlike activity plug-ins, clock gating
+    stays untouched; a gated-off machine simply emits no heartbeats
+    while it sleeps).  Must be called before the first {!run}; raises
+    {!Sim_error} afterwards or when a stream is already attached. *)
+val attach_stream : ?heartbeat_cycles:int -> t -> Obs.Stream.t -> unit
+
+val detach_stream : t -> unit
+
+(** The attached stream, if any. *)
+val stream : t -> Obs.Stream.t option
+
 (* -------- span tracing (Chrome trace-event JSON) -------- *)
 
 (** Attach a span tracer.  Simulated activity is emitted on process 1

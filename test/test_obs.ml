@@ -200,6 +200,33 @@ let timeseries_window () =
   let cl = Obs.Timeseries.channel ts ~labels:[ ("cl", "1") ] "x" in
   Tu.check_int "labelled channel distinct" 0 (Obs.Timeseries.length cl)
 
+let timeseries_window_edges () =
+  let ts = Obs.Timeseries.create ~window:4 () in
+  let c = Obs.Timeseries.channel ts ~help:"h" "edge" in
+  (* exactly [window] pushes: the boundary case drops nothing *)
+  for i = 1 to 4 do
+    Obs.Timeseries.push c ~t:i (float_of_int i)
+  done;
+  Tu.check_int "full window length" 4 (Obs.Timeseries.length c);
+  Tu.check_int "no drops at boundary" 0 (Obs.Timeseries.dropped c);
+  Tu.check_bool "all points retained" true
+    (Obs.Timeseries.points c = [ (1, 1.0); (2, 2.0); (3, 3.0); (4, 4.0) ]);
+  (* one more push evicts exactly the oldest *)
+  Obs.Timeseries.push c ~t:5 5.0;
+  Tu.check_int "still window length" 4 (Obs.Timeseries.length c);
+  Tu.check_int "exactly one drop" 1 (Obs.Timeseries.dropped c);
+  Tu.check_bool "oldest evicted" true
+    (Obs.Timeseries.points c = [ (2, 2.0); (3, 3.0); (4, 4.0); (5, 5.0) ]);
+  Tu.check_bool "mean tracks the window" true (Obs.Timeseries.mean c = 3.5);
+  (* an empty channel is well-defined everywhere *)
+  let e = Obs.Timeseries.channel ts "empty" in
+  Tu.check_int "empty length" 0 (Obs.Timeseries.length e);
+  Tu.check_int "empty dropped" 0 (Obs.Timeseries.dropped e);
+  Tu.check_bool "empty points" true (Obs.Timeseries.points e = []);
+  Tu.check_bool "empty last" true (Obs.Timeseries.last e = None);
+  Tu.check_bool "empty mean" true (Obs.Timeseries.mean e = 0.0);
+  Tu.check_bool "empty max" true (Obs.Timeseries.max_value e = 0.0)
+
 let timeseries_json () =
   let ts = Obs.Timeseries.create ~window:8 () in
   let c = Obs.Timeseries.channel ts ~labels:[ ("cl", "0") ] ~help:"temp" "t" in
@@ -257,6 +284,21 @@ let gate_pass_and_fail () =
   Tu.check_bool "render says FAIL" true
     (let s = Obs.Bench_gate.render r in
      List.exists (fun l -> l = "gate: FAIL")
+       (String.split_on_char '\n' s));
+  (* the failure is spelled out: metric, both values, delta and bound *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Tu.check_bool "regression diagnostics" true
+    (let s = Obs.Bench_gate.render r in
+     List.exists
+       (fun l ->
+         contains l "REGRESSED: "
+         && List.for_all (contains l)
+              [ "a / cycles"; "baseline 10000"; "observed 11200"; "+12.0%";
+                "allowed +2.0%" ])
        (String.split_on_char '\n' s));
   (* small deterministic improvements and host-rate noise pass *)
   let fresh =
@@ -487,6 +529,37 @@ let trace_limit_detaches () =
   in
   Tu.check_int "exactly limit lines" 5 (List.length lines)
 
+let trace_detach_then_reattach () =
+  let memmap = Isa.Memmap.of_ints [ ("A", Array.make 32 1) ] in
+  let compiled = Core.Toolchain.compile ~memmap src in
+  let m = Core.Toolchain.machine ~config:Xmtsim.Config.tiny compiled in
+  let limited = { Xmtsim.Trace.all with Xmtsim.Trace.limit = 5 } in
+  let b_limited = Buffer.create 256 and b_full = Buffer.create 4096 in
+  Xmtsim.Trace.attach ~filter:limited m (Buffer.add_string b_limited);
+  Xmtsim.Trace.attach m (Buffer.add_string b_full);
+  let count b =
+    List.length
+      (List.filter (fun l -> l <> "")
+         (String.split_on_char '\n' (Buffer.contents b)))
+  in
+  (* first segment stops on a cycle budget, mid-run *)
+  let r1 = Xmtsim.Machine.run ~max_cycles:40 m in
+  Tu.check_bool "segment 1 incomplete" false r1.Xmtsim.Machine.halted;
+  let full_seg1 = count b_full in
+  (* a fresh limited trace attached between segments records from here *)
+  let b_re = Buffer.create 256 in
+  Xmtsim.Trace.attach ~filter:limited m (Buffer.add_string b_re);
+  let r2 = Xmtsim.Machine.run m in
+  Tu.check_bool "resumed to halt" true r2.Xmtsim.Machine.halted;
+  (* the limit-detached trace stayed detached across the resume... *)
+  Tu.check_int "limited trace capped" 5 (count b_limited);
+  (* ...the unlimited one kept collecting... *)
+  Tu.check_bool "unlimited grew in segment 2" true (count b_full > full_seg1);
+  Tu.check_bool "unlimited outran the cap" true (count b_full > 5);
+  (* ...and the re-attached one captured the second segment up to its
+     own limit *)
+  Tu.check_int "re-attached trace capped" 5 (count b_re)
+
 let compiler_timings () =
   let out = Compiler.Driver.compile src in
   let names = List.map (fun pt -> pt.Compiler.Driver.pt_pass) out.Compiler.Driver.timings in
@@ -528,6 +601,7 @@ let () =
       ( "timeseries",
         [
           Tu.tc "ring window" timeseries_window;
+          Tu.tc "window boundary edges" timeseries_window_edges;
           Tu.tc "json export" timeseries_json;
         ] );
       ( "bench gate",
@@ -543,6 +617,7 @@ let () =
           Tu.tc "machine trace e2e" machine_trace_e2e;
           Tu.tc "profiler order + json" profiler_order_and_json;
           Tu.tc "trace limit detaches" trace_limit_detaches;
+          Tu.tc "trace detach then re-attach" trace_detach_then_reattach;
           Tu.tc "compiler pass timings" compiler_timings;
         ] );
     ]
