@@ -6,10 +6,9 @@ let section title =
 
 let subsection title = Printf.printf "\n--- %s ---\n%!" title
 
-let wall f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+(* monotonic, so a host clock step mid-bench cannot produce negative or
+   inflated timings *)
+let wall f = Obs.Clock.wall f
 
 (** Nanoseconds per run of [f], measured with Bechamel's OLS estimator on
     the monotonic clock; falls back to a single wall-clock measurement for
@@ -48,12 +47,39 @@ let compile ?options ?memmap src = Core.Toolchain.compile ?options ?memmap src
     value; only wall-clock changes. *)
 let jobs = ref 1
 
+(* The harness-wide warm pool and artifact cache: domains spawn once
+   and compiled programs are shared across every campaign-backed
+   experiment in the run, so bench iterations measure simulation, not
+   Domain.spawn or recompiles. *)
+let pool_ref : Campaign.Pool.t option ref = ref None
+
+(** The shared pool, (re)created at least [workers] wide.  [main.exe]
+    shuts it down at exit via {!shutdown_pool}. *)
+let pool ~workers =
+  match !pool_ref with
+  | Some p when Campaign.Pool.width p >= workers -> p
+  | old ->
+    Option.iter Campaign.Pool.shutdown old;
+    let p = Campaign.Pool.create ~workers () in
+    pool_ref := Some p;
+    p
+
+let shutdown_pool () =
+  Option.iter Campaign.Pool.shutdown !pool_ref;
+  pool_ref := None
+
+(** Compile cache shared by every campaign-backed experiment. *)
+let artifacts = Core.Toolchain.Artifacts.create ()
+
 (** Run [(name, job)] specs through the campaign engine at the
-    harness-wide [--jobs] width and return the runs in submission order.
-    Benches expect every job to succeed, so the first failure escalates
-    with its captured error. *)
+    harness-wide [--jobs] width (on the shared warm pool, compiles
+    deduplicated) and return the runs in submission order.  Benches
+    expect every job to succeed, so the first failure escalates with
+    its captured error. *)
 let run_jobs specs =
-  let results = Campaign.run ~jobs:!jobs specs in
+  let results =
+    Campaign.run ~pool:(pool ~workers:!jobs) ~jobs:!jobs ~artifacts specs
+  in
   Array.map
     (fun r ->
       match r.Campaign.r_outcome with

@@ -51,7 +51,7 @@ let () =
     | _ :: _ as names -> names
     | [] -> List.map (fun (n, _, _) -> n) experiments
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   List.iter
     (fun name ->
       match List.find_opt (fun (n, _, _) -> n = name) experiments with
@@ -61,4 +61,6 @@ let () =
           (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
         exit 1)
     selected;
-  Printf.printf "\n(total bench wall time: %.1f s)\n" (Unix.gettimeofday () -. t0)
+  Bench_util.shutdown_pool ();
+  Printf.printf "\n(total bench wall time: %.1f s)\n"
+    (Obs.Clock.elapsed_since t0)

@@ -46,10 +46,17 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
       (fun sink -> Obs.Stream.create (Obs.Stream.sink_of_path sink))
       stream_sink
   in
+  (* one warm pool for the whole campaign; jobs sharing a compile key
+     (a config sweep over one source) compile once via the shared
+     artifact cache *)
+  let effective_workers = max 1 (min jobs total) in
   let results =
-    Campaign.run ~jobs ~retries ~metrics:reg ?stream
-      ~on_event:(Campaign.progress_printer ~total)
-      specs
+    Campaign.Pool.with_pool ~workers:effective_workers (fun pool ->
+        Campaign.run ~pool ~jobs ~retries
+          ~artifacts:(Core.Toolchain.Artifacts.create ())
+          ~metrics:reg ?stream
+          ~on_event:(Campaign.progress_printer ~total)
+          specs)
   in
   (match stream with
   | Some s ->
@@ -61,7 +68,7 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
   | None -> ());
   let report_path = Option.value ~default:"campaign.json" (export "campaign") in
   Obs.Json.write_path ~pretty:true report_path
-    (Campaign.report_to_json ~workers:jobs results);
+    (Campaign.report_to_json ~workers:effective_workers results);
   (match export "campaign-det" with
   | Some p ->
     Obs.Json.write_path ~pretty:true p
@@ -82,8 +89,8 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
   (* the human summary goes to stderr so stdout stays pure JSON when a
      report is exported to "-" *)
   Printf.eprintf "campaign: %d jobs, %d ok, %d failed, %.2fs wall (%d worker%s)\n"
-    total ok failed wall jobs
-    (if jobs = 1 then "" else "s");
+    total ok failed wall effective_workers
+    (if effective_workers = 1 then "" else "s");
   if report_path <> "-" then Printf.eprintf "report written to %s\n" report_path;
   exit (if failed > 0 then 1 else 0)
 
@@ -649,8 +656,10 @@ let cmd =
                      --export campaign) and exits nonzero if any job \
                      failed.")
       $ Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
-               ~doc:"Worker domains for --campaign (1 = serial; results \
-                     are byte-identical for any value).")
+               ~doc:"Worker domains for --campaign (1 = serial; clamped to \
+                     the job count; work-stealing, compiles shared across \
+                     jobs with the same source and compiler options; \
+                     results are byte-identical for any value).")
       $ Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
                ~doc:"Per-job retry budget for --campaign.")
       $ Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"SINK"

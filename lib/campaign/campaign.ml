@@ -1,14 +1,19 @@
 (** Parallel simulation-campaign engine — see campaign.mli.
 
-    The pool is hand-rolled on OCaml domains: a shared atomic cursor
-    hands out job indices, each worker loops compile+simulate until the
-    cursor runs off the end, and every result lands in its submission
-    slot — so ordering is deterministic whatever the completion order.
-    All cross-domain communication is the cursor, the per-slot writes
-    (published by [Domain.join]) and one mutex serializing progress
-    events and metric updates.  Jobs share no mutable state: each job
-    re-compiles its own source (the compiler's per-domain tables make
-    that safe) and builds a fresh machine seeded from the job record. *)
+    Execution rides the persistent work-stealing {!Pool}: per-worker
+    local deques of chunked job batches, steal-on-empty, helper domains
+    created once and reused across [run] calls.  Every result lands in
+    its submission slot — so ordering is deterministic whatever the
+    stealing order.  Compiles are deduplicated through a shared
+    {!Core.Toolchain.Artifacts} cache (a sweep compiles once and
+    simulates many configs against the same read-only program), and the
+    progress lock is off the hot path: without telemetry consumers the
+    workers only touch per-worker counters, and with a stream attached
+    the [campaign.progress] rollup can be throttled to heartbeat
+    boundaries ([progress_interval]) while per-job records keep the
+    canonical (job, jseq) order. *)
+
+module Pool = Pool
 
 type failure = { f_exn : string; f_backtrace : string }
 
@@ -81,26 +86,58 @@ let job_done_fields ~index ~name ~(job : Core.Toolchain.job) ~attempts
     | Error f -> [ ("status", J.Str "failed"); ("error", J.Str f.f_exn) ])
   @ [ ("wall_seconds", J.Float wall_seconds) ]
 
-let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics ?stream specs =
+(* per-worker progress counters: each worker mutates only its own
+   record, so the no-telemetry hot path takes no lock at all — the
+   counters are summed under the lock at progress boundaries and once
+   at the end *)
+type wstats = {
+  mutable w_started : int;
+  mutable w_ok : int;
+  mutable w_failed : int;
+}
+
+let run ?pool ?jobs ?(retries = 0) ?artifacts ?(progress_interval = 0.0)
+    ?on_event ?metrics ?stream specs =
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let results = Array.make n None in
-  let cursor = Atomic.make 0 in
   let lock = Mutex.create () in
-  let workers = max 1 (min jobs (max 1 n)) in
-  let t0 = Unix.gettimeofday () in
-  (* progress state — mutated under [lock] only *)
+  (* clamp the executor count to the remaining jobs: ~jobs:8 with 2
+     jobs must not pay for 7 idle domains *)
+  let workers =
+    let requested =
+      match (jobs, pool) with
+      | Some j, _ -> j
+      | None, Some p -> Pool.width p
+      | None, None -> 1
+    in
+    let cap = match pool with Some p -> Pool.width p | None -> max_int in
+    max 1 (min requested (min cap (max 1 n)))
+  in
+  let artifacts =
+    (* dedup compiles within the campaign even when the caller keeps no
+       persistent cache *)
+    match artifacts with
+    | Some a -> a
+    | None -> Core.Toolchain.Artifacts.create ()
+  in
+  let t0 = Obs.Clock.now () in
+  (* progress totals — mutated under [lock] only, and only when a
+     telemetry consumer is attached *)
   let started = ref 0 and completed = ref 0 in
   let ok = ref 0 and failed = ref 0 in
+  let ws = Array.init workers (fun _ -> { w_started = 0; w_ok = 0; w_failed = 0 }) in
   let semit typ fields =
     match stream with
     | Some s -> Obs.Stream.emit s ~typ fields
     | None -> ()
   in
   (* completed/total, worker occupancy, and an ETA from the running
-     throughput estimate — emitted after every job completion *)
+     throughput estimate — emitted at completion boundaries, throttled
+     to [progress_interval] seconds *)
+  let last_progress = ref neg_infinity in
   let stream_progress () =
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let elapsed = Obs.Clock.elapsed_since t0 in
     let rate =
       if elapsed > 0.0 then float_of_int !completed /. elapsed else 0.0
     in
@@ -119,6 +156,19 @@ let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics ?stream specs =
         ("jobs_per_sec", J.Float rate);
         ("eta_seconds", J.Float eta);
       ]
+  in
+  let maybe_stream_progress () =
+    (* the final completion always reports, so a follower sees
+       completed = total whatever the throttle *)
+    let now = Obs.Clock.now () in
+    if
+      !completed = n
+      || progress_interval <= 0.0
+      || now -. !last_progress >= progress_interval
+    then begin
+      last_progress := now;
+      stream_progress ()
+    end
   in
   (* metric handles are created up front in the calling domain — the
      registry hashtable is not safe to grow concurrently *)
@@ -140,6 +190,9 @@ let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics ?stream specs =
              "campaign.wall_seconds") )
   in
   let bump c = Option.iter (fun c -> Obs.Metrics.inc c) c in
+  (* whether any per-job consumer needs the serializing lock; without
+     one the workers never touch shared mutable state per job *)
+  let serialized = on_event <> None || metrics <> None || stream <> None in
   (* [also] runs under the same lock as the metric bump and the user
      callback: the lock is the stream's single consumer, serializing
      every worker domain's emissions *)
@@ -150,81 +203,87 @@ let run ?(jobs = 1) ?(retries = 0) ?on_event ?metrics ?stream specs =
         Option.iter (fun f -> f ev) on_event)
   in
   let attempt_job job =
-    (* bounded retry: keep the last failure if every attempt raises *)
+    (* bounded retry: keep the last failure if every attempt raises.
+       The raw backtrace is captured first — formatting the exception
+       (which may run arbitrary printers) can itself raise or record a
+       new backtrace and clobber the one we want *)
     let rec go k =
-      match Core.Toolchain.run_job job with
+      match Core.Toolchain.run_job ~artifacts job with
       | r -> (k, Ok r)
       | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
         let f =
           {
             f_exn = Printexc.to_string e;
-            f_backtrace = Printexc.get_backtrace ();
+            f_backtrace = Printexc.raw_backtrace_to_string bt;
           }
         in
         if k <= retries then go (k + 1) else (k, Error f)
     in
     go 1
   in
-  let worker () =
-    Printexc.record_backtrace true;
-    let rec loop () =
-      let i = Atomic.fetch_and_add cursor 1 in
-      if i < n then begin
-        let name, job = specs.(i) in
-        notify m_started
-          (Job_started { index = i; name })
-          ~also:(fun () ->
-            incr started;
-            semit "job.start" (job_start_fields ~index:i ~name));
-        let t0 = Unix.gettimeofday () in
-        let attempts, outcome = attempt_job job in
-        let wall_seconds = Unix.gettimeofday () -. t0 in
-        results.(i) <-
-          Some
-            {
-              r_index = i;
-              r_name = name;
-              r_job = job;
-              r_attempts = attempts;
-              r_wall_seconds = wall_seconds;
-              r_outcome = outcome;
-            };
-        let stream_done result_kind =
-          incr completed;
-          (match result_kind with `Ok -> incr ok | `Failed -> incr failed);
-          semit "job.done"
-            (job_done_fields ~index:i ~name ~job ~attempts ~wall_seconds
-               outcome);
-          stream_progress ()
-        in
-        (match outcome with
-        | Ok _ ->
-          notify m_finished
-            (Job_finished { index = i; name; wall_seconds })
-            ~also:(fun () -> stream_done `Ok)
-        | Error f ->
-          notify m_failed
-            (Job_failed { index = i; name; attempts; error = f.f_exn })
-            ~also:(fun () -> stream_done `Failed));
-        loop ()
-      end
-    in
-    loop ()
+  let execute ~worker i =
+    let name, job = specs.(i) in
+    ws.(worker).w_started <- ws.(worker).w_started + 1;
+    if serialized then
+      notify m_started
+        (Job_started { index = i; name })
+        ~also:(fun () ->
+          incr started;
+          semit "job.start" (job_start_fields ~index:i ~name));
+    let tj = Obs.Clock.now () in
+    let attempts, outcome = attempt_job job in
+    let wall_seconds = Obs.Clock.elapsed_since tj in
+    results.(i) <-
+      Some
+        {
+          r_index = i;
+          r_name = name;
+          r_job = job;
+          r_attempts = attempts;
+          r_wall_seconds = wall_seconds;
+          r_outcome = outcome;
+        };
+    (match outcome with
+    | Ok _ -> ws.(worker).w_ok <- ws.(worker).w_ok + 1
+    | Error _ -> ws.(worker).w_failed <- ws.(worker).w_failed + 1);
+    if serialized then begin
+      let stream_done result_kind =
+        incr completed;
+        (match result_kind with `Ok -> incr ok | `Failed -> incr failed);
+        semit "job.done"
+          (job_done_fields ~index:i ~name ~job ~attempts ~wall_seconds outcome);
+        maybe_stream_progress ()
+      in
+      match outcome with
+      | Ok _ ->
+        notify m_finished
+          (Job_finished { index = i; name; wall_seconds })
+          ~also:(fun () -> stream_done `Ok)
+      | Error f ->
+        notify m_failed
+          (Job_failed { index = i; name; attempts; error = f.f_exn })
+          ~also:(fun () -> stream_done `Failed)
+    end
   in
   semit "campaign.start" [ ("jobs", J.Int n); ("workers", J.Int workers) ];
-  if workers = 1 then worker ()
-  else begin
-    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains
-  end;
-  let wall = Unix.gettimeofday () -. t0 in
+  Printexc.record_backtrace true;
+  (match pool with
+  | Some p -> Pool.run p ~participants:workers ~jobs:n execute
+  | None when workers = 1 ->
+    for i = 0 to n - 1 do
+      execute ~worker:0 i
+    done
+  | None -> Pool.with_pool ~workers (fun p -> Pool.run p ~jobs:n execute));
+  let wall = Obs.Clock.elapsed_since t0 in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 ws in
+  let n_ok = sum (fun w -> w.w_ok) and n_failed = sum (fun w -> w.w_failed) in
   Option.iter (fun g -> Obs.Metrics.set g wall) m_wall;
   semit "campaign.done"
     [
       ("jobs", J.Int n);
-      ("ok", J.Int !ok);
-      ("failed", J.Int !failed);
+      ("ok", J.Int n_ok);
+      ("failed", J.Int n_failed);
       ("workers", J.Int workers);
       ("wall_seconds", J.Float wall);
     ];

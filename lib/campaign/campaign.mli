@@ -4,8 +4,10 @@
     compile+simulate runs sweeping configurations, benchmarks and
     compiler options.  Each {!Core.Toolchain.job} is self-contained, so
     the outer loop is embarrassingly parallel; this engine fans jobs out
-    across a hand-rolled pool of OCaml domains while keeping every
-    simulated result bit-identical to a serial run:
+    across a persistent work-stealing pool of OCaml domains ({!Pool}) —
+    workers created once and reused across [run] calls, per-worker
+    local deques of chunked job batches, steal-on-empty — while keeping
+    every simulated result bit-identical to a serial run:
 
     - {b determinism}: results come back in submission order whatever
       the completion order, and each job's RNG seed is part of the job,
@@ -18,7 +20,16 @@
     - {b observability}: progress counters land in an {!Obs.Metrics}
       registry and an optional [on_event] callback (serialized, so it
       may print) sees every start/finish/failure with per-job wall-clock.
-*)
+
+    Compiles are deduplicated: jobs sharing a (source, compiler-options,
+    memmap) key compile once through a {!Core.Toolchain.Artifacts}
+    cache and simulate against the same read-only program — pass your
+    own cache to [run] to keep artifacts warm across campaigns. *)
+
+(** The persistent worker pool; create one and pass it to {!run} to
+    amortize domain spawning across campaigns (benches, sweep drivers,
+    repeated CLI invocations in one process). *)
+module Pool = Pool
 
 type failure = {
   f_exn : string;  (** [Printexc.to_string] of the final exception *)
@@ -47,30 +58,44 @@ type event =
 (** [run ~jobs specs] executes every [(name, job)] pair and returns the
     results in submission order.
 
-    [jobs] is the worker-pool width (domains; default 1 = run everything
-    in the calling domain).  [retries] is the per-job retry budget on
-    failure (default 0).  [on_event] is called for every lifecycle event
-    under the pool lock, so callbacks may print or mutate shared state
-    without further synchronization.  [metrics] receives
-    [campaign.jobs.started] / [.finished] / [.failed] counters and the
-    [campaign.wall_seconds] gauge.
+    [pool] is the persistent executor to run on; without one a
+    transient pool of [jobs] workers is created for this call and shut
+    down after.  [jobs] is the executor width (default: the pool's
+    width, or 1 without a pool); it is always clamped to the number of
+    jobs, so [~jobs:8] with 2 jobs uses 2 workers — never 6 idle
+    domains.  [retries] is the per-job retry budget on failure
+    (default 0).  [artifacts] is a shared compile cache
+    ({!Core.Toolchain.Artifacts}); without one a fresh cache still
+    deduplicates compiles within this campaign.  [on_event] is called
+    for every lifecycle event under the progress lock, so callbacks may
+    print or mutate shared state without further synchronization.
+    [metrics] receives [campaign.jobs.started] / [.finished] /
+    [.failed] counters and the [campaign.wall_seconds] gauge.  Without
+    any of [on_event]/[metrics]/[stream], workers touch only per-worker
+    counters — the hot path takes no lock at all.
 
     [stream] multiplexes the campaign onto a live [xmt.events.v1]
     telemetry stream ({!Obs.Stream}): a [campaign.start] record, one
     [job.start] and one [job.done] (status, attempts, cycles,
-    instructions and simulated stats, or the failure text) per job, a
-    [campaign.progress] record after every completion (completed/total,
-    ok/failed, running worker occupancy, jobs/sec throughput and the ETA
-    it implies) and a final [campaign.done] summary.  All emissions
-    happen under the pool lock — the stream has exactly one consumer
-    however many domains run jobs — and each job's records carry
-    [("job", index)] plus a per-job sequence number [jseq], so
-    {!Obs.Stream.canonicalize} renders serial and parallel streams of
-    the same campaign byte-identical (the determinism contract CI
-    diffs). *)
+    instructions and simulated stats, or the failure text) per job,
+    [campaign.progress] records at completion boundaries
+    (completed/total, ok/failed, running worker occupancy, jobs/sec
+    throughput and the ETA it implies) and a final [campaign.done]
+    summary.  [progress_interval] throttles the progress rollups to at
+    most one per that many seconds (default [0.0] = one per
+    completion); the last completion always reports, and job records
+    are never throttled.  All emissions happen under the progress lock
+    — the stream has exactly one consumer however many domains run
+    jobs — and each job's records carry [("job", index)] plus a
+    per-job sequence number [jseq], so {!Obs.Stream.canonicalize}
+    renders serial and parallel streams of the same campaign
+    byte-identical (the determinism contract CI diffs). *)
 val run :
+  ?pool:Pool.t ->
   ?jobs:int ->
   ?retries:int ->
+  ?artifacts:Core.Toolchain.Artifacts.t ->
+  ?progress_interval:float ->
   ?on_event:(event -> unit) ->
   ?metrics:Obs.Metrics.t ->
   ?stream:Obs.Stream.t ->

@@ -1,0 +1,50 @@
+(** Persistent work-stealing worker pool.
+
+    The campaign engine's executor: helper domains are spawned once
+    ({!create}) and parked between runs, so repeated {!run} calls — a
+    CLI campaign, every bench iteration, a long sweep driver — pay the
+    [Domain.spawn] cost once instead of per campaign.  Each run deals
+    the job indices out as contiguous chunks onto per-participant local
+    deques; owners pop from the front, and a participant that runs dry
+    steals chunks from the back of a victim's deque until every deque
+    is empty, so a skewed sweep (one slow config) cannot strand work
+    behind one worker.
+
+    The pool schedules {e which worker runs which job index}, nothing
+    more: result placement, retries and telemetry belong to the caller
+    ({!Campaign.run}), which is what keeps submission-order determinism
+    independent of the stealing order. *)
+
+type t
+
+(** [create ~workers ()] spawns [workers - 1] helper domains (the
+    submitting domain is always participant 0 of a run).  [workers]
+    defaults to [Domain.recommended_domain_count ()]; it is clamped to
+    at least 1. *)
+val create : ?workers:int -> unit -> t
+
+(** Total executor width (helpers + the submitting domain). *)
+val width : t -> int
+
+(** [run pool ~jobs:n execute] calls [execute ~worker i] exactly once
+    for every [i] in [0..n-1] and returns when all have finished.
+    [worker] is the executing participant's index — use it to index
+    per-worker state without locks.  [participants] caps the executors
+    used for this run (default: the pool width); it is further clamped
+    to [n], so surplus helpers stay parked rather than waking for empty
+    deques.  With one participant the jobs run inline in the calling
+    domain — no locks, no wakeups.
+
+    If [execute] raises, the first exception is re-raised here after
+    every worker has stopped; the jobs remaining in the failing
+    worker's current chunk are skipped (other chunks are stolen and
+    completed).  Raises [Invalid_argument] after {!shutdown}. *)
+val run : t -> ?participants:int -> jobs:int -> (worker:int -> int -> unit) -> unit
+
+(** Stop and join the helper domains.  Idempotent.  Must not be called
+    while a {!run} is in flight. *)
+val shutdown : t -> unit
+
+(** [with_pool ~workers f] runs [f] with a fresh pool and always shuts
+    it down. *)
+val with_pool : ?workers:int -> (t -> 'a) -> 'a

@@ -4,6 +4,94 @@ let compile ?options ?memmap src =
   let cc, image = Compiler.Driver.compile_to_image ?options ?memmap src in
   { cc; image }
 
+(* ------------------------------------------------------------------ *)
+(* Shared compiled artifacts.
+
+   A design-space sweep simulates the same program under many machine
+   configurations: the (source, compile-options, memmap) triple is
+   identical across the sweep points, so compiling per job is pure
+   waste — and in a parallel campaign it is the dominant per-job cost
+   and the dominant source of cross-domain allocation (every compile
+   rebuilds the whole IR).  An [Artifacts.t] is a compile-once cache:
+   the first job with a given key compiles, concurrent jobs with the
+   same key block on the condition variable until the artifact is
+   ready, and everyone simulates against the same read-only [compiled]
+   value.  That is safe because nothing downstream mutates it:
+   [Xmtsim.Mem.load] blits [image.data_words] into a fresh store per
+   machine, and the race checker's static analysis only reads [cc]. *)
+
+module Artifacts = struct
+  type key = {
+    k_source : string;
+    k_options : Compiler.Driver.options;
+    k_memmap : Isa.Memmap.t;
+  }
+
+  type slot = Building | Ready of compiled
+
+  type t = {
+    tbl : (key, slot) Hashtbl.t;
+    lock : Mutex.t;
+    turned : Condition.t;  (** signaled whenever a slot changes state *)
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () =
+    {
+      tbl = Hashtbl.create 16;
+      lock = Mutex.create ();
+      turned = Condition.create ();
+      hits = 0;
+      misses = 0;
+    }
+
+  (* Compile [src] or reuse a previous compile of the same key.  A
+     failing compile removes its Building slot and re-raises, so a
+     retry (or the next job with the key) compiles again — cached
+     failures would break the campaign engine's per-job retry
+     semantics. *)
+  let get t ?(options = Compiler.Driver.default_options) ?(memmap = []) src =
+    let key = { k_source = src; k_options = options; k_memmap = memmap } in
+    Mutex.lock t.lock;
+    let rec await () =
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Ready c) ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.lock;
+        c
+      | Some Building ->
+        Condition.wait t.turned t.lock;
+        await ()
+      | None -> (
+        Hashtbl.replace t.tbl key Building;
+        t.misses <- t.misses + 1;
+        Mutex.unlock t.lock;
+        match compile ~options ~memmap src with
+        | c ->
+          Mutex.lock t.lock;
+          Hashtbl.replace t.tbl key (Ready c);
+          Condition.broadcast t.turned;
+          Mutex.unlock t.lock;
+          c
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock t.lock;
+          Hashtbl.remove t.tbl key;
+          Condition.broadcast t.turned;
+          Mutex.unlock t.lock;
+          Printexc.raise_with_backtrace e bt)
+    in
+    await ()
+
+  (** (cache hits, compiles actually performed) so far. *)
+  let stats t =
+    Mutex.lock t.lock;
+    let r = (t.hits, t.misses) in
+    Mutex.unlock t.lock;
+    r
+end
+
 type run = {
   output : string;
   cycles : int;
@@ -114,15 +202,20 @@ let job_config j =
   in
   Xmtsim.Config.checked c
 
-let run_job ?stream ?heartbeat_cycles j =
+let run_job ?artifacts ?stream ?heartbeat_cycles j =
+  let compile_job () =
+    match artifacts with
+    | None -> compile ~options:j.options ~memmap:j.memmap j.source
+    | Some a -> Artifacts.get a ~options:j.options ~memmap:j.memmap j.source
+  in
   match j.mode with
   | Functional ->
-    let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
+    let compiled = compile_job () in
     run_functional ~racecheck:j.racecheck ?max_instructions:j.max_instructions
       compiled
   | Cycle ->
     let config = job_config j in
-    let compiled = compile ~options:j.options ~memmap:j.memmap j.source in
+    let compiled = compile_job () in
     run_cycle ~config ~racecheck:j.racecheck ~profile:j.profile ?stream
       ?heartbeat_cycles ?max_cycles:j.max_cycles compiled
 

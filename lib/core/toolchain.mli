@@ -14,6 +14,36 @@ type compiled = {
 val compile :
   ?options:Compiler.Driver.options -> ?memmap:Isa.Memmap.t -> string -> compiled
 
+(** Shared compiled artifacts: a compile-once cache keyed on the
+    (source, compiler-options, memmap) triple.
+
+    A design-space sweep simulates one program under many machine
+    configurations, so most jobs share their compile key; routing them
+    through one [Artifacts.t] compiles each key once and simulates every
+    config against the same read-only {!compiled} value (the simulator
+    copies the image's data words into a fresh store per machine, so
+    sharing is safe).  The cache is domain-safe: concurrent requests for
+    a key being compiled block until the artifact is ready, and a
+    failing compile leaves no cache entry — each retry compiles afresh,
+    preserving the campaign engine's per-job retry semantics. *)
+module Artifacts : sig
+  type t
+
+  val create : unit -> t
+
+  (** [get t src] returns the cached artifact for the key or compiles
+      (and caches) it.  Re-raises the compile error on failure. *)
+  val get :
+    t ->
+    ?options:Compiler.Driver.options ->
+    ?memmap:Isa.Memmap.t ->
+    string ->
+    compiled
+
+  (** [(hits, misses)]: reuses vs compiles actually performed. *)
+  val stats : t -> int * int
+end
+
 type run = {
   output : string;
   cycles : int;  (** 0 in functional mode *)
@@ -107,10 +137,14 @@ val job_config : job -> Xmtsim.Config.t
 
 (** Compile and simulate one job.  Raises {!Compiler.Driver.Compile_error},
     {!Xmtsim.Config.Bad_config} or {!Xmtsim.Machine.Sim_error} on failure
-    — the campaign engine captures these per job.  [stream] attaches a
-    live telemetry stream to cycle-mode runs (functional runs have no
-    cycle clock to sample and ignore it). *)
-val run_job : ?stream:Obs.Stream.t -> ?heartbeat_cycles:int -> job -> run
+    — the campaign engine captures these per job.  [artifacts] routes the
+    compile through a shared {!Artifacts} cache (compile once, simulate
+    many configs).  [stream] attaches a live telemetry stream to
+    cycle-mode runs (functional runs have no cycle clock to sample and
+    ignore it). *)
+val run_job :
+  ?artifacts:Artifacts.t -> ?stream:Obs.Stream.t -> ?heartbeat_cycles:int ->
+  job -> run
 
 (** Compile + run in one step (thin wrapper over {!run_job}). *)
 val exec :

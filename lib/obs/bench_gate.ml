@@ -5,7 +5,10 @@
     them into a CI gate.  Simulated [cycles] are deterministic per seed,
     so they are held to a tight tolerance; host-throughput rates
     ([events_per_sec]) vary with the machine, so they get a loose one and
-    only guard against collapse.
+    only guard against collapse.  A record carrying a [speedup] (the
+    parallel-campaign bench) is additionally held to an absolute floor —
+    parallel must strictly beat serial — whenever its [host_cores] shows
+    a machine with at least two cores.
 
     The logic is pure (records in, report out) so tests can drive it
     without touching the filesystem; [bench/gate.exe] does the file IO. *)
@@ -72,6 +75,19 @@ let check_lower ~tol ~bench ~metric ~baseline ~fresh =
     ck_ok = fresh >= baseline *. (1.0 -. tol);
   }
 
+(* An absolute floor the fresh value must strictly exceed, independent
+   of the baseline's value (the baseline column shows the floor). *)
+let check_floor ~floor ~bench ~metric ~fresh =
+  {
+    ck_bench = bench;
+    ck_metric = metric;
+    ck_baseline = floor;
+    ck_fresh = fresh;
+    ck_delta_pct = pct ~baseline:floor ~fresh;
+    ck_allowed_pct = 0.0;
+    ck_ok = fresh > floor;
+  }
+
 (** Compare fresh records against baseline records (both [xmt.bench.v1]
     objects).  Benches are matched by their ["bench"] field; a baselined
     bench missing from [fresh] fails the gate (silent coverage loss),
@@ -94,7 +110,14 @@ let compare_records ?(tolerance = default_tolerance) ~baseline ~fresh () =
             | _ -> []
           in
           one check_upper "cycles" tolerance.cycles_tol
-          @ one check_lower "events_per_sec" tolerance.rate_tol)
+          @ one check_lower "events_per_sec" tolerance.rate_tol
+          (* parallel benches must beat serial outright — but only on a
+             host where parallelism can win; a single-core runner
+             records its speedup without being gated on it *)
+          @ (match (num_field "speedup" fj, num_field "host_cores" fj) with
+            | Some s, Some cores when cores >= 2.0 ->
+              [ check_floor ~floor:1.0 ~bench:name ~metric:"speedup" ~fresh:s ]
+            | _ -> []))
       base_idx
   in
   let missing_in_fresh =

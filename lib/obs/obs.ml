@@ -21,9 +21,13 @@
       event bus emitting [xmt.events.v1] NDJSON records (run/job
       lifecycle, simulator heartbeats, campaign progress/ETA, windowed
       rollups) so long runs and campaigns are observable while they
-      execute ([xmtsim --stream]). *)
+      execute ([xmtsim --stream]).
+    - {!Clock}: the monotonic host clock every reported duration is
+      measured on (host clock steps cannot make a [wall_seconds] field
+      jump or go negative). *)
 
 module Json = Json
+module Clock = Clock
 module Metrics = Metrics
 module Tracer = Tracer
 module Timeseries = Timeseries

@@ -41,6 +41,120 @@ let order_is_submission_order () =
       Tu.check_string "name" name rs.(i).Campaign.r_name)
     specs
 
+(* ---- warm pool, work stealing, shared artifacts ---- *)
+
+(* hundreds of tiny jobs over a handful of distinct sources: lots of
+   stealing, few distinct compile keys *)
+let stress_specs n =
+  List.init n (fun i ->
+      let size = 16 + (i mod 4) * 8 in
+      let mode = if i mod 5 = 0 then T.Functional else T.Cycle in
+      let name = Printf.sprintf "s%03d" i in
+      ( name,
+        T.job ~name ~mode ~seed:i ~config:C.tiny (Core.Kernels.vecadd ~n:size)
+      ))
+
+let stress_stealing_deterministic () =
+  let specs = stress_specs 120 in
+  let reference = report (Campaign.run ~jobs:1 specs) in
+  (* worker counts 1, 2, N and far more workers than jobs (the clamp) *)
+  List.iter
+    (fun w ->
+      Tu.check_string
+        (Printf.sprintf "workers=%d matches serial" w)
+        reference
+        (report (Campaign.run ~jobs:w specs)))
+    [ 2; 4; 300 ]
+
+let pool_reused_across_runs () =
+  let artifacts = Core.Toolchain.Artifacts.create () in
+  Campaign.Pool.with_pool ~workers:3 (fun pool ->
+      let a = Campaign.run ~pool ~artifacts (stress_specs 40) in
+      let b = Campaign.run ~pool ~artifacts (stress_specs 40) in
+      Tu.check_int "first run all ok" 40 (Campaign.ok_count a);
+      Tu.check_string "re-run on the warm pool identical" (report a) (report b);
+      Array.iter
+        (fun r ->
+          Tu.check_bool "monotonic wall time" true
+            (r.Campaign.r_wall_seconds >= 0.0))
+        b;
+      let hits, compiles = Core.Toolchain.Artifacts.stats artifacts in
+      Tu.check_bool "artifacts reused across jobs and runs" true (hits > 0);
+      Tu.check_bool "compiles bounded by distinct keys" true (compiles <= 8);
+      (* a different job list through the same warm pool *)
+      let c = Campaign.run ~pool ~jobs:2 (det_specs ()) in
+      Tu.check_int "third run ok" (List.length (det_specs ()))
+        (Campaign.ok_count c))
+
+let poisoned_jobs_under_stealing () =
+  let specs =
+    List.map
+      (fun ((name, _) as spec) ->
+        let i = int_of_string (String.sub name 1 3) in
+        if i mod 13 = 6 then
+          (name, T.job ~name ~config:C.tiny "int main() { return broken; }")
+        else spec)
+      (stress_specs 60)
+  in
+  let rs = Campaign.run ~jobs:4 specs in
+  Tu.check_int "exactly the poisoned jobs fail" 5 (Campaign.failed_count rs);
+  Array.iteri
+    (fun i r ->
+      match r.Campaign.r_outcome with
+      | Ok _ ->
+        Tu.check_bool "good job succeeded" true (i mod 13 <> 6)
+      | Error f ->
+        Tu.check_bool "bad job failed" true (i mod 13 = 6);
+        Tu.check_bool "error captured" true (f.Campaign.f_exn <> ""))
+    rs
+
+let workers_clamped_to_jobs () =
+  (* ~jobs:8 with 2 jobs must run on 2 workers; the campaign.start
+     stream record reports the clamped width *)
+  let buf = Buffer.create 512 in
+  let s = Obs.Stream.create (Obs.Stream.buffer_sink buf) in
+  let rs =
+    Campaign.run ~jobs:8 ~stream:s [ tiny_job 16; tiny_job 24 ]
+  in
+  Obs.Stream.close s;
+  Tu.check_int "both jobs ok" 2 (Campaign.ok_count rs);
+  let workers =
+    Buffer.contents buf |> String.split_on_char '\n'
+    |> List.filter_map (fun l ->
+           if String.trim l = "" then None
+           else
+             let j = Obs.Json.of_string l in
+             match Obs.Json.member "type" j with
+             | Some (Obs.Json.Str "campaign.start") ->
+               Option.bind (Obs.Json.member "workers" j) Obs.Json.to_int
+             | _ -> None)
+    |> List.hd
+  in
+  Tu.check_int "clamped to job count" 2 workers
+
+(* ---- the pool itself ---- *)
+
+let pool_runs_each_index_once () =
+  Campaign.Pool.with_pool ~workers:4 (fun pool ->
+      let hits = Array.make 500 0 in
+      (* each slot is written by exactly one worker *)
+      Campaign.Pool.run pool ~jobs:500 (fun ~worker:_ i ->
+          hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i h -> if h <> 1 then Alcotest.failf "index %d ran %d times" i h)
+        hits)
+
+let pool_propagates_failure () =
+  Campaign.Pool.with_pool ~workers:2 (fun pool ->
+      match
+        Campaign.Pool.run pool ~jobs:10 (fun ~worker:_ i ->
+            if i = 7 then failwith "boom7")
+      with
+      | () -> Alcotest.fail "expected the worker failure to surface"
+      | exception Failure m -> Tu.check_string "failure text" "boom7" m);
+  (* the campaign engine, by contrast, isolates job failures *)
+  ()
+
 (* ---- fault isolation ---- *)
 
 let failures_are_isolated () =
@@ -219,6 +333,17 @@ let () =
         [
           Tu.tc "parallel report matches serial" parallel_matches_serial;
           Tu.tc "submission order preserved" order_is_submission_order;
+        ] );
+      ( "warm pool",
+        [
+          Tu.tc "stealing deterministic (1/2/4/300 workers)"
+            stress_stealing_deterministic;
+          Tu.tc "pool + artifacts reused across runs" pool_reused_across_runs;
+          Tu.tc "poisoned jobs isolated under stealing"
+            poisoned_jobs_under_stealing;
+          Tu.tc "workers clamped to job count" workers_clamped_to_jobs;
+          Tu.tc "pool runs each index once" pool_runs_each_index_once;
+          Tu.tc "pool propagates worker failure" pool_propagates_failure;
         ] );
       ( "fault isolation",
         [

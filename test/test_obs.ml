@@ -308,6 +308,42 @@ let gate_pass_and_fail () =
   Tu.check_bool "noise passes" true
     (Obs.Bench_gate.compare_records ~baseline ~fresh ()).Obs.Bench_gate.passed
 
+let gate_speedup_floor () =
+  let record ?host_cores ~speedup () =
+    J.Obj
+      ([
+         ("schema", J.Str "xmt.bench.v1");
+         ("bench", J.Str "campaign");
+         ("cycles", J.Int 1000);
+         ("speedup", J.Float speedup);
+       ]
+      @ match host_cores with Some c -> [ ("host_cores", J.Int c) ] | None -> [])
+  in
+  let baseline = [ record ~host_cores:2 ~speedup:1.5 () ] in
+  let gate fresh =
+    Obs.Bench_gate.compare_records ~baseline ~fresh:[ fresh ] ()
+  in
+  (* parallel slower than serial on a multi-core host fails the gate *)
+  let r = gate (record ~host_cores:4 ~speedup:0.56 ()) in
+  Tu.check_bool "sub-serial speedup fails" false r.Obs.Bench_gate.passed;
+  Tu.check_bool "floor check present" true
+    (List.exists
+       (fun c ->
+         c.Obs.Bench_gate.ck_metric = "speedup"
+         && (not c.Obs.Bench_gate.ck_ok)
+         && c.Obs.Bench_gate.ck_baseline = 1.0)
+       r.Obs.Bench_gate.checks);
+  (* exactly 1.0 is still "not faster": the bound is strict *)
+  Tu.check_bool "speedup = 1.0 fails" false
+    (gate (record ~host_cores:2 ~speedup:1.0 ())).Obs.Bench_gate.passed;
+  Tu.check_bool "speedup > 1 passes" true
+    (gate (record ~host_cores:2 ~speedup:1.2 ())).Obs.Bench_gate.passed;
+  (* a single-core host records its speedup but is not gated on it *)
+  Tu.check_bool "single core not gated" true
+    (gate (record ~host_cores:1 ~speedup:0.9 ())).Obs.Bench_gate.passed;
+  Tu.check_bool "no host_cores, no floor" true
+    (gate (record ~speedup:0.9 ())).Obs.Bench_gate.passed
+
 let gate_missing_and_new () =
   let baseline = [ bench_record ~name:"a" ~cycles:100 ~rate:1.0 ] in
   let fresh = [ bench_record ~name:"b" ~cycles:100 ~rate:1.0 ] in
@@ -607,6 +643,7 @@ let () =
       ( "bench gate",
         [
           Tu.tc "pass/fail" gate_pass_and_fail;
+          Tu.tc "speedup floor (multi-core only)" gate_speedup_floor;
           Tu.tc "missing/new benches" gate_missing_and_new;
         ] );
       ("tracer", [ Tu.tc "golden chrome-trace" tracer_golden ]);
