@@ -77,8 +77,9 @@ let artifacts = Core.Toolchain.Artifacts.create ()
     expect every job to succeed, so the first failure escalates with
     its captured error. *)
 let run_jobs specs =
+  let req = Campaign.Request.make ~jobs:!jobs specs in
   let results =
-    Campaign.run ~pool:(pool ~workers:!jobs) ~jobs:!jobs ~artifacts specs
+    Campaign.run_request ~pool:(pool ~workers:!jobs) ~artifacts req
   in
   Array.map
     (fun r ->

@@ -26,8 +26,9 @@ let run () =
   in
   let pool = pool ~workers in
   let campaign w =
+    let req = Campaign.Request.make ~jobs:w specs in
     let rs, secs =
-      wall (fun () -> Campaign.run ~pool ~jobs:w ~artifacts specs)
+      wall (fun () -> Campaign.run_request ~pool ~artifacts req)
     in
     if Campaign.failed_count rs > 0 then
       failwith "campaign bench: a sweep job failed";

@@ -30,6 +30,9 @@ let experiments =
     ( "stream",
       "live telemetry streaming: overhead and non-perturbation",
       Exp_stream.run );
+    ( "serve",
+      "campaign service: concurrent clients, throughput + latency",
+      Exp_serve.run );
   ]
 
 let () =

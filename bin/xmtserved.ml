@@ -1,0 +1,69 @@
+(** xmtserved — the campaign-as-a-service daemon.
+
+    Holds one warm worker pool and one compiled-artifact cache for the
+    whole host, accepts [xmt.campaign.v1] submissions over a Unix-domain
+    socket and streams each campaign's [xmt.events.v1] records back
+    live.  Campaigns are journaled under --state-dir, so a restarted
+    daemon resumes incomplete ones and replays their streams
+    exactly-once.  See lib/serve and `xmtsim --connect`. *)
+
+open Cmdliner
+
+let run socket state_dir workers max_pending max_client =
+  let cfg =
+    {
+      Serve.Server.socket_path = socket;
+      state_dir;
+      workers;
+      max_pending_jobs = max_pending;
+      max_client_jobs = max_client;
+    }
+  in
+  let srv =
+    try Serve.Server.create cfg
+    with Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "xmtserved: %s %s: %s\n" fn arg (Unix.error_message e);
+      exit 1
+  in
+  Printf.eprintf "xmtserved: listening on %s (workers=%s, state=%s)\n%!" socket
+    (match workers with
+    | Some n -> string_of_int n
+    | None -> "host cores")
+    (Option.value ~default:"none (no resume)" state_dir);
+  let stop_requested = Atomic.make false in
+  let on_signal _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  (* all the work happens on the server's own threads; the main thread
+     just waits for a shutdown signal *)
+  while not (Atomic.get stop_requested) do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  prerr_endline "xmtserved: shutting down";
+  Serve.Server.stop srv
+
+let cmd =
+  let doc = "serve XMT campaigns from a shared warm pool" in
+  Cmd.v
+    (Cmd.info "xmtserved" ~doc)
+    Term.(
+      const run
+      $ Arg.(value & opt string "xmtserved.sock" & info [ "socket" ] ~docv:"PATH"
+               ~doc:"Unix-domain socket to listen on (created; a stale \
+                     socket file is replaced).")
+      $ Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+               ~doc:"Journal campaigns under DIR (created if missing): a \
+                     restarted daemon finishes incomplete campaigns and \
+                     clients re-attach with --attach CID.  Without it \
+                     campaigns live only as long as the process.")
+      $ Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N"
+               ~doc:"Worker domains in the shared pool (default: host \
+                     cores).")
+      $ Arg.(value & opt int 4096 & info [ "max-pending" ] ~docv:"N"
+               ~doc:"Server-wide cap on queued jobs; submissions beyond it \
+                     get a typed server.overload rejection.")
+      $ Arg.(value & opt int 1024 & info [ "max-client-jobs" ] ~docv:"N"
+               ~doc:"Per-connection cap on in-flight jobs (quota; also a \
+                     server.overload rejection)."))
+
+let () = exit (Cmd.eval cmd)

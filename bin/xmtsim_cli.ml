@@ -24,22 +24,35 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
         exit 1
       end)
     [ "stats"; "trace"; "timeseries"; "races" ];
-  let specs =
-    try Campaign.load_file file with
+  (* the spec file carries the request (including an optional "exec"
+     block with default jobs/retries); command-line flags override it *)
+  let req =
+    try
+      let req = Campaign.Request.load_file file in
+      let req =
+        match jobs with
+        | Some n -> Campaign.Request.with_jobs req (Some n)
+        | None -> req
+      in
+      let req =
+        match retries with
+        | Some r -> Campaign.Request.with_retries req r
+        | None -> req
+      in
+      (* --export profile at campaign level profiles every cycle-mode job
+         and writes the merged CPI stack *)
+      if export "profile" = None then req
+      else
+        Campaign.Request.with_specs req
+          (List.map
+             (fun (name, j) -> (name, { j with Core.Toolchain.profile = true }))
+             req.Campaign.Request.specs)
+    with
     | Campaign.Spec_error msg | Xmtsim.Config.Bad_config msg ->
       Printf.eprintf "xmtsim: campaign %s: %s\n" file msg;
       exit 1
   in
-  (* --export profile at campaign level profiles every cycle-mode job and
-     writes the merged CPI stack *)
-  let specs =
-    if export "profile" = None then specs
-    else
-      List.map
-        (fun (name, j) -> (name, { j with Core.Toolchain.profile = true }))
-        specs
-  in
-  let total = List.length specs in
+  let total = List.length req.Campaign.Request.specs in
   let reg = Obs.Metrics.create () in
   let stream =
     Option.map
@@ -49,14 +62,16 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
   (* one warm pool for the whole campaign; jobs sharing a compile key
      (a config sweep over one source) compile once via the shared
      artifact cache *)
-  let effective_workers = max 1 (min jobs total) in
+  let effective_workers =
+    max 1 (min (Option.value ~default:1 req.Campaign.Request.jobs) total)
+  in
   let results =
     Campaign.Pool.with_pool ~workers:effective_workers (fun pool ->
-        Campaign.run ~pool ~jobs ~retries
+        Campaign.run_request ~pool
           ~artifacts:(Core.Toolchain.Artifacts.create ())
           ~metrics:reg ?stream
           ~on_event:(Campaign.progress_printer ~total)
-          specs)
+          req)
   in
   (match stream with
   | Some s ->
@@ -94,31 +109,142 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
   if report_path <> "-" then Printf.eprintf "report written to %s\n" report_path;
   exit (if failed > 0 then 1 else 0)
 
+(* -------- served mode (--connect SOCKET) -------- *)
+
+(* "JOB:JSEQ", the key printed in the reconnect hint *)
+let parse_after s =
+  match String.index_opt s ':' with
+  | Some i -> (
+    try
+      Some
+        ( int_of_string (String.sub s 0 i),
+          int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+    with Failure _ -> None)
+  | None -> None
+
+let run_connect_cmd ~sock ~campaign_file ~attach_cid ~after ~stream_sink =
+  let module J = Obs.Json in
+  (match (campaign_file, attach_cid) with
+  | None, None ->
+    Printf.eprintf
+      "xmtsim: --connect needs --campaign FILE.json (submit) or --attach CID \
+       (rejoin)\n";
+    exit 1
+  | Some _, Some _ ->
+    Printf.eprintf "xmtsim: --campaign and --attach are mutually exclusive\n";
+    exit 1
+  | _ -> ());
+  let after =
+    Option.map
+      (fun s ->
+        match parse_after s with
+        | Some p -> p
+        | None ->
+          Printf.eprintf "xmtsim: --after wants JOB:JSEQ (two integers)\n";
+          exit 1)
+      after
+  in
+  let sink = Option.map Obs.Stream.sink_of_path stream_sink in
+  let client =
+    try Serve.Client.connect sock
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "xmtsim: cannot connect to %s: %s (is xmtserved running?)\n"
+        sock (Unix.error_message e);
+      exit 3
+  in
+  (* last (job, jseq) received, for the reconnect hint on a lost link *)
+  let last = ref after in
+  let lost cid =
+    Printf.eprintf
+      "xmtsim: connection to %s lost; the campaign keeps running server-side\n"
+      sock;
+    (match cid with
+    | Some cid ->
+      let hint =
+        match !last with
+        | Some (j, s) -> Printf.sprintf " --after %d:%d" j s
+        | None -> ""
+      in
+      Printf.eprintf "  resume with: xmtsim --connect %s --attach %s%s\n" sock
+        cid hint
+    | None -> ());
+    exit 3
+  in
+  let on_record r =
+    (match r with
+    | J.Obj kvs -> (
+      match (List.assoc_opt "job" kvs, List.assoc_opt "jseq" kvs) with
+      | Some (J.Int j), Some (J.Int s) -> last := Some (j, s)
+      | _ -> ())
+    | _ -> ());
+    (match sink with
+    | Some s -> s.Obs.Stream.write (J.to_string r)
+    | None -> ());
+    match r with
+    | J.Obj kvs when List.assoc_opt "type" kvs = Some (J.Str "campaign.progress")
+      ->
+      let geti k =
+        match List.assoc_opt k kvs with Some (J.Int n) -> n | _ -> 0
+      in
+      Printf.eprintf "\r[%d/%d] ok %d, failed %d%!" (geti "completed")
+        (geti "total") (geti "ok") (geti "failed")
+    | _ -> ()
+  in
+  let cid =
+    try
+      match campaign_file with
+      | Some file ->
+        let spec =
+          match J.of_string (read_file file) with
+          | j -> j
+          | exception J.Parse_error msg ->
+            Printf.eprintf "xmtsim: campaign %s: %s\n" file msg;
+            exit 1
+        in
+        (match Serve.Client.submit client spec with
+        | Ok cid ->
+          Printf.eprintf "campaign %s accepted by %s\n%!" cid sock;
+          cid
+        | Error frame ->
+          Printf.eprintf "xmtsim: server rejected the campaign: %s\n"
+            (J.to_string frame);
+          exit 1)
+      | None -> (
+        let cid = Option.get attach_cid in
+        match Serve.Client.attach client ~cid ?after () with
+        | Ok () -> cid
+        | Error frame ->
+          Printf.eprintf "xmtsim: attach %s failed: %s\n" cid
+            (J.to_string frame);
+          exit 1)
+    with Serve.Client.Disconnected -> lost None
+  in
+  match Serve.Client.stream_until_done client ~cid ~on_record with
+  | exception Serve.Client.Disconnected -> lost (Some cid)
+  | s ->
+    Option.iter (fun s -> s.Obs.Stream.close ()) sink;
+    Serve.Client.close client;
+    Printf.eprintf "\rcampaign %s: %d jobs, %d ok, %d failed\n" cid
+      s.Serve.Client.s_jobs s.Serve.Client.s_ok s.Serve.Client.s_failed;
+    exit (if s.Serve.Client.s_failed > 0 then 1 else 0)
+
 let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     trace_packages trace_limit hot profile_interval power_interval floorplan
-    checkpoint_out checkpoint_at checkpoint_in stats_json_flag trace_json_flag
-    timeseries_json_flag governor governor_interval no_clock_gating racecheck
-    cpi_profile exports campaign_file jobs retries stream_sink heartbeat_cycles =
-  (* resolve the export sinks: --export KIND[=PATH] plus the deprecated
-     one-flag-per-sink aliases (kept so existing scripts still run) *)
-  let deprecated flag kind path =
-    match path with
-    | None -> []
-    | Some p ->
-      Printf.eprintf "xmtsim: warning: %s is deprecated; use --export %s=%s\n%!"
-        flag kind p;
-      [ (kind, p) ]
-  in
-  let exports =
-    exports
-    @ deprecated "--stats-json" "stats" stats_json_flag
-    @ deprecated "--trace-json" "trace" trace_json_flag
-    @ deprecated "--timeseries-json" "timeseries" timeseries_json_flag
-  in
+    checkpoint_out checkpoint_at checkpoint_in governor governor_interval
+    no_clock_gating racecheck cpi_profile exports campaign_file jobs retries
+    stream_sink heartbeat_cycles connect attach_cid after =
+  (* resolve the export sinks: --export KIND[=PATH], last writer wins *)
   let export kind =
     List.fold_left (fun acc (k, p) -> if k = kind then Some p else acc) None
       exports
   in
+  (match (connect, attach_cid, after) with
+  | Some sock, _, _ ->
+    run_connect_cmd ~sock ~campaign_file ~attach_cid ~after ~stream_sink
+  | None, Some _, _ | None, None, Some _ ->
+    Printf.eprintf "xmtsim: --attach/--after need --connect SOCKET\n";
+    exit 1
+  | None, None, None -> ());
   (match campaign_file with
   | Some file -> run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink
   | None -> ());
@@ -370,7 +496,7 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
            Obs.Json.write_path ~pretty:true path (Xmtsim.Profile.to_json rp)
          | None -> ())
        | None -> ());
-    (* -------- telemetry sinks (--stats-json / --trace-json) -------- *)
+    (* -------- telemetry sinks (--export stats / --export trace) -------- *)
     let events = Xmtsim.Machine.events_processed m in
     let events_per_sec =
       if host_secs > 0.0 then float_of_int events /. host_secs else 0.0
@@ -593,19 +719,12 @@ let cmd =
                      this cycle, then continue running.")
       $ Arg.(value & opt (some file) None & info [ "checkpoint-in" ] ~docv:"FILE"
                ~doc:"Restore a checkpoint before the run.")
-      $ Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
-               ~doc:"Deprecated alias for --export stats=FILE.")
-      $ Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
-               ~doc:"Deprecated alias for --export trace=FILE.")
-      $ Arg.(value & opt (some string) None & info [ "timeseries-json" ]
-               ~docv:"FILE"
-               ~doc:"Deprecated alias for --export timeseries=FILE.")
       $ Arg.(value & flag & info [ "governor" ]
                ~doc:"Enable the telemetry-driven DVFS governor: thresholds \
                      on windowed ICN backlog and modeled temperature \
                      throttle/restore the cluster and ICN clock domains; \
-                     decisions appear in --stats-json (governor section), \
-                     --trace-json and --timeseries-json.")
+                     decisions appear in --export stats (governor section), \
+                     --export trace and --export timeseries.")
       $ Arg.(value & opt int 2000 & info [ "governor-interval" ] ~docv:"CYCLES"
                ~doc:"Governor sampling interval in cluster cycles.")
       $ Arg.(value & flag & info [ "no-clock-gating" ]
@@ -655,13 +774,15 @@ let cmd =
                      result ordering.  Writes the campaign report (see \
                      --export campaign) and exits nonzero if any job \
                      failed.")
-      $ Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+      $ Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N"
                ~doc:"Worker domains for --campaign (1 = serial; clamped to \
                      the job count; work-stealing, compiles shared across \
                      jobs with the same source and compiler options; \
-                     results are byte-identical for any value).")
-      $ Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
-               ~doc:"Per-job retry budget for --campaign.")
+                     results are byte-identical for any value).  Overrides \
+                     the spec file's exec.jobs; default 1.")
+      $ Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N"
+               ~doc:"Per-job retry budget for --campaign.  Overrides the \
+                     spec file's exec.retries; default 0.")
       $ Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"SINK"
                ~doc:"Stream live xmt.events.v1 telemetry as NDJSON to SINK \
                      (a path, - for stdout, or fd:N for an inherited file \
@@ -675,6 +796,48 @@ let cmd =
                      stats).  Cycle-accurate mode only.")
       $ Arg.(value & opt int 10_000 & info [ "heartbeat-cycles" ] ~docv:"N"
                ~doc:"Cluster-cycle interval between sim.heartbeat records \
-                     on --stream."))
+                     on --stream.")
+      $ Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"SOCKET"
+               ~doc:"Run the campaign through an $(b,xmtserved) daemon \
+                     listening on this Unix socket instead of in-process: \
+                     --campaign FILE.json submits the spec and streams the \
+                     live per-job results back (add --stream SINK to keep \
+                     the NDJSON); --attach CID rejoins a running or \
+                     completed campaign.  If the connection drops the \
+                     campaign keeps running server-side and xmtsim exits 3 \
+                     with the reconnect command.")
+      $ Arg.(value & opt (some string) None & info [ "attach" ] ~docv:"CID"
+               ~doc:"With --connect: re-subscribe to campaign CID and \
+                     stream its records (the server replays anything \
+                     missed).")
+      $ Arg.(value & opt (some string) None & info [ "after" ] ~docv:"JOB:JSEQ"
+               ~doc:"With --attach: acknowledge the last record already \
+                     received; the server re-streams strictly after it."))
 
-let () = exit (Cmd.eval cmd)
+(* the deprecated one-flag-per-sink aliases were removed in favor of
+   --export; fail fast with the replacement before cmdliner's generic
+   unknown-option error *)
+let removed_flags =
+  [
+    ("--stats-json", "stats");
+    ("--trace-json", "trace");
+    ("--timeseries-json", "timeseries");
+  ]
+
+let () =
+  Array.iter
+    (fun arg ->
+      let flag =
+        match String.index_opt arg '=' with
+        | Some i -> String.sub arg 0 i
+        | None -> arg
+      in
+      match List.assoc_opt flag removed_flags with
+      | Some kind ->
+        Printf.eprintf
+          "xmtsim: unknown option %s (removed); use --export %s[=PATH]\n" flag
+          kind;
+        exit 124
+      | None -> ())
+    Sys.argv;
+  exit (Cmd.eval cmd)

@@ -36,6 +36,18 @@ type event =
       error : string;
     }
 
+exception Spec_error of string
+
+(* The first-class campaign request (see mli): what to run, as data.
+   [run_request] consumes it; [Request] (below, after the JSON parser it
+   reuses) carries the builders and the wire/file parser. *)
+type request = {
+  specs : (string * Core.Toolchain.job) list;
+  jobs : int option;
+  retries : int;
+  progress_interval : float;
+}
+
 module J = Obs.Json
 
 let stats_json (s : Xmtsim.Stats.t) =
@@ -96,8 +108,29 @@ type wstats = {
   mutable w_failed : int;
 }
 
-let run ?pool ?jobs ?(retries = 0) ?artifacts ?(progress_interval = 0.0)
-    ?on_event ?metrics ?stream specs =
+(* Bounded retry: keep the last failure if every attempt raises.  The
+   raw backtrace is captured first — formatting the exception (which may
+   run arbitrary printers) can itself raise or record a new backtrace
+   and clobber the one we want.  Top-level because the server executes
+   socket-served jobs through exactly this step. *)
+let attempt_job ?artifacts ~retries job =
+  let rec go k =
+    match Core.Toolchain.run_job ?artifacts job with
+    | r -> (k, Ok r)
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      let f =
+        {
+          f_exn = Printexc.to_string e;
+          f_backtrace = Printexc.raw_backtrace_to_string bt;
+        }
+      in
+      if k <= retries then go (k + 1) else (k, Error f)
+  in
+  go 1
+
+let run_request ?pool ?artifacts ?on_event ?metrics ?stream (req : request) =
+  let { specs; jobs; retries; progress_interval } = req in
   let specs = Array.of_list specs in
   let n = Array.length specs in
   let results = Array.make n None in
@@ -202,26 +235,6 @@ let run ?pool ?jobs ?(retries = 0) ?artifacts ?(progress_interval = 0.0)
         also ();
         Option.iter (fun f -> f ev) on_event)
   in
-  let attempt_job job =
-    (* bounded retry: keep the last failure if every attempt raises.
-       The raw backtrace is captured first — formatting the exception
-       (which may run arbitrary printers) can itself raise or record a
-       new backtrace and clobber the one we want *)
-    let rec go k =
-      match Core.Toolchain.run_job ~artifacts job with
-      | r -> (k, Ok r)
-      | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        let f =
-          {
-            f_exn = Printexc.to_string e;
-            f_backtrace = Printexc.raw_backtrace_to_string bt;
-          }
-        in
-        if k <= retries then go (k + 1) else (k, Error f)
-    in
-    go 1
-  in
   let execute ~worker i =
     let name, job = specs.(i) in
     ws.(worker).w_started <- ws.(worker).w_started + 1;
@@ -232,7 +245,7 @@ let run ?pool ?jobs ?(retries = 0) ?artifacts ?(progress_interval = 0.0)
           incr started;
           semit "job.start" (job_start_fields ~index:i ~name));
     let tj = Obs.Clock.now () in
-    let attempts, outcome = attempt_job job in
+    let attempts, outcome = attempt_job ~artifacts ~retries job in
     let wall_seconds = Obs.Clock.elapsed_since tj in
     results.(i) <-
       Some
@@ -475,8 +488,6 @@ let progress_printer ~total =
 (* ------------------------------------------------------------------ *)
 (* Campaign files (xmt.campaign.v1 input) *)
 
-exception Spec_error of string
-
 let fail fmt = Printf.ksprintf (fun s -> raise (Spec_error s)) fmt
 
 let opt_str name j =
@@ -622,3 +633,74 @@ let load_file path =
   match Obs.Json.of_string text with
   | j -> jobs_of_json ~dir:(Filename.dirname path) j
   | exception Obs.Json.Parse_error msg -> fail "%s: %s" path msg
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+module Request = struct
+  type t = request = {
+    specs : (string * Core.Toolchain.job) list;
+    jobs : int option;
+    retries : int;
+    progress_interval : float;
+  }
+
+  let validate t =
+    match t.jobs with
+    | Some j when j < 1 -> Error (Printf.sprintf "jobs must be >= 1, got %d" j)
+    | _ ->
+      if t.retries < 0 then
+        Error (Printf.sprintf "retries must be >= 0, got %d" t.retries)
+      else if not (Float.is_finite t.progress_interval)
+              || t.progress_interval < 0.0 then
+        Error
+          (Printf.sprintf "progress_interval must be finite and >= 0, got %g"
+             t.progress_interval)
+      else Ok t
+
+  let checked t =
+    match validate t with Ok t -> t | Error msg -> raise (Spec_error msg)
+
+  let make ?jobs ?(retries = 0) ?(progress_interval = 0.0) specs =
+    checked { specs; jobs; retries; progress_interval }
+
+  let with_specs t specs = checked { t with specs }
+  let with_jobs t jobs = checked { t with jobs }
+  let with_retries t retries = checked { t with retries }
+
+  let with_progress_interval t progress_interval =
+    checked { t with progress_interval }
+
+  let of_json ?dir j =
+    let specs = jobs_of_json ?dir j in
+    match J.member "exec" j with
+    | None -> make specs
+    | Some (J.Obj _ as e) ->
+      let progress_interval =
+        match J.member "progress_interval" e with
+        | None -> None
+        | Some v -> (
+          match J.to_float v with
+          | Some f -> Some f
+          | None -> fail "\"exec\".\"progress_interval\" must be a number")
+      in
+      make specs ?jobs:(opt_int "jobs" e) ?retries:(opt_int "retries" e)
+        ?progress_interval
+    | Some _ -> fail "\"exec\" must be an object"
+
+  let load_file path =
+    let text = read_file path in
+    match Obs.Json.of_string text with
+    | j -> of_json ~dir:(Filename.dirname path) j
+    | exception Obs.Json.Parse_error msg -> fail "%s: %s" path msg
+end
+
+let run ?pool ?jobs ?retries ?artifacts ?progress_interval ?on_event ?metrics
+    ?stream specs =
+  run_request ?pool ?artifacts ?on_event ?metrics ?stream
+    (Request.make ?jobs ?retries ?progress_interval specs)
+
+module Wire = struct
+  let job_start_fields = job_start_fields
+  let job_done_fields = job_done_fields
+end

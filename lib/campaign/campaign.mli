@@ -55,8 +55,83 @@ type event =
       error : string;
     }
 
+(** {1 Requests}
+
+    A campaign request reifies {e what to run} as one first-class value:
+    the [(name, job)] specs plus the execution knobs that travel with
+    them (worker width, retry budget, progress throttle).  Every
+    front-end — the JSON campaign-spec parser, [xmtsim_cli], the bench
+    harness and the [xmtserved] wire protocol — constructs the same
+    record and hands it to {!run_request}, so a campaign means exactly
+    the same thing whether it arrives from a file, a flag or a socket.
+
+    Environment attachments (the pool to run on, the shared artifact
+    cache, telemetry consumers) are deliberately {e not} part of the
+    request: they describe where and how the host executes it, not what
+    is being asked for, and stay optional arguments of {!run_request}. *)
+
+module Request : sig
+  type t = private {
+    specs : (string * Core.Toolchain.job) list;
+    jobs : int option;
+        (** executor width; [None] = the pool's width (or 1 without a
+            pool) *)
+    retries : int;  (** per-job retry budget on failure *)
+    progress_interval : float;
+        (** min seconds between [campaign.progress] stream records;
+            [0.0] = one per completion *)
+  }
+
+  (** Validating constructor (mirroring {!Xmtsim.Config.checked}):
+      raises {!Spec_error} when [jobs < 1], [retries < 0] or
+      [progress_interval] is negative or not finite.  Defaults: pool
+      width, no retries, progress on every completion. *)
+  val make :
+    ?jobs:int ->
+    ?retries:int ->
+    ?progress_interval:float ->
+    (string * Core.Toolchain.job) list ->
+    t
+
+  val with_specs : t -> (string * Core.Toolchain.job) list -> t
+  val with_jobs : t -> int option -> t
+  val with_retries : t -> int -> t
+  val with_progress_interval : t -> float -> t
+
+  (** Check an arbitrary record; [Error] names the violated constraint. *)
+  val validate : t -> (t, string) result
+
+  (** [validate], raising {!Spec_error}. *)
+  val checked : t -> t
+
+  (** Parse a full [xmt.campaign.v1] document: the ["jobs"] list (and
+      ["defaults"]) via {!jobs_of_json} plus an optional top-level
+      ["exec"] object [{"jobs": N, "retries": N, "progress_interval":
+      S}] carrying the execution knobs — the one spelling shared by
+      campaign files and the [xmtserved] wire protocol.  Source paths
+      resolve relative to [dir].  Raises {!Spec_error} /
+      {!Xmtsim.Config.Bad_config} like {!jobs_of_json}. *)
+  val of_json : ?dir:string -> Obs.Json.t -> t
+
+  (** Load a campaign file; source paths resolve relative to the file. *)
+  val load_file : string -> t
+end
+
+(** Execute a {!Request.t} — the engine proper; {!run} is a thin
+    wrapper.  Optional arguments are the execution environment: [pool],
+    [artifacts], and the [on_event]/[metrics]/[stream] telemetry
+    consumers, with exactly the semantics documented on {!run}. *)
+val run_request :
+  ?pool:Pool.t ->
+  ?artifacts:Core.Toolchain.Artifacts.t ->
+  ?on_event:(event -> unit) ->
+  ?metrics:Obs.Metrics.t ->
+  ?stream:Obs.Stream.t ->
+  Request.t ->
+  job_result array
+
 (** [run ~jobs specs] executes every [(name, job)] pair and returns the
-    results in submission order.
+    results in submission order ([Request.make] + {!run_request}).
 
     [pool] is the persistent executor to run on; without one a
     transient pool of [jobs] workers is created for this call and shut
@@ -104,6 +179,45 @@ val run :
 
 val ok_count : job_result array -> int
 val failed_count : job_result array -> int
+
+(** Run one job with the engine's retry-and-capture discipline: up to
+    [1 + retries] attempts through the shared [artifacts] cache,
+    returning the attempt count and either the run or the last captured
+    failure (exception text + raw backtrace).  This is the exact per-job
+    step {!run_request} executes on a worker; [xmtserved] calls it
+    directly so socket-served jobs fail and retry precisely like
+    campaign jobs. *)
+val attempt_job :
+  ?artifacts:Core.Toolchain.Artifacts.t ->
+  retries:int ->
+  Core.Toolchain.job ->
+  int * (Core.Toolchain.run, failure) result
+
+(** The wire shape of the per-job stream records.  [job.start] and
+    [job.done] records rendered from these field lists are what
+    {!Obs.Stream.canonicalize} keys on; the server ({!module:Serve} via
+    [xmtserved]) builds its frames from the same functions, which is
+    what makes a socket-served campaign's canonical stream
+    byte-identical to a direct {!run} of the same request. *)
+module Wire : sig
+  (** Fields of the [job.start] record: [job] (submission index),
+      [jseq = 0], [name]. *)
+  val job_start_fields :
+    index:int -> name:string -> (string * Obs.Json.t) list
+
+  (** Fields of the [job.done] record: [job], [jseq = 1], [name],
+      config/mode/attempts, then status (ok: cycles, instructions,
+      events, output, stats; failed: error text) and the host
+      [wall_seconds] (stripped by canonicalization). *)
+  val job_done_fields :
+    index:int ->
+    name:string ->
+    job:Core.Toolchain.job ->
+    attempts:int ->
+    wall_seconds:float ->
+    (Core.Toolchain.run, failure) result ->
+    (string * Obs.Json.t) list
+end
 
 (** The [xmt.campaign.v1] report: per-job stats plus an aggregate.
     [host] (default true) includes host-dependent fields — per-job and

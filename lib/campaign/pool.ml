@@ -72,6 +72,9 @@ type t = {
   mutable current : work option;
   mutable active : int;  (** helpers still executing the current run *)
   mutable stopping : bool;
+  mutable joined : bool;  (** helpers fully joined; set once by the
+                              shutdown call that won the race *)
+  stopped : Condition.t;  (** losers of the shutdown race wait here *)
 }
 
 let width t = t.width
@@ -151,12 +154,18 @@ let create ?(workers = Domain.recommended_domain_count ()) () =
       current = None;
       active = 0;
       stopping = false;
+      joined = false;
+      stopped = Condition.create ();
     }
   in
   pool.helpers <- Array.init (width - 1) (fun k ->
       Domain.spawn (helper_loop pool (k + 1)));
   pool
 
+(* Idempotent and safe to race: exactly one caller wins the stopping
+   flag and joins the helpers; every other caller — concurrent or
+   later — waits until that join has completed, so any shutdown
+   returning implies the helper domains are gone. *)
 let shutdown pool =
   Mutex.lock pool.lock;
   if not pool.stopping then begin
@@ -164,9 +173,18 @@ let shutdown pool =
     Condition.broadcast pool.wake;
     Mutex.unlock pool.lock;
     Array.iter Domain.join pool.helpers;
-    pool.helpers <- [||]
+    Mutex.lock pool.lock;
+    pool.helpers <- [||];
+    pool.joined <- true;
+    Condition.broadcast pool.stopped;
+    Mutex.unlock pool.lock
   end
-  else Mutex.unlock pool.lock
+  else begin
+    while not pool.joined do
+      Condition.wait pool.stopped pool.lock
+    done;
+    Mutex.unlock pool.lock
+  end
 
 (* Round-robin the chunks over the participants' deques.  Chunks are
    contiguous ranges so a worker that keeps its own deque runs jobs in

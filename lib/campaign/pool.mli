@@ -41,8 +41,11 @@ val width : t -> int
     completed).  Raises [Invalid_argument] after {!shutdown}. *)
 val run : t -> ?participants:int -> jobs:int -> (worker:int -> int -> unit) -> unit
 
-(** Stop and join the helper domains.  Idempotent.  Must not be called
-    while a {!run} is in flight. *)
+(** Stop and join the helper domains.  Idempotent and safe to call
+    concurrently from several threads or domains: exactly one caller
+    performs the join, and every [shutdown] call — including racing
+    ones — returns only after the helper domains have terminated.
+    Must not be called while a {!run} is in flight. *)
 val shutdown : t -> unit
 
 (** [with_pool ~workers f] runs [f] with a fresh pool and always shuts

@@ -111,6 +111,9 @@ let compare_records ?(tolerance = default_tolerance) ~baseline ~fresh () =
           in
           one check_upper "cycles" tolerance.cycles_tol
           @ one check_lower "events_per_sec" tolerance.rate_tol
+          (* service throughput (the serve bench): like events/sec, only
+             guards against collapse *)
+          @ one check_lower "jobs_per_sec" tolerance.rate_tol
           (* parallel benches must beat serial outright — but only on a
              host where parallelism can win; a single-core runner
              records its speedup without being gated on it *)

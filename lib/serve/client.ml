@@ -1,0 +1,167 @@
+(** Client side of the serve protocol — see client.mli. *)
+
+module J = Obs.Json
+
+exception Disconnected
+
+type summary = { s_jobs : int; s_ok : int; s_failed : int }
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable hello : J.t;
+  records : (string, J.t Queue.t) Hashtbl.t;  (* per-cid campaign records *)
+  control : J.t Queue.t;  (* request/response frames, arrival order *)
+  mutable closed : bool;
+}
+
+let control_types =
+  [
+    "stream.open"; "stream.close"; "server.hello"; "campaign.accepted";
+    "server.overload"; "server.error"; "campaign.attached"; "pong";
+  ]
+
+let typ_of j =
+  match J.member "type" j with Some (J.Str s) -> s | _ -> ""
+
+let cid_of j =
+  match J.member "cid" j with Some (J.Str s) -> Some s | _ -> None
+
+let strip_cid = function
+  | J.Obj kvs -> J.Obj (List.filter (fun (k, _) -> k <> "cid") kvs)
+  | j -> j
+
+let cid_queue t cid =
+  match Hashtbl.find_opt t.records cid with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.records cid q;
+    q
+
+(* read one line and route it; every reader loops on this *)
+let pump t =
+  match input_line t.ic with
+  | exception (End_of_file | Sys_error _) -> raise Disconnected
+  | line -> (
+    match J.of_string line with
+    | exception J.Parse_error _ -> ()
+    | j ->
+      if List.mem (typ_of j) control_types then Queue.push j t.control
+      else (
+        match cid_of j with
+        | Some cid -> Queue.push (strip_cid j) (cid_queue t cid)
+        | None -> Queue.push j t.control))
+
+let next_control t =
+  while Queue.is_empty t.control do
+    pump t
+  done;
+  Queue.pop t.control
+
+let next_record t ~cid =
+  let q = cid_queue t cid in
+  while Queue.is_empty q do
+    pump t
+  done;
+  Queue.pop q
+
+let send t j =
+  let line = J.to_string j ^ "\n" in
+  let buf = Bytes.of_string line in
+  let n = Bytes.length buf in
+  let rec go off =
+    if off < n then
+      match Unix.write t.fd buf off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (_, _, _) -> raise Disconnected
+  in
+  go 0
+
+let connect path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  let t =
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      hello = J.Null;
+      records = Hashtbl.create 7;
+      control = Queue.create ();
+      closed = false;
+    }
+  in
+  (* stream.open, then server.hello *)
+  let rec wait_hello () =
+    let j = next_control t in
+    if typ_of j = "server.hello" then t.hello <- j else wait_hello ()
+  in
+  wait_hello ();
+  t
+
+let hello t = t.hello
+
+(* wait for the response to the request in flight, skipping unrelated
+   control chatter (a pong from an earlier ping, stream framing) *)
+let rec response t ~accept =
+  let j = next_control t in
+  match accept (typ_of j) with true -> j | false -> response t ~accept
+
+let submit t ?cid spec =
+  send t
+    (J.Obj
+       (("type", J.Str "campaign.submit")
+       :: ((match cid with Some c -> [ ("cid", J.Str c) ] | None -> [])
+          @ [ ("spec", spec) ])));
+  let j =
+    response t ~accept:(fun ty ->
+        List.mem ty [ "campaign.accepted"; "server.overload"; "server.error" ])
+  in
+  match (typ_of j, cid_of j) with
+  | "campaign.accepted", Some cid -> Ok cid
+  | _ -> Error j
+
+let attach t ~cid ?after () =
+  send t
+    (J.Obj
+       (("type", J.Str "campaign.attach")
+       :: ("cid", J.Str cid)
+       ::
+       (match after with
+       | None -> []
+       | Some (job, jseq) ->
+         [ ("after", J.Obj [ ("job", J.Int job); ("jseq", J.Int jseq) ]) ])));
+  let j =
+    response t ~accept:(fun ty ->
+        List.mem ty [ "campaign.attached"; "server.error" ])
+  in
+  if typ_of j = "campaign.attached" then Ok () else Error j
+
+let stream_until_done t ~cid ~on_record =
+  let geti k j d = Option.value ~default:d (Option.bind (J.member k j) J.to_int) in
+  let rec loop () =
+    let r = next_record t ~cid in
+    on_record r;
+    if typ_of r = "campaign.done" then
+      { s_jobs = geti "jobs" r 0; s_ok = geti "ok" r 0; s_failed = geti "failed" r 0 }
+    else loop ()
+  in
+  loop ()
+
+let ping t =
+  send t (J.Obj [ ("type", J.Str "ping") ]);
+  let j = response t ~accept:(fun ty -> List.mem ty [ "pong"; "server.error" ]) in
+  if typ_of j = "pong" then Ok () else Error j
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try send t (J.Obj [ ("type", J.Str "bye") ]) with Disconnected -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

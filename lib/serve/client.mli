@@ -1,0 +1,59 @@
+(** Client side of the [xmt.serve.v1] protocol ({!Protocol}).
+
+    A thin, blocking, single-threaded client: one socket, requests out,
+    the server's [xmt.events.v1] stream back in.  Incoming lines are
+    demultiplexed as they are read — control frames ([server.hello],
+    [campaign.accepted], [server.overload], [server.error],
+    [campaign.attached], [pong]) answer the request in flight, while
+    per-campaign records ([job.start], [job.done], [campaign.progress],
+    [campaign.done]) are queued per campaign id with their ["cid"] tag
+    stripped, so the records handed to {!stream_until_done} are exactly
+    what a direct {!Campaign.run} would have streamed (canonicalize
+    both and they are byte-identical).
+
+    Run one request at a time per connection; several campaigns may
+    stream concurrently over it. *)
+
+type t
+
+(** Raised when the server connection drops mid-conversation.  A
+    campaign keeps running server-side — reconnect and
+    [campaign.attach] from the last record received. *)
+exception Disconnected
+
+val connect : string -> t
+(** [connect socket_path] — reads the stream framing and the
+    [server.hello]. *)
+
+val hello : t -> Obs.Json.t
+(** The [server.hello] record (pool width, quota limits). *)
+
+(** Submit a campaign spec ([xmt.campaign.v1] JSON, sent verbatim).
+    [Ok cid] once the server accepts; [Error frame] carries the
+    [server.overload] / [server.error] record. *)
+val submit : t -> ?cid:string -> Obs.Json.t -> (string, Obs.Json.t) result
+
+(** Re-subscribe to a campaign, optionally acknowledging the last
+    [(job, jseq)] record already received; the server re-streams
+    strictly after it. *)
+val attach :
+  t -> cid:string -> ?after:int * int -> unit -> (unit, Obs.Json.t) result
+
+(** Block for the next record of one campaign (["cid"] stripped) —
+    the single-step form of {!stream_until_done}, for consumers that
+    need to stop mid-stream (and later {!attach} with the last
+    [(job, jseq)] received). *)
+val next_record : t -> cid:string -> Obs.Json.t
+
+type summary = { s_jobs : int; s_ok : int; s_failed : int }
+
+(** Consume the campaign's records — [on_record] sees each one,
+    ["cid"] already stripped, including the final [campaign.done] —
+    and return the summary parsed from [campaign.done]. *)
+val stream_until_done :
+  t -> cid:string -> on_record:(Obs.Json.t -> unit) -> summary
+
+val ping : t -> (unit, Obs.Json.t) result
+
+(** Polite close (sends [bye]); idempotent. *)
+val close : t -> unit

@@ -1,0 +1,132 @@
+(** Crash-durable campaign journals — see journal.mli. *)
+
+module J = Obs.Json
+
+type t = { mutable oc : out_channel option }
+
+let path ~dir ~cid = Filename.concat dir (cid ^ ".journal")
+
+let write_line t j =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    output_string oc (J.to_string j);
+    output_char oc '\n';
+    flush oc
+
+let start ~dir ~cid ~spec =
+  let oc = open_out (path ~dir ~cid) in
+  let t = { oc = Some oc } in
+  write_line t
+    (J.Obj
+       [
+         ("journal", J.Str "open");
+         ("schema", J.Str Protocol.schema);
+         ("cid", J.Str cid);
+         ("spec", spec);
+       ]);
+  t
+
+let reopen ~dir ~cid =
+  let oc =
+    open_out_gen [ Open_append; Open_wronly ] 0o644 (path ~dir ~cid)
+  in
+  { oc = Some oc }
+
+let append t record = write_line t record
+
+let close_mark t ~ok ~failed =
+  write_line t
+    (J.Obj
+       [ ("journal", J.Str "close"); ("ok", J.Int ok); ("failed", J.Int failed) ])
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    t.oc <- None;
+    close_out oc
+
+type recovered = {
+  rc_cid : string;
+  rc_spec : J.t;
+  rc_records : J.t list;
+  rc_ok : int;
+  rc_failed : int;
+  rc_complete : bool;
+}
+
+let recover_file ~dir name =
+  let cid = Filename.chop_suffix name ".journal" in
+  let ic = open_in (Filename.concat dir name) in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (* only the final line may be truncated by a crash, so a parse
+     failure on any earlier line is a corrupt journal and the file is
+     ignored *)
+  let parsed =
+    match !lines with
+    | [] -> None
+    | newest :: older ->
+      let body =
+        (* [older] is newest-first; prepending restores file order *)
+        List.fold_left
+          (fun acc line ->
+            match acc with
+            | None -> None
+            | Some js -> (
+              match J.of_string line with
+              | j -> Some (j :: js)
+              | exception J.Parse_error _ -> None))
+          (Some []) older
+      in
+      Option.map
+        (fun js ->
+          match J.of_string newest with
+          | j -> js @ [ j ]
+          | exception J.Parse_error _ -> js)
+        body
+  in
+  match parsed with
+  | None | Some [] -> None
+  | Some (first :: rest) -> (
+    match (J.member "journal" first, J.member "spec" first) with
+    | Some (J.Str "open"), Some spec ->
+      let records, ok, failed, complete =
+        List.fold_left
+          (fun (rs, ok, failed, complete) j ->
+            match J.member "journal" j with
+            | Some (J.Str "close") ->
+              let geti k d =
+                Option.value ~default:d (Option.bind (J.member k j) J.to_int)
+              in
+              (rs, geti "ok" ok, geti "failed" failed, true)
+            | Some _ -> (rs, ok, failed, complete)
+            | None -> (j :: rs, ok, failed, complete))
+          ([], 0, 0, false) rest
+      in
+      Some
+        {
+          rc_cid = cid;
+          rc_spec = spec;
+          rc_records = List.rev records;
+          rc_ok = ok;
+          rc_failed = failed;
+          rc_complete = complete;
+        }
+    | _ -> None)
+
+let recover ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".journal")
+    |> List.sort compare
+    |> List.filter_map (fun n ->
+           match recover_file ~dir n with r -> r | exception _ -> None)

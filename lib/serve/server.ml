@@ -1,0 +1,633 @@
+(** The campaign server — see server.mli.
+
+    Locking: two levels.  [t.lock] guards the server tables (campaign
+    list, admission counters, connection registry).  Each campaign's
+    [c_elock] serializes its journal-then-send step, so journal order
+    is send order and the replay history is exactly what a client was
+    sent.  Lock order is always [c_elock] then [t.lock], never the
+    reverse. *)
+
+module J = Obs.Json
+
+type config = {
+  socket_path : string;
+  state_dir : string option;
+  workers : int option;
+  max_pending_jobs : int;
+  max_client_jobs : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    state_dir = None;
+    workers = None;
+    max_pending_jobs = 4096;
+    max_client_jobs = 1024;
+  }
+
+(* a connection's outbound stream plus the liveness flag its sink
+   trips on the first failed write — emissions to a dead client are
+   silently swallowed, never an error *)
+type subscriber = { sub_stream : Obs.Stream.t; sub_alive : bool ref }
+
+type conn = {
+  k_fd : Unix.file_descr;
+  k_sub : subscriber;
+  mutable k_inflight : int;  (* admitted jobs not yet completed *)
+}
+
+type campaign = {
+  c_cid : string;
+  c_specs : (string * Core.Toolchain.job) array;
+  c_retries : int;
+  c_elock : Mutex.t;
+  c_journal : Journal.t option;
+  c_pending : int Queue.t;  (* guarded by [t.lock] *)
+  c_skip_start : (int, unit) Hashtbl.t;
+      (* recovered indices whose [job.start] already made it to the
+         journal in a previous lifetime: re-running them must emit only
+         the missing [job.done] *)
+  mutable c_history : J.t list;  (* journal-order records, reversed *)
+  mutable c_sub : subscriber option;
+  mutable c_owner : conn option;  (* quota account; [None] once detached *)
+  mutable c_completed : int;
+  mutable c_ok : int;
+  mutable c_failed : int;
+  mutable c_complete : bool;
+}
+
+type t = {
+  cfg : config;
+  pool : Campaign.Pool.t;
+  artifacts : Core.Toolchain.Artifacts.t;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;
+  work : Condition.t;  (* scheduler wakeup *)
+  idle : Condition.t;  (* wait_idle *)
+  mutable campaigns : campaign list;  (* submission order *)
+  mutable conns : conn list;
+  mutable rr : int;  (* round-robin start offset *)
+  mutable pending_total : int;
+  mutable running_total : int;
+  mutable next_cid : int;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Outbound records *)
+
+let socket_sink fd alive =
+  let write line =
+    if !alive then begin
+      let buf = Bytes.of_string (line ^ "\n") in
+      let n = Bytes.length buf in
+      let rec go off =
+        if off < n then
+          match Unix.write fd buf off (n - off) with
+          | w -> go (off + w)
+          | exception Unix.Unix_error (_, _, _) -> alive := false
+      in
+      go 0
+    end
+  in
+  {
+    Obs.Stream.write;
+    close =
+      (fun () ->
+        alive := false;
+        try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  }
+
+(* live emission to whoever is subscribed; the trailing ["cid"] is what
+   lets one connection multiplex campaigns (clients strip it) *)
+let emit_sub c ~typ fields =
+  match c.c_sub with
+  | Some { sub_stream; sub_alive } when !sub_alive ->
+    Obs.Stream.emit sub_stream ~typ (fields @ [ ("cid", J.Str c.c_cid) ])
+  | _ -> ()
+
+(* journal-then-send under [c_elock]: exactly-once into the journal and
+   the history, at-most-once (subscriber may be dead) onto the wire *)
+let record c ~typ fields =
+  let r = J.Obj (("type", J.Str typ) :: fields) in
+  Option.iter (fun jn -> Journal.append jn r) c.c_journal;
+  c.c_history <- r :: c.c_history;
+  emit_sub c ~typ fields
+
+let progress_fields c =
+  [
+    ("completed", J.Int c.c_completed);
+    ("total", J.Int (Array.length c.c_specs));
+    ("ok", J.Int c.c_ok);
+    ("failed", J.Int c.c_failed);
+  ]
+
+let done_fields c =
+  [
+    ("jobs", J.Int (Array.length c.c_specs));
+    ("ok", J.Int c.c_ok);
+    ("failed", J.Int c.c_failed);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Job execution *)
+
+let exec_one t c i =
+  let name, job = c.c_specs.(i) in
+  Mutex.protect c.c_elock (fun () ->
+      if Hashtbl.mem c.c_skip_start i then Hashtbl.remove c.c_skip_start i
+      else record c ~typ:"job.start" (Campaign.Wire.job_start_fields ~index:i ~name));
+  let t0 = Obs.Clock.now () in
+  let attempts, outcome =
+    Campaign.attempt_job ~artifacts:t.artifacts ~retries:c.c_retries job
+  in
+  let wall_seconds = Obs.Clock.elapsed_since t0 in
+  Mutex.protect c.c_elock (fun () ->
+      record c ~typ:"job.done"
+        (Campaign.Wire.job_done_fields ~index:i ~name ~job ~attempts
+           ~wall_seconds outcome);
+      let complete =
+        Mutex.protect t.lock (fun () ->
+            c.c_completed <- c.c_completed + 1;
+            (match outcome with
+            | Ok _ -> c.c_ok <- c.c_ok + 1
+            | Error _ -> c.c_failed <- c.c_failed + 1);
+            t.running_total <- t.running_total - 1;
+            (match c.c_owner with
+            | Some k -> k.k_inflight <- k.k_inflight - 1
+            | None -> ());
+            let complete = c.c_completed = Array.length c.c_specs in
+            if complete then c.c_complete <- true;
+            if t.pending_total = 0 && t.running_total = 0 then
+              Condition.broadcast t.idle;
+            complete)
+      in
+      emit_sub c ~typ:"campaign.progress" (progress_fields c);
+      if complete then begin
+        Option.iter
+          (fun jn ->
+            Journal.close_mark jn ~ok:c.c_ok ~failed:c.c_failed;
+            Journal.close jn)
+          c.c_journal;
+        emit_sub c ~typ:"campaign.done" (done_fields c)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: fair round-robin batches over the shared pool *)
+
+(* Under [t.lock]: sweep the campaigns starting at the rotating offset,
+   taking one queued job per campaign per sweep, until the batch holds
+   two pool-widths of work or nothing is queued.  One-per-sweep is the
+   fairness discipline: a 4-job campaign behind a 1000-job one gets a
+   slot in every sweep. *)
+let assemble_batch t =
+  let cap = 2 * Campaign.Pool.width t.pool in
+  let arr = Array.of_list t.campaigns in
+  let ncs = Array.length arr in
+  let batch = ref [] and count = ref 0 in
+  let progressed = ref true in
+  while !count < cap && !progressed do
+    progressed := false;
+    for k = 0 to ncs - 1 do
+      if !count < cap then
+        let c = arr.((t.rr + k) mod ncs) in
+        match Queue.take_opt c.c_pending with
+        | Some i ->
+          batch := (c, i) :: !batch;
+          incr count;
+          t.pending_total <- t.pending_total - 1;
+          t.running_total <- t.running_total + 1;
+          progressed := true
+        | None -> ()
+    done
+  done;
+  if ncs > 0 then t.rr <- (t.rr + 1) mod ncs;
+  Array.of_list (List.rev !batch)
+
+let scheduler t () =
+  let rec loop () =
+    let batch =
+      Mutex.protect t.lock (fun () ->
+          while (not t.stopping) && t.pending_total = 0 do
+            Condition.wait t.work t.lock
+          done;
+          if t.stopping then None else Some (assemble_batch t))
+    in
+    match batch with
+    | None -> ()
+    | Some batch ->
+      if Array.length batch > 0 then
+        Campaign.Pool.run t.pool ~jobs:(Array.length batch)
+          (fun ~worker:_ k ->
+            let c, i = batch.(k) in
+            exec_one t c i);
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Frame handling *)
+
+let emit_conn conn ~typ fields =
+  if !(conn.k_sub.sub_alive) then
+    Obs.Stream.emit conn.k_sub.sub_stream ~typ fields
+
+let server_error conn ?cid msg =
+  emit_conn conn ~typ:"server.error"
+    ((match cid with Some c -> [ ("cid", J.Str c) ] | None -> [])
+    @ [ ("error", J.Str msg) ])
+
+let find_campaign t cid =
+  Mutex.protect t.lock (fun () ->
+      List.find_opt (fun c -> c.c_cid = cid) t.campaigns)
+
+let journal_exists t cid =
+  match t.cfg.state_dir with
+  | None -> false
+  | Some dir -> Sys.file_exists (Journal.path ~dir ~cid)
+
+(* a fresh id: "c1", "c2", ... skipping anything alive in memory or on
+   disk from a previous lifetime *)
+let generate_cid t =
+  let taken cid =
+    List.exists (fun c -> c.c_cid = cid) t.campaigns || journal_exists t cid
+  in
+  let rec go () =
+    let cid = Printf.sprintf "c%d" t.next_cid in
+    t.next_cid <- t.next_cid + 1;
+    if taken cid then go () else cid
+  in
+  go ()
+
+let handle_submit t conn ~cid ~spec =
+  match Campaign.Request.of_json spec with
+  | exception Campaign.Spec_error msg -> server_error conn ?cid msg
+  | exception Xmtsim.Config.Bad_config msg -> server_error conn ?cid msg
+  | req ->
+    let specs = Array.of_list req.Campaign.Request.specs in
+    let n = Array.length specs in
+    let verdict =
+      Mutex.protect t.lock (fun () ->
+          match cid with
+          | Some c
+            when List.exists (fun c' -> c'.c_cid = c) t.campaigns
+                 || journal_exists t c ->
+            `Exists c
+          | _ ->
+            let in_use = t.pending_total + t.running_total in
+            if in_use + n > t.cfg.max_pending_jobs then
+              `Overload ("server", in_use, t.cfg.max_pending_jobs)
+            else if conn.k_inflight + n > t.cfg.max_client_jobs then
+              `Overload ("client", conn.k_inflight, t.cfg.max_client_jobs)
+            else begin
+              let cid =
+                match cid with Some c -> c | None -> generate_cid t
+              in
+              conn.k_inflight <- conn.k_inflight + n;
+              `Admit cid
+            end)
+    in
+    (match verdict with
+    | `Exists c ->
+      server_error conn ~cid:c
+        (Printf.sprintf
+           "campaign %S already exists; use campaign.attach to re-stream it" c)
+    | `Overload (scope, pending, limit) ->
+      emit_conn conn ~typ:"server.overload"
+        ((match cid with Some c -> [ ("cid", J.Str c) ] | None -> [])
+        @ [
+            ("scope", J.Str scope);
+            ("pending", J.Int pending);
+            ("limit", J.Int limit);
+            ("requested", J.Int n);
+          ])
+    | `Admit cid ->
+      let journal =
+        Option.map
+          (fun dir -> Journal.start ~dir ~cid ~spec)
+          t.cfg.state_dir
+      in
+      let c =
+        {
+          c_cid = cid;
+          c_specs = specs;
+          c_retries = req.Campaign.Request.retries;
+          c_elock = Mutex.create ();
+          c_journal = journal;
+          c_pending = Queue.create ();
+          c_skip_start = Hashtbl.create 7;
+          c_history = [];
+          c_sub = Some conn.k_sub;
+          c_owner = Some conn;
+          c_completed = 0;
+          c_ok = 0;
+          c_failed = 0;
+          c_complete = false;
+        }
+      in
+      Array.iteri (fun i _ -> Queue.push i c.c_pending) specs;
+      (* register before the accepted frame goes out, so a client that
+         acts on it (wait_idle, campaign_state, attach) always finds
+         the campaign and its pending count.  c_elock is held across
+         both: the scheduler may already be picking the jobs up, but
+         exec_one needs c_elock to emit, so the accepted frame still
+         precedes the first job record on the wire *)
+      Mutex.protect c.c_elock (fun () ->
+          Mutex.protect t.lock (fun () ->
+              t.campaigns <- t.campaigns @ [ c ];
+              t.pending_total <- t.pending_total + n;
+              Condition.broadcast t.work);
+          emit_conn conn ~typ:"campaign.accepted"
+            [ ("cid", J.Str cid); ("jobs", J.Int n) ]))
+
+let record_key r =
+  match
+    ( Option.bind (J.member "job" r) J.to_int,
+      Option.bind (J.member "jseq" r) J.to_int )
+  with
+  | Some j, Some s -> Some (j, s)
+  | _ -> None
+
+let replay_record sub cid r =
+  match r with
+  | J.Obj kvs ->
+    let typ =
+      match List.assoc_opt "type" kvs with Some (J.Str s) -> s | _ -> "record"
+    in
+    let fields = List.filter (fun (k, _) -> k <> "type") kvs in
+    if !(sub.sub_alive) then
+      Obs.Stream.emit sub.sub_stream ~typ (fields @ [ ("cid", J.Str cid) ])
+  | _ -> ()
+
+let handle_attach t conn ~cid ~after =
+  match find_campaign t cid with
+  | None -> server_error conn ~cid (Printf.sprintf "unknown campaign %S" cid)
+  | Some c ->
+    Mutex.protect c.c_elock (fun () ->
+        emit_conn conn ~typ:"campaign.attached"
+          (( "cid", J.Str cid )
+          :: progress_fields c
+          @ [ ("complete", J.Bool c.c_complete) ]);
+        let history = List.rev c.c_history in
+        (* re-stream strictly after the acknowledged record: everything
+           past its last occurrence in journal order, or the whole
+           history when the client has seen nothing *)
+        let to_replay =
+          match after with
+          | None -> history
+          | Some ack ->
+            (* suffix after the LAST occurrence of the acked record;
+               an ack the server never sent replays everything *)
+            let rec go best = function
+              | [] -> best
+              | r :: rest ->
+                go (if record_key r = Some ack then rest else best) rest
+            in
+            go history history
+        in
+        List.iter (replay_record conn.k_sub cid) to_replay;
+        if c.c_complete then
+          emit_conn conn ~typ:"campaign.done"
+            (done_fields c @ [ ("cid", J.Str cid) ])
+        else c.c_sub <- Some conn.k_sub)
+
+let handle_line t conn line =
+  match Protocol.frame_of_line line with
+  | Error msg -> server_error conn msg
+  | Ok (Protocol.Submit { cid; spec }) -> handle_submit t conn ~cid ~spec
+  | Ok (Protocol.Attach { cid; after }) -> handle_attach t conn ~cid ~after
+  | Ok Protocol.Ping -> emit_conn conn ~typ:"pong" []
+  | Ok Protocol.Bye -> raise Exit
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+let drop_conn t conn =
+  conn.k_sub.sub_alive := false;
+  Mutex.protect t.lock (fun () ->
+      t.conns <- List.filter (fun k -> k != conn) t.conns);
+  (* campaigns it owned keep running to completion (results stay
+     journaled); its subscription just goes quiet *)
+  try Unix.close conn.k_fd with Unix.Unix_error _ -> ()
+
+let reader t conn () =
+  let ic = Unix.in_channel_of_descr conn.k_fd in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then handle_line t conn line
+     done
+   with End_of_file | Exit | Sys_error _ -> ());
+  drop_conn t conn
+
+let handle_conn t fd =
+  let alive = ref true in
+  let stream = Obs.Stream.create (socket_sink fd alive) in
+  let conn =
+    { k_fd = fd; k_sub = { sub_stream = stream; sub_alive = alive }; k_inflight = 0 }
+  in
+  emit_conn conn ~typ:"server.hello"
+    [
+      ("schema", J.Str Protocol.schema);
+      ("version", J.Int Protocol.version);
+      ("pool_workers", J.Int (Campaign.Pool.width t.pool));
+      ("max_pending_jobs", J.Int t.cfg.max_pending_jobs);
+      ("max_client_jobs", J.Int t.cfg.max_client_jobs);
+    ];
+  let th = Thread.create (reader t conn) () in
+  Mutex.protect t.lock (fun () ->
+      t.conns <- conn :: t.conns;
+      t.threads <- th :: t.threads)
+
+let accept_loop t () =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      if Mutex.protect t.lock (fun () -> t.stopping) then
+        (* the wake-up nudge from [stop], not a real client *)
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        handle_conn t fd;
+        loop ()
+      end
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if Mutex.protect t.lock (fun () -> t.stopping) then () else loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let campaign_of_recovered (r : Journal.recovered) ~journal =
+  match Campaign.Request.of_json r.Journal.rc_spec with
+  | exception _ -> None
+  | req ->
+    let specs = Array.of_list req.Campaign.Request.specs in
+    let n = Array.length specs in
+    let started = Hashtbl.create 16 and donej = Hashtbl.create 16 in
+    let ok = ref 0 and failed = ref 0 in
+    List.iter
+      (fun rec_j ->
+        match record_key rec_j with
+        | Some (j, 0) when j >= 0 && j < n -> Hashtbl.replace started j ()
+        | Some (j, _) when j >= 0 && j < n ->
+          Hashtbl.replace donej j ();
+          (match J.member "status" rec_j with
+          | Some (J.Str "ok") -> incr ok
+          | _ -> incr failed)
+        | _ -> ())
+      r.Journal.rc_records;
+    let complete = r.Journal.rc_complete || Hashtbl.length donej = n in
+    let c =
+      {
+        c_cid = r.Journal.rc_cid;
+        c_specs = specs;
+        c_retries = req.Campaign.Request.retries;
+        c_elock = Mutex.create ();
+        c_journal = (if complete then None else journal ());
+        c_pending = Queue.create ();
+        c_skip_start = Hashtbl.create 7;
+        c_history = List.rev r.Journal.rc_records;
+        c_sub = None;
+        c_owner = None;
+        c_completed = Hashtbl.length donej;
+        c_ok = !ok;
+        c_failed = !failed;
+        c_complete = complete;
+      }
+    in
+    if not complete then
+      Array.iteri
+        (fun i _ ->
+          if not (Hashtbl.mem donej i) then begin
+            Queue.push i c.c_pending;
+            (* a start that survived the crash must not be re-emitted *)
+            if Hashtbl.mem started i then Hashtbl.replace c.c_skip_start i ()
+          end)
+        specs;
+    Some c
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create cfg =
+  (* a dead client mid-write must be a sink error, not a process kill *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    cfg.state_dir;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec listen_fd;
+  if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let pool = Campaign.Pool.create ?workers:cfg.workers () in
+  let t =
+    {
+      cfg;
+      pool;
+      artifacts = Core.Toolchain.Artifacts.create ();
+      listen_fd;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      campaigns = [];
+      conns = [];
+      rr = 0;
+      pending_total = 0;
+      running_total = 0;
+      next_cid = 1;
+      stopping = false;
+      threads = [];
+    }
+  in
+  (* resume: every journal becomes an in-memory campaign (attachable),
+     and incomplete ones re-queue exactly their unfinished jobs *)
+  Option.iter
+    (fun dir ->
+      List.iter
+        (fun r ->
+          let journal () =
+            Some (Journal.reopen ~dir ~cid:r.Journal.rc_cid)
+          in
+          match campaign_of_recovered r ~journal with
+          | None -> ()
+          | Some c ->
+            (* finished while crashing before the close mark: seal it *)
+            if c.c_complete && Option.is_none c.c_journal
+               && not r.Journal.rc_complete
+            then begin
+              let jn = Journal.reopen ~dir ~cid:c.c_cid in
+              Journal.close_mark jn ~ok:c.c_ok ~failed:c.c_failed;
+              Journal.close jn
+            end;
+            t.campaigns <- t.campaigns @ [ c ];
+            t.pending_total <- t.pending_total + Queue.length c.c_pending)
+        (Journal.recover ~dir))
+    cfg.state_dir;
+  (* register each thread before the next can add readers of its own,
+     so [stop] never misses one *)
+  let sched = Thread.create (scheduler t) () in
+  Mutex.protect t.lock (fun () -> t.threads <- sched :: t.threads);
+  let acc = Thread.create (accept_loop t) () in
+  Mutex.protect t.lock (fun () ->
+      t.threads <- acc :: t.threads;
+      Condition.broadcast t.work);
+  t
+
+let stop t =
+  let already =
+    Mutex.protect t.lock (fun () ->
+        let was = t.stopping in
+        t.stopping <- true;
+        Condition.broadcast t.work;
+        was)
+  in
+  if not already then begin
+    (* closing the listening fd does not unblock a thread parked in
+       accept(2); shut it down and nudge it with a throwaway connection *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+    (* unblock every reader *)
+    let conns = Mutex.protect t.lock (fun () -> t.conns) in
+    List.iter
+      (fun k ->
+        try Unix.shutdown k.k_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    let threads = Mutex.protect t.lock (fun () -> t.threads) in
+    List.iter Thread.join threads;
+    Campaign.Pool.shutdown t.pool;
+    (* journals of unfinished campaigns stay open-ended on disk — that
+       is the resume contract — but release the file handles *)
+    List.iter
+      (fun c -> Option.iter Journal.close c.c_journal)
+      (Mutex.protect t.lock (fun () -> t.campaigns))
+  end
+
+let join t =
+  let threads = Mutex.protect t.lock (fun () -> t.threads) in
+  List.iter Thread.join threads
+
+let wait_idle t =
+  Mutex.protect t.lock (fun () ->
+      while t.pending_total > 0 || t.running_total > 0 do
+        Condition.wait t.idle t.lock
+      done)
+
+let campaign_state t cid =
+  Mutex.protect t.lock (fun () ->
+      List.find_opt (fun c -> c.c_cid = cid) t.campaigns
+      |> Option.map (fun c ->
+             (c.c_completed, Array.length c.c_specs, c.c_complete)))

@@ -1,0 +1,61 @@
+(** The [xmtserved] campaign server.
+
+    One process holds one warm {!Campaign.Pool} and one shared
+    {!Core.Toolchain.Artifacts} cache and serves [xmt.campaign.v1]
+    requests over a Unix-domain socket ({!Protocol}).  Design points:
+
+    - {b streaming, not buffering}: per-job results leave as
+      [xmt.events.v1] records the moment the job finishes — no
+      whole-report materialization, whatever the campaign size;
+    - {b fair multiplexing}: a scheduler thread deals pool batches
+      round-robin across every campaign with queued jobs, one job per
+      campaign per sweep, so a small sweep is never starved behind a
+      thousand-job submission that arrived first;
+    - {b bounded admission}: a server-wide pending-job cap and a
+      per-connection in-flight quota; a submission that would exceed
+      either is rejected immediately with a typed [server.overload]
+      frame — admission never blocks;
+    - {b checkpoint/resume}: with a [state_dir], every per-job record is
+      journaled ({!Journal}) before it is sent, so a killed server
+      restarts, re-queues exactly the unfinished jobs of every
+      incomplete campaign, and [campaign.attach] re-streams from the
+      last [(job, jseq)] the client acknowledges — each [(job, jseq)]
+      is produced exactly once across the server's lifetimes.
+
+    Compute runs on pool domains; IO (accept loop, per-connection
+    readers, the scheduler) runs on threads.  All client-visible
+    records are built by {!Campaign.Wire}, so a served stream
+    canonicalizes byte-identical to a direct {!Campaign.run}. *)
+
+type config = {
+  socket_path : string;
+  state_dir : string option;  (** journals live here; [None] = no resume *)
+  workers : int option;  (** pool width; [None] = recommended count *)
+  max_pending_jobs : int;  (** server-wide queued+running admission cap *)
+  max_client_jobs : int;  (** per-connection in-flight quota *)
+}
+
+val default_config : socket_path:string -> config
+
+type t
+
+(** Bind and listen on [socket_path] (replacing a stale socket file),
+    recover journaled campaigns from [state_dir] and re-queue their
+    unfinished jobs, and start the accept and scheduler threads.
+    Returns once the server is accepting connections. *)
+val create : config -> t
+
+(** Graceful shutdown: stop accepting, close client connections, let
+    the in-flight pool batch finish (its records are journaled), shut
+    the pool down.  Queued-but-undispatched jobs stay journaled for the
+    next lifetime.  Idempotent. *)
+val stop : t -> unit
+
+(** Block until {!stop} has been called and the server threads exited. *)
+val join : t -> unit
+
+(** Test hook: block until no job is queued or running. *)
+val wait_idle : t -> unit
+
+(** Test hook: [(completed, total, complete)] for a campaign id. *)
+val campaign_state : t -> string -> (int * int * bool) option

@@ -155,6 +155,36 @@ let pool_propagates_failure () =
   (* the campaign engine, by contrast, isolates job failures *)
   ()
 
+let pool_shutdown_idempotent () =
+  let pool = Campaign.Pool.create ~workers:3 () in
+  Campaign.Pool.run pool ~jobs:8 (fun ~worker:_ _ -> ());
+  Campaign.Pool.shutdown pool;
+  (* repeat calls are no-ops, not errors *)
+  Campaign.Pool.shutdown pool;
+  Campaign.Pool.shutdown pool;
+  match Campaign.Pool.run pool ~jobs:4 (fun ~worker:_ _ -> ()) with
+  | () -> Alcotest.fail "run on a shut-down pool must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let pool_shutdown_concurrent () =
+  (* several threads race shutdown; every call must return only after
+     the helpers are joined, and none may error *)
+  let pool = Campaign.Pool.create ~workers:4 () in
+  let errors = Atomic.make 0 in
+  let ts =
+    List.init 6 (fun _ ->
+        Thread.create
+          (fun () ->
+            try Campaign.Pool.shutdown pool
+            with _ -> Atomic.incr errors)
+          ())
+  in
+  List.iter Thread.join ts;
+  Tu.check_int "no shutdown call raised" 0 (Atomic.get errors);
+  match Campaign.Pool.run pool ~jobs:2 (fun ~worker:_ _ -> ()) with
+  | () -> Alcotest.fail "run on a shut-down pool must be rejected"
+  | exception Invalid_argument _ -> ()
+
 (* ---- fault isolation ---- *)
 
 let failures_are_isolated () =
@@ -326,6 +356,117 @@ let spec_errors () =
          ("jobs", Obs.Json.List [ Obs.Json.Obj [ ("name", Obs.Json.Str "x") ] ]);
        ])
 
+(* ---- the first-class request API ---- *)
+
+let request_builders () =
+  let specs = [ tiny_job 16; tiny_job 24 ] in
+  let r = Campaign.Request.make specs in
+  Tu.check_int "default retries" 0 r.Campaign.Request.retries;
+  Tu.check_bool "default jobs = pool width" true
+    (r.Campaign.Request.jobs = None);
+  let r = Campaign.Request.with_jobs r (Some 2) in
+  let r = Campaign.Request.with_retries r 3 in
+  let r = Campaign.Request.with_progress_interval r 0.5 in
+  Tu.check_bool "with_jobs" true (r.Campaign.Request.jobs = Some 2);
+  Tu.check_int "with_retries" 3 r.Campaign.Request.retries;
+  let rs = Campaign.run_request r in
+  Tu.check_int "request runs" 2 (Campaign.ok_count rs);
+  (* run is a thin wrapper over run_request: same report *)
+  Tu.check_string "run == run_request" (report rs)
+    (report (Campaign.run ~jobs:2 ~retries:3 specs))
+
+let request_validation () =
+  let specs = [ tiny_job 16 ] in
+  let rejects f =
+    match f () with
+    | exception Campaign.Spec_error _ -> ()
+    | (_ : Campaign.Request.t) -> Alcotest.fail "Spec_error expected"
+  in
+  rejects (fun () -> Campaign.Request.make ~jobs:0 specs);
+  rejects (fun () -> Campaign.Request.make ~retries:(-1) specs);
+  rejects (fun () -> Campaign.Request.make ~progress_interval:(-1.0) specs);
+  rejects (fun () -> Campaign.Request.make ~progress_interval:Float.nan specs);
+  rejects (fun () ->
+      Campaign.Request.with_jobs (Campaign.Request.make specs) (Some (-4)));
+  (match Campaign.Request.validate (Campaign.Request.make specs) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "valid request rejected: %s" m);
+  match
+    Campaign.Request.validate (Campaign.Request.make ~jobs:4 ~retries:1 specs)
+  with
+  | Ok r -> Tu.check_bool "jobs kept" true (r.Campaign.Request.jobs = Some 4)
+  | Error m -> Alcotest.failf "valid request rejected: %s" m
+
+let request_of_json_exec () =
+  let json =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "xmt.campaign.v1");
+        ( "exec",
+          Obs.Json.Obj
+            [
+              ("jobs", Obs.Json.Int 2);
+              ("retries", Obs.Json.Int 1);
+              ("progress_interval", Obs.Json.Float 0.25);
+            ] );
+        ("defaults", Obs.Json.Obj [ ("preset", Obs.Json.Str "tiny") ]);
+        ( "jobs",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str "a");
+                  ("inline", Obs.Json.Str (Core.Kernels.vecadd ~n:16));
+                ];
+            ] );
+      ]
+  in
+  let r = Campaign.Request.of_json json in
+  Tu.check_bool "exec jobs" true (r.Campaign.Request.jobs = Some 2);
+  Tu.check_int "exec retries" 1 r.Campaign.Request.retries;
+  Tu.check_bool "exec progress_interval" true
+    (r.Campaign.Request.progress_interval = 0.25);
+  Tu.check_int "specs parsed" 1 (List.length r.Campaign.Request.specs);
+  (* exec is optional; bad exec values are Spec_errors *)
+  let no_exec =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "xmt.campaign.v1");
+        ( "jobs",
+          Obs.Json.List
+            [
+              Obs.Json.Obj
+                [
+                  ("name", Obs.Json.Str "a");
+                  ("preset", Obs.Json.Str "tiny");
+                  ("inline", Obs.Json.Str (Core.Kernels.vecadd ~n:16));
+                ];
+            ] );
+      ]
+  in
+  Tu.check_bool "no exec = defaults" true
+    ((Campaign.Request.of_json no_exec).Campaign.Request.jobs = None);
+  match
+    Campaign.Request.of_json
+      (Obs.Json.Obj
+         [
+           ("schema", Obs.Json.Str "xmt.campaign.v1");
+           ("exec", Obs.Json.Obj [ ("jobs", Obs.Json.Int 0) ]);
+           ( "jobs",
+             Obs.Json.List
+               [
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str "a");
+                     ("preset", Obs.Json.Str "tiny");
+                     ("inline", Obs.Json.Str (Core.Kernels.vecadd ~n:16));
+                   ];
+               ] );
+         ])
+  with
+  | exception Campaign.Spec_error _ -> ()
+  | _ -> Alcotest.fail "exec jobs=0 must be a Spec_error"
+
 let () =
   Alcotest.run "campaign"
     [
@@ -344,6 +485,8 @@ let () =
           Tu.tc "workers clamped to job count" workers_clamped_to_jobs;
           Tu.tc "pool runs each index once" pool_runs_each_index_once;
           Tu.tc "pool propagates worker failure" pool_propagates_failure;
+          Tu.tc "pool shutdown idempotent" pool_shutdown_idempotent;
+          Tu.tc "pool shutdown concurrent-safe" pool_shutdown_concurrent;
         ] );
       ( "fault isolation",
         [
@@ -364,4 +507,10 @@ let () =
         ] );
       ( "spec files",
         [ Tu.tc "parsing" spec_parsing; Tu.tc "errors" spec_errors ] );
+      ( "requests",
+        [
+          Tu.tc "builders + run_request" request_builders;
+          Tu.tc "validation" request_validation;
+          Tu.tc "of_json exec block" request_of_json_exec;
+        ] );
     ]

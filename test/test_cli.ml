@@ -50,7 +50,9 @@ let contains needle hay =
 
 let functional_trace_json_rejected () =
   with_src (fun src ->
-      let code, _, err = run_cmd [ xmtsim; src; "--functional"; "--trace-json"; "t.json" ] in
+      let code, _, err =
+        run_cmd [ xmtsim; src; "--functional"; "--export"; "trace=t.json" ]
+      in
       Tu.check_int "nonzero exit" 2 code;
       Tu.check_bool "explains the fix" true
         (let has needle hay =
@@ -62,7 +64,7 @@ let functional_trace_json_rejected () =
       Tu.check_bool "no file written" false (Sys.file_exists "t.json");
       (* same contract for the other cycle-level sinks *)
       let code, _, _ =
-        run_cmd [ xmtsim; src; "--functional"; "--timeseries-json"; "t.json" ]
+        run_cmd [ xmtsim; src; "--functional"; "--export"; "timeseries=t.json" ]
       in
       Tu.check_int "timeseries rejected" 2 code;
       let code, _, _ = run_cmd [ xmtsim; src; "--functional"; "--governor" ] in
@@ -70,7 +72,9 @@ let functional_trace_json_rejected () =
 
 let stats_json_to_stdout () =
   with_src (fun src ->
-      let code, out, _ = run_cmd [ xmtsim; src; "--stats-json"; "-"; "--governor" ] in
+      let code, out, _ =
+        run_cmd [ xmtsim; src; "--export"; "stats=-"; "--governor" ]
+      in
       Tu.check_int "exit 0" 0 code;
       let j = J.of_string out in
       Tu.check_bool "schema v2" true
@@ -84,11 +88,11 @@ let stats_json_to_stdout () =
 
 let trace_and_timeseries_to_stdout () =
   with_src (fun src ->
-      let code, out, _ = run_cmd [ xmtsim; src; "--trace-json"; "-" ] in
+      let code, out, _ = run_cmd [ xmtsim; src; "--export"; "trace=-" ] in
       Tu.check_int "trace exit 0" 0 code;
       Tu.check_bool "trace is a json array" true
         (match J.of_string out with J.List (_ :: _) -> true | _ -> false);
-      let code, out, _ = run_cmd [ xmtsim; src; "--timeseries-json"; "-" ] in
+      let code, out, _ = run_cmd [ xmtsim; src; "--export"; "timeseries=-" ] in
       Tu.check_int "timeseries exit 0" 0 code;
       let j = J.of_string out in
       Tu.check_bool "timeseries schema" true
@@ -103,11 +107,11 @@ let timings_json_to_stdout () =
         (J.member "schema" j = Some (J.Str "xmt.timings.v1")))
 
 let functional_stats_json_still_works () =
-  (* stats-json stays available in functional mode (envelope with the
-     functional counters), including to stdout *)
+  (* the stats export stays available in functional mode (envelope with
+     the functional counters), including to stdout *)
   with_src (fun src ->
       let code, out, _ =
-        run_cmd [ xmtsim; src; "--functional"; "--stats-json"; "-" ]
+        run_cmd [ xmtsim; src; "--functional"; "--export"; "stats=-" ]
       in
       Tu.check_int "exit 0" 0 code;
       let j = J.of_string out in
@@ -123,14 +127,22 @@ let export_flag_to_stdout () =
       Tu.check_bool "schema v2" true
         (J.member "schema" j = Some (J.Str "xmt.metrics.v2")))
 
-let deprecated_alias_warns () =
+let removed_alias_errors () =
+  (* the PR-4-deprecated one-flag-per-sink aliases are gone: each fails
+     fast (cmdliner's CLI-error code) naming the --export replacement *)
   with_src (fun src ->
-      let code, out, err = run_cmd [ xmtsim; src; "--stats-json"; "-" ] in
-      Tu.check_int "alias still works" 0 code;
-      Tu.check_bool "warns on stderr" true
-        (contains "deprecated" err && contains "--export stats" err);
-      Tu.check_bool "payload unchanged" true
-        (J.member "schema" (J.of_string out) = Some (J.Str "xmt.metrics.v2")))
+      List.iter
+        (fun (args, kind) ->
+          let code, _, err = run_cmd ((xmtsim :: src :: args)) in
+          Tu.check_int (String.concat " " args ^ " exits 124") 124 code;
+          Tu.check_bool "names the replacement" true
+            (contains ("--export " ^ kind) err))
+        [
+          ([ "--stats-json"; "s.json" ], "stats");
+          ([ "--trace-json=t.json" ], "trace");
+          ([ "--timeseries-json"; "-" ], "timeseries");
+        ])
+
 
 let with_campaign_file f =
   let path = Filename.temp_file "xmtcli" ".json" in
@@ -202,25 +214,77 @@ let campaign_failure_sets_exit_code () =
       Tu.check_int "failure propagates to exit code" 1 code;
       Tu.check_bool "summary names the failure" true (contains "broken" err))
 
+let campaign_exec_block () =
+  (* the spec file's exec block supplies jobs/retries when the flags are
+     absent; an invalid one is rejected like any other spec error *)
+  with_campaign_file (fun spec ->
+      let j = J.of_string (In_channel.with_open_text spec In_channel.input_all) in
+      let with_exec exec =
+        match j with
+        | J.Obj kvs -> J.Obj (kvs @ [ ("exec", exec) ])
+        | _ -> assert false
+      in
+      let path = Filename.temp_file "xmtcli" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          J.write_file path
+            (with_exec (J.Obj [ ("jobs", J.Int 2); ("retries", J.Int 1) ]));
+          let code, out, _ =
+            run_cmd
+              [ xmtsim; "--campaign"; path; "--export"; "campaign-det=-" ]
+          in
+          Tu.check_int "exec-driven run exits 0" 0 code;
+          Tu.check_bool "campaign schema" true
+            (J.member "schema" (J.of_string out)
+            = Some (J.Str "xmt.campaign.v1"));
+          J.write_file path (with_exec (J.Obj [ ("jobs", J.Int 0) ]));
+          let code, _, err =
+            run_cmd [ xmtsim; "--campaign"; path; "--export"; "campaign=-" ]
+          in
+          Tu.check_int "bad exec rejected" 1 code;
+          Tu.check_bool "names the constraint" true (contains "jobs" err)))
+
+let attach_needs_connect () =
+  let code, _, err = run_cmd [ xmtsim; "--attach"; "c1" ] in
+  Tu.check_int "exit 1" 1 code;
+  Tu.check_bool "names --connect" true (contains "--connect" err)
+
+let connect_refused_exits_3 () =
+  with_campaign_file (fun spec ->
+      let code, _, err =
+        run_cmd
+          [ xmtsim; "--connect"; "/nonexistent/xmtserved.sock";
+            "--campaign"; spec ]
+      in
+      Tu.check_int "exit 3" 3 code;
+      Tu.check_bool "mentions xmtserved" true (contains "xmtserved" err))
+
 let () =
   Alcotest.run "cli"
     [
       ( "json sinks",
         [
           Tu.tc "functional rejects cycle-level sinks" functional_trace_json_rejected;
-          Tu.tc "stats-json to stdout (+governor)" stats_json_to_stdout;
+          Tu.tc "stats export to stdout (+governor)" stats_json_to_stdout;
           Tu.tc "trace/timeseries to stdout" trace_and_timeseries_to_stdout;
           Tu.tc "timings-json to stdout" timings_json_to_stdout;
-          Tu.tc "functional stats-json works" functional_stats_json_still_works;
+          Tu.tc "functional stats export works" functional_stats_json_still_works;
         ] );
       ( "export",
         [
           Tu.tc "--export stats=- to stdout" export_flag_to_stdout;
-          Tu.tc "deprecated alias warns" deprecated_alias_warns;
+          Tu.tc "removed aliases error with replacement" removed_alias_errors;
         ] );
       ( "campaign",
         [
           Tu.tc "runs + parallel determinism" campaign_runs_and_is_deterministic;
+          Tu.tc "spec exec block supplies the knobs" campaign_exec_block;
           Tu.tc "failure sets exit code" campaign_failure_sets_exit_code;
+        ] );
+      ( "serve",
+        [
+          Tu.tc "--attach needs --connect" attach_needs_connect;
+          Tu.tc "connect failure exits 3" connect_refused_exits_3;
         ] );
     ]
