@@ -33,6 +33,9 @@ let experiments =
     ( "serve",
       "campaign service: concurrent clients, throughput + latency",
       Exp_serve.run );
+    ( "predict",
+      "prediction mode: analytical-model accuracy and speed vs cycle-accurate",
+      Exp_predict.run );
   ]
 
 let () =

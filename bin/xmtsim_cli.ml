@@ -23,7 +23,7 @@ let run_campaign_cmd ~file ~jobs ~retries ~export ~stream_sink =
           kind;
         exit 1
       end)
-    [ "stats"; "trace"; "timeseries"; "races" ];
+    [ "stats"; "trace"; "timeseries"; "races"; "predict"; "reuseprofile" ];
   (* the spec file carries the request (including an optional "exec"
      block with default jobs/retries); command-line flags override it *)
   let req =
@@ -228,11 +228,12 @@ let run_connect_cmd ~sock ~campaign_file ~attach_cid ~after ~stream_sink =
       s.Serve.Client.s_jobs s.Serve.Client.s_ok s.Serve.Client.s_failed;
     exit (if s.Serve.Client.s_failed > 0 then 1 else 0)
 
-let run_cmd input preset overrides functional memmap_file max_cycles stats trace
-    trace_packages trace_limit hot profile_interval power_interval floorplan
-    checkpoint_out checkpoint_at checkpoint_in governor governor_interval
-    no_clock_gating racecheck cpi_profile exports campaign_file jobs retries
-    stream_sink heartbeat_cycles connect attach_cid after =
+let run_cmd input preset overrides functional mode_opt calibration memmap_file
+    max_cycles stats trace trace_packages trace_limit hot profile_interval
+    power_interval floorplan checkpoint_out checkpoint_at checkpoint_in governor
+    governor_interval no_clock_gating racecheck cpi_profile exports
+    campaign_file jobs retries stream_sink heartbeat_cycles connect attach_cid
+    after =
   (* resolve the export sinks: --export KIND[=PATH], last writer wins *)
   let export kind =
     List.fold_left (fun acc (k, p) -> if k = kind then Some p else acc) None
@@ -255,6 +256,36 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       Printf.eprintf "xmtsim: need an input FILE.{c,s} (or --campaign FILE.json)\n";
       exit 1
   in
+  (* --functional is the historical spelling of --mode functional; the
+     two agree or the invocation is ambiguous *)
+  let mode =
+    match (mode_opt, functional) with
+    | None, false -> `Cycle
+    | None, true | Some "functional", _ -> `Functional
+    | Some "cycle", false -> `Cycle
+    | Some "predict", false -> `Predict
+    | Some (("cycle" | "predict") as m), true ->
+      Printf.eprintf "xmtsim: --functional conflicts with --mode %s\n" m;
+      exit 1
+    | Some other, _ ->
+      Printf.eprintf "xmtsim: --mode must be cycle|functional|predict, got %S\n"
+        other;
+      exit 1
+  in
+  if calibration <> None && mode <> `Predict then begin
+    Printf.eprintf "xmtsim: --calibration needs --mode predict\n";
+    exit 1
+  end;
+  let predict_json = export "predict" in
+  let reuseprofile_json = export "reuseprofile" in
+  (if mode <> `Predict then
+     List.iter
+       (fun kind ->
+         if export kind <> None then begin
+           Printf.eprintf "xmtsim: --export %s needs --mode predict\n" kind;
+           exit 1
+         end)
+       [ "predict"; "reuseprofile" ]);
   let stats_json = export "stats" in
   let trace_json = export "trace" in
   let timeseries_json = export "timeseries" in
@@ -309,14 +340,15 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
       (fun f -> Printf.eprintf "%s: %s\n" input (Racecheck.Diag.render f))
       findings
   in
-  if functional then begin
-    (* cycle-level sinks have nothing to record in the serializing
-       functional mode: fail fast instead of writing an empty file *)
+  (* cycle-level sinks have nothing to record in the serializing
+     functional and predict modes: fail fast instead of writing an
+     empty file *)
+  let reject_cycle_sinks ~drop =
     let reject flag =
       Printf.eprintf
         "xmtsim: %s records simulated cycle-level activity; it needs the \
-         cycle-accurate mode (drop --functional)\n"
-        flag;
+         cycle-accurate mode (drop %s)\n"
+        flag drop;
       exit 2
     in
     if trace_json <> None then reject "--export trace";
@@ -324,7 +356,11 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
     if profile_json <> None then reject "--export profile";
     if cpi_profile then reject "--profile";
     if governor then reject "--governor";
-    if stream_sink <> None then reject "--stream";
+    if stream_sink <> None then reject "--stream"
+  in
+  match mode with
+  | `Functional -> begin
+    reject_cycle_sinks ~drop:"--functional";
     let host_t0 = Unix.gettimeofday () in
     let r = Xmtsim.Functional_mode.run image in
     let host_secs = Unix.gettimeofday () -. host_t0 in
@@ -371,7 +407,85 @@ let run_cmd input preset overrides functional memmap_file max_cycles stats trace
         | None -> ())
     end
   end
-  else begin
+  | `Predict -> begin
+    reject_cycle_sinks ~drop:"--mode predict";
+    let cal =
+      match calibration with
+      | None -> Predict.Calibrate.default
+      | Some file -> (
+        try Predict.Calibrate.load_file file
+        with Predict.Calibrate.Calib_error msg ->
+          Printf.eprintf "xmtsim: --calibration %s: %s\n" file msg;
+          exit 1)
+    in
+    let rp = Xmtsim.Reuseprofile.create () in
+    let host_t0 = Unix.gettimeofday () in
+    let r = Xmtsim.Functional_mode.run ~profile:rp image in
+    let host_secs = Unix.gettimeofday () -. host_t0 in
+    let snap = Xmtsim.Reuseprofile.snapshot rp in
+    let pred =
+      Predict.Model.predict ~coeffs:cal.Predict.Calibrate.coeffs
+        ~residual_std_pct:cal.Predict.Calibrate.residual_std_pct ~config snap
+    in
+    print_string r.Xmtsim.Functional_mode.output;
+    if String.length r.Xmtsim.Functional_mode.output > 0 then print_newline ();
+    if stats then
+      Printf.printf
+        "[predict] instructions: %d, predicted cycles: %d (band %d..%d, \
+         config %s)\n"
+        r.Xmtsim.Functional_mode.instructions pred.Predict.Model.predicted_cycles
+        pred.Predict.Model.lo pred.Predict.Model.hi config.Xmtsim.Config.name;
+    (match predict_json with
+    | Some path ->
+      Obs.Json.write_path ~pretty:true path
+        (Predict.Model.to_json
+           ~calibration:(Predict.Calibrate.summary_json cal)
+           ~config_name:config.Xmtsim.Config.name pred)
+    | None -> ());
+    (match reuseprofile_json with
+    | Some path ->
+      Obs.Json.write_path ~pretty:true path (Xmtsim.Reuseprofile.to_json snap)
+    | None -> ());
+    (match stats_json with
+    | None -> ()
+    | Some path ->
+      (* like functional mode, the envelope carries what this mode
+         measures: instructions executed plus the model's prediction *)
+      let reg = Obs.Metrics.create () in
+      Obs.Metrics.inc
+        ~by:r.Xmtsim.Functional_mode.instructions
+        (Obs.Metrics.counter reg ~help:"instructions executed"
+           ~labels:[ ("mode", "predict") ]
+           "sim.instructions");
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~help:"analytically predicted cycles"
+           "predict.cycles")
+        (float_of_int pred.Predict.Model.predicted_cycles);
+      Obs.Metrics.set
+        (Obs.Metrics.gauge reg ~help:"host wall-clock seconds" "host.wall_seconds")
+        host_secs;
+      Obs.Json.write_path ~pretty:true path (Obs.Metrics.to_json reg));
+    if racecheck then begin
+      match driver_out with
+      | None ->
+        Printf.eprintf
+          "xmtsim: --racecheck on assembly input needs the cycle-accurate \
+           mode (the static layer analyzes XMTC source)\n";
+        exit 2
+      | Some _ ->
+        let findings = static_findings () in
+        print_findings findings;
+        Printf.eprintf
+          "racecheck: %d static finding(s); dynamic detection needs the \
+           cycle-accurate mode (drop --mode predict)\n"
+          (List.length findings);
+        (match races_json with
+        | Some path ->
+          Obs.Json.write_path ~pretty:true path (Racecheck.report findings)
+        | None -> ())
+    end
+  end
+  | `Cycle -> begin
     let m = Xmtsim.Machine.create ~config image in
     if no_clock_gating then Xmtsim.Machine.set_gating m false;
     let racedet =
@@ -664,17 +778,15 @@ let export_conv =
           Some (String.sub s (i + 1) (String.length s - i - 1)) )
       | None -> (s, None)
     in
-    match kind with
-    | "stats" | "trace" | "timeseries" | "races" | "profile" | "campaign"
-    | "campaign-det" ->
+    (* the valid kinds come from the schema registry, so this listing
+       cannot drift from the records the toolchain actually emits *)
+    if Obs.Schema.is_export_kind kind then
       Ok (kind, Option.value ~default:(kind ^ ".json") path)
-    | other ->
+    else
       Error
         (`Msg
-          (Printf.sprintf
-             "unknown export kind %S \
-              (stats|trace|timeseries|races|profile|campaign|campaign-det)"
-             other))
+          (Printf.sprintf "unknown export kind %S (%s)" kind
+             Obs.Schema.export_kinds_doc))
   in
   let print ppf (k, p) = Format.fprintf ppf "%s=%s" k p in
   Arg.conv (parse, print)
@@ -694,7 +806,18 @@ let cmd =
     Term.(
       const run_cmd $ input $ preset $ overrides
       $ Arg.(value & flag & info [ "functional" ]
-               ~doc:"Fast functional (serializing) mode.")
+               ~doc:"Fast functional (serializing) mode (same as --mode \
+                     functional).")
+      $ Arg.(value & opt (some string) None & info [ "mode" ] ~docv:"MODE"
+               ~doc:"Execution mode: cycle (the cycle-accurate simulator, \
+                     default), functional (fast serializing interpreter), or \
+                     predict (one functional pass harvests a reuse profile \
+                     and the analytical model predicts the cycle count — \
+                     add --export predict/reuseprofile for the reports).")
+      $ Arg.(value & opt (some file) None & info [ "calibration" ] ~docv:"FILE"
+               ~doc:"xmt.calibration.v1 artifact with fitted model \
+                     coefficients for --mode predict (default: the built-in \
+                     fit).")
       $ Arg.(value & opt (some file) None & info [ "memmap" ] ~docv:"FILE"
                ~doc:"Memory-map file with initial values of globals.")
       $ Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"N")
@@ -761,9 +884,12 @@ let cmd =
                      timeseries (windowed telemetry; cycle-accurate mode \
                      only), profile (the xmt.profile.v1 CPI-stack report; \
                      cycle-accurate mode, or with --campaign the merged \
-                     campaign-level stack), campaign (the xmt.campaign.v1 \
-                     report; with --campaign) or campaign-det (the report \
-                     without \
+                     campaign-level stack), predict (the xmt.predict.v1 \
+                     analytical prediction; --mode predict only), \
+                     reuseprofile (the harvested xmt.reuseprofile.v1 \
+                     profile; --mode predict only), campaign (the \
+                     xmt.campaign.v1 report; with --campaign) or \
+                     campaign-det (the report without \
                      host-dependent fields — byte-identical across worker \
                      counts, for determinism diffs).  PATH defaults to \
                      KIND.json; use - for stdout.")

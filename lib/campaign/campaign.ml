@@ -346,6 +346,9 @@ let result_json ~host r =
       @ (match run.Core.Toolchain.profile with
         | Some j -> [ ("profile", j) ]
         | None -> [])
+      @ (match run.Core.Toolchain.predict with
+        | Some j -> [ ("predict", j) ]
+        | None -> [])
     | Error f ->
       ("status", J.Str "failed")
       :: ("error", J.Str f.f_exn)
@@ -591,7 +594,9 @@ let job_of_json ?(dir = Filename.current_dir_name) ~defaults ~index j =
     match inherited (opt_str "mode") j defaults with
     | Some "cycle" | None -> Core.Toolchain.Cycle
     | Some "functional" -> Core.Toolchain.Functional
-    | Some other -> fail "job %S: mode must be cycle|functional, got %S" name other
+    | Some "predict" -> Core.Toolchain.Predict
+    | Some other ->
+      fail "job %S: mode must be cycle|functional|predict, got %S" name other
   in
   let memmap =
     match inherited (opt_str "memmap") j defaults with
@@ -608,11 +613,14 @@ let job_of_json ?(dir = Filename.current_dir_name) ~defaults ~index j =
       ?max_instructions:(inherited (opt_int "max_instructions") j defaults)
       ?racecheck:(inherited (opt_bool "racecheck") j defaults)
       ?profile:(inherited (opt_bool "profile") j defaults)
+      ?calibration:
+        (Option.map resolve (inherited (opt_str "calibration") j defaults))
       source
   in
   (* validate the sweep point now, not mid-campaign *)
   (match mode with
-  | Core.Toolchain.Cycle -> ignore (Core.Toolchain.job_config job)
+  | Core.Toolchain.Cycle | Core.Toolchain.Predict ->
+    ignore (Core.Toolchain.job_config job)
   | Core.Toolchain.Functional -> ());
   (name, job)
 

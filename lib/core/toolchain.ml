@@ -102,6 +102,8 @@ type run = {
       (** [xmt.races.v1] report when the run was race-checked *)
   profile : Obs.Json.t option;
       (** [xmt.profile.v1] CPI-stack report when the run was profiled *)
+  predict : Obs.Json.t option;
+      (** [xmt.predict.v1] report (predict mode only) *)
 }
 
 (* Static findings + (for cycle runs) the dynamic detector's output,
@@ -133,6 +135,7 @@ let run_cycle ?config ?(racecheck = false) ?(profile = false) ?stream
           races_report ~dynamic:(Xmtsim.Racedetect.to_json rd) compiled)
         rd;
     profile = Option.map Xmtsim.Profile.to_json (Xmtsim.Machine.profile_report m);
+    predict = None;
   }
 
 let run_functional ?(racecheck = false) ?max_instructions compiled =
@@ -146,6 +149,44 @@ let run_functional ?(racecheck = false) ?max_instructions compiled =
     (* no cycle machine to observe: static layer only *)
     races = (if racecheck then Some (races_report compiled) else None);
     profile = None;
+    predict = None;
+  }
+
+(* Predict mode: one functional pass harvests a reuse profile, the
+   analytical model prices it.  No cycle machine is built, so [events]
+   is 0 and the race layer (like functional mode) is static-only. *)
+let run_predict ?config ?(racecheck = false) ?calibration ?max_instructions
+    compiled =
+  let config =
+    Xmtsim.Config.checked (Option.value config ~default:Xmtsim.Config.fpga64)
+  in
+  let cal =
+    match calibration with
+    | None -> Predict.Calibrate.default
+    | Some file -> Predict.Calibrate.load_file file
+  in
+  let rp = Xmtsim.Reuseprofile.create () in
+  let r =
+    Xmtsim.Functional_mode.run ?max_instructions ~profile:rp compiled.image
+  in
+  let pred =
+    Predict.Model.predict ~coeffs:cal.Predict.Calibrate.coeffs
+      ~residual_std_pct:cal.Predict.Calibrate.residual_std_pct ~config
+      (Xmtsim.Reuseprofile.snapshot rp)
+  in
+  {
+    output = r.Xmtsim.Functional_mode.output;
+    cycles = pred.Predict.Model.predicted_cycles;
+    instructions = r.Xmtsim.Functional_mode.instructions;
+    events = 0;
+    stats = r.Xmtsim.Functional_mode.stats;
+    races = (if racecheck then Some (races_report compiled) else None);
+    profile = None;
+    predict =
+      Some
+        (Predict.Model.to_json
+           ~calibration:(Predict.Calibrate.summary_json cal)
+           ~config_name:config.Xmtsim.Config.name pred);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -153,9 +194,12 @@ let run_functional ?(racecheck = false) ?max_instructions compiled =
    reified as data.  The campaign engine, the benches and the CLI all
    construct jobs; [exec] below is a thin wrapper over [run_job]. *)
 
-type mode = Cycle | Functional
+type mode = Cycle | Functional | Predict
 
-let mode_name = function Cycle -> "cycle" | Functional -> "functional"
+let mode_name = function
+  | Cycle -> "cycle"
+  | Functional -> "functional"
+  | Predict -> "predict"
 
 type job = {
   job_name : string;
@@ -171,12 +215,14 @@ type job = {
   racecheck : bool;  (** attach the race checker; report in [run.races] *)
   profile : bool;
       (** attach the cycle-accounting profiler; report in [run.profile] *)
+  calibration : string option;
+      (** predict-mode calibration artifact path; [None] = built-in fit *)
 }
 
 let job ?(name = "") ?(options = Compiler.Driver.default_options)
     ?(memmap = []) ?(config = Xmtsim.Config.fpga64) ?(mode = Cycle) ?seed
     ?max_cycles ?max_instructions ?(racecheck = false) ?(profile = false)
-    source =
+    ?calibration source =
   {
     job_name = name;
     source;
@@ -189,6 +235,7 @@ let job ?(name = "") ?(options = Compiler.Driver.default_options)
     max_instructions;
     racecheck;
     profile;
+    calibration;
   }
 
 (** The configuration a job actually simulates with: the per-job seed
@@ -218,6 +265,11 @@ let run_job ?artifacts ?stream ?heartbeat_cycles j =
     let compiled = compile_job () in
     run_cycle ~config ~racecheck:j.racecheck ~profile:j.profile ?stream
       ?heartbeat_cycles ?max_cycles:j.max_cycles compiled
+  | Predict ->
+    let config = job_config j in
+    let compiled = compile_job () in
+    run_predict ~config ~racecheck:j.racecheck ?calibration:j.calibration
+      ?max_instructions:j.max_instructions compiled
 
 let exec ?options ?memmap ?config ?stream ?(functional = false) src =
   run_job ?stream

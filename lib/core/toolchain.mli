@@ -57,6 +57,10 @@ type run = {
   profile : Obs.Json.t option;
       (** [xmt.profile.v1] CPI-stack report ({!Xmtsim.Profile}) when the
           run was profiled (cycle mode only) *)
+  predict : Obs.Json.t option;
+      (** [xmt.predict.v1] analytical-prediction report ({!Predict.Model})
+          when the run used predict mode; [run.cycles] then carries the
+          predicted cycle count *)
 }
 
 (** Run on the cycle-accurate simulator.  [racecheck] attaches the
@@ -84,6 +88,24 @@ val run_cycle :
     the report carries the static layer only (no machine to observe). *)
 val run_functional : ?racecheck:bool -> ?max_instructions:int -> compiled -> run
 
+(** Run in analytical prediction mode: one functional pass harvests a
+    reuse profile ({!Xmtsim.Reuseprofile}), the analytical model
+    ({!Predict.Model}) prices it under [config], and [run.cycles]
+    carries the predicted cycle count ([run.predict] the full
+    [xmt.predict.v1] report).  [calibration] names an
+    [xmt.calibration.v1] artifact; absent, the committed
+    {!Predict.Calibrate.default} fit applies.  Raises
+    {!Predict.Calibrate.Calib_error} on a missing or invalid artifact
+    and {!Xmtsim.Config.Bad_config} on an inconsistent config.  Like
+    functional mode, [racecheck] yields the static layer only. *)
+val run_predict :
+  ?config:Xmtsim.Config.t ->
+  ?racecheck:bool ->
+  ?calibration:string ->
+  ?max_instructions:int ->
+  compiled ->
+  run
+
 (** {1 The job-oriented surface}
 
     A [job] reifies one compile+simulate as data: source, compiler
@@ -92,7 +114,7 @@ val run_functional : ?racecheck:bool -> ?max_instructions:int -> compiled -> run
     and [xmtsim_cli] all construct jobs and hand them to {!run_job};
     {!exec} is a thin wrapper kept for existing callers. *)
 
-type mode = Cycle | Functional
+type mode = Cycle | Functional | Predict
 
 val mode_name : mode -> string
 
@@ -111,11 +133,14 @@ type job = {
   profile : bool;
       (** attach the cycle-accounting profiler; report in [run.profile]
           (cycle mode only) *)
+  calibration : string option;
+      (** predict-mode calibration artifact path; [None] = the built-in
+          {!Predict.Calibrate.default} fit *)
 }
 
 (** Build a job; defaults: [name ""], [default_options], empty memmap,
     {!Xmtsim.Config.fpga64}, [Cycle] mode, no seed override, no budget
-    overrides, race checking off, profiling off. *)
+    overrides, race checking off, profiling off, built-in calibration. *)
 val job :
   ?name:string ->
   ?options:Compiler.Driver.options ->
@@ -127,6 +152,7 @@ val job :
   ?max_instructions:int ->
   ?racecheck:bool ->
   ?profile:bool ->
+  ?calibration:string ->
   string ->
   job
 

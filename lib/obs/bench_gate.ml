@@ -120,7 +120,26 @@ let compare_records ?(tolerance = default_tolerance) ~baseline ~fresh () =
           @ (match (num_field "speedup" fj, num_field "host_cores" fj) with
             | Some s, Some cores when cores >= 2.0 ->
               [ check_floor ~floor:1.0 ~bench:name ~metric:"speedup" ~fresh:s ]
-            | _ -> []))
+            | _ -> [])
+          (* prediction-mode contracts are absolute, not baseline drift:
+             the analytical model stays within 10% mean error of the
+             cycle-accurate ground truth (5% for the checkpoint-sampled
+             mode) and at least 100x faster *)
+          @ (match num_field "predict_mae_pct" fj with
+            | Some v ->
+              [ check_upper ~tol:0.0 ~bench:name ~metric:"predict_mae_pct"
+                  ~baseline:10.0 ~fresh:v ]
+            | None -> [])
+          @ (match num_field "sampled_err_pct" fj with
+            | Some v ->
+              [ check_upper ~tol:0.0 ~bench:name ~metric:"sampled_err_pct"
+                  ~baseline:5.0 ~fresh:v ]
+            | None -> [])
+          @ (match num_field "predict_speedup" fj with
+            | Some v ->
+              [ check_floor ~floor:100.0 ~bench:name ~metric:"predict_speedup"
+                  ~fresh:v ]
+            | None -> []))
       base_idx
   in
   let missing_in_fresh =

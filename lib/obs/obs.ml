@@ -22,11 +22,15 @@
       lifecycle, simulator heartbeats, campaign progress/ETA, windowed
       rollups) so long runs and campaigns are observable while they
       execute ([xmtsim --stream]).
+    - {!Schema}: the registry of versioned record schemas and of the
+      [--export] kinds that produce them — the single table the CLI's
+      export validation, the stream validator and the docs all read.
     - {!Clock}: the monotonic host clock every reported duration is
       measured on (host clock steps cannot make a [wall_seconds] field
       jump or go negative). *)
 
 module Json = Json
+module Schema = Schema
 module Clock = Clock
 module Metrics = Metrics
 module Tracer = Tracer

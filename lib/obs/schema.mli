@@ -1,0 +1,39 @@
+(** The registry of versioned record schemas and of the [--export]
+    kinds that produce them.
+
+    Every JSON artifact the toolchain emits carries a versioned
+    ["schema"] tag ([xmt.metrics.v2], [xmt.campaign.v1], ...), and most
+    are reachable through [xmtsim --export KIND].  This table is the
+    single source of truth relating the two: the CLI validates
+    [--export] kinds against it (and derives its unknown-kind error
+    message from it), the stream validator checks [stream.open]
+    announcements against it, and the tests assert the listing and the
+    table cannot drift apart. *)
+
+type entry = {
+  e_kind : string option;  (** the [--export KIND] producing it, if any *)
+  e_schema : string option;
+      (** the versioned ["schema"] tag the record carries, if any
+          (the Chrome trace-event export is an external format) *)
+  e_doc : string;
+}
+
+(** One row per export kind or standalone schema, in the order the CLI
+    lists kinds. *)
+val table : entry list
+
+(** The valid [--export] kinds, in {!table} order. *)
+val export_kinds : string list
+
+val is_export_kind : string -> bool
+
+(** ["stats|trace|...|campaign-det"] — for usage/error messages. *)
+val export_kinds_doc : string
+
+(** All registered schema tags, sorted, deduplicated. *)
+val schemas : string list
+
+val is_schema : string -> bool
+
+(** The schema tag an export kind produces, when it has one. *)
+val schema_of_kind : string -> string option

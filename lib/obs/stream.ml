@@ -209,6 +209,23 @@ let close_rollup r = if r.r_count > 0 then flush_window r
 
 let required_keys = [ "type"; "seq"; "t" ]
 
+(* A stream.open record announces the stream's schema; an announcement
+   the registry doesn't know is a contract violation (a typo, or a
+   producer newer than this checker), not a payload to wave through. *)
+let validate_announcement j =
+  match Json.member "type" j with
+  | Some (Json.Str "stream.open") -> (
+    match Json.member "schema" j with
+    | Some (Json.Str s) when Schema.is_schema s -> Ok ()
+    | Some (Json.Str s) ->
+      Error
+        (Printf.sprintf "stream.open announces unregistered schema %S (know: %s)"
+           s
+           (String.concat ", " Schema.schemas))
+    | Some _ -> Error "stream.open \"schema\" must be a string"
+    | None -> Error "stream.open is missing \"schema\"")
+  | _ -> Ok ()
+
 let validate j =
   match j with
   | Json.Obj _ -> (
@@ -217,7 +234,7 @@ let validate j =
       match Option.bind (Json.member "seq" j) Json.to_int with
       | Some _ -> (
         match Option.bind (Json.member "t" j) Json.to_float with
-        | Some _ -> Ok ()
+        | Some _ -> validate_announcement j
         | None -> Error "missing or non-numeric \"t\"")
       | None -> Error "missing or non-integer \"seq\"")
     | Some _ -> Error "\"type\" must be a string"

@@ -1,0 +1,228 @@
+(* Coefficient fitting and the versioned calibration artifact — see
+   calibrate.mli. *)
+
+module J = Obs.Json
+
+exception Calib_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Calib_error s)) fmt
+let version = "xmt.calibration.v1"
+
+type point = {
+  pt_name : string;
+  pt_components : float array;  (* Model.component_vector *)
+  pt_cycles : float;  (* cycle-accurate ground truth *)
+}
+
+type t = {
+  coeffs : Model.coeffs;
+  mae_pct : float;
+  residual_std_pct : float;
+  points : (string * float) list;  (* per-point signed error, percent *)
+}
+
+let point ~name ~config profile ~actual_cycles =
+  let x, _, _, _, _ = Model.components_of ~config profile in
+  {
+    pt_name = name;
+    pt_components = Model.component_vector x;
+    pt_cycles = float_of_int actual_cycles;
+  }
+
+(* ---------------- the linear least-squares fit ---------------- *)
+
+(* Solve the 4x4 normal equations (A^T A + ridge) x = A^T b by Gaussian
+   elimination with partial pivoting.  The tiny ridge keeps the system
+   solvable when the corpus never exercises a component (e.g. no spawns
+   -> an all-zero column); that component's coefficient then stays near
+   zero, which is harmless because its contribution is zero anyway. *)
+let solve m v =
+  let n = Array.length v in
+  let a = Array.map Array.copy m in
+  let b = Array.copy v in
+  for col = 0 to n - 1 do
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float a.(r).(col) > abs_float a.(!piv).(col) then piv := r
+    done;
+    let tmp = a.(col) in
+    a.(col) <- a.(!piv);
+    a.(!piv) <- tmp;
+    let t = b.(col) in
+    b.(col) <- b.(!piv);
+    b.(!piv) <- t;
+    if abs_float a.(col).(col) < 1e-12 then fail "singular normal equations";
+    for r = col + 1 to n - 1 do
+      let f = a.(r).(col) /. a.(col).(col) in
+      for c = col to n - 1 do
+        a.(r).(c) <- a.(r).(c) -. (f *. a.(col).(c))
+      done;
+      b.(r) <- b.(r) -. (f *. b.(col))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for r = n - 1 downto 0 do
+    let s = ref b.(r) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (a.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. a.(r).(r)
+  done;
+  x
+
+let errors coeffs points =
+  List.map
+    (fun p ->
+      let pred =
+        Model.apply coeffs
+          {
+            Model.x_exec = p.pt_components.(0);
+            x_mem = p.pt_components.(1);
+            x_spawn = p.pt_components.(2);
+            x_serial = p.pt_components.(3);
+          }
+      in
+      let err =
+        if p.pt_cycles > 0.0 then
+          (pred -. p.pt_cycles) /. p.pt_cycles *. 100.0
+        else 0.0
+      in
+      (p.pt_name, err))
+    points
+
+let summarize coeffs points =
+  let errs = errors coeffs points in
+  let n = float_of_int (List.length errs) in
+  let mae =
+    List.fold_left (fun a (_, e) -> a +. abs_float e) 0.0 errs /. n
+  in
+  let mean = List.fold_left (fun a (_, e) -> a +. e) 0.0 errs /. n in
+  let var =
+    List.fold_left (fun a (_, e) -> a +. ((e -. mean) ** 2.0)) 0.0 errs /. n
+  in
+  { coeffs; mae_pct = mae; residual_std_pct = sqrt var; points = errs }
+
+let fit points =
+  if points = [] then fail "fit: empty corpus";
+  let n = 4 in
+  (* normalize rows by the actual cycles so every workload carries the
+     same weight regardless of its absolute run length: the fit then
+     minimizes relative, not absolute, error *)
+  let rows =
+    List.map
+      (fun p ->
+        let s = if p.pt_cycles > 0.0 then 1.0 /. p.pt_cycles else 1.0 in
+        (Array.map (fun x -> x *. s) p.pt_components, p.pt_cycles *. s))
+      points
+  in
+  let ata = Array.make_matrix n n 0.0 in
+  let atb = Array.make n 0.0 in
+  List.iter
+    (fun (row, y) ->
+      for i = 0 to n - 1 do
+        atb.(i) <- atb.(i) +. (row.(i) *. y);
+        for j = 0 to n - 1 do
+          ata.(i).(j) <- ata.(i).(j) +. (row.(i) *. row.(j))
+        done
+      done)
+    rows;
+  let trace = ref 0.0 in
+  for i = 0 to n - 1 do
+    trace := !trace +. ata.(i).(i)
+  done;
+  let ridge = Float.max 1e-9 (1e-6 *. !trace /. float_of_int n) in
+  for i = 0 to n - 1 do
+    ata.(i).(i) <- ata.(i).(i) +. ridge
+  done;
+  let x = solve ata atb in
+  (* negative coefficients have no physical meaning; clamp and accept
+     the (reported) extra error instead of an absurd model *)
+  let cl v = Float.max 0.0 v in
+  let coeffs =
+    {
+      Model.c_exec = cl x.(0);
+      c_mem = cl x.(1);
+      c_spawn = cl x.(2);
+      c_serial = cl x.(3);
+    }
+  in
+  summarize coeffs points
+
+(* The committed default: fitted by bench/exp_predict.ml over the bench
+   corpus (see bench/baseline/CALIBRATION_predict.json, which CI
+   refits and gates).  Used whenever a job names no calibration file. *)
+let default =
+  {
+    coeffs =
+      { Model.c_exec = 1.0052; c_mem = 0.9449; c_spawn = 4.0337; c_serial = 0.9996 };
+    mae_pct = 5.05;
+    residual_std_pct = 8.06;
+    points = [];
+  }
+
+(* ---------------- the xmt.calibration.v1 artifact ---------------- *)
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.Str version);
+      ("coefficients", Model.coeffs_to_json t.coeffs);
+      ("mae_pct", J.Float t.mae_pct);
+      ("residual_std_pct", J.Float t.residual_std_pct);
+      ( "points",
+        J.Obj (List.map (fun (n, e) -> (n, J.Float e)) t.points) );
+    ]
+
+let summary_json t =
+  J.Obj
+    [
+      ("schema", J.Str version);
+      ("mae_pct", J.Float t.mae_pct);
+      ("residual_std_pct", J.Float t.residual_std_pct);
+      ("points", J.Int (List.length t.points));
+    ]
+
+let of_json j =
+  (match J.member "schema" j with
+  | Some (J.Str s) when s = version -> ()
+  | Some (J.Str other) -> fail "unsupported calibration schema %S" other
+  | _ -> fail "calibration artifact: missing \"schema\"");
+  let coeffs =
+    match J.member "coefficients" j with
+    | Some cj -> (
+      try Model.coeffs_of_json cj
+      with Invalid_argument msg -> fail "calibration artifact: %s" msg)
+    | None -> fail "calibration artifact: missing \"coefficients\""
+  in
+  let f k =
+    match Option.bind (J.member k j) J.to_float with Some v -> v | None -> 0.0
+  in
+  let points =
+    match J.member "points" j with
+    | Some (J.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun e -> (k, e)) (J.to_float v))
+        kvs
+    | _ -> []
+  in
+  {
+    coeffs;
+    mae_pct = f "mae_pct";
+    residual_std_pct = f "residual_std_pct";
+    points;
+  }
+
+let save_file path t = J.write_file ~pretty:true path (to_json t)
+
+let load_file path =
+  let text =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> In_channel.input_all ic)
+    with Sys_error msg -> fail "calibration %s: %s" path msg
+  in
+  match J.of_string text with
+  | j -> of_json j
+  | exception J.Parse_error msg -> fail "calibration %s: %s" path msg

@@ -1,0 +1,70 @@
+(** Calibration of the analytical model's free coefficients against
+    the cycle-accurate simulator, and the versioned
+    [xmt.calibration.v1] artifact that persists the fit.
+
+    The model is linear in its coefficients
+    (cycles = c . component_vector), so fitting is ordinary linear
+    least squares over a corpus of (profile, config, measured-cycles)
+    points, with rows normalized by the measured cycles — the fit
+    minimizes {e relative} error, so short and long workloads weigh
+    equally — and a tiny ridge so a corpus that never exercises a
+    component (no spawns, say) still fits.
+
+    [bench/exp_predict.ml] builds the corpus from the bench workloads,
+    refits, writes the artifact and gates the mean absolute error in
+    CI; {!default} carries the committed fit for jobs that name no
+    artifact. *)
+
+exception Calib_error of string
+
+(** ["xmt.calibration.v1"] *)
+val version : string
+
+type point = {
+  pt_name : string;
+  pt_components : float array;
+  pt_cycles : float;
+}
+
+type t = {
+  coeffs : Model.coeffs;
+  mae_pct : float;  (** mean absolute error over the corpus, percent *)
+  residual_std_pct : float;  (** stddev of signed relative error *)
+  points : (string * float) list;  (** per-point signed error, percent *)
+}
+
+(** Build a corpus point from a harvested profile and the
+    cycle-accurate ground truth for the same (program, config). *)
+val point :
+  name:string ->
+  config:Xmtsim.Config.t ->
+  Xmtsim.Reuseprofile.snapshot ->
+  actual_cycles:int ->
+  point
+
+(** Least-squares fit; raises {!Calib_error} on an empty corpus. *)
+val fit : point list -> t
+
+(** Re-evaluate a coefficient set against a corpus (per-point signed
+    errors, for leave-in validation and the bench report). *)
+val errors : Model.coeffs -> point list -> (string * float) list
+
+val summarize : Model.coeffs -> point list -> t
+
+(** The committed fit, used when a job names no calibration file. *)
+val default : t
+
+val to_json : t -> Obs.Json.t
+
+(** Compact form for embedding in [xmt.predict.v1] reports. *)
+val summary_json : t -> Obs.Json.t
+
+(** Raise {!Calib_error} on wrong schema or malformed coefficients. *)
+val of_json : Obs.Json.t -> t
+
+val save_file : string -> t -> unit
+
+(** Raises {!Calib_error} when the file is missing, unreadable or
+    invalid — a campaign job with a bad calibration path fails cleanly
+    in its own slot. *)
+val load_file : string -> t

@@ -1,0 +1,451 @@
+(* The analytical performance model — see model.mli. *)
+
+module C = Xmtsim.Config
+module R = Xmtsim.Reuseprofile
+module J = Obs.Json
+
+type coeffs = {
+  c_exec : float;
+  c_mem : float;
+  c_spawn : float;
+  c_serial : float;
+}
+
+(* Fallback identity coefficients; real deployments use a fitted
+   calibration artifact (Calibrate.default or a xmt.calibration.v1
+   file). *)
+let identity_coeffs = { c_exec = 1.0; c_mem = 1.0; c_spawn = 1.0; c_serial = 1.0 }
+
+let coeffs_to_json c =
+  J.Obj
+    [
+      ("exec", J.Float c.c_exec);
+      ("mem", J.Float c.c_mem);
+      ("spawn", J.Float c.c_spawn);
+      ("serial", J.Float c.c_serial);
+    ]
+
+let coeffs_of_json j =
+  let f k =
+    match Option.bind (J.member k j) J.to_float with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "coeffs: missing %S" k)
+  in
+  { c_exec = f "exec"; c_mem = f "mem"; c_spawn = f "spawn"; c_serial = f "serial" }
+
+(* ---------------- reuse histogram -> hit/fill rates ---------------- *)
+
+(* Per-access probabilities derived from a stream's harvested
+   histogram:
+
+   - [hi_hit]: the access finds its line resident (pays only the
+     round-trip / local hit latency).  Co-misses — concurrent requests
+     to a line whose fill is still in flight — are NOT hits: they park
+     in the cache module's MSHR and pay miss latency.
+   - [hi_fill]: the access triggers a DRAM fill.  Co-misses do not
+     (they share the fill), so fill traffic = first touches plus
+     eligible reuses whose stack distance exceeds the capacity. *)
+type hit_info = { hi_hit : float; hi_fill : float }
+
+let all_hit = { hi_hit = 1.0; hi_fill = 0.0 }
+
+(* [fill_mult] multiplies first touches for replicated caches: the
+   read-only cache exists per cluster, so every active cluster takes
+   its own copy of each compulsory miss. *)
+let hit_info_of_hists hists ~line_words ~capacity_lines ~fill_mult =
+  match hists with
+  | [] -> all_hit
+  | _ ->
+    let best =
+      List.fold_left
+        (fun acc (h : R.histogram) ->
+          let d g = abs (g - line_words) in
+          match acc with
+          | Some (b : R.histogram)
+            when d b.R.h_granularity_words <= d h.R.h_granularity_words ->
+            acc
+          | _ -> Some h)
+        None hists
+      |> Option.get
+    in
+    if best.R.h_accesses = 0 then all_hit
+    else begin
+      let fi = float_of_int in
+      let accesses = fi best.R.h_accesses in
+      let eligible =
+        fi (max 0 (best.R.h_accesses - best.R.h_comiss - best.R.h_first_touch))
+      in
+      (* P(stack distance <= capacity) over the sampled eligible
+         reuses; capacity is rescaled to the histogram's granularity.
+         Distances beyond the tracker depth count as misses, so for
+         capacities larger than the tracked depth the rate is a
+         (slight) underestimate. *)
+      let p_near =
+        if best.R.h_sampled = 0 then 1.0
+        else begin
+          let cap =
+            max 1 (capacity_lines * line_words / best.R.h_granularity_words)
+          in
+          let hits = ref 0.0 in
+          Array.iteri
+            (fun i n ->
+              let lo = if i = 0 then 1 else (1 lsl (i - 1)) + 1 in
+              let hi = 1 lsl i in
+              if hi <= cap then hits := !hits +. fi n
+              else if lo <= cap then
+                (* straddling bucket: assume uniform within the bucket *)
+                hits :=
+                  !hits +. (fi n *. fi (cap - lo + 1) /. fi (hi - lo + 1)))
+            best.R.h_buckets;
+          !hits /. fi best.R.h_sampled
+        end
+      in
+      let first = fi best.R.h_first_touch *. fill_mult in
+      let far = eligible *. (1.0 -. p_near) in
+      let miss =
+        Float.min 1.0 ((first +. fi best.R.h_comiss +. far) /. accesses)
+      in
+      { hi_hit = 1.0 -. miss; hi_fill = Float.min 1.0 ((first +. far) /. accesses) }
+    end
+
+let stream_hists (p : R.snapshot) name =
+  Option.value ~default:[] (List.assoc_opt name p.R.p_streams)
+
+(* ---------------- the component decomposition ---------------- *)
+
+type components = {
+  x_exec : float;
+  x_mem : float;
+  x_spawn : float;
+  x_serial : float;
+}
+
+type prediction = {
+  predicted_cycles : int;
+  lo : int;
+  hi : int;
+  instructions : int;
+  hit_shared : float;
+  hit_ro : float;
+  hit_master : float;
+  contention : float;  (** mean queueing inflation of a memory round trip *)
+  components : components;
+  coeffs : coeffs;
+}
+
+(* Per-pool execution cycles of one block, using the harvest's
+   multiply/divide and fdiv splits (the machine holds the TCU for the
+   unit's full latency). *)
+let mdu_cycles (c : C.t) (b : R.block_info) =
+  let n = Option.value ~default:0 (List.assoc_opt "MDU" b.R.mix) in
+  let muls = min n b.R.muls in
+  float_of_int ((muls * c.C.mul_latency) + ((n - muls) * c.C.div_latency))
+
+let fpu_cycles (c : C.t) (b : R.block_info) =
+  let n = Option.value ~default:0 (List.assoc_opt "FPU" b.R.mix) in
+  let divs = min n b.R.fpu_divs in
+  float_of_int (((n - divs) * c.C.fpu_latency) + (divs * c.C.div_latency))
+
+(* Total issue/execute cycles of a block: 1 per instruction plus the
+   shared-unit latencies above plus prefix-sum latency.  Memory round
+   trips are priced in the memory component. *)
+let block_exec_cycles (c : C.t) (b : R.block_info) =
+  List.fold_left
+    (fun acc (cls, n) ->
+      acc
+      +.
+      match cls with
+      | "MDU" | "FPU" -> 0.0 (* added below with their real latencies *)
+      | "PS" -> float_of_int (n * c.C.ps_latency)
+      | _ -> float_of_int n)
+    0.0 b.R.mix
+  +. mdu_cycles c b +. fpu_cycles c b
+
+(* queueing inflation of an M/D/1-ish station at utilization rho,
+   capped so an overloaded station degrades gracefully instead of
+   diverging *)
+let qfactor rho =
+  let rho = Float.min rho 0.95 in
+  rho /. (1.0 -. rho)
+
+(* Residual stall fraction of a prefetch-covered load: the compiler's
+   loop-ahead prefetch issues one iteration early, which hides most but
+   not all of the round trip (the pipeline catches up with the buffer;
+   measured ~40% of the trip remains on the latency-tolerance bench). *)
+let pf_late = 0.4
+
+let components_of ~config:(c : C.t) (p : R.snapshot) =
+  let num_tcus = C.num_tcus c in
+  let fi = float_of_int in
+  (* uncontended shared round trip: ICN out and back, the module's hit
+     service, mean jitter, plus ~2 cycles of cluster tick alignment *)
+  let icn_round = 2.0 *. fi c.C.icn_latency *. fi c.C.icn_period in
+  let l0 =
+    icn_round
+    +. (fi c.C.cache_hit_latency *. fi c.C.cache_period)
+    +. fi c.C.icn_jitter +. 2.0
+  in
+  let dram_unit = fi c.C.dram_latency *. fi c.C.dram_period in
+  let shared =
+    hit_info_of_hists (stream_hists p "tcu_rw")
+      ~line_words:c.C.cache_line_words
+      ~capacity_lines:(c.C.num_cache_modules * c.C.cache_lines)
+      ~fill_mult:1.0
+  in
+  let serial_blocks, parallel =
+    List.partition (fun b -> b.R.pc < 0) p.R.p_blocks
+  in
+  let b_concurrency b =
+    let avg_threads =
+      if b.R.activations = 0 then 1.0
+      else fi b.R.threads /. fi b.R.activations
+    in
+    Float.max 1.0 (Float.min avg_threads (fi num_tcus))
+  in
+  (* thread-count imbalance: the last wave of virtual threads may not
+     fill the TCUs *)
+  let b_imbalance b =
+    let avg_threads =
+      if b.R.activations = 0 then 1.0
+      else fi b.R.threads /. fi b.R.activations
+    in
+    if avg_threads <= fi num_tcus || avg_threads <= 0.0 then 1.0
+    else
+      let waves = ceil (avg_threads /. fi num_tcus) in
+      waves *. fi num_tcus /. avg_threads
+  in
+  let active_clusters b =
+    let k = b_concurrency b in
+    max 1 (int_of_float (ceil (k /. fi c.C.tcus_per_cluster)))
+  in
+  let ro_info b =
+    (* per-cluster read-only cache, line-granular; each active cluster
+       takes its own copy of every compulsory miss *)
+    hit_info_of_hists (stream_hists p "tcu_ro")
+      ~line_words:c.C.cache_line_words ~capacity_lines:c.C.rocache_lines
+      ~fill_mult:(fi (active_clusters b))
+  in
+  let master =
+    hit_info_of_hists (stream_hists p "master")
+      ~line_words:c.C.cache_line_words ~capacity_lines:c.C.master_cache_lines
+      ~fill_mult:1.0
+  in
+  (* shared-path requests of a block (what the ICN and modules see):
+     everything except read-only loads served by the cluster cache *)
+  let b_shared_requests b =
+    let ro_misses = fi b.R.ro_loads *. (1.0 -. (ro_info b).hi_hit) in
+    fi (b.R.loads - b.R.ro_loads + b.R.stores + b.R.psm + b.R.prefetch)
+    +. ro_misses
+  in
+  (* Fixed-point on the contention: the queueing delays depend on the
+     request rate, which depends on the predicted time.  A couple of
+     dozen damped iterations converge for any workload/config. *)
+  let q_net = ref 0.0 and q_dram = ref 0.0 in
+  let x_exec = ref 0.0 and x_mem = ref 0.0 in
+  let par_cycles = ref 1.0 in
+  let t_shared ~hit =
+    l0 +. !q_net +. ((1.0 -. hit) *. (dram_unit +. !q_dram))
+  in
+  for _ = 1 to 25 do
+    x_exec := 0.0;
+    x_mem := 0.0;
+    par_cycles := 0.0;
+    List.iter
+      (fun b ->
+        let k = b_concurrency b and imb = b_imbalance b in
+        let acl = active_clusters b in
+        let ro = ro_info b in
+        let t_sh = t_shared ~hit:shared.hi_hit in
+        let t_ro =
+          (ro.hi_hit *. fi c.C.rocache_hit_latency)
+          +. ((1.0 -. ro.hi_hit) *. t_sh)
+        in
+        (* memory stall cycles per virtual thread stream:
+           - read-write loads block unless the compiler's loop-ahead
+             prefetch covers them (then only the late fraction stalls);
+           - psm and blocking stores wait the full round trip;
+           - non-blocking stores stall only at fences (the drain waits
+             roughly one round trip per fence that guards them) *)
+        let rw_loads = b.R.loads - b.R.ro_loads in
+        let covered = min b.R.prefetch rw_loads in
+        let blocking =
+          fi (rw_loads - covered)
+          +. fi b.R.psm
+          +. fi (b.R.stores - b.R.nb_stores)
+          +. fi (min b.R.nb_stores b.R.fences)
+        in
+        let mem_k =
+          ((blocking *. t_sh)
+          +. (fi covered *. pf_late *. t_sh)
+          +. (fi b.R.ro_loads *. t_ro))
+          /. k *. imb
+        in
+        (* shared-unit (MDU/FPU) pool contention: with [share] TCUs per
+           unit in the active clusters, each op waits on average
+           (share-1)/2 sibling service times *)
+        let tcus_per_active = k /. fi acl in
+        let fu_extra =
+          let pool cycles units =
+            if cycles <= 0.0 then 0.0
+            else
+              let share = tcus_per_active /. fi units in
+              cycles /. k *. Float.max 0.0 (share -. 1.0) /. 2.0
+          in
+          pool (mdu_cycles c b) c.C.mdus_per_cluster
+          +. pool (fpu_cycles c b) c.C.fpus_per_cluster
+        in
+        let exec_k = (block_exec_cycles c b /. k *. imb) +. fu_extra in
+        (* structural throughput floors: a block cannot finish faster
+           than its busiest shared resource can serve it *)
+        let reqs = b_shared_requests b in
+        let fills = reqs *. shared.hi_fill in
+        let fu_bound =
+          Float.max
+            (mdu_cycles c b /. fi (c.C.mdus_per_cluster * acl))
+            (fpu_cycles c b /. fi (c.C.fpus_per_cluster * acl))
+        in
+        let mem_bound =
+          Float.max
+            (fills *. fi c.C.dram_period /. fi c.C.dram_bandwidth)
+            (Float.max
+               (reqs *. fi c.C.icn_period
+               /. fi (acl * c.C.cluster_inject_width))
+               (reqs *. fi c.C.cache_period
+               /. fi (c.C.num_cache_modules * c.C.cache_ports)))
+        in
+        let base = exec_k +. mem_k in
+        (* fold any binding floor into the matching component so the
+           four-feature calibration still sees the full cost *)
+        let exec_k, mem_k =
+          if fu_bound > base && fu_bound >= mem_bound then
+            (exec_k +. (fu_bound -. base), mem_k)
+          else if mem_bound > base then (exec_k, mem_k +. (mem_bound -. base))
+          else (exec_k, mem_k)
+        in
+        x_exec := !x_exec +. exec_k;
+        x_mem := !x_mem +. mem_k;
+        par_cycles := !par_cycles +. exec_k +. mem_k)
+      parallel;
+    let cyc = Float.max 1.0 !par_cycles in
+    let reqs =
+      List.fold_left (fun a b -> a +. b_shared_requests b) 0.0 parallel
+    in
+    (* request rate the stations see, in requests per cluster cycle *)
+    let lambda = reqs /. cyc in
+    let rho_icn =
+      lambda
+      /. (fi (c.C.num_clusters * c.C.cluster_inject_width) /. fi c.C.icn_period)
+    in
+    let rho_cache =
+      lambda
+      /. (fi (c.C.num_cache_modules * c.C.cache_ports) /. fi c.C.cache_period)
+    in
+    let rho_dram =
+      lambda *. shared.hi_fill
+      /. (fi c.C.dram_bandwidth /. fi c.C.dram_period)
+    in
+    let qn =
+      (qfactor rho_icn *. fi c.C.icn_period)
+      +. (qfactor rho_cache *. fi c.C.cache_period)
+    in
+    let qd = qfactor rho_dram *. fi c.C.dram_period /. fi c.C.dram_bandwidth in
+    (* damp the update to keep the iteration stable *)
+    q_net := (0.5 *. !q_net) +. (0.5 *. qn);
+    q_dram := (0.5 *. !q_dram) +. (0.5 *. qd)
+  done;
+  let x_spawn =
+    fi (List.fold_left (fun a b -> a + b.R.activations) 0 parallel)
+    *. fi (c.C.spawn_overhead + c.C.join_overhead)
+    *. fi c.C.cluster_period
+  in
+  (* serial-block memory ops ride the master cache; its misses go
+     straight to DRAM without crossing the ICN or the shared queue *)
+  let t_master =
+    fi c.C.master_cache_hit_latency
+    +. ((1.0 -. master.hi_hit) *. dram_unit)
+  in
+  let x_serial =
+    List.fold_left
+      (fun acc b ->
+        acc
+        +. block_exec_cycles c b
+        +. (fi (b.R.loads + b.R.stores + b.R.psm) *. t_master))
+      0.0 serial_blocks
+  in
+  let avg_ro_hit =
+    match parallel with
+    | b :: _ -> (ro_info b).hi_hit
+    | [] ->
+      (hit_info_of_hists (stream_hists p "tcu_ro")
+         ~line_words:c.C.cache_line_words ~capacity_lines:c.C.rocache_lines
+         ~fill_mult:1.0)
+        .hi_hit
+  in
+  let t0 = l0 +. ((1.0 -. shared.hi_hit) *. dram_unit) in
+  let t1 =
+    l0 +. !q_net +. ((1.0 -. shared.hi_hit) *. (dram_unit +. !q_dram))
+  in
+  ( { x_exec = !x_exec; x_mem = !x_mem; x_spawn; x_serial },
+    shared.hi_hit,
+    avg_ro_hit,
+    master.hi_hit,
+    (if t0 > 0.0 then t1 /. t0 else 1.0) )
+
+let apply coeffs (x : components) =
+  (coeffs.c_exec *. x.x_exec)
+  +. (coeffs.c_mem *. x.x_mem)
+  +. (coeffs.c_spawn *. x.x_spawn)
+  +. (coeffs.c_serial *. x.x_serial)
+
+let component_vector (x : components) =
+  [| x.x_exec; x.x_mem; x.x_spawn; x.x_serial |]
+
+let predict ?(coeffs = identity_coeffs) ?(residual_std_pct = 0.0) ~config p =
+  let x, hit_shared, hit_ro, hit_master, contention =
+    components_of ~config p
+  in
+  let cycles = Float.max 1.0 (apply coeffs x) in
+  let band = 2.0 *. residual_std_pct /. 100.0 *. cycles in
+  {
+    predicted_cycles = int_of_float cycles;
+    lo = max 1 (int_of_float (cycles -. band));
+    hi = int_of_float (cycles +. band);
+    instructions = p.R.p_instructions;
+    hit_shared;
+    hit_ro;
+    hit_master;
+    contention;
+    components = x;
+    coeffs;
+  }
+
+let to_json ?calibration ?config_name pr =
+  J.Obj
+    ([ ("schema", J.Str "xmt.predict.v1") ]
+    @ (match config_name with
+      | Some n -> [ ("config", J.Str n) ]
+      | None -> [])
+    @ [
+        ("predicted_cycles", J.Int pr.predicted_cycles);
+        ("lo", J.Int pr.lo);
+        ("hi", J.Int pr.hi);
+        ("instructions", J.Int pr.instructions);
+        ( "hit_rates",
+          J.Obj
+            [
+              ("shared", J.Float pr.hit_shared);
+              ("rocache", J.Float pr.hit_ro);
+              ("master", J.Float pr.hit_master);
+            ] );
+        ("contention", J.Float pr.contention);
+        ( "components",
+          J.Obj
+            [
+              ("exec", J.Float pr.components.x_exec);
+              ("mem", J.Float pr.components.x_mem);
+              ("spawn", J.Float pr.components.x_spawn);
+              ("serial", J.Float pr.components.x_serial);
+            ] );
+        ("coefficients", coeffs_to_json pr.coeffs);
+      ]
+    @ match calibration with Some j -> [ ("calibration", j) ] | None -> [])

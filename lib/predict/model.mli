@@ -1,0 +1,89 @@
+(** The analytical performance model of the prediction mode
+    (PPT-Multicore-style, see PAPERS.md): a harvested reuse profile
+    ({!Xmtsim.Reuseprofile.snapshot}) plus the same {!Xmtsim.Config}
+    the cycle-accurate machine uses, in; predicted cycles with error
+    bars, out.
+
+    Three stages:
+
+    + {e hit rates}: each stream's reuse-distance histogram is turned
+      into a per-level hit rate by the stack-distance method — an
+      access hits an LRU cache of capacity C lines iff its stack
+      distance is at most C (the histogram granularity closest to the
+      config's line size is rescaled to it);
+    + {e contention}: ICN injection, cache-module ports and DRAM
+      bandwidth are stations of a queueing model; their utilizations
+      follow from the profile's access rates and add
+      [rho/(1-rho)]-style delay terms to the memory round trip, solved
+      by a damped fixed point (the rate depends on the predicted time);
+    + {e decomposition}: predicted cycles split into four components —
+      parallel execution, parallel memory, spawn/join overhead and the
+      serial (master) section — each scaled by a fitted coefficient
+      ({!coeffs}, see {!Calibrate}).
+
+    Everything is pure arithmetic on the profile: predictions are
+    deterministic and identical across domains. *)
+
+type coeffs = {
+  c_exec : float;  (** parallel execution component *)
+  c_mem : float;  (** parallel memory component *)
+  c_spawn : float;  (** spawn/join overhead component *)
+  c_serial : float;  (** serial (master) section component *)
+}
+
+(** All-ones coefficients, the uncalibrated fallback; real deployments
+    use {!Calibrate.default} or a fitted artifact. *)
+val identity_coeffs : coeffs
+
+val coeffs_to_json : coeffs -> Obs.Json.t
+
+(** Raises [Invalid_argument] on a malformed object. *)
+val coeffs_of_json : Obs.Json.t -> coeffs
+
+type components = {
+  x_exec : float;
+  x_mem : float;
+  x_spawn : float;
+  x_serial : float;
+}
+
+type prediction = {
+  predicted_cycles : int;
+  lo : int;  (** lower error bar: prediction minus 2 residual stddevs *)
+  hi : int;  (** upper error bar *)
+  instructions : int;
+  hit_shared : float;  (** predicted shared-cache hit rate *)
+  hit_ro : float;  (** predicted read-only-cache hit rate *)
+  hit_master : float;  (** predicted master-cache hit rate *)
+  contention : float;  (** queueing inflation of a memory round trip *)
+  components : components;
+  coeffs : coeffs;
+}
+
+(** [predict ~config profile].  [residual_std_pct] (from the
+    calibration artifact) widens [lo]/[hi] to two residual standard
+    deviations. *)
+val predict :
+  ?coeffs:coeffs ->
+  ?residual_std_pct:float ->
+  config:Xmtsim.Config.t ->
+  Xmtsim.Reuseprofile.snapshot ->
+  prediction
+
+(** The per-component cycle estimates with unit coefficients, as the
+    design vector the calibration fit consumes (order: exec, mem,
+    spawn, serial). *)
+val component_vector : components -> float array
+
+(** Raw components + hit rates, for {!Calibrate.point}. *)
+val components_of :
+  config:Xmtsim.Config.t ->
+  Xmtsim.Reuseprofile.snapshot ->
+  components * float * float * float * float
+
+val apply : coeffs -> components -> float
+
+(** The [xmt.predict.v1] report.  [calibration] (typically
+    {!Calibrate.summary_json}) rides along as a [calibration] member. *)
+val to_json :
+  ?calibration:Obs.Json.t -> ?config_name:string -> prediction -> Obs.Json.t

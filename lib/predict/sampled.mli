@@ -1,0 +1,33 @@
+(** Checkpoint-sampled prediction: fast-forward functionally, measure
+    a few detailed windows on the cycle-accurate machine (via
+    {!Xmtsim.Phase_sampling.sample} + {!Xmtsim.Machine.restore}), and
+    blend the measured windows with model-priced gaps.
+
+    Two passes over the program: the first harvests a reuse profile
+    (discovering the run length) and prices the whole run with the
+    analytical model ({!Model}); the second fast-forwards again,
+    cycle-measuring [num_windows] evenly spaced windows of [interval]
+    instructions (or the caller's explicit [windows]).  Gaps between
+    windows are priced at the measured CPI when at least one window
+    landed, and at the model CPI otherwise — so the estimate degrades
+    gracefully to the pure analytical prediction. *)
+
+type result = {
+  sp_cycles : int;  (** the blended estimate *)
+  sp_model_cycles : int;  (** the pure analytical prediction *)
+  sp_measured_cycles : int;
+  sp_measured_instructions : int;
+  sp_gap_instructions : int;
+  sp_total_instructions : int;
+  sp_windows_requested : int;
+  sp_windows_landed : int;
+}
+
+val estimate :
+  ?calibration:Calibrate.t ->
+  ?config:Xmtsim.Config.t ->
+  ?interval:int ->
+  ?num_windows:int ->
+  ?windows:Xmtsim.Phase_sampling.window list ->
+  Isa.Program.image ->
+  result

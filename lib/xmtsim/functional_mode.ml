@@ -22,6 +22,7 @@ type state = {
   master : F.ctx;
   mutable executed : int;
   mutable st_halted : bool;
+  rp : Reuseprofile.t option;  (** reuse-profile harvest (predict mode) *)
 }
 
 let compute_join_map img =
@@ -45,7 +46,7 @@ let compute_join_map img =
   (match !open_spawn with Some s -> fail "unmatched spawn at %d" s | None -> ());
   join_of
 
-let init img =
+let init ?profile img =
   let master = F.make_ctx () in
   master.F.pc <- img.Isa.Program.entry;
   {
@@ -58,27 +59,47 @@ let init img =
     master;
     executed = 0;
     st_halted = false;
+    rp = profile;
   }
 
 (* Run one serial-boundary step: either a single master instruction, or a
    whole spawn (all virtual threads, serialized). *)
 let step ?(on_instr = fun ~pc:_ -> ()) (t : state) =
   let read_str a = Mem.read_string t.memory a in
+  (* reuse-profile taps: instruction classes and memory addresses are
+     only visible here, so the harvest rides the interpreter loop *)
+  let rp_instr ~master ins =
+    match t.rp with
+    | Some p -> Reuseprofile.on_instr p ~master ins
+    | None -> ()
+  in
+  let rp_access ?(nb = false) ~master ~ro ~kind ~addr () =
+    match t.rp with
+    | Some p -> Reuseprofile.on_access p ~master ~ro ~nb ~kind ~addr
+    | None -> ()
+  in
   let ctx = t.master in
   let pc = ctx.F.pc in
   let ins = t.img.Isa.Program.instrs.(pc) in
   t.executed <- t.executed + 1;
   Stats.count_instr t.st_stats ~master:true ins;
+  rp_instr ~master:true ins;
   on_instr ~pc;
   match F.issue t.img ctx ~read_str with
   | F.Done -> ()
-  | F.Load { dst; addr; ro = _ } -> F.complete_load ctx dst (Mem.read t.memory addr)
-  | F.Store { addr; value; nb = _ } -> Mem.write t.memory addr value
+  | F.Load { dst; addr; ro } ->
+    rp_access ~master:true ~ro ~kind:`Load ~addr ();
+    F.complete_load ctx dst (Mem.read t.memory addr)
+  | F.Store { addr; value; nb } ->
+    rp_access ~nb ~master:true ~ro:false ~kind:`Store ~addr ();
+    Mem.write t.memory addr value
   | F.Psm { dst; addr; inc } ->
     t.st_stats.Stats.psm_ops <- t.st_stats.Stats.psm_ops + 1;
+    rp_access ~master:true ~ro:false ~kind:`Psm ~addr ();
     let old = Mem.fetch_add t.memory addr inc in
     if dst <> 0 then ctx.F.regs.(dst) <- old
-  | F.Prefetch _ -> ()
+  | F.Prefetch { addr } ->
+    rp_access ~master:true ~ro:false ~kind:`Prefetch ~addr ()
   | F.Ps { dst; g; inc } ->
     if inc <> 0 && inc <> 1 then fail "ps increment must be 0 or 1 (got %d)" inc;
     t.st_stats.Stats.ps_ops <- t.st_stats.Stats.ps_ops + 1;
@@ -96,6 +117,10 @@ let step ?(on_instr = fun ~pc:_ -> ()) (t : state) =
     (* serialize: one context runs the dispatch loop for all ids *)
     t.globals.(Isa.Reg.g_spawn) <- lo;
     let bound = hi in
+    (match t.rp with
+    | Some p ->
+      Reuseprofile.enter_spawn p ~pc:spawn_idx ~threads:(hi - lo + 1)
+    | None -> ());
     let thread = F.make_ctx () in
     F.copy_regs ~src:ctx ~dst:thread;
     thread.F.pc <- spawn_idx + 1;
@@ -110,17 +135,23 @@ let step ?(on_instr = fun ~pc:_ -> ()) (t : state) =
       let tins = t.img.Isa.Program.instrs.(tpc) in
       t.executed <- t.executed + 1;
       Stats.count_instr t.st_stats ~master:false tins;
+      rp_instr ~master:false tins;
       on_instr ~pc:tpc;
       match F.issue t.img thread ~read_str with
       | F.Done -> ()
-      | F.Load { dst; addr; ro = _ } ->
+      | F.Load { dst; addr; ro } ->
+        rp_access ~master:false ~ro ~kind:`Load ~addr ();
         F.complete_load thread dst (Mem.read t.memory addr)
-      | F.Store { addr; value; nb = _ } -> Mem.write t.memory addr value
+      | F.Store { addr; value; nb } ->
+        rp_access ~nb ~master:false ~ro:false ~kind:`Store ~addr ();
+        Mem.write t.memory addr value
       | F.Psm { dst; addr; inc } ->
         t.st_stats.Stats.psm_ops <- t.st_stats.Stats.psm_ops + 1;
+        rp_access ~master:false ~ro:false ~kind:`Psm ~addr ();
         let old = Mem.fetch_add t.memory addr inc in
         if dst <> 0 then thread.F.regs.(dst) <- old
-      | F.Prefetch _ -> ()
+      | F.Prefetch { addr } ->
+        rp_access ~master:false ~ro:false ~kind:`Prefetch ~addr ()
       | F.Ps { dst; g; inc } ->
         if inc <> 0 && inc <> 1 then fail "ps increment must be 0 or 1";
         t.st_stats.Stats.ps_ops <- t.st_stats.Stats.ps_ops + 1;
@@ -128,22 +159,31 @@ let step ?(on_instr = fun ~pc:_ -> ()) (t : state) =
         t.globals.(g) <- old + inc;
         if dst <> 0 then thread.F.regs.(dst) <- old
       | F.Chkid { id } ->
-        if id <= bound then
-          t.st_stats.Stats.virtual_threads <- t.st_stats.Stats.virtual_threads + 1
+        if id <= bound then begin
+          t.st_stats.Stats.virtual_threads <-
+            t.st_stats.Stats.virtual_threads + 1;
+          (* a fresh virtual thread begins: deal it onto the next vTCU
+             stream so the harvest sees hardware-like interleaving *)
+          match t.rp with Some p -> Reuseprofile.on_thread p | None -> ()
+        end
         else finished := true
-      | F.Fence -> t.st_stats.Stats.fences <- t.st_stats.Stats.fences + 1
+      | F.Fence ->
+        t.st_stats.Stats.fences <- t.st_stats.Stats.fences + 1;
+        (match t.rp with Some p -> Reuseprofile.on_fence p | None -> ())
       | F.Output s -> Buffer.add_string t.out s
       | F.Spawn _ -> fail "nested spawn executed by a virtual thread"
       | F.Join -> fail "virtual thread reached join"
       | F.Halt -> fail "virtual thread executed halt"
       | F.Mfg _ | F.Mtg _ -> fail "virtual thread executed mfg/mtg"
     done;
+    (match t.rp with Some p -> Reuseprofile.exit_spawn p | None -> ());
     ctx.F.pc <- join_idx + 1
   | F.Join -> fail "join reached in serial flow"
   | F.Chkid _ -> fail "chkid in serial flow"
   | F.Mfg { dst; g } -> if dst <> 0 then ctx.F.regs.(dst) <- t.globals.(g)
   | F.Mtg { g; src } -> t.globals.(g) <- src
-  | F.Fence -> ()
+  | F.Fence -> (
+    match t.rp with Some p -> Reuseprofile.on_fence p | None -> ())
   | F.Output s -> Buffer.add_string t.out s
   | F.Halt -> t.st_halted <- true
 
@@ -169,8 +209,8 @@ let snapshot t =
     ~globals:(Array.copy t.globals)
     ~output:(Buffer.contents t.out)
 
-let run ?(max_instructions = 2_000_000_000) ?on_instr img =
-  let t = init img in
+let run ?(max_instructions = 2_000_000_000) ?on_instr ?profile img =
+  let t = init ?profile img in
   (match advance ?on_instr t ~budget:max_instructions with
   | `Halted -> ()
   | `Paused -> fail "instruction budget exhausted");

@@ -23,13 +23,23 @@ type result = {
 
 exception Exec_error of string
 
-val run : ?max_instructions:int -> ?on_instr:(pc:int -> unit) -> Isa.Program.image -> result
+(** [profile] attaches a reuse-profile collector ({!Reuseprofile}): the
+    interpreter feeds it every executed instruction, every memory
+    access (with its address and read-only/atomic kind) and every
+    spawn/join boundary — the harvest pass of the analytical prediction
+    mode.  Without it the hooks cost one [None] match per event. *)
+val run :
+  ?max_instructions:int ->
+  ?on_instr:(pc:int -> unit) ->
+  ?profile:Reuseprofile.t ->
+  Isa.Program.image ->
+  result
 
 (* -------- incremental interface (phase sampling, §III-F) -------- *)
 
 type state
 
-val init : Isa.Program.image -> state
+val init : ?profile:Reuseprofile.t -> Isa.Program.image -> state
 
 (** Execute at least [budget] more instructions (pausing only at a serial
     boundary, so a spawn may overshoot), or until halt.  [on_instr] sees

@@ -114,3 +114,116 @@ let estimate ?(config = Config.fpga64) ?(interval = 20_000)
     sampled_instructions = !sampled_instructions;
     sampled_cycles = !sampled_cycles;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Programmatic window selection *)
+
+type window = { w_start : int; w_instructions : int }
+type measured = { m_start : int; m_instructions : int; m_cycles : int }
+type gap = { g_start : int; g_instructions : int }
+
+type sampled = {
+  s_total_instructions : int;
+  s_measured : measured list;
+  s_gaps : gap list;
+  s_windows_requested : int;
+  s_windows_landed : int;
+  s_halted : bool;
+}
+
+let sample ?(config = Config.fpga64) ?(max_instructions = 2_000_000_000)
+    ~windows image =
+  List.iter
+    (fun w ->
+      if w.w_start < 0 then raise (Error "window start must be >= 0");
+      if w.w_instructions <= 0 then
+        raise (Error "window length must be > 0 instructions"))
+    windows;
+  let ws =
+    List.sort (fun a b -> compare (a.w_start, a.w_instructions)
+                            (b.w_start, b.w_instructions)) windows
+  in
+  (let rec overlap = function
+     | a :: (b :: _ as rest) ->
+       if a.w_start + a.w_instructions > b.w_start then
+         raise
+           (Error
+              (Printf.sprintf "windows overlap: [%d,+%d) and [%d,+%d)"
+                 a.w_start a.w_instructions b.w_start b.w_instructions));
+       overlap rest
+     | _ -> ()
+   in
+   overlap ws);
+  let st = Functional_mode.init image in
+  let measured = ref [] in
+  let gaps = ref [] in
+  let landed = ref 0 in
+  (* fast-forward to [target] (a serial boundary may overshoot); the
+     skipped span, if any, is recorded as a gap *)
+  let forward target =
+    let before = Functional_mode.instructions st in
+    if target > before && not (Functional_mode.halted st) then
+      ignore (Functional_mode.advance st ~budget:(target - before));
+    let ran = Functional_mode.instructions st - before in
+    if ran > 0 then gaps := { g_start = before; g_instructions = ran } :: !gaps
+  in
+  List.iter
+    (fun w ->
+      if not (Functional_mode.halted st) then begin
+        forward w.w_start;
+        if not (Functional_mode.halted st) then begin
+          let snap = Functional_mode.snapshot st in
+          let before = Functional_mode.instructions st in
+          ignore (Functional_mode.advance st ~budget:w.w_instructions);
+          let ran = Functional_mode.instructions st - before in
+          if ran > 0 then begin
+            (* the cycle machine takes over from the snapshot and runs
+               the same instruction span *)
+            let cycles, instrs =
+              cycle_sample ~config ~image ~snap ~instr_budget:ran
+            in
+            (* charge the window's functional span at the measured CPI:
+               the cycle sample may pause at a slightly different
+               boundary than the functional replay *)
+            let cyc =
+              int_of_float
+                (float_of_int ran *. float_of_int cycles /. float_of_int instrs)
+            in
+            incr landed;
+            measured :=
+              { m_start = before; m_instructions = ran; m_cycles = cyc }
+              :: !measured
+          end
+        end
+      end)
+    ws;
+  (* run out the tail *)
+  forward max_instructions;
+  {
+    s_total_instructions = Functional_mode.instructions st;
+    s_measured = List.rev !measured;
+    s_gaps = List.rev !gaps;
+    s_windows_requested = List.length ws;
+    s_windows_landed = !landed;
+    s_halted = Functional_mode.halted st;
+  }
+
+let blend ?gap_cpi s =
+  let m_instr =
+    List.fold_left (fun a m -> a + m.m_instructions) 0 s.s_measured
+  in
+  let m_cycles = List.fold_left (fun a m -> a + m.m_cycles) 0 s.s_measured in
+  let default_cpi =
+    if m_instr > 0 then float_of_int m_cycles /. float_of_int m_instr
+    else
+      match gap_cpi with
+      | Some _ -> 0.0 (* unused: the caller prices every gap *)
+      | None -> raise (Error "blend: no measured windows and no gap_cpi")
+  in
+  let price = match gap_cpi with Some f -> f | None -> fun _ -> default_cpi in
+  let gap_cycles =
+    List.fold_left
+      (fun a g -> a +. (float_of_int g.g_instructions *. price g))
+      0.0 s.s_gaps
+  in
+  m_cycles + int_of_float gap_cycles

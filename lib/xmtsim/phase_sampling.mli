@@ -44,3 +44,58 @@ val estimate :
   ?similarity:float ->
   Isa.Program.image ->
   result
+
+(** {1 Programmatic window selection}
+
+    {!estimate} decides which intervals to cycle-simulate on its own
+    (phase clustering).  The API below hands that decision to the
+    caller: name the instruction windows to measure, get back the
+    measured windows and the unmeasured gaps, and price the gaps
+    however you like ({!blend}) — the checkpoint-sampled prediction
+    mode ([Predict.Sampled]) prices them with the analytical model. *)
+
+(** A detailed-simulation window: [w_instructions] instructions
+    starting at instruction index [w_start] (0 = before the first
+    instruction).  Windows are positions in the {e functional}
+    (serialized) instruction stream; since the functional mode pauses
+    only at serial boundaries, a window's realized span may overshoot
+    its nominal bounds, and a window that starts at or beyond the
+    program's end simply does not land. *)
+type window = { w_start : int; w_instructions : int }
+
+(** A window that landed: the realized instruction span and the cycles
+    the cycle-accurate machine measured over it (normalized to the
+    span when the machine pauses at a different boundary). *)
+type measured = { m_start : int; m_instructions : int; m_cycles : int }
+
+(** A fast-forwarded span no window covered. *)
+type gap = { g_start : int; g_instructions : int }
+
+type sampled = {
+  s_total_instructions : int;
+  s_measured : measured list;  (** in execution order *)
+  s_gaps : gap list;  (** in execution order *)
+  s_windows_requested : int;
+  s_windows_landed : int;  (** windows that covered >= 1 instruction *)
+  s_halted : bool;
+}
+
+(** [sample ~windows image] fast-forwards functionally, snapshots at
+    each window start ({!Functional_mode.snapshot}), lets a
+    cycle-accurate {!Machine} ({!Machine.restore}) measure the window,
+    and resumes fast-forwarding after it.  Windows may start at
+    instruction 0 (the snapshot is the freshly loaded state) and may
+    extend past the end of the run (the realized span is clamped at
+    halt).  Raises {!Error} if windows overlap or are malformed. *)
+val sample :
+  ?config:Config.t ->
+  ?max_instructions:int ->
+  windows:window list ->
+  Isa.Program.image ->
+  sampled
+
+(** [blend s] = measured cycles + every gap priced at [gap_cpi] (cycles
+    per instruction; default: the mean measured CPI over the landed
+    windows).  Raises {!Error} when no window landed and no [gap_cpi]
+    is given. *)
+val blend : ?gap_cpi:(gap -> float) -> sampled -> int

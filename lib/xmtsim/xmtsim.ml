@@ -23,6 +23,7 @@ module Profile = Profile
 module Profiler = Profiler
 module Machine = Machine
 module Functional_mode = Functional_mode
+module Reuseprofile = Reuseprofile
 module Phase_sampling = Phase_sampling
 module Trace = Trace
 module Power = Power

@@ -245,6 +245,60 @@ let campaign_exec_block () =
           Tu.check_int "bad exec rejected" 1 code;
           Tu.check_bool "names the constraint" true (contains "jobs" err)))
 
+(* ---- predict mode and the schema-registry-backed kind listing ---- *)
+
+let unknown_export_kind_lists_registry () =
+  with_src (fun src ->
+      let code, _, err =
+        run_cmd [ xmtsim; src; "--export"; "bogus=x.json" ]
+      in
+      Tu.check_int "cmdliner CLI-error code" 124 code;
+      Tu.check_bool "names the bad kind" true (contains "bogus" err);
+      (* the suggestion list is derived from the schema registry, so
+         every registered kind must appear — the listing cannot drift *)
+      List.iter
+        (fun kind ->
+          Tu.check_bool (kind ^ " listed") true (contains kind err))
+        Obs.Schema.export_kinds;
+      Tu.check_bool "no file written" false (Sys.file_exists "x.json"))
+
+let predict_mode_exports () =
+  with_src (fun src ->
+      let code, out, _ =
+        run_cmd
+          [ xmtsim; src; "--mode"; "predict"; "--export"; "predict=-" ]
+      in
+      Tu.check_int "exit 0" 0 code;
+      let j = J.of_string out in
+      Tu.check_bool "xmt.predict.v1" true
+        (J.member "schema" j = Some (J.Str "xmt.predict.v1"));
+      Tu.check_bool "has predicted_cycles" true
+        (match J.member "predicted_cycles" j with
+        | Some (J.Int n) -> n > 0
+        | _ -> false))
+
+let predict_exports_need_predict_mode () =
+  with_src (fun src ->
+      List.iter
+        (fun kind ->
+          let code, _, err =
+            run_cmd [ xmtsim; src; "--export"; kind ^ "=-" ]
+          in
+          Tu.check_int (kind ^ " rejected") 1 code;
+          Tu.check_bool "names --mode predict" true
+            (contains "--mode predict" err))
+        [ "predict"; "reuseprofile" ];
+      (* the flag's converter checks the file exists, so hand it one *)
+      let cal = Filename.temp_file "xmtcli" ".json" in
+      let code, _, err =
+        Fun.protect
+          ~finally:(fun () -> Sys.remove cal)
+          (fun () -> run_cmd [ xmtsim; src; "--calibration"; cal ])
+      in
+      Tu.check_int "--calibration rejected" 1 code;
+      Tu.check_bool "names --mode predict" true
+        (contains "--mode predict" err))
+
 let attach_needs_connect () =
   let code, _, err = run_cmd [ xmtsim; "--attach"; "c1" ] in
   Tu.check_int "exit 1" 1 code;
@@ -275,6 +329,12 @@ let () =
         [
           Tu.tc "--export stats=- to stdout" export_flag_to_stdout;
           Tu.tc "removed aliases error with replacement" removed_alias_errors;
+          Tu.tc "unknown kind lists the registry" unknown_export_kind_lists_registry;
+        ] );
+      ( "predict",
+        [
+          Tu.tc "--mode predict exports xmt.predict.v1" predict_mode_exports;
+          Tu.tc "predict sinks need --mode predict" predict_exports_need_predict_mode;
         ] );
       ( "campaign",
         [
